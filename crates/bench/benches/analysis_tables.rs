@@ -1,0 +1,77 @@
+//! Benchmarks for the analytical tables: Figure 1 scenario
+//! (`fig01_deadlock`), example paths (`fig05_09_10_paths`), Section 3.4
+//! adaptiveness (`sec34_adaptiveness`), the Section 5 p-cube table
+//! (`sec5_pcube_table`), and the Section 6 path-length claims
+//! (`sec6_claims`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use turnroute_experiments::claims::average_path_length;
+use turnroute_experiments::fig1::{self, TurnLeft};
+use turnroute_experiments::{adaptiveness_exp, paths, pcube_table};
+use turnroute_topology::{Hypercube, Mesh};
+use turnroute_traffic::{MeshTranspose, ReverseFlip, Uniform};
+
+fn fig01_deadlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_deadlock");
+    group.sample_size(20);
+    group.bench_function("four_packet_scenario", |b| {
+        b.iter(|| {
+            let report = fig1::run_scenario(&TurnLeft::new());
+            assert!(report.deadlocked);
+            black_box(report.end_cycle)
+        })
+    });
+    group.finish();
+}
+
+fn fig05_09_10_paths(c: &mut Criterion) {
+    c.bench_function("fig05_09_10_paths/render", |b| {
+        b.iter(|| black_box(paths::render()).len())
+    });
+}
+
+fn sec34_adaptiveness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec34_adaptiveness");
+    group.sample_size(10);
+    group.bench_function("analyze_8x8", |b| {
+        b.iter(|| {
+            let rows = adaptiveness_exp::analyze(black_box(8));
+            assert!(rows.iter().all(|r| r.formula_verified));
+            black_box(rows.len())
+        })
+    });
+    group.finish();
+}
+
+fn sec5_pcube_table(c: &mut Criterion) {
+    c.bench_function("sec5_pcube_table/table", |b| {
+        b.iter(|| black_box(pcube_table::table()).len())
+    });
+    c.bench_function("sec5_pcube_table/render_with_path_count", |b| {
+        b.iter(|| black_box(pcube_table::render()).len())
+    });
+}
+
+fn sec6_claims(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let cube = Hypercube::new(8);
+    c.bench_function("sec6_claims/path_lengths", |b| {
+        b.iter(|| {
+            let mu = average_path_length(&mesh, &Uniform::new(), 1);
+            let mt = average_path_length(&mesh, &MeshTranspose::new(), 1);
+            let cu = average_path_length(&cube, &Uniform::new(), 1);
+            let cr = average_path_length(&cube, &ReverseFlip::new(), 1);
+            black_box((mu, mt, cu, cr))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig01_deadlock,
+    fig05_09_10_paths,
+    sec34_adaptiveness,
+    sec5_pcube_table,
+    sec6_claims
+);
+criterion_main!(benches);

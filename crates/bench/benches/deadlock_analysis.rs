@@ -1,0 +1,87 @@
+//! Benchmarks for the deadlock-analysis machinery: Figures 2–4 census
+//! (`fig02_04_turn_census`), Theorems 1 & 6 counting (`thm1_6_counts`),
+//! Figures 6–8 numbering verification (`fig06_08_numbering`), and CDG
+//! construction/cycle search at paper scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use turnroute_experiments::theorems;
+use turnroute_model::cycle::two_turn_census;
+use turnroute_model::numbering::{
+    negative_first_numbering, verify_monotonic, west_first_numbering, Monotonic,
+};
+use turnroute_model::{presets, Cdg, TurnSet};
+use turnroute_routing::{mesh2d, ndmesh, RoutingMode};
+use turnroute_topology::Mesh;
+
+fn fig02_04_turn_census(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(8, 8);
+    c.bench_function("fig02_04_turn_census/8x8", |b| {
+        b.iter(|| {
+            let census = two_turn_census(black_box(&mesh));
+            assert_eq!(census.deadlock_free(), 12);
+            black_box(census.total())
+        })
+    });
+}
+
+fn thm1_6_counts(c: &mut Criterion) {
+    c.bench_function("thm1_6_counts/n2..5", |b| {
+        b.iter(|| {
+            let rows = theorems::verify(black_box(5));
+            assert!(rows.iter().all(|r| r.sufficient && r.necessary));
+            black_box(rows.len())
+        })
+    });
+}
+
+fn fig06_08_numbering(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let numbers = west_first_numbering(&mesh);
+    c.bench_function("fig06_08_numbering/west_first_16x16", |b| {
+        b.iter(|| {
+            verify_monotonic(&mesh, &wf, black_box(&numbers), Monotonic::Decreasing)
+                .expect("Theorem 2")
+        })
+    });
+    let nf = ndmesh::negative_first(2, RoutingMode::Minimal);
+    let numbers = negative_first_numbering(&mesh);
+    c.bench_function("fig06_08_numbering/negative_first_16x16", |b| {
+        b.iter(|| {
+            verify_monotonic(&mesh, &nf, black_box(&numbers), Monotonic::Increasing)
+                .expect("Theorem 5")
+        })
+    });
+}
+
+fn cdg_construction(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    c.bench_function("cdg/from_turn_set/16x16", |b| {
+        b.iter(|| {
+            let cdg = Cdg::from_turn_set(&mesh, &presets::west_first_turns());
+            assert!(cdg.is_acyclic());
+            black_box(cdg.num_edges())
+        })
+    });
+    c.bench_function("cdg/find_cycle_cyclic/16x16", |b| {
+        let cdg = Cdg::from_turn_set(&mesh, &TurnSet::all_ninety(2));
+        b.iter(|| black_box(cdg.find_cycle()).is_some())
+    });
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    c.bench_function("cdg/from_routing/16x16", |b| {
+        b.iter(|| {
+            let cdg = Cdg::from_routing(&mesh, &wf);
+            assert!(cdg.is_acyclic());
+            black_box(cdg.num_edges())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig02_04_turn_census,
+    thm1_6_counts,
+    fig06_08_numbering,
+    cdg_construction
+);
+criterion_main!(benches);

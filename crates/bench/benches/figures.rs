@@ -1,0 +1,111 @@
+//! One benchmark per Section 6 figure: a representative mid-load run of
+//! each figure's (topology, pattern, algorithm-set) combination at quick
+//! scale. Full curves come from `cargo run --release --bin exp -- figN`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use turnroute_bench::{BENCH_RATE, BENCH_SCALE};
+use turnroute_model::RoutingFunction;
+use turnroute_routing::{hypercube, mesh2d, ndmesh, RoutingMode};
+use turnroute_sim::{Sim, SimConfig};
+use turnroute_topology::{Hypercube, Mesh, Topology};
+use turnroute_traffic::{HypercubeTranspose, MeshTranspose, ReverseFlip, TrafficPattern, Uniform};
+
+fn run_once(
+    topo: &dyn Topology,
+    alg: &dyn RoutingFunction,
+    pattern: &dyn TrafficPattern,
+) -> f64 {
+    let (warmup, measure, drain) = BENCH_SCALE.cycles();
+    let cfg = SimConfig::builder()
+        .injection_rate(BENCH_RATE)
+        .warmup_cycles(warmup)
+        .measure_cycles(measure / 2)
+        .drain_cycles(drain / 2)
+        .seed(3)
+        .build();
+    let report = Sim::new(topo, alg, pattern, cfg).run();
+    assert!(!report.deadlocked);
+    report.throughput_flits_per_us()
+}
+
+fn bench_figure(
+    c: &mut Criterion,
+    name: &str,
+    topo: &dyn Topology,
+    algorithms: &[Box<dyn RoutingFunction>],
+    pattern: &dyn TrafficPattern,
+) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    for alg in algorithms {
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| black_box(run_once(topo, alg, pattern)))
+        });
+    }
+    group.finish();
+}
+
+fn mesh_algorithms() -> Vec<Box<dyn RoutingFunction>> {
+    vec![
+        Box::new(mesh2d::xy()),
+        Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+    ]
+}
+
+fn cube_algorithms() -> Vec<Box<dyn RoutingFunction>> {
+    vec![
+        Box::new(hypercube::e_cube(8)),
+        Box::new(hypercube::p_cube(8, RoutingMode::Minimal)),
+        Box::new(ndmesh::all_but_one_negative_first(8, RoutingMode::Minimal)),
+        Box::new(ndmesh::all_but_one_positive_last(8, RoutingMode::Minimal)),
+    ]
+}
+
+fn fig13_mesh_uniform(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    bench_figure(c, "fig13_mesh_uniform", &mesh, &mesh_algorithms(), &Uniform::new());
+}
+
+fn fig14_mesh_transpose(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    bench_figure(
+        c,
+        "fig14_mesh_transpose",
+        &mesh,
+        &mesh_algorithms(),
+        &MeshTranspose::new(),
+    );
+}
+
+fn fig15_cube_transpose(c: &mut Criterion) {
+    let cube = Hypercube::new(8);
+    bench_figure(
+        c,
+        "fig15_cube_transpose",
+        &cube,
+        &cube_algorithms(),
+        &HypercubeTranspose::new(),
+    );
+}
+
+fn fig16_cube_reverseflip(c: &mut Criterion) {
+    let cube = Hypercube::new(8);
+    bench_figure(
+        c,
+        "fig16_cube_reverseflip",
+        &cube,
+        &cube_algorithms(),
+        &ReverseFlip::new(),
+    );
+}
+
+criterion_group!(
+    benches,
+    fig13_mesh_uniform,
+    fig14_mesh_transpose,
+    fig15_cube_transpose,
+    fig16_cube_reverseflip
+);
+criterion_main!(benches);

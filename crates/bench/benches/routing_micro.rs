@@ -1,0 +1,90 @@
+//! Microbenchmarks: per-hop routing-decision cost of each algorithm —
+//! the "more complex control logic" overhead the paper's Section 7
+//! discusses as the price of adaptivity.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use turnroute_model::RoutingFunction;
+use turnroute_routing::torus::NegativeFirstTorus;
+use turnroute_routing::{hypercube, mesh2d, ndmesh, RoutingMode};
+use turnroute_topology::{Hypercube, Mesh, NodeId, Torus};
+
+fn route_all_pairs(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let mut group = c.benchmark_group("route_decision/mesh16x16");
+    let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+        Box::new(mesh2d::xy()),
+        Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Nonminimal)),
+    ];
+    for alg in &algorithms {
+        let label = if alg.is_minimal() {
+            alg.name().to_string()
+        } else {
+            format!("{}-nonminimal", alg.name())
+        };
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for s in (0..256u32).step_by(17) {
+                    for d in (0..256u32).step_by(13) {
+                        if s == d {
+                            continue;
+                        }
+                        acc ^= alg
+                            .route(&mesh, NodeId(s), NodeId(d), None)
+                            .bits();
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    let cube = Hypercube::new(8);
+    let mut group = c.benchmark_group("route_decision/cube8");
+    let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+        Box::new(hypercube::e_cube(8)),
+        Box::new(hypercube::p_cube(8, RoutingMode::Minimal)),
+        Box::new(ndmesh::all_but_one_negative_first(8, RoutingMode::Minimal)),
+    ];
+    for alg in &algorithms {
+        group.bench_function(alg.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for s in (0..256u32).step_by(17) {
+                    for d in (0..256u32).step_by(13) {
+                        if s == d {
+                            continue;
+                        }
+                        acc ^= alg.route(&cube, NodeId(s), NodeId(d), None).bits();
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    let torus = Torus::new(8, 2);
+    let nf = NegativeFirstTorus::new(2);
+    c.bench_function("route_decision/torus8x8/negative-first-torus", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for s in (0..64u32).step_by(7) {
+                for d in (0..64u32).step_by(5) {
+                    if s == d {
+                        continue;
+                    }
+                    acc ^= nf.route(&torus, NodeId(s), NodeId(d), None).bits();
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, route_all_pairs);
+criterion_main!(benches);

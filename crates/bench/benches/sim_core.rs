@@ -1,0 +1,70 @@
+//! Simulator-core benchmarks: cycles per second of the wormhole engine
+//! under light and heavy load, and injection/arbitration overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use turnroute_routing::{mesh2d, RoutingMode};
+use turnroute_sim::{Sim, SimConfig};
+use turnroute_topology::Mesh;
+use turnroute_traffic::Uniform;
+
+fn engine_cycles(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let mut group = c.benchmark_group("sim_core/cycles");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    for (label, rate) in [("light_load", 0.02), ("heavy_load", 0.30)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig::builder().injection_rate(rate).seed(1).build();
+                let mut sim = Sim::new(&mesh, &wf, &pattern, cfg);
+                for _ in 0..CYCLES {
+                    sim.step();
+                }
+                black_box(sim.now())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn single_packet_flight(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    c.bench_function("sim_core/single_packet_corner_to_corner", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::builder().injection_rate(0.0).build();
+            let mut sim = Sim::new(&mesh, &wf, &pattern, cfg);
+            let src = turnroute_topology::NodeId(0);
+            let dst = turnroute_topology::NodeId(255);
+            sim.inject_packet(src, dst, 200);
+            assert!(sim.run_until_idle(2_000));
+            black_box(sim.now())
+        })
+    });
+}
+
+fn vc_engine_cycles(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let alg = turnroute_vc::DoubleYAdaptive::new();
+    let pattern = Uniform::new();
+    let mut group = c.benchmark_group("sim_core/vc_cycles");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("double_y_heavy_load", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::builder().injection_rate(0.30).seed(1).build();
+            let mut sim = turnroute_vc::VcSim::new(&mesh, &alg, &pattern, cfg);
+            for _ in 0..CYCLES {
+                sim.step();
+            }
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_cycles, single_packet_flight, vc_engine_cycles);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmark crate: all content lives in `benches/` (one criterion target
+//! per paper figure/table plus microbenchmarks). This library only hosts
+//! small shared helpers for the bench targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use turnroute_experiments::Scale;
+
+/// The scale bench targets run simulations at — small enough that a full
+/// `cargo bench` finishes in minutes.
+pub const BENCH_SCALE: Scale = Scale::Quick;
+
+/// A single mid-range offered load (flits/node/cycle) used by the
+/// per-figure bench targets so they measure one representative run, not a
+/// whole sweep.
+pub const BENCH_RATE: f64 = 0.10;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scale_is_quick() {
+        assert_eq!(BENCH_SCALE, Scale::Quick);
+        assert!(BENCH_RATE.is_sign_positive() && BENCH_RATE.is_finite());
+    }
+}

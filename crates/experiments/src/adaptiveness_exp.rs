@@ -1,0 +1,125 @@
+//! Section 3.4: degree of adaptiveness of the 2D partially adaptive
+//! algorithms, validated by exhaustive path counting.
+
+use turnroute_model::adaptiveness::{
+    adaptiveness_summary, count_minimal_paths, s_fully_adaptive, s_negative_first, s_north_last,
+    s_west_first, AdaptivenessSummary,
+};
+use turnroute_routing::{mesh2d, RoutingMode, RoutingFunction};
+use turnroute_topology::{Mesh, NodeId, Topology};
+
+/// Results for one algorithm on one mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivenessRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Aggregate summary over all pairs.
+    pub summary: AdaptivenessSummary,
+    /// Whether the closed-form `S_p` matched exhaustive counting on every
+    /// pair.
+    pub formula_verified: bool,
+}
+
+/// Compute the Section 3.4 table for an `m × m` mesh: mean `S_p/S_f`,
+/// single-path fraction, and closed-form validation.
+pub fn analyze(m: u16) -> Vec<AdaptivenessRow> {
+    let mesh = Mesh::new_2d(m, m);
+    type ClosedForm = fn(&turnroute_topology::Coord, &turnroute_topology::Coord) -> u128;
+    let algorithms: Vec<(Box<dyn RoutingFunction>, ClosedForm)> = vec![
+        (
+            Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+            s_west_first as ClosedForm,
+        ),
+        (
+            Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+            s_north_last as ClosedForm,
+        ),
+        (
+            Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+            s_negative_first as ClosedForm,
+        ),
+    ];
+    algorithms
+        .into_iter()
+        .map(|(alg, closed_form)| {
+            let mut verified = true;
+            for s in 0..mesh.num_nodes() {
+                for d in 0..mesh.num_nodes() {
+                    if s == d {
+                        continue;
+                    }
+                    let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+                    let counted = count_minimal_paths(&mesh, &alg, s, d);
+                    let formula = closed_form(&mesh.coord_of(s), &mesh.coord_of(d));
+                    if counted != formula {
+                        verified = false;
+                    }
+                }
+            }
+            let summary = adaptiveness_summary(&mesh, &alg, |s, d| {
+                s_fully_adaptive(&mesh.coord_of(s), &mesh.coord_of(d))
+            });
+            AdaptivenessRow {
+                algorithm: alg.name().to_string(),
+                summary,
+                formula_verified: verified,
+            }
+        })
+        .collect()
+}
+
+/// Render the Section 3.4 analysis as markdown.
+pub fn render(m: u16) -> String {
+    let mut out = format!(
+        "# Section 3.4: degree of adaptiveness on a {m}x{m} mesh\n\n\
+         | algorithm | mean S_p/S_f | pairs with S_p = 1 | closed form |\n\
+         |---|---:|---:|:---:|\n"
+    );
+    for row in analyze(m) {
+        out.push_str(&format!(
+            "| {} | {:.3} | {:.1}% | {} |\n",
+            row.algorithm,
+            row.summary.mean_ratio,
+            row.summary.single_path_fraction * 100.0,
+            if row.formula_verified { "verified" } else { "MISMATCH" },
+        ));
+    }
+    out.push_str(
+        "\nThe paper: averaged across all pairs, S_p/S_f > 1/2, and S_p = 1 for\n\
+         at least half of the source-destination pairs.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_forms_verified_and_ratio_above_half_8x8() {
+        for row in analyze(8) {
+            assert!(row.formula_verified, "{} formula mismatch", row.algorithm);
+            // The paper's claim: mean S_p/S_f > 1/2.
+            assert!(
+                row.summary.mean_ratio > 0.5,
+                "{}: mean ratio {}",
+                row.algorithm,
+                row.summary.mean_ratio
+            );
+            // And S_p = 1 for at least half of the (off-axis) pairs.
+            assert!(
+                row.summary.single_path_fraction >= 0.5,
+                "{}: single-path fraction {}",
+                row.algorithm,
+                row.summary.single_path_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_three_rows() {
+        let s = render(4);
+        assert_eq!(s.matches("verified").count(), 3, "{s}");
+        assert!(!s.contains("MISMATCH"), "{s}");
+    }
+}

@@ -1,0 +1,223 @@
+//! `exp` — regenerate the paper's figures and tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! exp <subcommand> [--quick] [--seed N] [--out DIR]
+//!
+//! subcommands:
+//!   fig1             Figure 1 deadlock demonstration
+//!   turn-census      Figures 2-4 + the 16-way census
+//!   turn-census-3d   the 4096-way 3D census (extension)
+//!   example-paths    Figures 5b/9b/10b path traces
+//!   numbering        Figures 6-8, Theorems 2 & 5
+//!   theorems         Theorems 1 & 6 counts
+//!   adaptiveness-2d  Section 3.4 adaptiveness table
+//!   pcube-table      Section 5 10-cube table
+//!   fig13 fig14 fig15 fig16   Section 6 sweeps
+//!   claims           Section 6 scalar claims
+//!   link-load        channel-load imbalance ablation
+//!   policy-ablation  input/output selection policy grid ([19])
+//!   nonminimal       minimal vs nonminimal, healthy and faulty
+//!   vc-ablation      no-extra-channel adaptivity vs double-y VCs
+//!   buffer-depth     input-buffer depth sensitivity
+//!   node-delay       Section 7's route-selection delay trade-off
+//!   all              everything above, written to --out
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use turnroute_experiments::{
+    adaptiveness_exp, buffers, census, claims, fig1, figures, linkload, node_delay,
+    nonminimal_exp, numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
+};
+use turnroute_model::RoutingFunction;
+use turnroute_routing::{mesh2d, RoutingMode};
+use turnroute_traffic::MeshTranspose;
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: exp <fig1|turn-census|example-paths|numbering|theorems|adaptiveness-2d|\
+         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|buffer-depth|node-delay|all> \
+         [--quick] [--seed N] [--out DIR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let mut opts = Options { scale: Scale::Full, seed: 1, out: None };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => opts.scale = Scale::Quick,
+            "--seed" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    return usage();
+                };
+                opts.seed = v;
+            }
+            "--out" => {
+                let Some(v) = args.next() else {
+                    return usage();
+                };
+                opts.out = Some(PathBuf::from(v));
+            }
+            _ => return usage(),
+        }
+    }
+
+    let outputs: Vec<(&str, String)> = match cmd.as_str() {
+        "fig1" => vec![("fig1.md", fig1::render())],
+        "turn-census" => vec![("turn_census.md", census::render())],
+        "turn-census-3d" => vec![("turn_census_3d.md", census::render_3d())],
+        "example-paths" => vec![("example_paths.md", paths::render())],
+        "numbering" => vec![("numbering.md", numbering_exp::render())],
+        "theorems" => vec![("theorems.md", theorems::render(6))],
+        "adaptiveness-2d" => {
+            let m = match opts.scale {
+                Scale::Quick => 8,
+                Scale::Full => 16,
+            };
+            vec![("adaptiveness_2d.md", adaptiveness_exp::render(m))]
+        }
+        "pcube-table" => vec![("pcube_table.md", pcube_table::render())],
+        "fig13" | "fig14" | "fig15" | "fig16" => {
+            let n: u8 = cmd[3..].parse().expect("figure number");
+            let (md, csv, svg) = figure_outputs(n, opts.scale, opts.seed);
+            vec![
+                (leak(format!("fig{n}.md")), md),
+                (leak(format!("fig{n}.csv")), csv),
+                (leak(format!("fig{n}.svg")), svg),
+            ]
+        }
+        "claims" => vec![("claims.md", claims::render(opts.scale, opts.seed))],
+        "link-load" => vec![("link_load.md", render_link_load(opts.seed))],
+        "policy-ablation" => {
+            let wf = mesh2d::west_first(RoutingMode::Minimal);
+            vec![("policy_ablation.md", policies::render(&wf, opts.scale, opts.seed))]
+        }
+        "nonminimal" => vec![(
+            "nonminimal.md",
+            nonminimal_exp::render(opts.scale, opts.seed),
+        )],
+        "vc-ablation" => vec![(
+            "vc_ablation.md",
+            vc_ablation::render(opts.scale, opts.seed),
+        )],
+        "buffer-depth" => vec![("buffer_depth.md", buffers::render(opts.scale, opts.seed))],
+        "node-delay" => vec![("node_delay.md", node_delay::render(opts.scale, opts.seed))],
+        "all" => {
+            let mut v: Vec<(&str, String)> = vec![
+                ("fig1.md", fig1::render()),
+                ("turn_census.md", census::render()),
+                ("turn_census_3d.md", census::render_3d()),
+                ("example_paths.md", paths::render()),
+                ("numbering.md", numbering_exp::render()),
+                ("theorems.md", theorems::render(6)),
+                (
+                    "adaptiveness_2d.md",
+                    adaptiveness_exp::render(match opts.scale {
+                        Scale::Quick => 8,
+                        Scale::Full => 16,
+                    }),
+                ),
+                ("pcube_table.md", pcube_table::render()),
+            ];
+            for n in [13u8, 14, 15, 16] {
+                eprintln!("running figure {n} sweeps...");
+                let (md, csv, svg) = figure_outputs(n, opts.scale, opts.seed);
+                v.push((leak(format!("fig{n}.md")), md));
+                v.push((leak(format!("fig{n}.csv")), csv));
+                v.push((leak(format!("fig{n}.svg")), svg));
+            }
+            eprintln!("measuring claims...");
+            v.push(("claims.md", claims::render(opts.scale, opts.seed)));
+            eprintln!("running ablations...");
+            v.push(("link_load.md", render_link_load(opts.seed)));
+            let wf = mesh2d::west_first(RoutingMode::Minimal);
+            v.push(("policy_ablation.md", policies::render(&wf, opts.scale, opts.seed)));
+            v.push(("nonminimal.md", nonminimal_exp::render(opts.scale, opts.seed)));
+            v.push(("vc_ablation.md", vc_ablation::render(opts.scale, opts.seed)));
+            v.push(("buffer_depth.md", buffers::render(opts.scale, opts.seed)));
+            v.push(("node_delay.md", node_delay::render(opts.scale, opts.seed)));
+            v
+        }
+        _ => return usage(),
+    };
+
+    for (name, content) in outputs {
+        match &opts.out {
+            Some(dir) => {
+                if let Err(e) = fs::create_dir_all(dir) {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+                let path = dir.join(name);
+                if let Err(e) = fs::write(&path, &content) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            None => println!("{content}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn render_link_load(seed: u64) -> String {
+    let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+        Box::new(mesh2d::xy()),
+        Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+    ];
+    linkload::render(&algorithms, &MeshTranspose::new(), seed)
+}
+
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+/// Run one figure's sweeps once and render all three artifacts from
+/// them.
+fn figure_outputs(n: u8, scale: Scale, seed: u64) -> (String, String, String) {
+    let (sweeps, title) = match n {
+        13 => (figures::fig13(scale, seed), "Figure 13: uniform traffic, 16x16 mesh"),
+        14 => (
+            figures::fig14(scale, seed),
+            "Figure 14: matrix-transpose traffic, 16x16 mesh",
+        ),
+        15 => (
+            figures::fig15(scale, seed),
+            "Figure 15: matrix-transpose traffic, binary 8-cube",
+        ),
+        16 => (
+            figures::fig16(scale, seed),
+            "Figure 16: reverse-flip traffic, binary 8-cube",
+        ),
+        _ => unreachable!("validated above"),
+    };
+    let md = turnroute_experiments::sweep::to_markdown(&sweeps, title);
+    let mut csv = String::new();
+    for (i, s) in sweeps.iter().enumerate() {
+        let one = s.to_csv();
+        if i == 0 {
+            csv.push_str(&one);
+        } else {
+            // Skip the repeated header line.
+            csv.extend(one.split_once('\n').map(|(_, rest)| rest.to_string()));
+        }
+    }
+    let svg = turnroute_experiments::plot::latency_vs_throughput_svg(&sweeps, title, 120.0);
+    (md, csv, svg)
+}

@@ -1,0 +1,164 @@
+//! Section 6's scalar claims: sustainable-throughput ratios and average
+//! path lengths.
+//!
+//! The paper reports, for its 256-node networks:
+//!
+//! * matrix transpose: partially adaptive sustainable throughput ≈ 2× the
+//!   nonadaptive algorithms (mesh and hypercube);
+//! * reverse-flip: partially adaptive ≈ 4× e-cube;
+//! * the best mesh combination (negative-first + transpose) ≈ 30% above
+//!   the second best (xy + uniform);
+//! * average path lengths: 4.27 hops (reverse-flip) vs 4.01 (uniform) in
+//!   the 8-cube; 11.34 (transpose) vs 10.61 (uniform) in the mesh.
+
+use crate::figures;
+use crate::Scale;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use turnroute_topology::{Hypercube, Mesh, NodeId, Topology};
+use turnroute_traffic::{HypercubeTranspose, MeshTranspose, ReverseFlip, TrafficPattern, Uniform};
+
+/// Measured claim ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claims {
+    /// Best cube combination (adaptive + reverse-flip) over the runner-up
+    /// (e-cube + uniform) (paper: ≈ 1.5).
+    pub cube_best_ratio: f64,
+    /// Best mesh combination (negative-first + transpose) over the
+    /// runner-up (xy + uniform) (paper: ≈ 1.3).
+    pub mesh_best_ratio: f64,
+    /// Best adaptive / best nonadaptive sustainable throughput, mesh
+    /// transpose (paper: ≈ 2).
+    pub mesh_transpose_ratio: f64,
+    /// Best adaptive / best nonadaptive sustainable throughput, cube
+    /// transpose (paper: ≈ 2).
+    pub cube_transpose_ratio: f64,
+    /// Best adaptive / e-cube sustainable throughput, reverse-flip
+    /// (paper: ≈ 4).
+    pub reverse_flip_ratio: f64,
+    /// Average minimal path length of uniform traffic in the 8-cube
+    /// (paper: 4.01).
+    pub cube_uniform_hops: f64,
+    /// Average path length of reverse-flip traffic (paper: 4.27).
+    pub cube_reverse_flip_hops: f64,
+    /// Average minimal path length of uniform traffic in the 16×16 mesh
+    /// (paper: 10.61).
+    pub mesh_uniform_hops: f64,
+    /// Average path length of mesh transpose traffic (paper: 11.34).
+    pub mesh_transpose_hops: f64,
+}
+
+/// Analytic average minimal path length of a pattern on a topology
+/// (sampled for stochastic patterns).
+pub fn average_path_length(topo: &dyn Topology, pattern: &dyn TrafficPattern, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total = 0usize;
+    let mut count = 0usize;
+    // Deterministic patterns need one pass; sample stochastic ones.
+    let passes = 64;
+    for _ in 0..passes {
+        for node in 0..topo.num_nodes() {
+            let src = NodeId(node as u32);
+            if let Some(dst) = pattern.dest(topo, src, &mut rng) {
+                total += topo.min_hops(src, dst);
+                count += 1;
+            }
+        }
+    }
+    total as f64 / count as f64
+}
+
+fn best(sweeps: &[crate::sweep::SweepResult], names: &[&str]) -> f64 {
+    sweeps
+        .iter()
+        .filter(|s| names.contains(&s.algorithm.as_str()))
+        .map(crate::sweep::SweepResult::sustainable_throughput)
+        .fold(0.0, f64::max)
+}
+
+/// Measure the Section 6 claims at the given scale.
+pub fn measure(scale: Scale, seed: u64) -> Claims {
+    let adaptive_mesh = ["west-first", "north-last", "negative-first"];
+    let adaptive_cube = [
+        "p-cube",
+        "all-but-one-negative-first",
+        "all-but-one-positive-last",
+    ];
+
+    let f13 = figures::fig13(scale, seed);
+    let f14 = figures::fig14(scale, seed);
+    let f15 = figures::fig15(scale, seed);
+    let f16 = figures::fig16(scale, seed);
+    // The paper's cube-uniform runner-up combination (e-cube + uniform).
+    let cube8 = Hypercube::new(8);
+    let cube_uniform_ecube = crate::sweep::load_sweep(
+        &cube8,
+        &turnroute_routing::hypercube::e_cube(8),
+        &Uniform::new(),
+        &crate::sweep::default_rates(),
+        scale,
+        seed,
+    )
+    .sustainable_throughput();
+
+    let mesh = Mesh::new_2d(16, 16);
+    let cube = Hypercube::new(8);
+    Claims {
+        cube_best_ratio: best(&f16, &adaptive_cube) / cube_uniform_ecube,
+        mesh_best_ratio: best(&f14, &["negative-first"]) / best(&f13, &["xy"]),
+        mesh_transpose_ratio: best(&f14, &adaptive_mesh) / best(&f14, &["xy"]),
+        cube_transpose_ratio: best(&f15, &adaptive_cube) / best(&f15, &["e-cube"]),
+        reverse_flip_ratio: best(&f16, &adaptive_cube) / best(&f16, &["e-cube"]),
+        cube_uniform_hops: average_path_length(&cube, &Uniform::new(), seed),
+        cube_reverse_flip_hops: average_path_length(&cube, &ReverseFlip::new(), seed),
+        mesh_uniform_hops: average_path_length(&mesh, &Uniform::new(), seed),
+        mesh_transpose_hops: average_path_length(&mesh, &MeshTranspose::new(), seed),
+    }
+}
+
+/// Render the claims, paper value vs measured.
+pub fn render(scale: Scale, seed: u64) -> String {
+    let c = measure(scale, seed);
+    let _ = HypercubeTranspose::new(); // pattern exercised through fig15
+    format!(
+        "# Section 6 scalar claims: paper vs measured\n\n\
+         | claim | paper | measured |\n|---|---:|---:|\n\
+         | transpose sustainable throughput, adaptive/nonadaptive (mesh) | ~2x | {:.2}x |\n\
+         | transpose sustainable throughput, adaptive/nonadaptive (8-cube) | ~2x | {:.2}x |\n\
+         | reverse-flip sustainable throughput, adaptive/e-cube | ~4x | {:.2}x |\n\
+         | avg path length, uniform, 8-cube | 4.01 | {:.2} |\n\
+         | avg path length, reverse-flip, 8-cube | 4.27 | {:.2} |\n\
+         | avg path length, uniform, 16x16 mesh | 10.61 | {:.2} |\n\
+         | avg path length, transpose, 16x16 mesh | 11.34 | {:.2} |\n\
+         | best cube combo (adaptive+reverse-flip) / runner-up (e-cube+uniform) | ~1.5x | {:.2}x |\n\
+         | best mesh combo (NF+transpose) / runner-up (xy+uniform) | ~1.3x | {:.2}x |\n",
+        c.mesh_transpose_ratio,
+        c.cube_transpose_ratio,
+        c.reverse_flip_ratio,
+        c.cube_uniform_hops,
+        c.cube_reverse_flip_hops,
+        c.mesh_uniform_hops,
+        c.mesh_transpose_hops,
+        c.cube_best_ratio,
+        c.mesh_best_ratio,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_lengths_match_paper() {
+        let mesh = Mesh::new_2d(16, 16);
+        let cube = Hypercube::new(8);
+        let mu = average_path_length(&mesh, &Uniform::new(), 1);
+        let mt = average_path_length(&mesh, &MeshTranspose::new(), 1);
+        let cu = average_path_length(&cube, &Uniform::new(), 1);
+        let cr = average_path_length(&cube, &ReverseFlip::new(), 1);
+        assert!((mu - 10.61).abs() < 0.1, "mesh uniform {mu}");
+        assert!((mt - 11.34).abs() < 0.1, "mesh transpose {mt}");
+        assert!((cu - 4.01).abs() < 0.05, "cube uniform {cu}");
+        assert!((cr - 4.27).abs() < 0.05, "cube reverse-flip {cr}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Figure 1: a wormhole deadlock involving four routers and four packets.
+//!
+//! The paper's opening figure shows four packets, each trying to turn
+//! left, ending in a circular wait. We realize it in the simulator: a
+//! deliberately unrestricted "always turn left" routing function sends
+//! four two-hop packets around a square of routers; each acquires its
+//! first channel and waits forever for the next. The same scenario under
+//! west-first routing delivers all four packets.
+
+use turnroute_model::{RoutingFunction, TurnSet};
+use turnroute_sim::{Sim, SimConfig, SimReport};
+use turnroute_topology::{DirSet, Direction, Mesh, NodeId, Topology};
+use turnroute_traffic::{Permutation, TrafficPattern};
+
+/// Deterministic left-turning routing: of the productive directions, pick
+/// the one whose *left* neighbor direction is also productive (so the
+/// packet's turn will be a left turn), falling back to the single
+/// productive direction. Allows every turn — **not deadlock free**, by
+/// design; it exists to reproduce Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TurnLeft;
+
+impl TurnLeft {
+    /// Create the left-turning demo router.
+    pub fn new() -> TurnLeft {
+        TurnLeft
+    }
+
+    /// The direction 90 degrees to the left of `d` in the 2D plane
+    /// (east→north→west→south→east).
+    fn left_of(d: Direction) -> Direction {
+        match d {
+            Direction::EAST => Direction::NORTH,
+            Direction::NORTH => Direction::WEST,
+            Direction::WEST => Direction::SOUTH,
+            Direction::SOUTH => Direction::EAST,
+            _ => unreachable!("2D directions only"),
+        }
+    }
+}
+
+impl RoutingFunction for TurnLeft {
+    fn name(&self) -> &str {
+        "turn-left (deadlocks)"
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        let productive = topo.productive_dirs(current, dest);
+        if productive.len() <= 1 {
+            return productive;
+        }
+        // Two productive directions: continue straight if possible so the
+        // remaining correction is a (left) turn; otherwise pick the
+        // direction whose left is the other productive one.
+        if let Some(arr) = arrived {
+            if productive.contains(arr) {
+                return DirSet::single(arr);
+            }
+        }
+        for d in productive.iter() {
+            if productive.contains(Self::left_of(d)) {
+                return DirSet::single(d);
+            }
+        }
+        DirSet::single(productive.iter().next().expect("nonempty"))
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+
+    fn turn_set(&self, num_dims: usize) -> Option<TurnSet> {
+        Some(TurnSet::all_ninety(num_dims))
+    }
+}
+
+/// The four-packet Figure 1 scenario on a 2×2 mesh: each packet crosses
+/// one side of the square and turns left onto the next.
+fn scenario(mesh: &Mesh) -> Vec<(NodeId, NodeId)> {
+    let sw = mesh.node_at_coords(&[0, 0]);
+    let se = mesh.node_at_coords(&[1, 0]);
+    let ne = mesh.node_at_coords(&[1, 1]);
+    let nw = mesh.node_at_coords(&[0, 1]);
+    vec![(sw, ne), (se, nw), (ne, sw), (nw, se)]
+}
+
+/// Run the Figure 1 scenario with the given routing function; packets are
+/// long enough that each worm holds its first channel while requesting the
+/// second.
+pub fn run_scenario(routing: &dyn RoutingFunction) -> SimReport {
+    let mesh = Mesh::new_2d(2, 2);
+    let pattern = Permutation::new("fig1", (0..4).map(NodeId).collect());
+    run_scenario_on(&mesh, routing, &pattern)
+}
+
+fn run_scenario_on(
+    mesh: &Mesh,
+    routing: &dyn RoutingFunction,
+    pattern: &dyn TrafficPattern,
+) -> SimReport {
+    let cfg = SimConfig::builder()
+        .injection_rate(0.0)
+        .warmup_cycles(0)
+        .measure_cycles(400)
+        .drain_cycles(0)
+        .deadlock_threshold(100)
+        .build();
+    let mut sim = Sim::new(mesh, routing, pattern, cfg);
+    for (src, dst) in scenario(mesh) {
+        sim.inject_packet(src, dst, 8);
+    }
+    sim.run()
+}
+
+/// Render the Figure 1 experiment: the same four packets deadlock under
+/// unrestricted left-turning but complete under west-first.
+pub fn render() -> String {
+    let deadlock = run_scenario(&TurnLeft::new());
+    let wf = turnroute_routing::mesh2d::west_first(turnroute_routing::RoutingMode::Minimal);
+    let safe = run_scenario(&wf);
+    format!(
+        "# Figure 1: wormhole deadlock from unrestricted left turns\n\n\
+         Four 8-flit packets cross the four sides of a 2x2 mesh, each turning left.\n\n\
+         | routing | outcome | packets delivered |\n|---|---|---:|\n\
+         | turn-left (all turns allowed) | {} | {}/4 |\n\
+         | west-first (turn model) | {} | {}/4 |\n",
+        if deadlock.deadlocked { "DEADLOCK" } else { "completed" },
+        deadlock.delivered_packets,
+        if safe.deadlocked { "DEADLOCK" } else { "completed" },
+        safe.delivered_packets,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_model::Cdg;
+    use turnroute_routing::{mesh2d, RoutingMode};
+
+    #[test]
+    fn unrestricted_left_turns_deadlock() {
+        let report = run_scenario(&TurnLeft::new());
+        assert!(report.deadlocked, "Figure 1 scenario must deadlock");
+        assert_eq!(report.delivered_packets, 0);
+    }
+
+    #[test]
+    fn west_first_completes_the_same_scenario() {
+        let wf = mesh2d::west_first(RoutingMode::Minimal);
+        let report = run_scenario(&wf);
+        assert!(!report.deadlocked);
+        assert_eq!(report.delivered_packets, 4);
+    }
+
+    #[test]
+    fn negative_first_completes_the_same_scenario() {
+        let nf = mesh2d::negative_first(RoutingMode::Minimal);
+        let report = run_scenario(&nf);
+        assert!(!report.deadlocked);
+        assert_eq!(report.delivered_packets, 4);
+    }
+
+    #[test]
+    fn turn_left_cdg_is_cyclic() {
+        // The demo router's own dependency graph confirms the hazard.
+        let mesh = Mesh::new_2d(2, 2);
+        assert!(Cdg::from_routing(&mesh, &TurnLeft::new()).find_cycle().is_some());
+    }
+
+    #[test]
+    fn render_mentions_both_outcomes() {
+        let s = render();
+        assert!(s.contains("DEADLOCK"), "{s}");
+        assert!(s.contains("4/4"), "{s}");
+    }
+}

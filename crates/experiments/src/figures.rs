@@ -1,0 +1,156 @@
+//! Figures 13–16: latency vs throughput sweeps on the paper's two
+//! 256-node networks.
+
+use crate::sweep::{default_rates, load_sweep, to_markdown, SweepResult};
+use crate::Scale;
+use turnroute_routing::{hypercube, mesh2d, ndmesh, RoutingFunction, RoutingMode};
+use turnroute_topology::{Hypercube, Mesh};
+use turnroute_traffic::{HypercubeTranspose, MeshTranspose, ReverseFlip, TrafficPattern, Uniform};
+
+/// The algorithm set simulated on the 16×16 mesh: the xy baseline and the
+/// three partially adaptive algorithms of Section 3.
+fn mesh_algorithms() -> Vec<Box<dyn RoutingFunction + Sync>> {
+    vec![
+        Box::new(mesh2d::xy()),
+        Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+    ]
+}
+
+/// The algorithm set simulated on the binary 8-cube: the e-cube baseline,
+/// p-cube (negative-first), and the two Section 4.1 analogs.
+fn cube_algorithms() -> Vec<Box<dyn RoutingFunction + Sync>> {
+    vec![
+        Box::new(hypercube::e_cube(8)),
+        Box::new(hypercube::p_cube(8, RoutingMode::Minimal)),
+        Box::new(ndmesh::all_but_one_negative_first(8, RoutingMode::Minimal)),
+        Box::new(ndmesh::all_but_one_positive_last(8, RoutingMode::Minimal)),
+    ]
+}
+
+fn run_mesh<P: TrafficPattern + Sync>(pattern: &P, scale: Scale, seed: u64) -> Vec<SweepResult> {
+    let mesh = Mesh::new_2d(16, 16);
+    mesh_algorithms()
+        .iter()
+        .map(|alg| load_sweep(&mesh, alg, pattern, &default_rates(), scale, seed))
+        .collect()
+}
+
+fn run_cube<P: TrafficPattern + Sync>(pattern: &P, scale: Scale, seed: u64) -> Vec<SweepResult> {
+    let cube = Hypercube::new(8);
+    cube_algorithms()
+        .iter()
+        .map(|alg| load_sweep(&cube, alg, pattern, &default_rates(), scale, seed))
+        .collect()
+}
+
+/// Figure 13: uniform traffic in a 16×16 mesh.
+pub fn fig13(scale: Scale, seed: u64) -> Vec<SweepResult> {
+    run_mesh(&Uniform::new(), scale, seed)
+}
+
+/// Figure 14: matrix-transpose traffic in a 16×16 mesh.
+pub fn fig14(scale: Scale, seed: u64) -> Vec<SweepResult> {
+    run_mesh(&MeshTranspose::new(), scale, seed)
+}
+
+/// Figure 15: matrix-transpose traffic in a binary 8-cube.
+pub fn fig15(scale: Scale, seed: u64) -> Vec<SweepResult> {
+    run_cube(&HypercubeTranspose::new(), scale, seed)
+}
+
+/// Figure 16: reverse-flip traffic in a binary 8-cube.
+pub fn fig16(scale: Scale, seed: u64) -> Vec<SweepResult> {
+    run_cube(&ReverseFlip::new(), scale, seed)
+}
+
+/// Render one figure's sweeps as markdown.
+pub fn render(figure: u8, scale: Scale, seed: u64) -> String {
+    let (sweeps, title) = match figure {
+        13 => (fig13(scale, seed), "Figure 13: uniform traffic, 16x16 mesh"),
+        14 => (
+            fig14(scale, seed),
+            "Figure 14: matrix-transpose traffic, 16x16 mesh",
+        ),
+        15 => (
+            fig15(scale, seed),
+            "Figure 15: matrix-transpose traffic, binary 8-cube",
+        ),
+        16 => (
+            fig16(scale, seed),
+            "Figure 16: reverse-flip traffic, binary 8-cube",
+        ),
+        other => panic!("no figure {other}; expected 13..=16"),
+    };
+    to_markdown(&sweeps, title)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::load_sweep;
+    use turnroute_topology::Topology;
+
+    /// A cut-down fig14: at a load well past the nonadaptive saturation
+    /// point, negative-first sustains transpose traffic that xy cannot.
+    #[test]
+    fn transpose_favors_adaptive_routing() {
+        let mesh = Mesh::new_2d(16, 16);
+        let pattern = MeshTranspose::new();
+        let rates = [0.16];
+        let xy = load_sweep(&mesh, &mesh2d::xy(), &pattern, &rates, Scale::Quick, 5);
+        let nf = load_sweep(
+            &mesh,
+            &mesh2d::negative_first(RoutingMode::Minimal),
+            &pattern,
+            &rates,
+            Scale::Quick,
+            5,
+        );
+        let xy_thru = xy.points[0].report.throughput_flits_per_us();
+        let nf_thru = nf.points[0].report.throughput_flits_per_us();
+        assert!(
+            nf_thru > xy_thru * 1.3,
+            "negative-first {nf_thru:.1} should clearly beat xy {xy_thru:.1} on transpose"
+        );
+    }
+
+    #[test]
+    fn algorithm_sets_cover_the_paper() {
+        let mesh_algs = mesh_algorithms();
+        let mesh_names: Vec<&str> = mesh_algs.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            mesh_names,
+            vec!["xy", "west-first", "north-last", "negative-first"]
+        );
+        let cube_algs = cube_algorithms();
+        let cube_names: Vec<&str> = cube_algs.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            cube_names,
+            vec![
+                "e-cube",
+                "p-cube",
+                "all-but-one-negative-first",
+                "all-but-one-positive-last"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_mesh_algorithms_deliver_uniform_traffic_quickly() {
+        let mesh = Mesh::new_2d(16, 16);
+        assert_eq!(mesh.num_nodes(), 256);
+        for alg in mesh_algorithms() {
+            let sweep = load_sweep(&mesh, &alg, &Uniform::new(), &[0.02], Scale::Quick, 2);
+            let report = &sweep.points[0].report;
+            assert!(!report.deadlocked, "{} deadlocked", alg.name());
+            assert!(
+                report.delivered_fraction() > 0.9,
+                "{} delivered {}",
+                alg.name(),
+                report.delivered_fraction()
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Experiment harness: regenerates every figure and table of the
+//! turn-model paper.
+//!
+//! Each paper artifact has a module here and a subcommand on the `exp`
+//! binary (`cargo run --release --bin exp -- <subcommand>`):
+//!
+//! | Artifact | Module / subcommand |
+//! |----------|---------------------|
+//! | Figure 1 (wormhole deadlock) | [`fig1`] / `fig1` |
+//! | Figures 2–4 + §3 census | [`census`] / `turn-census` |
+//! | Figures 5, 9, 10 (example paths) | [`paths`] / `example-paths` |
+//! | Figures 6–8, Theorems 2 & 5 | [`numbering_exp`] / `numbering` |
+//! | Theorems 1 & 6 | [`theorems`] / `theorems` |
+//! | §3.4 adaptiveness | [`adaptiveness_exp`] / `adaptiveness-2d` |
+//! | §5 p-cube table | [`pcube_table`] / `pcube-table` |
+//! | Figures 13–16 | [`figures`] / `fig13` … `fig16` |
+//! | §6 scalar claims | [`claims`] / `claims` |
+//!
+//! Beyond the paper's own artifacts, three ablations extend the
+//! evaluation: [`linkload`] (`link-load`) quantifies the channel-load
+//! imbalance the paper explains qualitatively, [`policies`]
+//! (`policy-ablation`) runs the input/output selection study the paper
+//! defers to its companion paper, and [`nonminimal_exp`] (`nonminimal`)
+//! measures the cost/benefit of misrouting with and without faults. A
+//! fourth, [`vc_ablation`] (`vc-ablation`), compares the no-extra-channel
+//! algorithms against the fully adaptive double-y virtual-channel scheme.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptiveness_exp;
+pub mod buffers;
+pub mod census;
+pub mod claims;
+pub mod fig1;
+pub mod figures;
+pub mod linkload;
+pub mod node_delay;
+pub mod nonminimal_exp;
+pub mod policies;
+pub mod numbering_exp;
+pub mod paths;
+pub mod pcube_table;
+pub mod plot;
+pub mod sweep;
+pub mod theorems;
+pub mod vc_ablation;
+
+/// How much simulation to run: `Full` matches the paper-scale protocol,
+/// `Quick` shrinks windows for CI and benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Short windows: seconds per figure, noisier curves.
+    Quick,
+    /// Paper-scale windows: minutes per figure, smooth curves.
+    Full,
+}
+
+impl Scale {
+    /// (warmup, measure, drain) cycles for this scale.
+    pub fn cycles(self) -> (u64, u64, u64) {
+        match self {
+            Scale::Quick => (1_000, 4_000, 4_000),
+            Scale::Full => (5_000, 20_000, 20_000),
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The Section 5 table: p-cube routing choices along a 10-cube path from
+//! source 1011010100 to destination 0010111001.
+
+use turnroute_model::adaptiveness::{count_minimal_paths, s_pcube};
+use turnroute_routing::hypercube::{minimal_register, nonminimal_register, p_cube};
+use turnroute_routing::RoutingMode;
+use turnroute_topology::{Hypercube, NodeId};
+
+/// One row of the table: the current address, the number of minimal
+/// choices, extra nonminimal choices, and the dimension taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableRow {
+    /// Address of the node transmitting the message.
+    pub address: u32,
+    /// Number of output-channel choices under minimal p-cube routing.
+    pub choices: u32,
+    /// Additional choices available with nonminimal routing.
+    pub extra_nonminimal: u32,
+    /// The dimension taken in the paper's example path (`None` for the
+    /// destination row).
+    pub dimension_taken: Option<u32>,
+}
+
+/// The paper's source, destination, and the dimensions its example path
+/// takes, in order.
+pub const SRC: u32 = 0b1011010100;
+/// Destination address of the Section 5 example.
+pub const DST: u32 = 0b0010111001;
+/// Dimensions taken along the example path, in order.
+pub const DIMS_TAKEN: [u32; 6] = [2, 9, 6, 5, 0, 3];
+
+/// Regenerate the table by walking the example path and computing the
+/// choice counts from the routing registers of Figures 11 and 12.
+pub fn table() -> Vec<TableRow> {
+    let n = 10;
+    let mut rows = Vec::with_capacity(DIMS_TAKEN.len() + 1);
+    let mut current = SRC;
+    for &dim in &DIMS_TAKEN {
+        let minimal = minimal_register(current, DST, n);
+        let phase1 = current & !DST != 0;
+        let with_nonminimal = if phase1 {
+            nonminimal_register(current, DST, n, true)
+        } else {
+            minimal
+        };
+        rows.push(TableRow {
+            address: current,
+            choices: minimal.count_ones(),
+            extra_nonminimal: with_nonminimal.count_ones() - minimal.count_ones(),
+            dimension_taken: Some(dim),
+        });
+        current ^= 1 << dim;
+    }
+    assert_eq!(current, DST, "example path must land on the destination");
+    rows.push(TableRow {
+        address: DST,
+        choices: 0,
+        extra_nonminimal: 0,
+        dimension_taken: None,
+    });
+    rows
+}
+
+/// Render the table as markdown, together with the path-count summary
+/// (`36 shortest paths for p-cube vs 720 fully adaptive vs 1 for e-cube`).
+pub fn render() -> String {
+    let mut out = String::from(
+        "# Section 5 table: p-cube routing in a binary 10-cube\n\n\
+         Source 1011010100 -> destination 0010111001 (h = 6, h1 = 3, h0 = 3).\n\n\
+         | address | choices | dimension taken | comment |\n|---|---|---|---|\n",
+    );
+    for (i, row) in table().iter().enumerate() {
+        let comment = match row.dimension_taken {
+            None => "destination".to_string(),
+            Some(_) if i == 0 => "source".to_string(),
+            Some(_) => {
+                if row.address & !DST & ((1 << 10) - 1) != 0 {
+                    "phase 1".to_string()
+                } else {
+                    "phase 2".to_string()
+                }
+            }
+        };
+        let choices = if row.extra_nonminimal > 0 {
+            format!("{}(+{})", row.choices, row.extra_nonminimal)
+        } else if row.dimension_taken.is_some() {
+            row.choices.to_string()
+        } else {
+            String::new()
+        };
+        out.push_str(&format!(
+            "| {:010b} | {} | {} | {} |\n",
+            row.address,
+            choices,
+            row.dimension_taken.map_or(String::new(), |d| d.to_string()),
+            comment,
+        ));
+    }
+
+    let cube = Hypercube::new(10);
+    let pc = p_cube(10, RoutingMode::Minimal);
+    let counted = count_minimal_paths(&cube, &pc, NodeId(SRC), NodeId(DST));
+    out.push_str(&format!(
+        "\nShortest paths: p-cube {} (= 3!*3! = {}), fully adaptive 6! = 720, e-cube 1.\n",
+        counted,
+        s_pcube(3, 3),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_rows() {
+        // The paper's choice column: 3(+2), 2(+2), 1(+2), 3, 2, 1.
+        let rows = table();
+        let choices: Vec<(u32, u32)> = rows
+            .iter()
+            .take(6)
+            .map(|r| (r.choices, r.extra_nonminimal))
+            .collect();
+        assert_eq!(
+            choices,
+            vec![(3, 2), (2, 2), (1, 2), (3, 0), (2, 0), (1, 0)]
+        );
+        // Addresses along the walk match the paper.
+        let addrs: Vec<u32> = rows.iter().map(|r| r.address).collect();
+        assert_eq!(
+            addrs,
+            vec![
+                0b1011010100,
+                0b1011010000,
+                0b0011010000,
+                0b0010010000,
+                0b0010110000,
+                0b0010110001,
+                0b0010111001,
+            ]
+        );
+    }
+
+    #[test]
+    fn render_counts_36_paths() {
+        let s = render();
+        assert!(s.contains("p-cube 36"), "{s}");
+        assert!(s.contains("3(+2)"), "{s}");
+    }
+}

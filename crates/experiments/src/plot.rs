@@ -1,0 +1,234 @@
+//! Minimal SVG plotting for the paper's figures.
+//!
+//! Renders latency-vs-throughput curves in the style of Figures 13–16 —
+//! delivered throughput (flits/µs) on the x axis, average latency (µs) on
+//! the y axis, one polyline per routing algorithm — with no external
+//! dependencies. Latency is clipped at a configurable ceiling, as the
+//! paper's figures do implicitly (saturated points run off the top).
+
+use crate::sweep::SweepResult;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 180.0;
+const MARGIN_T: f64 = 50.0;
+const MARGIN_B: f64 = 60.0;
+
+/// Line colors for up to six curves.
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+
+fn fmt(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// A "nice" tick step so axes carry 4–8 labels.
+fn tick_step(span: f64) -> f64 {
+    let raw = span / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    };
+    step * mag
+}
+
+/// Render a latency-vs-throughput figure for several sweeps.
+///
+/// `latency_ceiling_us` clips the y axis; points above it are drawn at
+/// the ceiling (the curve visibly saturates).
+///
+/// # Panics
+///
+/// Panics if `sweeps` is empty or any sweep has no points.
+pub fn latency_vs_throughput_svg(
+    sweeps: &[SweepResult],
+    title: &str,
+    latency_ceiling_us: f64,
+) -> String {
+    assert!(!sweeps.is_empty(), "nothing to plot");
+    let max_x = sweeps
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .map(|p| p.report.throughput_flits_per_us())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let max_y = latency_ceiling_us;
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x / max_x) * plot_w;
+    let sy = |y: f64| MARGIN_T + plot_h - (y.min(max_y) / max_y) * plot_h;
+
+    let mut svg = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">
+<style>text {{ font-family: sans-serif; font-size: 12px; }} .title {{ font-size: 15px; font-weight: bold; }}</style>
+<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>
+<text class="title" x="{}" y="24" text-anchor="middle">{}</text>
+"#,
+        MARGIN_L + plot_w / 2.0,
+        escape(title),
+    );
+
+    // Axes.
+    svg.push_str(&format!(
+        r#"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/>
+<line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/>
+"#,
+        l = MARGIN_L,
+        r = MARGIN_L + plot_w,
+        t = MARGIN_T,
+        b = MARGIN_T + plot_h,
+    ));
+
+    // Ticks and grid.
+    let xstep = tick_step(max_x);
+    let mut x = 0.0;
+    while x <= max_x + 1e-9 {
+        let px = sx(x);
+        svg.push_str(&format!(
+            r##"<line x1="{px}" y1="{t}" x2="{px}" y2="{b}" stroke="#dddddd"/>
+<text x="{px}" y="{ly}" text-anchor="middle">{}</text>
+"##,
+            fmt(x),
+            t = MARGIN_T,
+            b = MARGIN_T + plot_h,
+            ly = MARGIN_T + plot_h + 18.0,
+        ));
+        x += xstep;
+    }
+    let ystep = tick_step(max_y);
+    let mut y = 0.0;
+    while y <= max_y + 1e-9 {
+        let py = sy(y);
+        svg.push_str(&format!(
+            r##"<line x1="{l}" y1="{py}" x2="{r}" y2="{py}" stroke="#dddddd"/>
+<text x="{lx}" y="{ty}" text-anchor="end">{}</text>
+"##,
+            fmt(y),
+            l = MARGIN_L,
+            r = MARGIN_L + plot_w,
+            lx = MARGIN_L - 8.0,
+            ty = py + 4.0,
+        ));
+        y += ystep;
+    }
+
+    // Axis labels.
+    svg.push_str(&format!(
+        r#"<text x="{}" y="{}" text-anchor="middle">delivered throughput (flits/us)</text>
+<text x="18" y="{}" text-anchor="middle" transform="rotate(-90 18 {})">average latency (us)</text>
+"#,
+        MARGIN_L + plot_w / 2.0,
+        MARGIN_T + plot_h + 42.0,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+    ));
+
+    // Curves and legend.
+    for (i, sweep) in sweeps.iter().enumerate() {
+        assert!(!sweep.points.is_empty(), "empty sweep {}", sweep.algorithm);
+        let color = COLORS[i % COLORS.len()];
+        let points: Vec<String> = sweep
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:.1},{:.1}",
+                    sx(p.report.throughput_flits_per_us()),
+                    sy(p.report.avg_latency_us())
+                )
+            })
+            .collect();
+        svg.push_str(&format!(
+            r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>
+"#,
+            points.join(" ")
+        ));
+        for p in &sweep.points {
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>
+"#,
+                sx(p.report.throughput_flits_per_us()),
+                sy(p.report.avg_latency_us())
+            ));
+        }
+        let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+        svg.push_str(&format!(
+            r#"<line x1="{x0}" y1="{ly}" x2="{x1}" y2="{ly}" stroke="{color}" stroke-width="2"/>
+<text x="{tx}" y="{ty}">{}</text>
+"#,
+            escape(&sweep.algorithm),
+            x0 = WIDTH - MARGIN_R + 10.0,
+            x1 = WIDTH - MARGIN_R + 34.0,
+            tx = WIDTH - MARGIN_R + 40.0,
+            ty = ly + 4.0,
+        ));
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::load_sweep;
+    use crate::Scale;
+    use turnroute_routing::mesh2d;
+    use turnroute_topology::Mesh;
+    use turnroute_traffic::Uniform;
+
+    #[test]
+    fn svg_renders_curves_and_legend() {
+        let mesh = Mesh::new_2d(4, 4);
+        let uniform = Uniform::new();
+        let sweeps = vec![
+            load_sweep(&mesh, &mesh2d::xy(), &uniform, &[0.02, 0.08], Scale::Quick, 1),
+            load_sweep(
+                &mesh,
+                &mesh2d::west_first(turnroute_routing::RoutingMode::Minimal),
+                &uniform,
+                &[0.02, 0.08],
+                Scale::Quick,
+                1,
+            ),
+        ];
+        let svg = latency_vs_throughput_svg(&sweeps, "Test & Figure", 50.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("west-first"));
+        assert!(svg.contains("Test &amp; Figure"));
+        assert!(svg.contains("average latency"));
+    }
+
+    #[test]
+    fn tick_steps_are_nice() {
+        assert_eq!(tick_step(10.0), 2.0);
+        assert_eq!(tick_step(100.0), 20.0);
+        assert_eq!(tick_step(7.0), 1.0);
+        assert_eq!(tick_step(2500.0), 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn rejects_empty_input() {
+        let _ = latency_vs_throughput_svg(&[], "x", 10.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Load sweeps: latency-vs-throughput curves and sustainable throughput.
+
+use crate::Scale;
+use turnroute_model::RoutingFunction;
+use turnroute_sim::{Sim, SimConfig, SimReport};
+use turnroute_topology::Topology;
+use turnroute_traffic::TrafficPattern;
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load this run was configured with, flits per node per
+    /// cycle.
+    pub injection_rate: f64,
+    /// The run's results.
+    pub report: SimReport,
+}
+
+impl SweepPoint {
+    /// Whether the load was sustainable — the paper's criterion is that
+    /// "the number of packets queued at their source processors is small
+    /// and bounded". Over a multi-thousand-cycle window, accepted ≈
+    /// offered (delivered fraction near 1) is exactly boundedness; a
+    /// loose queue-length guard catches pathological cases where packets
+    /// pile up at a few sources while the fraction stays high.
+    pub fn is_sustainable(&self) -> bool {
+        !self.report.deadlocked
+            && self.report.delivered_fraction() >= 0.98
+            && self.report.max_queue_len <= 32
+    }
+}
+
+/// A full latency-vs-throughput curve for one routing algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Routing algorithm name.
+    pub algorithm: String,
+    /// Traffic pattern name.
+    pub pattern: String,
+    /// Points in increasing offered-load order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// The highest delivered throughput (flits/µs) among sustainable
+    /// points — the paper's *maximum sustainable throughput*.
+    pub fn sustainable_throughput(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.is_sustainable())
+            .map(|p| p.report.throughput_flits_per_us())
+            .fold(0.0, f64::max)
+    }
+
+    /// Render the curve as CSV (`rate,offered,throughput,latency_us,...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "algorithm,pattern,injection_rate,offered_flits_per_us,throughput_flits_per_us,\
+             avg_latency_us,p99_latency_us,avg_hops,delivered_fraction,max_queue,sustainable\n",
+        );
+        for p in &self.points {
+            let r = &p.report;
+            out.push_str(&format!(
+                "{},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.3},{:.4},{},{}\n",
+                self.algorithm,
+                self.pattern,
+                p.injection_rate,
+                r.offered_flits_per_us(),
+                r.throughput_flits_per_us(),
+                r.avg_latency_us(),
+                r.p99_latency_cycles / turnroute_sim::CYCLES_PER_MICROSEC,
+                r.avg_hops,
+                r.delivered_fraction(),
+                r.max_queue_len,
+                p.is_sustainable(),
+            ));
+        }
+        out
+    }
+}
+
+/// The default offered-load grid for 256-node sweeps, in flits per node
+/// per cycle.
+pub fn default_rates() -> Vec<f64> {
+    vec![
+        0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.18, 0.22, 0.26, 0.30, 0.36, 0.44,
+        0.55, 0.70, 0.85, 1.0,
+    ]
+}
+
+/// Run a load sweep of `routing` on `topo` under `pattern`. The sweep
+/// points are independent simulations and run on parallel threads.
+pub fn load_sweep<T, R, P>(
+    topo: &T,
+    routing: &R,
+    pattern: &P,
+    rates: &[f64],
+    scale: Scale,
+    seed: u64,
+) -> SweepResult
+where
+    T: Topology + Sync,
+    R: RoutingFunction + Sync,
+    P: TrafficPattern + Sync,
+{
+    let (warmup, measure, drain) = scale.cycles();
+    let points = std::thread::scope(|scope| {
+        let handles: Vec<_> = rates
+            .iter()
+            .map(|&rate| {
+                scope.spawn(move || {
+                    let cfg = SimConfig::builder()
+                        .injection_rate(rate)
+                        .warmup_cycles(warmup)
+                        .measure_cycles(measure)
+                        .drain_cycles(drain)
+                        .seed(seed)
+                        .build();
+                    let report = Sim::new(topo, routing, pattern, cfg).run();
+                    SweepPoint { injection_rate: rate, report }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    SweepResult {
+        algorithm: routing.name().to_string(),
+        pattern: pattern.name().to_string(),
+        points,
+    }
+}
+
+/// Render several sweeps as an aligned markdown table of
+/// (throughput, latency) pairs — the data behind a paper figure.
+pub fn to_markdown(sweeps: &[SweepResult], title: &str) -> String {
+    let mut out = format!("## {title}\n\n");
+    for s in sweeps {
+        out.push_str(&format!(
+            "### {} — sustainable throughput {:.1} flits/us\n\n",
+            s.algorithm,
+            s.sustainable_throughput()
+        ));
+        out.push_str(
+            "| offered (flits/us) | delivered (flits/us) | latency (us) | delivered frac | sustainable |\n\
+             |---:|---:|---:|---:|:---|\n",
+        );
+        for p in &s.points {
+            let r = &p.report;
+            out.push_str(&format!(
+                "| {:.1} | {:.1} | {:.1} | {:.3} | {} |\n",
+                r.offered_flits_per_us(),
+                r.throughput_flits_per_us(),
+                r.avg_latency_us(),
+                r.delivered_fraction(),
+                if p.is_sustainable() { "yes" } else { "no" },
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_routing::mesh2d;
+    use turnroute_topology::Mesh;
+    use turnroute_traffic::Uniform;
+
+    #[test]
+    fn sweep_produces_monotone_offered_load() {
+        let mesh = Mesh::new_2d(4, 4);
+        let xy = mesh2d::xy();
+        let uniform = Uniform::new();
+        let result = load_sweep(&mesh, &xy, &uniform, &[0.02, 0.08], Scale::Quick, 1);
+        assert_eq!(result.points.len(), 2);
+        assert!(
+            result.points[1].report.offered_flits_per_us()
+                > result.points[0].report.offered_flits_per_us()
+        );
+        assert_eq!(result.algorithm, "xy");
+        assert_eq!(result.pattern, "uniform");
+    }
+
+    #[test]
+    fn low_load_is_sustainable() {
+        let mesh = Mesh::new_2d(4, 4);
+        let xy = mesh2d::xy();
+        let uniform = Uniform::new();
+        let result = load_sweep(&mesh, &xy, &uniform, &[0.02], Scale::Quick, 1);
+        assert!(result.points[0].is_sustainable());
+        assert!(result.sustainable_throughput() > 0.0);
+    }
+
+    #[test]
+    fn csv_and_markdown_render() {
+        let mesh = Mesh::new_2d(4, 4);
+        let xy = mesh2d::xy();
+        let uniform = Uniform::new();
+        let result = load_sweep(&mesh, &xy, &uniform, &[0.02], Scale::Quick, 1);
+        let csv = result.to_csv();
+        assert!(csv.lines().count() == 2, "{csv}");
+        assert!(csv.starts_with("algorithm,"));
+        let md = to_markdown(&[result], "Test");
+        assert!(md.contains("## Test"));
+        assert!(md.contains("| offered"));
+    }
+}

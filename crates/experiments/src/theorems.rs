@@ -1,0 +1,101 @@
+//! Theorems 1 and 6: prohibiting a quarter of the turns — `n(n-1)` of
+//! `4n(n-1)` — is necessary and sufficient to prevent deadlock in an
+//! n-dimensional mesh.
+
+use turnroute_model::cycle::{
+    breaks_all_abstract_cycles, num_abstract_cycles, num_ninety_turns,
+};
+use turnroute_model::{presets, Cdg};
+use turnroute_topology::Mesh;
+
+/// One row of the theorem verification table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TheoremRow {
+    /// Mesh dimensionality.
+    pub n: usize,
+    /// Total 90-degree turns, `4n(n-1)`.
+    pub turns: usize,
+    /// Abstract cycles, `n(n-1)`.
+    pub cycles: usize,
+    /// Turns prohibited by negative-first (the claimed minimum).
+    pub prohibited: usize,
+    /// Whether negative-first's turn-set CDG is acyclic on a small mesh
+    /// (sufficiency witness).
+    pub sufficient: bool,
+    /// Whether every abstract cycle really requires a prohibition
+    /// (necessity: all cycles broken, and count equals the cycle count).
+    pub necessary: bool,
+}
+
+/// Verify Theorems 1 and 6 mechanically for `n` in `2..=max_n`.
+pub fn verify(max_n: usize) -> Vec<TheoremRow> {
+    (2..=max_n)
+        .map(|n| {
+            let set = presets::negative_first_turns(n);
+            let prohibited = set.prohibited_ninety().len();
+            // Sufficiency: the CDG of the pruned turn set is acyclic.
+            let mesh = Mesh::new_cubic(3, n);
+            let sufficient = Cdg::from_turn_set(&mesh, &set).is_acyclic();
+            // Necessity: the prohibited count equals the number of
+            // abstract cycles, and each cycle is broken exactly once by
+            // construction — fewer prohibitions would leave some cycle
+            // intact.
+            let necessary =
+                breaks_all_abstract_cycles(&set) && prohibited == num_abstract_cycles(n);
+            TheoremRow {
+                n,
+                turns: num_ninety_turns(n),
+                cycles: num_abstract_cycles(n),
+                prohibited,
+                sufficient,
+                necessary,
+            }
+        })
+        .collect()
+}
+
+/// Render the verification as markdown.
+pub fn render(max_n: usize) -> String {
+    let mut out = String::from(
+        "# Theorems 1 & 6: n(n-1) prohibited turns, necessary and sufficient\n\n\
+         | n | turns 4n(n-1) | cycles n(n-1) | prohibited (NF) | quarter? | CDG acyclic | all cycles broken |\n\
+         |--:|--:|--:|--:|:--:|:--:|:--:|\n",
+    );
+    for row in verify(max_n) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            row.n,
+            row.turns,
+            row.cycles,
+            row.prohibited,
+            if row.prohibited * 4 == row.turns { "yes" } else { "NO" },
+            if row.sufficient { "yes" } else { "NO" },
+            if row.necessary { "yes" } else { "NO" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_counts_hold_up_to_4d() {
+        for row in verify(4) {
+            assert_eq!(row.turns, 4 * row.n * (row.n - 1));
+            assert_eq!(row.cycles, row.n * (row.n - 1));
+            assert_eq!(row.prohibited, row.cycles);
+            assert_eq!(row.prohibited * 4, row.turns, "a quarter of the turns");
+            assert!(row.sufficient, "n = {}", row.n);
+            assert!(row.necessary, "n = {}", row.n);
+        }
+    }
+
+    #[test]
+    fn render_table_has_rows() {
+        let s = render(3);
+        assert!(s.contains("| 2 | 8 | 2 | 2 | yes | yes | yes |"), "{s}");
+        assert!(s.contains("| 3 | 24 | 6 | 6 | yes | yes | yes |"), "{s}");
+    }
+}

@@ -1,0 +1,382 @@
+//! Degree-of-adaptiveness analysis (Sections 3.4 and 5).
+//!
+//! `S_algorithm` counts the shortest paths an algorithm allows between a
+//! source and destination; the ratio `S_p / S_f` against a fully adaptive
+//! algorithm measures how adaptive a partially adaptive algorithm is. This
+//! module provides the paper's closed forms and an exhaustive counter that
+//! validates them by dynamic programming over the routing relation itself.
+
+use crate::RoutingFunction;
+use std::collections::HashMap;
+use turnroute_topology::{Coord, NodeId, Topology};
+
+/// `n!` as a `u128`.
+///
+/// # Panics
+///
+/// Panics if the result would overflow (`n > 34`).
+pub fn factorial(n: u32) -> u128 {
+    assert!(n <= 34, "factorial({n}) overflows u128");
+    (1..=u128::from(n)).product()
+}
+
+/// The multinomial coefficient `(Σ deltas)! / Π (delta_i!)` — the number of
+/// shortest paths between mesh nodes with per-dimension offsets `deltas`,
+/// i.e. `S_f` for a minimal fully adaptive algorithm (Section 3.4).
+pub fn multinomial(deltas: &[u16]) -> u128 {
+    // Compute incrementally as a product of binomials to avoid giant
+    // intermediate factorials: choose positions dimension by dimension.
+    let mut total: u32 = 0;
+    let mut result: u128 = 1;
+    for &d in deltas {
+        for i in 1..=u32::from(d) {
+            total += 1;
+            // result *= total; result /= i — keep exact by multiplying
+            // first (binomial prefix products are always divisible).
+            result = result * u128::from(total) / u128::from(i);
+        }
+    }
+    result
+}
+
+/// `S_f` between two mesh nodes: the number of shortest paths a fully
+/// adaptive minimal algorithm allows.
+pub fn s_fully_adaptive(src: &Coord, dst: &Coord) -> u128 {
+    multinomial(&src.deltas(dst))
+}
+
+/// `S_west-first` (Section 3.4): fully adaptive when the destination is not
+/// to the west (`d_x ≥ s_x`), otherwise a single shortest path.
+pub fn s_west_first(src: &Coord, dst: &Coord) -> u128 {
+    assert_eq!(src.num_dims(), 2, "2D closed form");
+    if dst.get(0) >= src.get(0) {
+        s_fully_adaptive(src, dst)
+    } else {
+        1
+    }
+}
+
+/// `S_north-last` (Section 3.4): fully adaptive when the destination is not
+/// to the north (`d_y ≤ s_y`), otherwise a single shortest path.
+pub fn s_north_last(src: &Coord, dst: &Coord) -> u128 {
+    assert_eq!(src.num_dims(), 2, "2D closed form");
+    if dst.get(1) <= src.get(1) {
+        s_fully_adaptive(src, dst)
+    } else {
+        1
+    }
+}
+
+/// `S_negative-first` (Section 3.4): fully adaptive when the journey is
+/// entirely negative or entirely positive, otherwise a single shortest
+/// path (all negative hops first, then all positive hops).
+pub fn s_negative_first(src: &Coord, dst: &Coord) -> u128 {
+    assert_eq!(src.num_dims(), 2, "2D closed form");
+    let all_neg = dst.get(0) <= src.get(0) && dst.get(1) <= src.get(1);
+    let all_pos = dst.get(0) >= src.get(0) && dst.get(1) >= src.get(1);
+    if all_neg || all_pos {
+        s_fully_adaptive(src, dst)
+    } else {
+        1
+    }
+}
+
+/// `S_p-cube` (Section 5): `h_1! · h_0!`, where `h_1` bits must be cleared
+/// (phase 1) and `h_0` bits must be set (phase 2).
+pub fn s_pcube(h1: u32, h0: u32) -> u128 {
+    factorial(h1) * factorial(h0)
+}
+
+/// `S_f` in a hypercube: `h!` for Hamming distance `h` (Section 5).
+pub fn s_fully_adaptive_cube(h: u32) -> u128 {
+    factorial(h)
+}
+
+/// Exhaustively count the shortest paths from `src` to `dst` that
+/// `routing` allows, by memoized dynamic programming over
+/// `(node, arrival direction)` states.
+///
+/// # Panics
+///
+/// Panics if `routing` is not minimal (path counts of nonminimal relations
+/// are unbounded).
+pub fn count_minimal_paths(
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    src: NodeId,
+    dst: NodeId,
+) -> u128 {
+    assert!(
+        routing.is_minimal(),
+        "path counting requires a minimal routing function"
+    );
+    // State: (node, arrived direction index + 1; 0 = injected).
+    let mut memo: HashMap<(u32, usize), u128> = HashMap::new();
+    fn go(
+        topo: &dyn Topology,
+        routing: &dyn RoutingFunction,
+        memo: &mut HashMap<(u32, usize), u128>,
+        node: NodeId,
+        arrived: Option<turnroute_topology::Direction>,
+        dst: NodeId,
+    ) -> u128 {
+        if node == dst {
+            return 1;
+        }
+        let key = (node.0, arrived.map_or(0, |d| d.index() + 1));
+        if let Some(&v) = memo.get(&key) {
+            return v;
+        }
+        let mut total: u128 = 0;
+        for dir in routing.route(topo, node, dst, arrived).iter() {
+            let next = topo
+                .neighbor(node, dir)
+                .expect("routing offered a nonexistent channel");
+            debug_assert!(
+                topo.min_hops(next, dst) < topo.min_hops(node, dst),
+                "minimal routing must reduce distance"
+            );
+            total += go(topo, routing, memo, next, Some(dir), dst);
+        }
+        memo.insert(key, total);
+        total
+    }
+    go(topo, routing, &mut memo, src, None, dst)
+}
+
+/// Enumerate up to `limit` distinct shortest paths from `src` to `dst`
+/// that `routing` allows, each as the sequence of nodes visited
+/// (inclusive of both endpoints). Paths are produced in the
+/// lexicographic order of the direction choices at each hop.
+///
+/// # Panics
+///
+/// Panics if `routing` is not minimal.
+pub fn enumerate_minimal_paths(
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    src: NodeId,
+    dst: NodeId,
+    limit: usize,
+) -> Vec<Vec<NodeId>> {
+    assert!(
+        routing.is_minimal(),
+        "path enumeration requires a minimal routing function"
+    );
+    let mut out = Vec::new();
+    let mut path = vec![src];
+    fn go(
+        topo: &dyn Topology,
+        routing: &dyn RoutingFunction,
+        out: &mut Vec<Vec<NodeId>>,
+        path: &mut Vec<NodeId>,
+        arrived: Option<turnroute_topology::Direction>,
+        dst: NodeId,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        let node = *path.last().expect("path is never empty");
+        if node == dst {
+            out.push(path.clone());
+            return;
+        }
+        for dir in routing.route(topo, node, dst, arrived).iter() {
+            let next = topo
+                .neighbor(node, dir)
+                .expect("routing offered a nonexistent channel");
+            path.push(next);
+            go(topo, routing, out, path, Some(dir), dst, limit);
+            path.pop();
+            if out.len() >= limit {
+                return;
+            }
+        }
+    }
+    go(topo, routing, &mut out, &mut path, None, dst, limit);
+    out
+}
+
+/// Summary of an algorithm's adaptiveness across all source–destination
+/// pairs of a topology (Section 3.4's aggregate measures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivenessSummary {
+    /// Mean of `S_p / S_f` over all ordered pairs with `src != dst`.
+    pub mean_ratio: f64,
+    /// Fraction of pairs for which the algorithm allows exactly one
+    /// shortest path (`S_p = 1`, counting only pairs where `S_f > 1`).
+    pub single_path_fraction: f64,
+    /// Number of ordered pairs examined.
+    pub pairs: usize,
+}
+
+/// Compute the adaptiveness summary of `routing` on `topo` by exhaustive
+/// path counting against the fully adaptive count.
+///
+/// `s_f` must give the fully adaptive shortest-path count for a pair of
+/// nodes (use [`s_fully_adaptive`] on mesh coordinates or
+/// [`s_fully_adaptive_cube`] on Hamming distances).
+pub fn adaptiveness_summary(
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    mut s_f: impl FnMut(NodeId, NodeId) -> u128,
+) -> AdaptivenessSummary {
+    let n = topo.num_nodes();
+    let mut sum_ratio = 0.0;
+    let mut single = 0usize;
+    let mut multi_pairs = 0usize;
+    let mut pairs = 0usize;
+    for s in 0..n {
+        for d in 0..n {
+            if s == d {
+                continue;
+            }
+            let (s, d) = (NodeId(s as u32), NodeId(d as u32));
+            let sp = count_minimal_paths(topo, routing, s, d);
+            let sf = s_f(s, d);
+            assert!(sp >= 1, "minimal routing must allow at least one path");
+            assert!(sp <= sf, "S_p cannot exceed S_f");
+            sum_ratio += sp as f64 / sf as f64;
+            pairs += 1;
+            if sf > 1 {
+                multi_pairs += 1;
+                if sp == 1 {
+                    single += 1;
+                }
+            }
+        }
+    }
+    AdaptivenessSummary {
+        mean_ratio: sum_ratio / pairs as f64,
+        single_path_fraction: if multi_pairs == 0 {
+            0.0
+        } else {
+            single as f64 / multi_pairs as f64
+        },
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(6), 720);
+        assert_eq!(factorial(10), 3_628_800);
+    }
+
+    #[test]
+    fn multinomial_matches_factorial_formula() {
+        // (3+4)! / (3! 4!) = 35
+        assert_eq!(multinomial(&[3, 4]), 35);
+        // (2+2+2)! / (2! 2! 2!) = 720 / 8 = 90
+        assert_eq!(multinomial(&[2, 2, 2]), 90);
+        assert_eq!(multinomial(&[0, 0]), 1);
+        assert_eq!(multinomial(&[5]), 1);
+        assert_eq!(multinomial(&[]), 1);
+    }
+
+    #[test]
+    fn multinomial_large_does_not_overflow() {
+        // 16x16 mesh worst case: corner to corner.
+        assert_eq!(multinomial(&[15, 15]), 155_117_520);
+    }
+
+    #[test]
+    fn closed_forms_2d() {
+        let s = Coord::new(vec![4, 4]);
+        let ne = Coord::new(vec![6, 7]); // dx=2, dy=3
+        let sw = Coord::new(vec![2, 1]);
+        let nw = Coord::new(vec![2, 7]);
+        let se = Coord::new(vec![6, 1]);
+        let full = multinomial(&[2, 3]); // 10
+
+        assert_eq!(s_west_first(&s, &ne), full);
+        assert_eq!(s_west_first(&s, &se), full);
+        assert_eq!(s_west_first(&s, &nw), 1);
+        assert_eq!(s_west_first(&s, &sw), 1);
+
+        assert_eq!(s_north_last(&s, &sw), full);
+        assert_eq!(s_north_last(&s, &se), full);
+        assert_eq!(s_north_last(&s, &ne), 1);
+        assert_eq!(s_north_last(&s, &nw), 1);
+
+        assert_eq!(s_negative_first(&s, &sw), full);
+        assert_eq!(s_negative_first(&s, &ne), full);
+        assert_eq!(s_negative_first(&s, &nw), 1);
+        assert_eq!(s_negative_first(&s, &se), 1);
+    }
+
+    #[test]
+    fn pcube_section_5_example() {
+        // Source 1011010100, destination 0010111001: h1 = 3, h0 = 3,
+        // 3! * 3! = 36 shortest paths.
+        assert_eq!(s_pcube(3, 3), 36);
+        assert_eq!(s_fully_adaptive_cube(6), 720);
+    }
+
+    #[test]
+    fn s_f_on_axis_is_one() {
+        let a = Coord::new(vec![0, 3]);
+        let b = Coord::new(vec![5, 3]);
+        assert_eq!(s_fully_adaptive(&a, &b), 1);
+    }
+
+    /// Minimal fully adaptive helper for enumeration tests.
+    struct FullyAdaptive;
+
+    impl crate::RoutingFunction for FullyAdaptive {
+        fn name(&self) -> &str {
+            "fully-adaptive"
+        }
+
+        fn route(
+            &self,
+            topo: &dyn Topology,
+            current: NodeId,
+            dest: NodeId,
+            _arrived: Option<turnroute_topology::Direction>,
+        ) -> turnroute_topology::DirSet {
+            topo.productive_dirs(current, dest)
+        }
+
+        fn is_minimal(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn enumeration_matches_count_and_paths_are_valid() {
+        let mesh = turnroute_topology::Mesh::new_2d(5, 5);
+        let src = NodeId(0);
+        let dst = NodeId(18); // (3, 3): 20 shortest paths
+        let paths = enumerate_minimal_paths(&mesh, &FullyAdaptive, src, dst, usize::MAX);
+        assert_eq!(paths.len() as u128, count_minimal_paths(&mesh, &FullyAdaptive, src, dst));
+        assert_eq!(paths.len(), 20);
+        for p in &paths {
+            assert_eq!(*p.first().unwrap(), src);
+            assert_eq!(*p.last().unwrap(), dst);
+            assert_eq!(p.len() - 1, mesh.min_hops(src, dst));
+            for w in p.windows(2) {
+                assert_eq!(mesh.min_hops(w[0], w[1]), 1);
+            }
+        }
+        // All paths distinct.
+        let mut sorted = paths.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), paths.len());
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        let mesh = turnroute_topology::Mesh::new_2d(6, 6);
+        let paths = enumerate_minimal_paths(&mesh, &FullyAdaptive, NodeId(0), NodeId(35), 7);
+        assert_eq!(paths.len(), 7);
+    }
+}

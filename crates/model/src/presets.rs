@@ -1,0 +1,203 @@
+//! The turn sets of the paper's named routing algorithms.
+//!
+//! Dimension conventions follow the paper: in 2D, dimension 0 is *x*
+//! (west = −x, east = +x) and dimension 1 is *y* (south = −y,
+//! north = +y).
+
+use crate::{Turn, TurnSet};
+use turnroute_topology::{Direction, Sign};
+
+/// The xy (dimension-order) turn set for 2D meshes (Figure 3): only the
+/// four turns from the x dimension into the y dimension are allowed, which
+/// prevents deadlock but permits no adaptiveness.
+pub fn xy_turns() -> TurnSet {
+    dimension_order_turns(2)
+}
+
+/// The dimension-order (e-cube generalization) turn set for `n` dimensions:
+/// turns are allowed only from a lower dimension to a strictly higher one.
+pub fn dimension_order_turns(num_dims: usize) -> TurnSet {
+    let mut set = TurnSet::no_turns(num_dims);
+    for t in Turn::all_ninety(num_dims) {
+        if t.from_dir().dim() < t.to_dir().dim() {
+            set.allow(t);
+        }
+    }
+    set
+}
+
+/// The west-first turn set (Figure 5a): the two turns *to the west* are
+/// prohibited, so a packet must travel west, if at all, before anything
+/// else. Six of the eight 90-degree turns remain.
+pub fn west_first_turns() -> TurnSet {
+    let mut set = TurnSet::all_ninety(2);
+    set.prohibit(Turn::new(Direction::NORTH, Direction::WEST));
+    set.prohibit(Turn::new(Direction::SOUTH, Direction::WEST));
+    set
+}
+
+/// The north-last turn set (Figure 9a): the two turns *when traveling
+/// north* are prohibited, so a packet travels north only as its final
+/// direction.
+pub fn north_last_turns() -> TurnSet {
+    let mut set = TurnSet::all_ninety(2);
+    set.prohibit(Turn::new(Direction::NORTH, Direction::WEST));
+    set.prohibit(Turn::new(Direction::NORTH, Direction::EAST));
+    set
+}
+
+/// The negative-first turn set for `n` dimensions (Figure 10a in 2D,
+/// Section 4.1 in general): every turn from a positive direction to a
+/// negative direction is prohibited — exactly `n(n-1)` turns, the minimum
+/// of Theorem 6.
+pub fn negative_first_turns(num_dims: usize) -> TurnSet {
+    let mut set = TurnSet::all_ninety(num_dims);
+    for t in Turn::all_ninety(num_dims) {
+        if t.from_dir().sign() == Sign::Plus && t.to_dir().sign() == Sign::Minus {
+            set.prohibit(t);
+        }
+    }
+    set
+}
+
+/// The all-but-one-negative-first turn set (Section 4.1), the n-dimensional
+/// analog of west-first. Phase 1 directions are the negative directions of
+/// all dimensions except the last (`0..n-1`); phase 2 directions are the
+/// rest. Turns from a phase-2 direction into a phase-1 direction are
+/// prohibited — again `n(n-1)` turns.
+///
+/// For `n = 2`, phase 1 is `{west}` and this reduces to
+/// [`west_first_turns`].
+pub fn all_but_one_negative_first_turns(num_dims: usize) -> TurnSet {
+    let phase1 = |d: Direction| d.sign() == Sign::Minus && d.dim() < num_dims - 1;
+    let mut set = TurnSet::all_ninety(num_dims);
+    for t in Turn::all_ninety(num_dims) {
+        if !phase1(t.from_dir()) && phase1(t.to_dir()) {
+            set.prohibit(t);
+        }
+    }
+    set
+}
+
+/// The all-but-one-positive-last turn set (Section 4.1), the n-dimensional
+/// analog of north-last. Phase 2 directions are the positive directions of
+/// all dimensions except dimension 0; a packet travels them only at the
+/// end, so turns from a phase-2 direction back into a phase-1 direction
+/// (the negatives plus `+0`) are prohibited — `n(n-1)` turns.
+///
+/// For `n = 2`, phase 2 is `{north}` and this reduces to
+/// [`north_last_turns`].
+pub fn all_but_one_positive_last_turns(num_dims: usize) -> TurnSet {
+    let phase2 = |d: Direction| d.sign() == Sign::Plus && d.dim() >= 1;
+    let mut set = TurnSet::all_ninety(num_dims);
+    for t in Turn::all_ninety(num_dims) {
+        if phase2(t.from_dir()) && !phase2(t.to_dir()) {
+            set.prohibit(t);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::breaks_all_abstract_cycles;
+    use crate::Cdg;
+    use turnroute_topology::Mesh;
+
+    #[test]
+    fn xy_allows_exactly_four_turns() {
+        let set = xy_turns();
+        assert_eq!(set.allowed_ninety().len(), 4);
+        // The four allowed turns all go from x travel to y travel.
+        for t in set.allowed_ninety() {
+            assert_eq!(t.from_dir().dim(), 0);
+            assert_eq!(t.to_dir().dim(), 1);
+        }
+    }
+
+    #[test]
+    fn partially_adaptive_sets_prohibit_exactly_two_in_2d() {
+        for set in [west_first_turns(), north_last_turns(), negative_first_turns(2)] {
+            assert_eq!(set.prohibited_ninety().len(), 2);
+            assert_eq!(set.allowed_ninety().len(), 6);
+        }
+    }
+
+    #[test]
+    fn west_first_prohibits_turns_to_west() {
+        let set = west_first_turns();
+        for t in set.prohibited_ninety() {
+            assert_eq!(t.to_dir(), Direction::WEST);
+        }
+    }
+
+    #[test]
+    fn north_last_prohibits_turns_from_north() {
+        let set = north_last_turns();
+        for t in set.prohibited_ninety() {
+            assert_eq!(t.from_dir(), Direction::NORTH);
+        }
+    }
+
+    #[test]
+    fn negative_first_prohibits_quarter_of_turns() {
+        // Theorem 6: exactly n(n-1) turns prohibited, a quarter of 4n(n-1).
+        for n in 2..=6 {
+            let set = negative_first_turns(n);
+            assert_eq!(set.prohibited_ninety().len(), n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn abonf_abopl_prohibit_quarter_of_turns() {
+        for n in 2..=6 {
+            assert_eq!(
+                all_but_one_negative_first_turns(n).prohibited_ninety().len(),
+                n * (n - 1),
+                "ABONF n={n}"
+            );
+            assert_eq!(
+                all_but_one_positive_last_turns(n).prohibited_ninety().len(),
+                n * (n - 1),
+                "ABOPL n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn abonf_reduces_to_west_first_in_2d() {
+        assert_eq!(all_but_one_negative_first_turns(2), west_first_turns());
+    }
+
+    #[test]
+    fn abopl_reduces_to_north_last_in_2d() {
+        assert_eq!(all_but_one_positive_last_turns(2), north_last_turns());
+    }
+
+    #[test]
+    fn all_presets_break_all_abstract_cycles() {
+        for n in 2..=4 {
+            assert!(breaks_all_abstract_cycles(&dimension_order_turns(n)));
+            assert!(breaks_all_abstract_cycles(&negative_first_turns(n)));
+            assert!(breaks_all_abstract_cycles(&all_but_one_negative_first_turns(n)));
+            assert!(breaks_all_abstract_cycles(&all_but_one_positive_last_turns(n)));
+        }
+    }
+
+    #[test]
+    fn all_presets_have_acyclic_cdgs_3d() {
+        let mesh = Mesh::new(vec![3, 3, 3]);
+        for set in [
+            dimension_order_turns(3),
+            negative_first_turns(3),
+            all_but_one_negative_first_turns(3),
+            all_but_one_positive_last_turns(3),
+        ] {
+            assert!(
+                Cdg::from_turn_set(&mesh, &set).is_acyclic(),
+                "cyclic CDG for {set}"
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Symmetries of turn sets.
+//!
+//! Section 3 states that of the 12 deadlock-free two-turn prohibitions,
+//! "three are unique if symmetry is taken into account" — west-first,
+//! north-last, and negative-first. This module makes that mechanical: the
+//! symmetries of an *n*-dimensional mesh are the *signed permutations* of
+//! its axes (the hyperoctahedral group, of order `2^n · n!`; for the 2D
+//! mesh this is the dihedral group of the square, order 8). A symmetry
+//! acts on directions, hence on turns, hence on turn sets; two turn sets
+//! are equivalent iff one maps onto the other.
+
+use crate::{Turn, TurnSet};
+use turnroute_topology::Direction;
+
+/// One mesh symmetry: dimension `i` maps to dimension `perm[i]`, with its
+/// sign flipped iff `flip[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symmetry {
+    perm: Vec<usize>,
+    flip: Vec<bool>,
+}
+
+impl Symmetry {
+    /// The identity symmetry on `n` dimensions.
+    pub fn identity(n: usize) -> Symmetry {
+        Symmetry { perm: (0..n).collect(), flip: vec![false; n] }
+    }
+
+    /// Apply the symmetry to a direction.
+    pub fn apply_dir(&self, dir: Direction) -> Direction {
+        let dim = self.perm[dir.dim()];
+        let sign = if self.flip[dir.dim()] {
+            dir.sign().opposite()
+        } else {
+            dir.sign()
+        };
+        Direction::new(dim, sign)
+    }
+
+    /// Apply the symmetry to a turn.
+    pub fn apply_turn(&self, turn: Turn) -> Turn {
+        Turn::new(self.apply_dir(turn.from_dir()), self.apply_dir(turn.to_dir()))
+    }
+
+    /// Apply the symmetry to a whole turn set.
+    pub fn apply(&self, set: &TurnSet) -> TurnSet {
+        let n = set.num_dims();
+        let mut out = TurnSet::no_turns(n);
+        for t in Turn::all_ninety(n) {
+            if set.is_turn_allowed(t) {
+                out.allow(self.apply_turn(t));
+            }
+        }
+        for t in Turn::all_one_eighty(n) {
+            if set.is_turn_allowed(t) {
+                out.allow(self.apply_turn(t));
+            }
+        }
+        out
+    }
+}
+
+/// Enumerate the full hyperoctahedral group on `n` dimensions: all
+/// `2^n · n!` signed permutations (8 for the 2D mesh, 48 for 3D).
+///
+/// # Panics
+///
+/// Panics if `n > 5` (the group grows as `2^n n!`).
+pub fn mesh_symmetries(n: usize) -> Vec<Symmetry> {
+    assert!(n <= 5, "hyperoctahedral group too large beyond n = 5");
+    let mut perms = Vec::new();
+    permutations(&mut (0..n).collect::<Vec<_>>(), 0, &mut perms);
+    let mut out = Vec::with_capacity((1 << n) * perms.len());
+    for perm in &perms {
+        for mask in 0..(1u32 << n) {
+            let flip = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            out.push(Symmetry { perm: perm.clone(), flip });
+        }
+    }
+    out
+}
+
+fn permutations(items: &mut Vec<usize>, start: usize, out: &mut Vec<Vec<usize>>) {
+    if start == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        permutations(items, start + 1, out);
+        items.swap(start, i);
+    }
+}
+
+/// Group turn sets into equivalence classes under the mesh symmetries.
+/// Returns one `Vec` of indices (into `sets`) per class, each class led
+/// by its first member.
+pub fn equivalence_classes(sets: &[TurnSet]) -> Vec<Vec<usize>> {
+    if sets.is_empty() {
+        return Vec::new();
+    }
+    let n = sets[0].num_dims();
+    let group = mesh_symmetries(n);
+    let mut assigned: Vec<Option<usize>> = vec![None; sets.len()];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for i in 0..sets.len() {
+        if assigned[i].is_some() {
+            continue;
+        }
+        let class_id = classes.len();
+        assigned[i] = Some(class_id);
+        let mut members = vec![i];
+        // Every image of sets[i] under the group identifies classmates.
+        let images: Vec<TurnSet> = group.iter().map(|g| g.apply(&sets[i])).collect();
+        for (j, candidate) in sets.iter().enumerate().skip(i + 1) {
+            if assigned[j].is_none() && images.iter().any(|img| img == candidate) {
+                assigned[j] = Some(class_id);
+                members.push(j);
+            }
+        }
+        classes.push(members);
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::{one_turn_per_cycle_census, two_turn_census};
+    use crate::presets;
+    use turnroute_topology::Mesh;
+
+    #[test]
+    fn group_orders() {
+        assert_eq!(mesh_symmetries(1).len(), 2);
+        assert_eq!(mesh_symmetries(2).len(), 8);
+        assert_eq!(mesh_symmetries(3).len(), 48);
+    }
+
+    #[test]
+    fn identity_fixes_turn_sets() {
+        let set = presets::west_first_turns();
+        assert_eq!(Symmetry::identity(2).apply(&set), set);
+    }
+
+    #[test]
+    fn symmetry_maps_directions_consistently() {
+        // Swap axes and flip the new dimension 1: east -> north-flipped.
+        let g = Symmetry { perm: vec![1, 0], flip: vec![true, false] };
+        assert_eq!(g.apply_dir(Direction::EAST), Direction::SOUTH);
+        assert_eq!(g.apply_dir(Direction::NORTH), Direction::EAST);
+    }
+
+    #[test]
+    fn paper_claim_three_unique_deadlock_free_prohibitions() {
+        // The headline: the 12 safe two-turn prohibitions fall into
+        // exactly 3 symmetry classes (west-first, north-last,
+        // negative-first), and the 4 unsafe ones into 1 (Figure 4).
+        let mesh = Mesh::new_2d(4, 4);
+        let census = two_turn_census(&mesh);
+        let safe: Vec<TurnSet> = census
+            .entries
+            .iter()
+            .filter(|(_, free)| *free)
+            .map(|(s, _)| s.clone())
+            .collect();
+        assert_eq!(safe.len(), 12);
+        assert_eq!(equivalence_classes(&safe).len(), 3);
+
+        let unsafe_sets: Vec<TurnSet> = census
+            .entries
+            .iter()
+            .filter(|(_, free)| !*free)
+            .map(|(s, _)| s.clone())
+            .collect();
+        assert_eq!(unsafe_sets.len(), 4);
+        assert_eq!(equivalence_classes(&unsafe_sets).len(), 1);
+    }
+
+    #[test]
+    fn the_three_classes_contain_the_named_algorithms() {
+        let mesh = Mesh::new_2d(4, 4);
+        let census = two_turn_census(&mesh);
+        let safe: Vec<TurnSet> = census
+            .entries
+            .iter()
+            .filter(|(_, free)| *free)
+            .map(|(s, _)| s.clone())
+            .collect();
+        let classes = equivalence_classes(&safe);
+        let named = [
+            presets::west_first_turns(),
+            presets::north_last_turns(),
+            presets::negative_first_turns(2),
+        ];
+        // Each named algorithm's turn set lands in a distinct class.
+        let mut found = Vec::new();
+        for name_set in &named {
+            let class = classes
+                .iter()
+                .position(|c| c.iter().any(|&i| {
+                    let group = mesh_symmetries(2);
+                    group.iter().any(|g| &g.apply(&safe[i]) == name_set)
+                }))
+                .expect("named algorithm not found in any class");
+            found.push(class);
+        }
+        found.sort_unstable();
+        found.dedup();
+        assert_eq!(found.len(), 3, "the three algorithms span the three classes");
+    }
+
+    #[test]
+    fn three_d_census_class_count() {
+        // An extension result: the 176 safe one-turn-per-cycle
+        // prohibitions of the 3D mesh fall into a small number of
+        // symmetry classes under the 48-element group.
+        let mesh = Mesh::new_cubic(3, 3);
+        let census = one_turn_per_cycle_census(&mesh);
+        let safe: Vec<TurnSet> = census
+            .entries
+            .iter()
+            .filter(|(_, free)| *free)
+            .map(|(s, _)| s.clone())
+            .collect();
+        assert_eq!(safe.len(), 176);
+        let classes = equivalence_classes(&safe);
+        // The 3D analog of the paper's "three are unique": exactly nine
+        // symmetry classes, with negative-first in one of size 8.
+        assert_eq!(classes.len(), 9, "got {} classes", classes.len());
+        let covered: usize = classes.iter().map(Vec::len).sum();
+        assert_eq!(covered, 176);
+        let nf = presets::negative_first_turns(3);
+        let group = mesh_symmetries(3);
+        let nf_class = classes
+            .iter()
+            .find(|c| {
+                c.iter().any(|&i| group.iter().any(|g| g.apply(&safe[i]) == nf))
+            })
+            .expect("negative-first class");
+        assert_eq!(nf_class.len(), 8);
+    }
+}

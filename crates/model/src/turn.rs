@@ -1,0 +1,150 @@
+//! Turns: transitions between travel directions.
+
+use turnroute_topology::Direction;
+
+/// The geometric kind of a turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TurnKind {
+    /// Continuing in the same direction — not really a turn. (A 0-degree
+    /// turn between distinct *virtual* directions only arises when a
+    /// physical direction has multiple channels, which the paper's target
+    /// networks do not.)
+    Straight,
+    /// A 90-degree turn: the dimension of travel changes.
+    Ninety,
+    /// A 180-degree reversal: same dimension, opposite sign. Only useful
+    /// for nonminimal routing.
+    OneEighty,
+}
+
+/// A turn from one direction of travel to another.
+///
+/// The turn model analyzes which turns a routing algorithm permits; in an
+/// *n*-dimensional mesh there are `4n(n-1)` possible 90-degree turns
+/// (Section 2 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_model::{Turn, TurnKind};
+/// use turnroute_topology::Direction;
+///
+/// let t = Turn::new(Direction::NORTH, Direction::WEST);
+/// assert_eq!(t.kind(), TurnKind::Ninety);
+/// assert_eq!(t.to_string(), "north->west");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Turn {
+    from: Direction,
+    to: Direction,
+}
+
+impl Turn {
+    /// Create a turn from `from` to `to`.
+    pub fn new(from: Direction, to: Direction) -> Turn {
+        Turn { from, to }
+    }
+
+    /// The direction of travel before the turn.
+    #[inline]
+    pub fn from_dir(self) -> Direction {
+        self.from
+    }
+
+    /// The direction of travel after the turn.
+    #[inline]
+    pub fn to_dir(self) -> Direction {
+        self.to
+    }
+
+    /// The geometric kind of this turn.
+    pub fn kind(self) -> TurnKind {
+        if self.from == self.to {
+            TurnKind::Straight
+        } else if self.from.dim() == self.to.dim() {
+            TurnKind::OneEighty
+        } else {
+            TurnKind::Ninety
+        }
+    }
+
+    /// The reverse turn (`to -> from`).
+    pub fn reversed(self) -> Turn {
+        Turn { from: self.to, to: self.from }
+    }
+
+    /// Enumerate all `4n(n-1)` 90-degree turns of an `n`-dimensional
+    /// network, in a stable order.
+    pub fn all_ninety(num_dims: usize) -> Vec<Turn> {
+        let mut out = Vec::with_capacity(4 * num_dims * num_dims.saturating_sub(1));
+        for from in Direction::all(num_dims) {
+            for to in Direction::all(num_dims) {
+                if from.dim() != to.dim() {
+                    out.push(Turn::new(from, to));
+                }
+            }
+        }
+        out
+    }
+
+    /// Enumerate all `2n` 180-degree turns of an `n`-dimensional network.
+    pub fn all_one_eighty(num_dims: usize) -> Vec<Turn> {
+        Direction::all(num_dims)
+            .map(|d| Turn::new(d, d.opposite()))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Turn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::Sign;
+
+    #[test]
+    fn turn_kinds() {
+        let east = Direction::EAST;
+        assert_eq!(Turn::new(east, east).kind(), TurnKind::Straight);
+        assert_eq!(Turn::new(east, Direction::WEST).kind(), TurnKind::OneEighty);
+        assert_eq!(Turn::new(east, Direction::NORTH).kind(), TurnKind::Ninety);
+    }
+
+    #[test]
+    fn ninety_turn_count_matches_theorem_1_setup() {
+        // 4n(n-1) turns in an n-dimensional mesh (Section 2).
+        for n in 2..=6 {
+            assert_eq!(Turn::all_ninety(n).len(), 4 * n * (n - 1));
+        }
+        assert!(Turn::all_ninety(1).is_empty());
+    }
+
+    #[test]
+    fn all_ninety_are_ninety() {
+        for t in Turn::all_ninety(4) {
+            assert_eq!(t.kind(), TurnKind::Ninety);
+        }
+    }
+
+    #[test]
+    fn one_eighty_enumeration() {
+        let turns = Turn::all_one_eighty(3);
+        assert_eq!(turns.len(), 6);
+        for t in turns {
+            assert_eq!(t.kind(), TurnKind::OneEighty);
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let t = Turn::new(Direction::new(0, Sign::Plus), Direction::new(2, Sign::Minus));
+        let r = t.reversed();
+        assert_eq!(r.from_dir(), t.to_dir());
+        assert_eq!(r.to_dir(), t.from_dir());
+        assert_eq!(r.reversed(), t);
+    }
+}

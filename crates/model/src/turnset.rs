@@ -1,0 +1,235 @@
+//! Allowed-turn tables.
+
+use crate::{Turn, TurnKind};
+use turnroute_topology::Direction;
+
+/// The set of turns a routing algorithm permits, stored as a `2n × 2n`
+/// boolean matrix indexed by direction indices.
+///
+/// Continuing straight in the same direction is always allowed — it is not
+/// a turn — and is reflected in the matrix so that channel-dependency
+/// analysis can treat the matrix uniformly. 90- and 180-degree turns are
+/// allowed only if explicitly inserted.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_model::{Turn, TurnSet};
+/// use turnroute_topology::Direction;
+///
+/// let mut set = TurnSet::no_turns(2);
+/// set.allow(Turn::new(Direction::WEST, Direction::NORTH));
+/// assert!(set.is_allowed(Direction::WEST, Direction::NORTH));
+/// assert!(!set.is_allowed(Direction::NORTH, Direction::WEST));
+/// assert!(set.is_allowed(Direction::EAST, Direction::EAST)); // straight
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TurnSet {
+    num_dims: usize,
+    /// rows[from_index] = bitmask of allowed to_index values.
+    rows: Vec<u32>,
+}
+
+impl TurnSet {
+    /// A turn set over `num_dims` dimensions allowing no turns at all (only
+    /// straight continuation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_dims == 0` or `num_dims > 16`.
+    pub fn no_turns(num_dims: usize) -> TurnSet {
+        assert!(num_dims >= 1, "turn set needs at least one dimension");
+        assert!(num_dims <= 16, "at most 16 dimensions supported");
+        let mut rows = vec![0u32; 2 * num_dims];
+        for (i, row) in rows.iter_mut().enumerate() {
+            *row = 1 << i; // straight continuation
+        }
+        TurnSet { num_dims, rows }
+    }
+
+    /// A turn set allowing every 90-degree turn (and straight continuation)
+    /// but no 180-degree reversals — the unrestricted network the turn
+    /// model starts from.
+    pub fn all_ninety(num_dims: usize) -> TurnSet {
+        let mut set = TurnSet::no_turns(num_dims);
+        for t in Turn::all_ninety(num_dims) {
+            set.allow(t);
+        }
+        set
+    }
+
+    /// Number of dimensions this turn set covers.
+    #[inline]
+    pub fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+
+    /// Allow `turn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the turn's directions exceed the turn set's dimensions.
+    pub fn allow(&mut self, turn: Turn) {
+        let (f, t) = self.indices(turn);
+        self.rows[f] |= 1 << t;
+    }
+
+    /// Prohibit `turn`. Prohibiting straight continuation is rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the turn is a straight continuation, or if its directions
+    /// exceed the turn set's dimensions.
+    pub fn prohibit(&mut self, turn: Turn) {
+        assert!(
+            turn.kind() != TurnKind::Straight,
+            "straight continuation cannot be prohibited"
+        );
+        let (f, t) = self.indices(turn);
+        self.rows[f] &= !(1 << t);
+    }
+
+    /// Whether a packet traveling in `from` may next travel in `to`.
+    pub fn is_allowed(&self, from: Direction, to: Direction) -> bool {
+        let (f, t) = self.indices(Turn::new(from, to));
+        self.rows[f] & (1 << t) != 0
+    }
+
+    /// Whether `turn` is allowed.
+    pub fn is_turn_allowed(&self, turn: Turn) -> bool {
+        self.is_allowed(turn.from_dir(), turn.to_dir())
+    }
+
+    /// The allowed outgoing directions for a packet traveling in `from`,
+    /// as a bitmask over direction indices (compatible with
+    /// [`turnroute_topology::DirSet::bits`]).
+    pub fn allowed_from_bits(&self, from: Direction) -> u32 {
+        self.rows[from.index()]
+    }
+
+    /// The 90-degree turns this set allows.
+    pub fn allowed_ninety(&self) -> Vec<Turn> {
+        Turn::all_ninety(self.num_dims)
+            .into_iter()
+            .filter(|&t| self.is_turn_allowed(t))
+            .collect()
+    }
+
+    /// The 90-degree turns this set prohibits.
+    pub fn prohibited_ninety(&self) -> Vec<Turn> {
+        Turn::all_ninety(self.num_dims)
+            .into_iter()
+            .filter(|&t| !self.is_turn_allowed(t))
+            .collect()
+    }
+
+    /// The 180-degree turns this set allows.
+    pub fn allowed_one_eighty(&self) -> Vec<Turn> {
+        Turn::all_one_eighty(self.num_dims)
+            .into_iter()
+            .filter(|&t| self.is_turn_allowed(t))
+            .collect()
+    }
+
+    fn indices(&self, turn: Turn) -> (usize, usize) {
+        let f = turn.from_dir().index();
+        let t = turn.to_dir().index();
+        assert!(
+            f < 2 * self.num_dims && t < 2 * self.num_dims,
+            "turn {turn} out of range for {}-dimensional turn set",
+            self.num_dims
+        );
+        (f, t)
+    }
+}
+
+impl std::fmt::Display for TurnSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let prohibited = self.prohibited_ninety();
+        write!(
+            f,
+            "TurnSet({}D, {} of {} 90-degree turns allowed; prohibited:",
+            self.num_dims,
+            self.allowed_ninety().len(),
+            4 * self.num_dims * (self.num_dims.saturating_sub(1)),
+        )?;
+        for t in prohibited {
+            write!(f, " {t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_always_allowed() {
+        let set = TurnSet::no_turns(3);
+        for d in Direction::all(3) {
+            assert!(set.is_allowed(d, d));
+        }
+    }
+
+    #[test]
+    fn no_turns_allows_nothing_else() {
+        let set = TurnSet::no_turns(2);
+        assert!(set.allowed_ninety().is_empty());
+        assert!(set.allowed_one_eighty().is_empty());
+    }
+
+    #[test]
+    fn all_ninety_counts() {
+        let set = TurnSet::all_ninety(3);
+        assert_eq!(set.allowed_ninety().len(), 4 * 3 * 2);
+        assert_eq!(set.prohibited_ninety().len(), 0);
+        assert!(set.allowed_one_eighty().is_empty());
+    }
+
+    #[test]
+    fn allow_and_prohibit_round_trip() {
+        let mut set = TurnSet::no_turns(2);
+        let t = Turn::new(Direction::NORTH, Direction::EAST);
+        set.allow(t);
+        assert!(set.is_turn_allowed(t));
+        set.prohibit(t);
+        assert!(!set.is_turn_allowed(t));
+    }
+
+    #[test]
+    fn one_eighty_opt_in() {
+        let mut set = TurnSet::no_turns(2);
+        let rev = Turn::new(Direction::EAST, Direction::WEST);
+        assert!(!set.is_turn_allowed(rev));
+        set.allow(rev);
+        assert!(set.is_turn_allowed(rev));
+        assert_eq!(set.allowed_one_eighty(), vec![rev]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be prohibited")]
+    fn prohibiting_straight_panics() {
+        let mut set = TurnSet::no_turns(2);
+        set.prohibit(Turn::new(Direction::EAST, Direction::EAST));
+    }
+
+    #[test]
+    fn allowed_from_bits_matches_queries() {
+        let mut set = TurnSet::no_turns(2);
+        set.allow(Turn::new(Direction::WEST, Direction::NORTH));
+        let bits = set.allowed_from_bits(Direction::WEST);
+        assert_ne!(bits & (1 << Direction::NORTH.index()), 0);
+        assert_ne!(bits & (1 << Direction::WEST.index()), 0); // straight
+        assert_eq!(bits & (1 << Direction::SOUTH.index()), 0);
+    }
+
+    #[test]
+    fn display_mentions_prohibited() {
+        let mut set = TurnSet::all_ninety(2);
+        set.prohibit(Turn::new(Direction::NORTH, Direction::WEST));
+        let s = set.to_string();
+        assert!(s.contains("north->west"), "{s}");
+        assert!(s.contains("7 of 8"), "{s}");
+    }
+}

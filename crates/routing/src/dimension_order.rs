@@ -1,0 +1,223 @@
+//! Dimension-order (nonadaptive) routing: xy and e-cube.
+
+use turnroute_model::{RoutingFunction, Turn, TurnSet};
+use turnroute_topology::{DirSet, Direction, NodeId, Sign, Topology};
+
+/// Dimension-order routing: resolve the per-dimension offsets one
+/// dimension at a time, in a fixed order. With the identity order this is
+/// the paper's xy algorithm on 2D meshes and the e-cube algorithm on
+/// hypercubes — deadlock free but completely nonadaptive (exactly one
+/// shortest path per source–destination pair).
+///
+/// Not applicable to tori: minimal dimension-order routing on wraparound
+/// channels deadlocks without virtual channels, which the paper's target
+/// networks do not have.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_routing::DimensionOrder;
+/// use turnroute_model::RoutingFunction;
+/// use turnroute_topology::{Mesh, Topology, Direction};
+///
+/// let mesh = Mesh::new_2d(4, 4);
+/// let xy = DimensionOrder::xy();
+/// let src = mesh.node_at_coords(&[0, 0]);
+/// let dst = mesh.node_at_coords(&[2, 3]);
+/// // x is corrected first.
+/// assert!(xy.route(&mesh, src, dst, None).contains(Direction::EAST));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimensionOrder {
+    name: String,
+    order: Vec<usize>,
+}
+
+impl DimensionOrder {
+    /// Dimension-order routing resolving dimensions in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn new(name: impl Into<String>, order: Vec<usize>) -> DimensionOrder {
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert!(
+            sorted.iter().copied().eq(0..order.len()),
+            "order must be a permutation of 0..n"
+        );
+        DimensionOrder { name: name.into(), order }
+    }
+
+    /// The xy algorithm for 2D meshes: dimension 0 (x) then dimension 1
+    /// (y).
+    pub fn xy() -> DimensionOrder {
+        DimensionOrder::new("xy", vec![0, 1])
+    }
+
+    /// The e-cube algorithm for an `n`-dimensional network: lowest
+    /// dimension first.
+    pub fn e_cube(num_dims: usize) -> DimensionOrder {
+        DimensionOrder::new("e-cube", (0..num_dims).collect())
+    }
+
+    /// The dimension resolution order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+impl RoutingFunction for DimensionOrder {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        let (c, d) = (topo.coord_of(current), topo.coord_of(dest));
+        // A packet traveling dimension `j` has already resolved every
+        // dimension ordered before `j`; states contradicting that are
+        // unreachable and get no moves.
+        let start_pos = arrived.map_or(0, |a| {
+            self.order
+                .iter()
+                .position(|&dim| dim == a.dim())
+                .expect("arrival dimension in order")
+        });
+        for (p, &dim) in self.order.iter().enumerate() {
+            let (ci, di) = (c.get(dim), d.get(dim));
+            if ci != di {
+                if p < start_pos {
+                    return DirSet::empty(); // unreachable state
+                }
+                let sign = if di > ci { Sign::Plus } else { Sign::Minus };
+                let dir = Direction::new(dim, sign);
+                if arrived == Some(dir.opposite()) {
+                    return DirSet::empty(); // reversal: unreachable state
+                }
+                return DirSet::single(dir);
+            }
+        }
+        DirSet::empty()
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+
+    fn turn_set(&self, num_dims: usize) -> Option<TurnSet> {
+        if num_dims != self.order.len() {
+            return None;
+        }
+        let mut pos = vec![0usize; num_dims];
+        for (p, &dim) in self.order.iter().enumerate() {
+            pos[dim] = p;
+        }
+        let mut set = TurnSet::no_turns(num_dims);
+        for t in Turn::all_ninety(num_dims) {
+            if pos[t.from_dir().dim()] < pos[t.to_dir().dim()] {
+                set.allow(t);
+            }
+        }
+        Some(set)
+    }
+}
+
+impl std::fmt::Display for DimensionOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::{Hypercube, Mesh};
+
+    #[test]
+    fn xy_resolves_x_before_y() {
+        let mesh = Mesh::new_2d(8, 8);
+        let xy = DimensionOrder::xy();
+        let src = mesh.node_at_coords(&[5, 5]);
+        let dst = mesh.node_at_coords(&[2, 7]);
+        assert_eq!(
+            xy.route(&mesh, src, dst, None),
+            DirSet::single(Direction::WEST)
+        );
+        let mid = mesh.node_at_coords(&[2, 5]);
+        assert_eq!(
+            xy.route(&mesh, mid, dst, None),
+            DirSet::single(Direction::NORTH)
+        );
+    }
+
+    #[test]
+    fn routes_are_singletons_until_destination() {
+        let mesh = Mesh::new_2d(8, 8);
+        let xy = DimensionOrder::xy();
+        let dst = mesh.node_at_coords(&[3, 3]);
+        for id in 0..mesh.num_nodes() {
+            let node = NodeId(id as u32);
+            let dirs = xy.route(&mesh, node, dst, None);
+            if node == dst {
+                assert!(dirs.is_empty());
+            } else {
+                assert_eq!(dirs.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn e_cube_on_hypercube_corrects_lowest_bit_first() {
+        let cube = Hypercube::new(4);
+        let ecube = DimensionOrder::e_cube(4);
+        let src = NodeId(0b1010);
+        let dst = NodeId(0b0101);
+        // Lowest differing dimension is 0; bit is 0 -> travel Plus.
+        assert_eq!(
+            ecube.route(&cube, src, dst, None),
+            DirSet::single(Direction::new(0, Sign::Plus))
+        );
+    }
+
+    #[test]
+    fn custom_order_yx() {
+        let mesh = Mesh::new_2d(8, 8);
+        let yx = DimensionOrder::new("yx", vec![1, 0]);
+        let src = mesh.node_at_coords(&[5, 5]);
+        let dst = mesh.node_at_coords(&[2, 7]);
+        assert_eq!(
+            yx.route(&mesh, src, dst, None),
+            DirSet::single(Direction::NORTH)
+        );
+    }
+
+    #[test]
+    fn turn_set_is_dimension_ordered() {
+        let xy = DimensionOrder::xy();
+        let set = xy.turn_set(2).expect("native dims");
+        assert_eq!(set.allowed_ninety().len(), 4);
+        assert!(set.is_allowed(Direction::WEST, Direction::NORTH));
+        assert!(!set.is_allowed(Direction::NORTH, Direction::WEST));
+        assert!(xy.turn_set(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn rejects_non_permutation() {
+        let _ = DimensionOrder::new("bad", vec![0, 0]);
+    }
+
+    #[test]
+    fn accessors() {
+        let e = DimensionOrder::e_cube(3);
+        assert_eq!(e.order(), &[0, 1, 2]);
+        assert_eq!(e.to_string(), "e-cube");
+        assert!(e.is_minimal());
+    }
+}

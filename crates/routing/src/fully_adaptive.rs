@@ -1,0 +1,98 @@
+//! Minimal fully adaptive routing — the adaptiveness yardstick, *not*
+//! deadlock free.
+
+use turnroute_model::{RoutingFunction, TurnSet};
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// Minimal fully adaptive routing: every productive direction is always
+/// legal, so every shortest path is available (`S_f` of Section 3.4).
+///
+/// **This function is not deadlock free** on meshes or k-ary n-cubes
+/// without extra channels — it allows every turn, so its channel
+/// dependency graph is cyclic. It exists as the adaptiveness yardstick for
+/// [`turnroute_model::adaptiveness`], and to let the simulator *demonstrate*
+/// wormhole deadlock (the paper's Figure 1 scenario).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_routing::FullyAdaptive;
+/// use turnroute_model::RoutingFunction;
+/// use turnroute_topology::{Mesh, Topology};
+///
+/// let mesh = Mesh::new_2d(8, 8);
+/// let fa = FullyAdaptive::new();
+/// let src = mesh.node_at_coords(&[4, 4]);
+/// let dst = mesh.node_at_coords(&[2, 6]);
+/// assert_eq!(fa.route(&mesh, src, dst, None).len(), 2); // west and north
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FullyAdaptive;
+
+impl FullyAdaptive {
+    /// Create the fully adaptive routing function.
+    pub fn new() -> FullyAdaptive {
+        FullyAdaptive
+    }
+}
+
+impl RoutingFunction for FullyAdaptive {
+    fn name(&self) -> &str {
+        "fully-adaptive"
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        _arrived: Option<Direction>,
+    ) -> DirSet {
+        topo.productive_dirs(current, dest)
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+
+    fn turn_set(&self, num_dims: usize) -> Option<TurnSet> {
+        Some(TurnSet::all_ninety(num_dims))
+    }
+}
+
+impl std::fmt::Display for FullyAdaptive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fully-adaptive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_model::Cdg;
+    use turnroute_topology::Mesh;
+
+    #[test]
+    fn offers_all_productive_dirs() {
+        let mesh = Mesh::new_2d(8, 8);
+        let fa = FullyAdaptive::new();
+        let src = mesh.node_at_coords(&[0, 0]);
+        let dst = mesh.node_at_coords(&[7, 7]);
+        assert_eq!(fa.route(&mesh, src, dst, None).len(), 2);
+        assert!(fa.route(&mesh, dst, dst, None).is_empty());
+    }
+
+    #[test]
+    fn is_not_deadlock_free() {
+        // The whole point of the paper: unrestricted adaptivity deadlocks.
+        let mesh = Mesh::new_2d(4, 4);
+        let cdg = Cdg::from_routing(&mesh, &FullyAdaptive::new());
+        assert!(cdg.find_cycle().is_some());
+    }
+
+    #[test]
+    fn turn_set_allows_everything() {
+        let set = FullyAdaptive::new().turn_set(2).expect("any dims");
+        assert_eq!(set.prohibited_ninety().len(), 0);
+    }
+}

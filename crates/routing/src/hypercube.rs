@@ -1,0 +1,182 @@
+//! Hypercube routing: the e-cube baseline and p-cube (Section 5).
+//!
+//! The p-cube algorithm is the hypercube special case of negative-first
+//! with a particularly compact bitwise expression (Figures 11 and 12):
+//! phase 1 clears the bits where the current address has a 1 the
+//! destination lacks; phase 2 sets the bits the destination has that the
+//! current address lacks.
+
+use crate::{DimensionOrder, RoutingMode, TwoPhase};
+use turnroute_topology::{Direction, Sign};
+
+/// The nonadaptive e-cube routing algorithm for an `n`-cube: correct
+/// address bits lowest dimension first.
+pub fn e_cube(num_dims: usize) -> DimensionOrder {
+    DimensionOrder::e_cube(num_dims)
+}
+
+/// The p-cube routing algorithm for an `n`-cube (Section 5): phase 1
+/// travels dimensions where the current bit is 1 and the destination bit
+/// is 0 (negative directions), phase 2 dimensions where the current bit is
+/// 0 and the destination bit is 1 (positive directions). In
+/// [`RoutingMode::Nonminimal`] mode, phase 1 may also travel any dimension
+/// whose current bit is 1 (Figure 12's extra adaptiveness).
+///
+/// # Panics
+///
+/// Panics if `num_dims < 2`.
+pub fn p_cube(num_dims: usize, mode: RoutingMode) -> TwoPhase {
+    assert!(num_dims >= 2, "p-cube needs at least two dimensions");
+    let phase1 = Direction::all(num_dims)
+        .filter(|d| d.sign() == Sign::Minus)
+        .collect();
+    TwoPhase::new("p-cube", num_dims, phase1, mode)
+}
+
+/// The phase register of minimal p-cube routing (Figure 11): the
+/// dimensions the router may forward along, as a bitmask.
+///
+/// Step 2 computes `R = C ∧ D̄`; if that is zero, step 3 computes
+/// `R = C̄ ∧ D` (masked to `n` bits).
+pub fn minimal_register(current: u32, dest: u32, num_dims: usize) -> u32 {
+    let mask = if num_dims >= 32 { u32::MAX } else { (1 << num_dims) - 1 };
+    let r = current & !dest & mask;
+    if r != 0 {
+        r
+    } else {
+        !current & dest & mask
+    }
+}
+
+/// The phase register of nonminimal p-cube routing (Figure 12): in phase 1
+/// (`p = 1`, the packet has only traveled phase-1 dimensions so far) the
+/// register is simply `C` — any dimension with a 1 bit may be traveled;
+/// once `C ∧ D̄ = 0` *and* the packet enters phase 2, the register is
+/// `C̄ ∧ D`.
+pub fn nonminimal_register(current: u32, dest: u32, num_dims: usize, phase1: bool) -> u32 {
+    let mask = if num_dims >= 32 { u32::MAX } else { (1 << num_dims) - 1 };
+    if phase1 {
+        current & mask
+    } else {
+        !current & dest & mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoutingFunction;
+    use turnroute_model::{adaptiveness, Cdg};
+    use turnroute_topology::{DirSet, Hypercube, NodeId, Topology};
+
+    /// Resolve p-cube's offered directions into the register bitmask of
+    /// dimensions, for comparison with Figure 11.
+    fn dirs_to_dims(dirs: DirSet) -> u32 {
+        dirs.iter().fold(0, |acc, d| acc | (1 << d.dim()))
+    }
+
+    #[test]
+    fn route_matches_figure_11_register() {
+        let cube = Hypercube::new(6);
+        let alg = p_cube(6, RoutingMode::Minimal);
+        for c in 0..cube.num_nodes() as u32 {
+            for d in [0u32, 0b111111, 0b101010, 0b010101, 0b110001] {
+                if c == d {
+                    continue;
+                }
+                let dirs = alg.route(&cube, NodeId(c), NodeId(d), None);
+                assert_eq!(
+                    dirs_to_dims(dirs),
+                    minimal_register(c, d, 6),
+                    "c={c:#b} d={d:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase1_clears_ones_before_phase2_sets_zeros() {
+        let cube = Hypercube::new(4);
+        let alg = p_cube(4, RoutingMode::Minimal);
+        // c = 1100, d = 0011: phase 1 clears bits 2,3; phase 2 sets 0,1.
+        let dirs = alg.route(&cube, NodeId(0b1100), NodeId(0b0011), None);
+        assert_eq!(dirs_to_dims(dirs), 0b1100);
+        for dir in dirs.iter() {
+            assert_eq!(dir.sign(), Sign::Minus);
+        }
+    }
+
+    #[test]
+    fn section_5_example_path_counts() {
+        // Source 1011010100 -> destination 0010111001 in a 10-cube:
+        // 36 shortest paths under p-cube, 720 under fully adaptive.
+        let cube = Hypercube::new(10);
+        let alg = p_cube(10, RoutingMode::Minimal);
+        let s = NodeId(0b1011010100);
+        let d = NodeId(0b0010111001);
+        let paths = adaptiveness::count_minimal_paths(&cube, &alg, s, d);
+        assert_eq!(paths, 36);
+        let fa = crate::FullyAdaptive::new();
+        assert_eq!(adaptiveness::count_minimal_paths(&cube, &fa, s, d), 720);
+    }
+
+    #[test]
+    fn pcube_path_count_formula_holds() {
+        let cube = Hypercube::new(6);
+        let alg = p_cube(6, RoutingMode::Minimal);
+        for (s, d) in [(0b101010u32, 0b010101u32), (0b111000, 0b000111), (0, 0b111111)] {
+            let h1 = (s & !d).count_ones();
+            let h0 = (!s & d).count_ones();
+            assert_eq!(
+                adaptiveness::count_minimal_paths(&cube, &alg, NodeId(s), NodeId(d)),
+                adaptiveness::s_pcube(h1, h0)
+            );
+        }
+    }
+
+    #[test]
+    fn cdgs_acyclic_on_5_cube() {
+        let cube = Hypercube::new(5);
+        for alg in [
+            p_cube(5, RoutingMode::Minimal),
+            p_cube(5, RoutingMode::Nonminimal),
+        ] {
+            assert!(Cdg::from_routing(&cube, &alg).is_acyclic(), "{}", alg.name());
+        }
+        assert!(Cdg::from_routing(&cube, &e_cube(5)).is_acyclic());
+    }
+
+    #[test]
+    fn nonminimal_register_is_current_in_phase1() {
+        assert_eq!(nonminimal_register(0b1011, 0b0001, 4, true), 0b1011);
+        assert_eq!(nonminimal_register(0b1011, 0b0101, 4, false), 0b0100);
+        assert_eq!(minimal_register(0b0001, 0b0111, 4), 0b0110);
+    }
+
+    #[test]
+    fn nonminimal_phase1_offers_all_one_bits() {
+        let cube = Hypercube::new(4);
+        let alg = p_cube(4, RoutingMode::Nonminimal);
+        // c = 1010, d = 0011: minimal phase 1 clears bit 3 only, but
+        // nonminimal phase 1 may also travel dimension 1 (c_1 = 1, d_1 = 1).
+        let dirs = alg.route(&cube, NodeId(0b1010), NodeId(0b0011), None);
+        assert_eq!(dirs_to_dims(dirs), nonminimal_register(0b1010, 0b0011, 4, true));
+        for dir in dirs.iter() {
+            assert_eq!(dir.sign(), Sign::Minus, "phase 1 travels negative only");
+        }
+    }
+
+    #[test]
+    fn e_cube_singleton_routes() {
+        let cube = Hypercube::new(8);
+        let alg = e_cube(8);
+        let s = NodeId(0b10110101);
+        let d = NodeId(0b00101100);
+        let dirs = alg.route(&cube, s, d, None);
+        assert_eq!(dirs.len(), 1);
+        // Lowest differing dimension: bit 0 (1 vs 0) -> travel minus.
+        let dir = dirs.iter().next().unwrap();
+        assert_eq!(dir.dim(), 0);
+        assert_eq!(dir.sign(), Sign::Minus);
+    }
+}

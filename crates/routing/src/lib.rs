@@ -1,0 +1,82 @@
+//! Concrete wormhole routing algorithms from the turn-model paper.
+//!
+//! The partially adaptive algorithms of Sections 3–5 — west-first,
+//! north-last, negative-first, all-but-one-negative-first (ABONF),
+//! all-but-one-positive-last (ABOPL), and p-cube — are all instances of a
+//! single *two-phase* scheme ([`TwoPhase`]): a set of phase-1 directions is
+//! routed (adaptively) before the remaining phase-2 directions, and every
+//! turn from a phase-2 direction back into a phase-1 direction is
+//! prohibited. The nonadaptive baselines (xy, e-cube) are
+//! [`DimensionOrder`] routing. Torus adaptations of Section 4.2 live in
+//! [`torus`], and the hexagonal-mesh extension the paper sketches as
+//! future work lives in [`hex`].
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_routing::mesh2d;
+//! use turnroute_routing::RoutingMode;
+//! use turnroute_model::RoutingFunction;
+//! use turnroute_topology::{Mesh, Topology, Direction};
+//!
+//! let mesh = Mesh::new_2d(8, 8);
+//! let wf = mesh2d::west_first(RoutingMode::Minimal);
+//! let src = mesh.node_at_coords(&[5, 5]);
+//! let dst = mesh.node_at_coords(&[2, 7]); // north-west of src
+//! // Westward hops must come first: the only legal move is west.
+//! let dirs = wf.route(&mesh, src, dst, None);
+//! assert_eq!(dirs.len(), 1);
+//! assert!(dirs.contains(Direction::WEST));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dimension_order;
+mod fully_adaptive;
+pub mod hex;
+pub mod hypercube;
+pub mod mesh2d;
+pub mod ndmesh;
+pub mod torus;
+mod two_phase;
+
+pub use dimension_order::DimensionOrder;
+pub use fully_adaptive::FullyAdaptive;
+pub use two_phase::TwoPhase;
+
+// Re-exported so downstream crates name one routing vocabulary.
+pub use turnroute_model::RoutingFunction;
+
+/// Whether an algorithm offers only shortest-path moves or also the
+/// nonminimal moves the paper allows for extra adaptiveness and fault
+/// tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingMode {
+    /// Offer only moves that reduce the distance to the destination.
+    Minimal,
+    /// Additionally offer legal misroutes (e.g. overshooting west under
+    /// west-first). The simulator bounds misroutes per packet to preserve
+    /// progress.
+    Nonminimal,
+}
+
+impl std::fmt::Display for RoutingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingMode::Minimal => write!(f, "minimal"),
+            RoutingMode::Nonminimal => write!(f, "nonminimal"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(RoutingMode::Minimal.to_string(), "minimal");
+        assert_eq!(RoutingMode::Nonminimal.to_string(), "nonminimal");
+    }
+}

@@ -1,0 +1,163 @@
+//! The 2D-mesh algorithms of Section 3: west-first, north-last,
+//! negative-first, and the xy baseline.
+//!
+//! All three partially adaptive algorithms prohibit two of the eight
+//! 90-degree turns — one from each abstract cycle — and are the three
+//! prohibitions that are unique up to symmetry among the twelve
+//! deadlock-free choices.
+
+use crate::{DimensionOrder, RoutingMode, TwoPhase};
+use turnroute_topology::{DirSet, Direction};
+
+/// The xy routing algorithm (Figure 3): route fully along x, then fully
+/// along y. Deadlock free and nonadaptive.
+pub fn xy() -> DimensionOrder {
+    DimensionOrder::xy()
+}
+
+/// The west-first routing algorithm (Section 3.1, Figure 5): route a
+/// packet first west, if necessary, and then adaptively south, east, and
+/// north. Prohibits the two turns *to* the west.
+pub fn west_first(mode: RoutingMode) -> TwoPhase {
+    TwoPhase::new("west-first", 2, DirSet::single(Direction::WEST), mode)
+}
+
+/// The north-last routing algorithm (Section 3.2, Figure 9): route a
+/// packet first adaptively west, south, and east, and then north.
+/// Prohibits the two turns *from* north.
+pub fn north_last(mode: RoutingMode) -> TwoPhase {
+    let phase1: DirSet = [Direction::WEST, Direction::SOUTH, Direction::EAST]
+        .into_iter()
+        .collect();
+    TwoPhase::new("north-last", 2, phase1, mode)
+}
+
+/// The negative-first routing algorithm (Section 3.3, Figure 10): route a
+/// packet first adaptively west and south, and then adaptively east and
+/// north. Prohibits the two turns from a positive direction to a negative
+/// direction.
+pub fn negative_first(mode: RoutingMode) -> TwoPhase {
+    let phase1: DirSet = [Direction::WEST, Direction::SOUTH].into_iter().collect();
+    TwoPhase::new("negative-first", 2, phase1, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_model::{presets, Cdg, RoutingFunction};
+    use turnroute_topology::{Mesh, NodeId, Topology};
+
+    #[test]
+    fn turn_sets_match_model_presets() {
+        assert_eq!(
+            west_first(RoutingMode::Minimal).turn_set(2).unwrap(),
+            presets::west_first_turns()
+        );
+        assert_eq!(
+            north_last(RoutingMode::Minimal).turn_set(2).unwrap(),
+            presets::north_last_turns()
+        );
+        assert_eq!(
+            negative_first(RoutingMode::Minimal).turn_set(2).unwrap(),
+            presets::negative_first_turns(2)
+        );
+        assert_eq!(xy().turn_set(2).unwrap(), presets::xy_turns());
+    }
+
+    #[test]
+    fn all_algorithms_have_acyclic_routing_cdgs() {
+        let mesh = Mesh::new_2d(6, 5);
+        let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+            Box::new(xy()),
+            Box::new(west_first(RoutingMode::Minimal)),
+            Box::new(north_last(RoutingMode::Minimal)),
+            Box::new(negative_first(RoutingMode::Minimal)),
+            Box::new(west_first(RoutingMode::Nonminimal)),
+            Box::new(north_last(RoutingMode::Nonminimal)),
+            Box::new(negative_first(RoutingMode::Nonminimal)),
+        ];
+        for alg in &algorithms {
+            let cdg = Cdg::from_routing(&mesh, alg);
+            assert!(
+                cdg.find_cycle().is_none(),
+                "{} has a cyclic CDG",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn nonminimal_turn_set_cdgs_are_acyclic() {
+        // The strongest check: even the full turn-set relation (any packet
+        // taking any allowed turn, including Figure 8c reversals) is
+        // acyclic.
+        let mesh = Mesh::new_2d(5, 5);
+        for alg in [
+            west_first(RoutingMode::Nonminimal),
+            north_last(RoutingMode::Nonminimal),
+            negative_first(RoutingMode::Nonminimal),
+        ] {
+            let set = alg.turn_set(2).unwrap();
+            assert!(
+                Cdg::from_turn_set(&mesh, &set).is_acyclic(),
+                "{} nonminimal turn set is cyclic",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_route_uses_allowed_turns_only() {
+        let mesh = Mesh::new_2d(5, 5);
+        for alg in [
+            west_first(RoutingMode::Minimal),
+            north_last(RoutingMode::Minimal),
+            negative_first(RoutingMode::Minimal),
+        ] {
+            let set = alg.turn_set(2).unwrap();
+            for cur in 0..mesh.num_nodes() {
+                let cur = NodeId(cur as u32);
+                for dst in 0..mesh.num_nodes() {
+                    let dst = NodeId(dst as u32);
+                    for arrived in Direction::all(2) {
+                        for out in alg.route(&mesh, cur, dst, Some(arrived)).iter() {
+                            assert!(
+                                set.is_allowed(arrived, out),
+                                "{}: turn {arrived}->{out} not allowed",
+                                alg.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_routes_always_deliver() {
+        // Greedy walk following any offered direction terminates at dest.
+        let mesh = Mesh::new_2d(8, 8);
+        for alg in [
+            west_first(RoutingMode::Minimal),
+            north_last(RoutingMode::Minimal),
+            negative_first(RoutingMode::Minimal),
+        ] {
+            for (s, d) in [(0u32, 63u32), (63, 0), (7, 56), (56, 7), (20, 43)] {
+                let (src, dst) = (NodeId(s), NodeId(d));
+                let mut cur = src;
+                let mut arrived = None;
+                let mut hops = 0;
+                while cur != dst {
+                    let dirs = alg.route(&mesh, cur, dst, arrived);
+                    assert!(!dirs.is_empty(), "{} stuck at {cur}", alg.name());
+                    let dir = dirs.iter().next().unwrap();
+                    cur = mesh.neighbor(cur, dir).unwrap();
+                    arrived = Some(dir);
+                    hops += 1;
+                    assert!(hops <= mesh.min_hops(src, dst), "nonminimal hop");
+                }
+                assert_eq!(hops, mesh.min_hops(src, dst));
+            }
+        }
+    }
+}

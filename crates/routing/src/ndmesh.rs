@@ -1,0 +1,185 @@
+//! The n-dimensional mesh algorithms of Section 4.1.
+
+use crate::{RoutingMode, TwoPhase};
+use turnroute_topology::{DirSet, Direction, Sign};
+
+/// All negative directions of an `n`-dimensional network.
+fn negatives(num_dims: usize) -> DirSet {
+    Direction::all(num_dims)
+        .filter(|d| d.sign() == Sign::Minus)
+        .collect()
+}
+
+/// The negative-first routing algorithm for n-dimensional meshes
+/// (Theorem 5): route a packet first adaptively in the negative
+/// directions, then adaptively in the positive directions. Prohibits the
+/// `n(n-1)` turns from positive to negative directions — the minimum of
+/// Theorem 6.
+///
+/// # Panics
+///
+/// Panics if `num_dims < 2` (with one dimension there are no turns to
+/// restrict and phase 2 would be empty).
+pub fn negative_first(num_dims: usize, mode: RoutingMode) -> TwoPhase {
+    assert!(num_dims >= 2, "negative-first needs at least two dimensions");
+    TwoPhase::new("negative-first", num_dims, negatives(num_dims), mode)
+}
+
+/// The all-but-one-negative-first routing algorithm (Section 4.1), the
+/// n-dimensional analog of west-first: route first adaptively in the
+/// negative directions of all but one dimension (the last), then
+/// adaptively in the other directions.
+///
+/// # Panics
+///
+/// Panics if `num_dims < 2`.
+pub fn all_but_one_negative_first(num_dims: usize, mode: RoutingMode) -> TwoPhase {
+    assert!(num_dims >= 2, "ABONF needs at least two dimensions");
+    let phase1: DirSet = Direction::all(num_dims)
+        .filter(|d| d.sign() == Sign::Minus && d.dim() < num_dims - 1)
+        .collect();
+    TwoPhase::new("all-but-one-negative-first", num_dims, phase1, mode)
+}
+
+/// The all-but-one-positive-last routing algorithm (Section 4.1), the
+/// n-dimensional analog of north-last: route first adaptively in the
+/// negative directions and the positive direction of dimension 0, then
+/// adaptively in the other (positive) directions.
+///
+/// # Panics
+///
+/// Panics if `num_dims < 2`.
+pub fn all_but_one_positive_last(num_dims: usize, mode: RoutingMode) -> TwoPhase {
+    assert!(num_dims >= 2, "ABOPL needs at least two dimensions");
+    let phase1: DirSet = Direction::all(num_dims)
+        .filter(|d| d.sign() == Sign::Minus || d.dim() == 0)
+        .collect();
+    TwoPhase::new("all-but-one-positive-last", num_dims, phase1, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_model::{presets, Cdg, RoutingFunction};
+    use turnroute_topology::{Mesh, NodeId, Topology};
+
+    #[test]
+    fn turn_sets_match_model_presets() {
+        for n in 2..=5 {
+            assert_eq!(
+                negative_first(n, RoutingMode::Minimal).turn_set(n).unwrap(),
+                presets::negative_first_turns(n)
+            );
+            assert_eq!(
+                all_but_one_negative_first(n, RoutingMode::Minimal)
+                    .turn_set(n)
+                    .unwrap(),
+                presets::all_but_one_negative_first_turns(n)
+            );
+            assert_eq!(
+                all_but_one_positive_last(n, RoutingMode::Minimal)
+                    .turn_set(n)
+                    .unwrap(),
+                presets::all_but_one_positive_last_turns(n)
+            );
+        }
+    }
+
+    #[test]
+    fn prohibit_exactly_a_quarter_of_turns() {
+        // Theorems 1 and 6: n(n-1) prohibited turns out of 4n(n-1).
+        for n in 2..=6 {
+            for alg in [
+                negative_first(n, RoutingMode::Minimal),
+                all_but_one_negative_first(n, RoutingMode::Minimal),
+                all_but_one_positive_last(n, RoutingMode::Minimal),
+            ] {
+                let set = alg.turn_set(n).unwrap();
+                assert_eq!(set.prohibited_ninety().len(), n * (n - 1), "{}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn routing_cdgs_acyclic_on_3d_mesh() {
+        let mesh = Mesh::new(vec![3, 4, 3]);
+        for alg in [
+            negative_first(3, RoutingMode::Minimal),
+            all_but_one_negative_first(3, RoutingMode::Minimal),
+            all_but_one_positive_last(3, RoutingMode::Minimal),
+            negative_first(3, RoutingMode::Nonminimal),
+            all_but_one_negative_first(3, RoutingMode::Nonminimal),
+            all_but_one_positive_last(3, RoutingMode::Nonminimal),
+        ] {
+            assert!(
+                Cdg::from_routing(&mesh, &alg).is_acyclic(),
+                "{} ({:?}) cyclic",
+                alg.name(),
+                alg.mode()
+            );
+        }
+    }
+
+    #[test]
+    fn turn_set_cdgs_acyclic_on_3d_mesh() {
+        let mesh = Mesh::new(vec![3, 3, 3]);
+        for alg in [
+            negative_first(3, RoutingMode::Nonminimal),
+            all_but_one_negative_first(3, RoutingMode::Nonminimal),
+            all_but_one_positive_last(3, RoutingMode::Nonminimal),
+        ] {
+            let set = alg.turn_set(3).unwrap();
+            assert!(
+                Cdg::from_turn_set(&mesh, &set).is_acyclic(),
+                "{} turn set cyclic",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_delivery_on_3d_mesh() {
+        let mesh = Mesh::new(vec![4, 4, 4]);
+        for alg in [
+            negative_first(3, RoutingMode::Minimal),
+            all_but_one_negative_first(3, RoutingMode::Minimal),
+            all_but_one_positive_last(3, RoutingMode::Minimal),
+        ] {
+            for (s, d) in [(0u32, 63u32), (63, 0), (21, 42), (42, 21), (7, 56)] {
+                let (src, dst) = (NodeId(s), NodeId(d));
+                let mut cur = src;
+                let mut arrived = None;
+                let mut hops = 0;
+                while cur != dst {
+                    let dirs = alg.route(&mesh, cur, dst, arrived);
+                    assert!(!dirs.is_empty(), "{} stuck at {cur}", alg.name());
+                    // Take the last offered direction to vary from mesh2d's
+                    // first-direction walk.
+                    let dir = dirs.iter().last().unwrap();
+                    cur = mesh.neighbor(cur, dir).unwrap();
+                    arrived = Some(dir);
+                    hops += 1;
+                }
+                assert_eq!(hops, mesh.min_hops(src, dst), "{}", alg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn abonf_phase1_excludes_last_dimension() {
+        let alg = all_but_one_negative_first(3, RoutingMode::Minimal);
+        assert!(alg.phase1().contains(Direction::new(0, Sign::Minus)));
+        assert!(alg.phase1().contains(Direction::new(1, Sign::Minus)));
+        assert!(!alg.phase1().contains(Direction::new(2, Sign::Minus)));
+        assert_eq!(alg.phase1().len(), 2);
+    }
+
+    #[test]
+    fn abopl_phase2_is_positive_tail() {
+        let alg = all_but_one_positive_last(3, RoutingMode::Minimal);
+        let p2 = alg.phase2();
+        assert_eq!(p2.len(), 2);
+        assert!(p2.contains(Direction::new(1, Sign::Plus)));
+        assert!(p2.contains(Direction::new(2, Sign::Plus)));
+    }
+}

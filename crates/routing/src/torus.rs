@@ -1,0 +1,428 @@
+//! k-ary n-cube (torus) adaptations of Section 4.2.
+//!
+//! Tori add wraparound channels, whose cycles do not involve turns, so the
+//! mesh algorithms cannot be used as-is. The paper gives two deadlock-free
+//! adaptations, both strictly nonminimal:
+//!
+//! 1. [`WrapOnFirstHop`] — allow a packet to use a wraparound channel only
+//!    on its first hop, then route with any deadlock-free mesh algorithm.
+//!    Wrap channels then never depend on other channels, so the dependency
+//!    graph stays acyclic.
+//! 2. [`NegativeFirstTorus`] — classify each wraparound channel by the
+//!    direction it routes packets in (the `+` wrap from coordinate `k-1`
+//!    to `0` *decreases* the coordinate, so it is a negative channel, and
+//!    vice versa) and apply negative-first over the classified directions.
+
+
+use turnroute_model::RoutingFunction;
+use turnroute_topology::{DirSet, Direction, Mesh, NodeId, Sign, Topology};
+
+/// Classify the channel leaving `node` in physical direction `dir`: a
+/// wraparound channel routes packets the *opposite* way along the
+/// coordinate (the `+` wrap decreases the coordinate from `k-1` to `0`).
+pub fn classified_sign(topo: &dyn Topology, node: NodeId, dir: Direction) -> Sign {
+    if topo.is_wrap(node, dir) {
+        dir.sign().opposite()
+    } else {
+        dir.sign()
+    }
+}
+
+/// Section 4.2's first torus adaptation: wraparound channels may be used
+/// only as a packet's first hop; afterwards the packet follows `inner`, a
+/// mesh routing algorithm, over the torus's mesh sub-channels.
+///
+/// A wraparound first hop is offered whenever it strictly shortens the
+/// remaining mesh distance. Because no packet ever acquires a wrap channel
+/// while holding another channel, wrap channels add no incoming
+/// dependencies, and deadlock freedom reduces to the inner mesh
+/// algorithm's.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_routing::torus::WrapOnFirstHop;
+/// use turnroute_routing::{mesh2d, RoutingMode, RoutingFunction};
+/// use turnroute_topology::{Torus, Topology, Direction};
+///
+/// let torus = Torus::new(8, 2);
+/// let alg = WrapOnFirstHop::new(mesh2d::west_first(RoutingMode::Minimal), &torus);
+/// let src = torus.node_at_coords(&[0, 0]);
+/// let dst = torus.node_at_coords(&[7, 0]);
+/// // The westward wrap (0 -> 7) is offered on the first hop: 1 hop
+/// // instead of 7 mesh hops.
+/// assert!(alg.route(&torus, src, dst, None).contains(Direction::WEST));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WrapOnFirstHop<R> {
+    inner: R,
+    mesh: Mesh,
+    name: String,
+}
+
+impl<R: RoutingFunction> WrapOnFirstHop<R> {
+    /// Wrap `inner` (a mesh algorithm) for use on `torus`.
+    pub fn new(inner: R, torus: &dyn Topology) -> WrapOnFirstHop<R> {
+        let radices: Vec<u16> = (0..torus.num_dims())
+            .map(|d| torus.radix(d) as u16)
+            .collect();
+        let name = format!("{}+wrap-first-hop", inner.name());
+        WrapOnFirstHop { inner, mesh: Mesh::new(radices), name }
+    }
+
+    /// The underlying mesh the inner algorithm routes over.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Consume the adapter, returning the inner algorithm.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RoutingFunction> RoutingFunction for WrapOnFirstHop<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        if current == dest {
+            return DirSet::empty();
+        }
+        match arrived {
+            None => {
+                // First hop: mesh moves plus any beneficial wrap channel.
+                let mut out = self.inner.route(&self.mesh, current, dest, None);
+                let here = self.mesh.min_hops(current, dest);
+                for dir in Direction::all(topo.num_dims()) {
+                    if !topo.is_wrap(current, dir) {
+                        continue;
+                    }
+                    let nb = topo.neighbor(current, dir).expect("torus channel");
+                    if 1 + self.mesh.min_hops(nb, dest) < here {
+                        out.insert(dir);
+                    }
+                }
+                out
+            }
+            Some(dir) => {
+                let src = topo
+                    .neighbor(current, dir.opposite())
+                    .expect("incoming channel has a source");
+                if topo.is_wrap(src, dir) {
+                    // Just crossed a wrap channel: begin the mesh route
+                    // fresh (any turn off a wrap channel is safe).
+                    self.inner.route(&self.mesh, current, dest, None)
+                } else {
+                    self.inner.route(&self.mesh, current, dest, Some(dir))
+                }
+            }
+        }
+    }
+
+    fn is_minimal(&self) -> bool {
+        false // wrap shortcuts make routes shorter than mesh distance, but
+              // not necessarily torus-minimal
+    }
+}
+
+/// Section 4.2's second torus adaptation: negative-first over *classified*
+/// channel directions. Every wraparound channel is classified by the
+/// direction it routes packets (see [`classified_sign`]); a packet travels
+/// classified-negative channels first (including the `+` wrap from the
+/// positive edge), then classified-positive channels (including the `-`
+/// wrap from the zero edge).
+///
+/// Strictly nonminimal, as the paper notes all torus algorithms without
+/// extra channels must be; routes are shortest *within the negative-first
+/// structure*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NegativeFirstTorus {
+    num_dims: usize,
+}
+
+/// One candidate way to resolve a single dimension, used internally by
+/// [`NegativeFirstTorus`].
+#[derive(Debug, Clone, Copy)]
+struct DimPlan {
+    cost: usize,
+    /// The physical sign of the plan's next hop in its dimension, and
+    /// whether that hop is a phase-1 (classified negative) move.
+    first_sign: Sign,
+    first_is_phase1: bool,
+}
+
+impl NegativeFirstTorus {
+    /// Create classified negative-first routing for an `n`-dimensional
+    /// torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_dims < 1`.
+    pub fn new(num_dims: usize) -> NegativeFirstTorus {
+        assert!(num_dims >= 1, "at least one dimension required");
+        NegativeFirstTorus { num_dims }
+    }
+
+    /// The candidate plans for resolving coordinate `c` to `d` in a
+    /// dimension of radix `k`, cheapest first moves only.
+    fn dim_plans(k: usize, c: usize, d: usize) -> Vec<DimPlan> {
+        debug_assert!(c != d);
+        let mut plans: Vec<DimPlan> = Vec::with_capacity(3);
+        if d < c {
+            // Pure descend: classified-negative mesh hops.
+            plans.push(DimPlan { cost: c - d, first_sign: Sign::Minus, first_is_phase1: true });
+        }
+        if d > c {
+            // Pure ascend: classified-positive mesh hops.
+            plans.push(DimPlan { cost: d - c, first_sign: Sign::Plus, first_is_phase1: false });
+        }
+        if d == k - 1 {
+            // Descend to 0, then the `-` wrap (classified positive) jumps
+            // 0 -> k-1.
+            // First hop descends if above zero; at zero the next hop is
+            // the wrap itself (classified positive).
+            plans.push(DimPlan { cost: c + 1, first_sign: Sign::Minus, first_is_phase1: c > 0 });
+        }
+        if c == k - 1 {
+            // The `+` wrap (classified negative) jumps k-1 -> 0, then
+            // ascend to d.
+            plans.push(DimPlan { cost: 1 + d, first_sign: Sign::Plus, first_is_phase1: true });
+        }
+        let best = plans.iter().map(|p| p.cost).min().expect("c != d has a plan");
+        plans.retain(|p| p.cost == best);
+        plans
+    }
+}
+
+impl RoutingFunction for NegativeFirstTorus {
+    fn name(&self) -> &str {
+        "negative-first-torus"
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        if current == dest {
+            return DirSet::empty();
+        }
+        let in_phase2 = match arrived {
+            None => false,
+            Some(dir) => {
+                let src = topo
+                    .neighbor(current, dir.opposite())
+                    .expect("incoming channel has a source");
+                classified_sign(topo, src, dir) == Sign::Plus
+            }
+        };
+        let (cc, dc) = (topo.coord_of(current), topo.coord_of(dest));
+        let mut phase1_moves = DirSet::empty();
+        let mut phase2_moves = DirSet::empty();
+        for dim in 0..self.num_dims {
+            let (c, d) = (usize::from(cc.get(dim)), usize::from(dc.get(dim)));
+            if c == d {
+                continue;
+            }
+            for plan in Self::dim_plans(topo.radix(dim), c, d) {
+                let dir = Direction::new(dim, plan.first_sign);
+                if plan.first_is_phase1 {
+                    phase1_moves.insert(dir);
+                } else {
+                    phase2_moves.insert(dir);
+                }
+            }
+        }
+        if in_phase2 {
+            phase2_moves
+        } else if !phase1_moves.is_empty() {
+            phase1_moves
+        } else {
+            phase2_moves
+        }
+    }
+
+    fn is_minimal(&self) -> bool {
+        false
+    }
+}
+
+impl std::fmt::Display for NegativeFirstTorus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "negative-first-torus ({}D)", self.num_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mesh2d, RoutingMode};
+    use turnroute_model::Cdg;
+    use turnroute_topology::Torus;
+
+    fn walk(
+        topo: &dyn Topology,
+        alg: &dyn RoutingFunction,
+        src: NodeId,
+        dst: NodeId,
+        max_hops: usize,
+    ) -> usize {
+        let mut cur = src;
+        let mut arrived = None;
+        let mut hops = 0;
+        while cur != dst {
+            let dirs = alg.route(topo, cur, dst, arrived);
+            assert!(!dirs.is_empty(), "{} stuck at {cur} toward {dst}", alg.name());
+            let dir = dirs.iter().next().unwrap();
+            cur = topo.neighbor(cur, dir).unwrap();
+            arrived = Some(dir);
+            hops += 1;
+            assert!(hops <= max_hops, "{} wandering", alg.name());
+        }
+        hops
+    }
+
+    #[test]
+    fn classified_sign_flips_on_wrap() {
+        let torus = Torus::new(4, 2);
+        let east_edge = torus.node_at_coords(&[3, 1]);
+        assert_eq!(
+            classified_sign(&torus, east_edge, Direction::EAST),
+            Sign::Minus
+        );
+        let interior = torus.node_at_coords(&[1, 1]);
+        assert_eq!(
+            classified_sign(&torus, interior, Direction::EAST),
+            Sign::Plus
+        );
+    }
+
+    #[test]
+    fn wrap_first_hop_uses_shortcut_then_mesh() {
+        let torus = Torus::new(8, 2);
+        let alg = WrapOnFirstHop::new(mesh2d::west_first(RoutingMode::Minimal), &torus);
+        let src = torus.node_at_coords(&[7, 3]);
+        let dst = torus.node_at_coords(&[1, 3]);
+        // First hop east across the wrap (7 -> 0) beats 6 mesh hops west.
+        let dirs = alg.route(&torus, src, dst, None);
+        assert!(dirs.contains(Direction::EAST));
+        // Take the wrap, then it is a plain 1-hop mesh route.
+        let after_wrap = torus.neighbor(src, Direction::EAST).unwrap();
+        assert_eq!(after_wrap, torus.node_at_coords(&[0, 3]));
+        let dirs = alg.route(&torus, after_wrap, dst, Some(Direction::EAST));
+        assert_eq!(dirs, DirSet::single(Direction::EAST));
+        // The greedy walk (which happens to pick west first) still
+        // delivers, via the mesh route.
+        assert_eq!(walk(&torus, &alg, src, dst, 16), 6);
+    }
+
+    #[test]
+    fn wrap_never_offered_after_first_hop() {
+        let torus = Torus::new(6, 2);
+        let alg = WrapOnFirstHop::new(mesh2d::west_first(RoutingMode::Minimal), &torus);
+        for cur in 0..torus.num_nodes() {
+            let cur = NodeId(cur as u32);
+            for dst in 0..torus.num_nodes() {
+                let dst = NodeId(dst as u32);
+                for arr in Direction::all(2) {
+                    for out in alg.route(&torus, cur, dst, Some(arr)).iter() {
+                        assert!(
+                            !torus.is_wrap(cur, out),
+                            "wrap channel offered mid-route at {cur}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_first_hop_cdg_acyclic() {
+        let torus = Torus::new(4, 2);
+        for alg in [
+            WrapOnFirstHop::new(mesh2d::west_first(RoutingMode::Minimal), &torus),
+            WrapOnFirstHop::new(mesh2d::negative_first(RoutingMode::Minimal), &torus),
+        ] {
+            assert!(
+                Cdg::from_routing(&torus, &alg).is_acyclic(),
+                "{} cyclic",
+                alg.name()
+            );
+        }
+        let xy = WrapOnFirstHop::new(mesh2d::xy(), &torus);
+        assert!(Cdg::from_routing(&torus, &xy).is_acyclic());
+    }
+
+    #[test]
+    fn negative_first_torus_cdg_acyclic() {
+        for k in [3u16, 4, 5] {
+            let torus = Torus::new(k, 2);
+            let alg = NegativeFirstTorus::new(2);
+            assert!(
+                Cdg::from_routing(&torus, &alg).is_acyclic(),
+                "cyclic for k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_first_torus_delivers_everywhere() {
+        let torus = Torus::new(5, 2);
+        let alg = NegativeFirstTorus::new(2);
+        for s in 0..torus.num_nodes() {
+            for d in 0..torus.num_nodes() {
+                if s == d {
+                    continue;
+                }
+                walk(&torus, &alg, NodeId(s as u32), NodeId(d as u32), 32);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_first_torus_takes_wrap_shortcuts() {
+        let torus = Torus::new(8, 2);
+        let alg = NegativeFirstTorus::new(2);
+        // From x=1 to x=7: descend 1 -> 0, wrap 0 -> 7: two hops instead
+        // of six ascending.
+        let src = torus.node_at_coords(&[1, 0]);
+        let dst = torus.node_at_coords(&[7, 0]);
+        assert_eq!(walk(&torus, &alg, src, dst, 8), 2);
+        // From x=7 to x=2: wrap 7 -> 0 (classified negative), ascend twice.
+        let src = torus.node_at_coords(&[7, 0]);
+        let dst = torus.node_at_coords(&[2, 0]);
+        assert_eq!(walk(&torus, &alg, src, dst, 8), 3);
+    }
+
+    #[test]
+    fn negative_first_torus_phase_order() {
+        let torus = Torus::new(5, 2);
+        let alg = NegativeFirstTorus::new(2);
+        // Needs a descend in x and an ascend in y: descend first.
+        let src = torus.node_at_coords(&[3, 1]);
+        let dst = torus.node_at_coords(&[1, 3]);
+        let dirs = alg.route(&torus, src, dst, None);
+        assert_eq!(dirs, DirSet::single(Direction::WEST));
+    }
+
+    #[test]
+    fn wrap_adapter_accessors() {
+        let torus = Torus::new(4, 2);
+        let alg = WrapOnFirstHop::new(mesh2d::xy(), &torus);
+        assert_eq!(alg.mesh().radices(), &[4, 4]);
+        assert_eq!(alg.name(), "xy+wrap-first-hop");
+        assert!(!alg.is_minimal());
+        let inner = alg.into_inner();
+        assert_eq!(inner.name(), "xy");
+    }
+}

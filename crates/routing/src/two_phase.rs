@@ -1,0 +1,365 @@
+//! The two-phase partially adaptive routing scheme underlying the paper's
+//! named algorithms.
+
+use crate::RoutingMode;
+use turnroute_model::{RoutingFunction, Turn, TurnSet};
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+
+/// A two-phase partially adaptive routing function.
+///
+/// A packet first travels, adaptively, along *phase-1* directions until it
+/// needs none of them, then travels adaptively along the remaining
+/// *phase-2* directions. Turns from a phase-2 direction back into a
+/// phase-1 direction are prohibited — that is the turn-model prohibition
+/// pattern shared by the paper's algorithms:
+///
+/// | Algorithm | Phase-1 directions |
+/// |-----------|--------------------|
+/// | west-first (2D)          | `{west}` |
+/// | north-last (2D)          | `{west, south, east}` |
+/// | negative-first (nD)      | all negative directions |
+/// | all-but-one-negative-first | negatives of dims `0..n-1` |
+/// | all-but-one-positive-last  | negatives plus `+0` |
+/// | p-cube (hypercube)       | all negative directions |
+///
+/// Use the constructors in [`crate::mesh2d`], [`crate::ndmesh`], and
+/// [`crate::hypercube`] for the named algorithms, or build a custom phase
+/// split with [`TwoPhase::new`].
+///
+/// In [`RoutingMode::Nonminimal`] mode the function additionally offers
+/// every existing phase-1 channel while the packet is still in phase 1
+/// (overshooting is legal and recoverable, because phase-2 directions can
+/// undo any phase-1 wandering), which is the extra adaptiveness and fault
+/// tolerance the paper credits nonminimal routing with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoPhase {
+    name: String,
+    num_dims: usize,
+    phase1: DirSet,
+    mode: RoutingMode,
+}
+
+impl TwoPhase {
+    /// Create a two-phase routing function over `num_dims` dimensions with
+    /// the given phase-1 direction set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase1` contains directions outside the `2 * num_dims`
+    /// directions of the network, is empty, or contains every direction
+    /// (either phase being empty degenerates to full adaptivity, which
+    /// deadlocks).
+    pub fn new(
+        name: impl Into<String>,
+        num_dims: usize,
+        phase1: DirSet,
+        mode: RoutingMode,
+    ) -> TwoPhase {
+        let all = DirSet::all(num_dims);
+        assert!(
+            phase1.is_subset_of(all),
+            "phase-1 directions must exist in a {num_dims}-dimensional network"
+        );
+        assert!(!phase1.is_empty(), "phase 1 must contain a direction");
+        assert_ne!(phase1, all, "phase 2 must contain a direction");
+        TwoPhase { name: name.into(), num_dims, phase1, mode }
+    }
+
+    /// The phase-1 direction set.
+    pub fn phase1(&self) -> DirSet {
+        self.phase1
+    }
+
+    /// The phase-2 direction set (complement of phase 1).
+    pub fn phase2(&self) -> DirSet {
+        DirSet::all(self.num_dims).difference(self.phase1)
+    }
+
+    /// The routing mode this instance was built with.
+    pub fn mode(&self) -> RoutingMode {
+        self.mode
+    }
+
+    /// The phase-2 moves in nonminimal mode: productive phase-2
+    /// directions, plus *recoverable* misroutes — an unproductive `d` is
+    /// safe only if its opposite is also a phase-2 direction (the
+    /// overshoot can be undone without re-entering phase 1) and some
+    /// productive phase-2 work remains in another dimension (so the
+    /// packet can turn off `d` without a prohibited 180-degree reversal).
+    fn phase2_moves(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        productive: DirSet,
+    ) -> DirSet {
+        let phase2 = self.phase2();
+        let p2_productive = productive.intersection(phase2);
+        let mut out = p2_productive;
+        for d in phase2.iter() {
+            if out.contains(d) || topo.neighbor(current, d).is_none() {
+                continue;
+            }
+            let recoverable = phase2.contains(d.opposite());
+            let can_turn_off = p2_productive.iter().any(|e| e.dim() != d.dim());
+            if recoverable && can_turn_off {
+                out.insert(d);
+            }
+        }
+        out
+    }
+
+    /// Number of dimensions the function routes over.
+    pub fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+}
+
+impl RoutingFunction for TwoPhase {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        if current == dest {
+            return DirSet::empty();
+        }
+        let productive = topo.productive_dirs(current, dest);
+        let phase2 = self.phase2();
+        let p1_productive = productive.intersection(self.phase1);
+        let in_phase2 = matches!(arrived, Some(d) if phase2.contains(d));
+        let mut out = if in_phase2 {
+            // Once traveling a phase-2 direction, phase 1 is locked out.
+            match self.mode {
+                RoutingMode::Minimal => productive.intersection(phase2),
+                RoutingMode::Nonminimal => self.phase2_moves(topo, current, productive),
+            }
+        } else {
+            match self.mode {
+                RoutingMode::Minimal => {
+                    if p1_productive.is_empty() {
+                        productive.intersection(phase2)
+                    } else {
+                        p1_productive
+                    }
+                }
+                RoutingMode::Nonminimal => {
+                    // Wander anywhere in phase 1; enter phase 2 only once
+                    // no phase-1 hop remains necessary.
+                    let mut wander: DirSet = self
+                        .phase1
+                        .iter()
+                        .filter(|&d| topo.neighbor(current, d).is_some())
+                        .collect();
+                    if p1_productive.is_empty() {
+                        wander = wander.union(self.phase2_moves(topo, current, productive));
+                    }
+                    wander
+                }
+            }
+        };
+        // Exclude 180-degree reversals the turn rules do not allow; states
+        // that would want them are unreachable under this function anyway.
+        if let Some(arr) = arrived {
+            let reversal_legal = self.mode == RoutingMode::Nonminimal
+                && self.phase1.contains(arr)
+                && phase2.contains(arr.opposite());
+            if !reversal_legal {
+                out.remove(arr.opposite());
+            }
+        }
+        out
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.mode == RoutingMode::Minimal
+    }
+
+    fn turn_set(&self, num_dims: usize) -> Option<TurnSet> {
+        if num_dims != self.num_dims {
+            return None;
+        }
+        let mut set = TurnSet::all_ninety(num_dims);
+        let phase2 = self.phase2();
+        for t in Turn::all_ninety(num_dims) {
+            if phase2.contains(t.from_dir()) && self.phase1.contains(t.to_dir()) {
+                set.prohibit(t);
+            }
+        }
+        if self.mode == RoutingMode::Nonminimal {
+            // Reversals out of phase 1 into phase 2 are legal (Figure 8c).
+            for t in Turn::all_one_eighty(num_dims) {
+                if self.phase1.contains(t.from_dir()) && phase2.contains(t.to_dir()) {
+                    set.allow(t);
+                }
+            }
+        }
+        Some(set)
+    }
+}
+
+impl std::fmt::Display for TwoPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::{Mesh, Sign};
+
+    fn negatives(n: usize) -> DirSet {
+        Direction::all(n).filter(|d| d.sign() == Sign::Minus).collect()
+    }
+
+    #[test]
+    fn minimal_routes_phase1_first() {
+        let mesh = Mesh::new_2d(8, 8);
+        let nf = TwoPhase::new("nf", 2, negatives(2), RoutingMode::Minimal);
+        let src = mesh.node_at_coords(&[4, 4]);
+        // Destination south-east: south (phase 1) must come before east.
+        let dst = mesh.node_at_coords(&[6, 2]);
+        let dirs = nf.route(&mesh, src, dst, None);
+        assert_eq!(dirs, DirSet::single(Direction::SOUTH));
+        // After the southward hops are done, east opens up.
+        let mid = mesh.node_at_coords(&[4, 2]);
+        let dirs = nf.route(&mesh, mid, dst, Some(Direction::SOUTH));
+        assert_eq!(dirs, DirSet::single(Direction::EAST));
+    }
+
+    #[test]
+    fn minimal_is_fully_adaptive_within_a_phase() {
+        let mesh = Mesh::new_2d(8, 8);
+        let nf = TwoPhase::new("nf", 2, negatives(2), RoutingMode::Minimal);
+        let src = mesh.node_at_coords(&[4, 4]);
+        let dst = mesh.node_at_coords(&[2, 1]); // south-west: both phase 1
+        let dirs = nf.route(&mesh, src, dst, None);
+        assert!(dirs.contains(Direction::WEST) && dirs.contains(Direction::SOUTH));
+    }
+
+    #[test]
+    fn phase2_arrival_locks_out_phase1() {
+        let mesh = Mesh::new_2d(8, 8);
+        let nf = TwoPhase::new("nf", 2, negatives(2), RoutingMode::Minimal);
+        let cur = mesh.node_at_coords(&[4, 4]);
+        let dst = mesh.node_at_coords(&[6, 2]); // needs east and south
+        // Arrived traveling east (phase 2): south is forbidden now.
+        let dirs = nf.route(&mesh, cur, dst, Some(Direction::EAST));
+        assert_eq!(dirs, DirSet::single(Direction::EAST));
+    }
+
+    #[test]
+    fn route_empty_at_destination() {
+        let mesh = Mesh::new_2d(4, 4);
+        let nf = TwoPhase::new("nf", 2, negatives(2), RoutingMode::Minimal);
+        let node = mesh.node_at_coords(&[1, 1]);
+        assert!(nf.route(&mesh, node, node, None).is_empty());
+    }
+
+    #[test]
+    fn nonminimal_allows_phase1_overshoot() {
+        let mesh = Mesh::new_2d(8, 8);
+        let wf = TwoPhase::new(
+            "wf",
+            2,
+            DirSet::single(Direction::WEST),
+            RoutingMode::Nonminimal,
+        );
+        let src = mesh.node_at_coords(&[4, 4]);
+        let dst = mesh.node_at_coords(&[6, 4]); // due east
+        let dirs = wf.route(&mesh, src, dst, None);
+        // May overshoot west (phase 1 wandering), proceed east, or
+        // misroute north/south (recoverable within phase 2 while east
+        // hops remain).
+        assert!(dirs.contains(Direction::WEST));
+        assert!(dirs.contains(Direction::EAST));
+        assert!(dirs.contains(Direction::NORTH));
+        assert!(dirs.contains(Direction::SOUTH));
+    }
+
+    #[test]
+    fn nonminimal_phase2_misroutes_are_recoverable_only() {
+        let mesh = Mesh::new_2d(8, 8);
+        // Negative-first phase 2 is {east, north}: neither direction's
+        // opposite is in phase 2, so no phase-2 misroutes are offered.
+        let nf = TwoPhase::new("nf", 2, negatives(2), RoutingMode::Nonminimal);
+        let cur = mesh.node_at_coords(&[4, 4]);
+        let dst = mesh.node_at_coords(&[6, 6]);
+        let dirs = nf.route(&mesh, cur, dst, Some(Direction::EAST));
+        assert_eq!(dirs.len(), 2); // east + north, both productive
+        // West-first with the eastward work finished: a lone northward
+        // leg must not be padded with unrecoverable east misroutes, and
+        // north/south misroutes need productive work in another dimension.
+        let wf = TwoPhase::new(
+            "wf",
+            2,
+            DirSet::single(Direction::WEST),
+            RoutingMode::Nonminimal,
+        );
+        let cur = mesh.node_at_coords(&[6, 4]);
+        let dst = mesh.node_at_coords(&[6, 6]);
+        let dirs = wf.route(&mesh, cur, dst, Some(Direction::EAST));
+        assert_eq!(dirs, DirSet::single(Direction::NORTH));
+    }
+
+    #[test]
+    fn nonminimal_forces_phase1_when_needed() {
+        let mesh = Mesh::new_2d(8, 8);
+        let wf = TwoPhase::new(
+            "wf",
+            2,
+            DirSet::single(Direction::WEST),
+            RoutingMode::Nonminimal,
+        );
+        let src = mesh.node_at_coords(&[4, 4]);
+        let dst = mesh.node_at_coords(&[2, 6]); // north-west
+        let dirs = wf.route(&mesh, src, dst, None);
+        assert_eq!(dirs, DirSet::single(Direction::WEST));
+    }
+
+    #[test]
+    fn turn_set_prohibits_phase2_to_phase1() {
+        let nf = TwoPhase::new("nf", 2, negatives(2), RoutingMode::Minimal);
+        let set = nf.turn_set(2).expect("native dims");
+        assert!(!set.is_allowed(Direction::NORTH, Direction::WEST));
+        assert!(!set.is_allowed(Direction::EAST, Direction::SOUTH));
+        assert!(set.is_allowed(Direction::WEST, Direction::NORTH));
+        assert_eq!(set.prohibited_ninety().len(), 2);
+        assert!(nf.turn_set(3).is_none());
+    }
+
+    #[test]
+    fn nonminimal_turn_set_allows_reversal_out_of_phase1() {
+        let wf = TwoPhase::new(
+            "wf",
+            2,
+            DirSet::single(Direction::WEST),
+            RoutingMode::Nonminimal,
+        );
+        let set = wf.turn_set(2).expect("native dims");
+        assert!(set.is_allowed(Direction::WEST, Direction::EAST)); // Figure 8c
+        assert!(!set.is_allowed(Direction::EAST, Direction::WEST));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase 2 must contain")]
+    fn rejects_all_directions_in_phase1() {
+        let _ = TwoPhase::new("bad", 2, DirSet::all(2), RoutingMode::Minimal);
+    }
+
+    #[test]
+    fn display_includes_mode() {
+        let nf = TwoPhase::new("negative-first", 2, negatives(2), RoutingMode::Minimal);
+        assert_eq!(nf.to_string(), "negative-first (minimal)");
+        assert_eq!(nf.phase1(), negatives(2));
+        assert_eq!(nf.phase2(), negatives(2).iter().map(|d| d.opposite()).collect());
+        assert_eq!(nf.num_dims(), 2);
+        assert_eq!(nf.mode(), RoutingMode::Minimal);
+    }
+}

@@ -1,0 +1,301 @@
+//! Simulation configuration.
+
+use crate::{InputPolicy, OutputPolicy};
+
+/// Channel bandwidth of the paper's networks: 20 flits/µs, i.e. one
+/// simulated cycle is 0.05 µs.
+pub const CYCLES_PER_MICROSEC: f64 = 20.0;
+
+/// Packet length distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthDist {
+    /// Every packet has the same length.
+    Fixed(u32),
+    /// Each packet is `short` or `long` flits with equal probability —
+    /// the paper uses 10 or 200.
+    Bimodal {
+        /// The short packet length in flits.
+        short: u32,
+        /// The long packet length in flits.
+        long: u32,
+    },
+}
+
+impl LengthDist {
+    /// The paper's distribution: 10 or 200 flits, equally likely.
+    pub fn paper() -> LengthDist {
+        LengthDist::Bimodal { short: 10, long: 200 }
+    }
+
+    /// Mean packet length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthDist::Fixed(n) => f64::from(n),
+            LengthDist::Bimodal { short, long } => f64::from(short + long) / 2.0,
+        }
+    }
+}
+
+/// Full configuration of a simulation run. Build with
+/// [`SimConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Offered load per node, in flits per cycle (a node at rate 1.0
+    /// saturates its injection channel). Zero disables generation — useful
+    /// with [`crate::Sim::inject_packet`].
+    pub injection_rate: f64,
+    /// Packet length distribution.
+    pub lengths: LengthDist,
+    /// Cycles to run before measurement starts.
+    pub warmup_cycles: u64,
+    /// Cycles in the measurement window.
+    pub measure_cycles: u64,
+    /// Extra cycles after the window to let measured packets drain.
+    pub drain_cycles: u64,
+    /// RNG seed; identical configurations with identical seeds produce
+    /// identical results.
+    pub seed: u64,
+    /// Input selection policy (the paper uses local FCFS).
+    pub input_policy: InputPolicy,
+    /// Output selection policy (the paper uses lowest-dimension, "xy").
+    pub output_policy: OutputPolicy,
+    /// Maximum misroutes per packet under nonminimal routing; 0 keeps
+    /// routing effectively minimal.
+    pub misroute_budget: u32,
+    /// Declare deadlock if no flit moves for this many cycles while flits
+    /// are in flight.
+    pub deadlock_threshold: u64,
+    /// Flit capacity of each input-channel buffer. The paper's routers
+    /// buffer a single flit; deeper buffers approach virtual cut-through
+    /// behavior.
+    pub buffer_depth: u32,
+    /// Extra cycles a header flit spends in route selection at every
+    /// router before it can request an output channel. Section 7 warns
+    /// that adaptive routing "can require more complex control logic for
+    /// route selection ... and this may increase node delay"; setting
+    /// this higher for adaptive algorithms quantifies that trade-off.
+    pub routing_delay: u64,
+    /// Record every packet's node path (costs memory; for analysis and
+    /// tests).
+    pub record_paths: bool,
+}
+
+impl SimConfig {
+    /// Start building a configuration from the paper's defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::new()
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::builder().build()
+    }
+}
+
+/// Builder for [`SimConfig`].
+///
+/// # Example
+///
+/// ```
+/// use turnroute_sim::{SimConfig, LengthDist};
+///
+/// let cfg = SimConfig::builder()
+///     .injection_rate(0.1)
+///     .lengths(LengthDist::Fixed(16))
+///     .seed(7)
+///     .build();
+/// assert_eq!(cfg.seed, 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Create a builder holding the defaults.
+    pub fn new() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig {
+                injection_rate: 0.1,
+                lengths: LengthDist::paper(),
+                warmup_cycles: 5_000,
+                measure_cycles: 20_000,
+                drain_cycles: 10_000,
+                seed: 0,
+                input_policy: InputPolicy::Fcfs,
+                output_policy: OutputPolicy::LowestDim,
+                misroute_budget: 0,
+                deadlock_threshold: 10_000,
+                buffer_depth: 1,
+                routing_delay: 0,
+                record_paths: false,
+            },
+        }
+    }
+
+    /// Offered load per node in flits per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is negative or not finite.
+    pub fn injection_rate(mut self, rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be >= 0");
+        self.cfg.injection_rate = rate;
+        self
+    }
+
+    /// Packet length distribution.
+    pub fn lengths(mut self, lengths: LengthDist) -> Self {
+        self.cfg.lengths = lengths;
+        self
+    }
+
+    /// Warmup cycles before measurement.
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.warmup_cycles = cycles;
+        self
+    }
+
+    /// Length of the measurement window in cycles.
+    pub fn measure_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.measure_cycles = cycles;
+        self
+    }
+
+    /// Drain cycles after the measurement window.
+    pub fn drain_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.drain_cycles = cycles;
+        self
+    }
+
+    /// RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Input selection policy.
+    pub fn input_policy(mut self, policy: InputPolicy) -> Self {
+        self.cfg.input_policy = policy;
+        self
+    }
+
+    /// Output selection policy.
+    pub fn output_policy(mut self, policy: OutputPolicy) -> Self {
+        self.cfg.output_policy = policy;
+        self
+    }
+
+    /// Misroute budget per packet for nonminimal routing.
+    pub fn misroute_budget(mut self, budget: u32) -> Self {
+        self.cfg.misroute_budget = budget;
+        self
+    }
+
+    /// Idle cycles before declaring deadlock.
+    pub fn deadlock_threshold(mut self, cycles: u64) -> Self {
+        self.cfg.deadlock_threshold = cycles;
+        self
+    }
+
+    /// Flit capacity of each input-channel buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn buffer_depth(mut self, depth: u32) -> Self {
+        assert!(depth >= 1, "buffers hold at least one flit");
+        self.cfg.buffer_depth = depth;
+        self
+    }
+
+    /// Extra per-router route-selection delay in cycles (Section 7's
+    /// node-delay concern).
+    pub fn routing_delay(mut self, cycles: u64) -> Self {
+        self.cfg.routing_delay = cycles;
+        self
+    }
+
+    /// Record every packet's node path.
+    pub fn record_paths(mut self, record: bool) -> Self {
+        self.cfg.record_paths = record;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> SimConfig {
+        self.cfg
+    }
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_length_distribution() {
+        let d = LengthDist::paper();
+        assert_eq!(d, LengthDist::Bimodal { short: 10, long: 200 });
+        assert!((d.mean() - 105.0).abs() < 1e-9);
+        assert!((LengthDist::Fixed(16).mean() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.25)
+            .lengths(LengthDist::Fixed(4))
+            .warmup_cycles(1)
+            .measure_cycles(2)
+            .drain_cycles(3)
+            .seed(9)
+            .input_policy(InputPolicy::PortOrder)
+            .output_policy(OutputPolicy::Random)
+            .misroute_budget(5)
+            .deadlock_threshold(77)
+            .build();
+        assert_eq!(cfg.injection_rate, 0.25);
+        assert_eq!(cfg.lengths, LengthDist::Fixed(4));
+        assert_eq!(
+            (cfg.warmup_cycles, cfg.measure_cycles, cfg.drain_cycles),
+            (1, 2, 3)
+        );
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.input_policy, InputPolicy::PortOrder);
+        assert_eq!(cfg.output_policy, OutputPolicy::Random);
+        assert_eq!(cfg.misroute_budget, 5);
+        assert_eq!(cfg.deadlock_threshold, 77);
+        assert_eq!(cfg.buffer_depth, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be >= 0")]
+    fn rejects_negative_rate() {
+        let _ = SimConfig::builder().injection_rate(-1.0);
+    }
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.lengths, LengthDist::paper());
+        assert_eq!(cfg.input_policy, InputPolicy::Fcfs);
+        assert_eq!(cfg.output_policy, OutputPolicy::LowestDim);
+        assert_eq!(cfg.misroute_budget, 0);
+        assert_eq!(cfg.buffer_depth, 1);
+        assert_eq!(cfg.routing_delay, 0);
+        assert!(!cfg.record_paths);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn rejects_zero_depth_buffers() {
+        let _ = SimConfig::builder().buffer_depth(0);
+    }
+}

@@ -1,0 +1,894 @@
+//! The simulation engine: wormhole mechanics, arbitration, and the
+//! measurement protocol.
+
+use crate::{InputPolicy, LengthDist, OutputPolicy, Packet, PacketId, SimConfig, SimReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use turnroute_model::RoutingFunction;
+use turnroute_topology::{Direction, NodeId, Topology};
+use turnroute_traffic::TrafficPattern;
+
+/// Sentinel for "no packet" / "no channel".
+const NONE_U32: u32 = u32::MAX;
+
+/// One flit sitting in a channel's single-flit input buffer.
+#[derive(Debug, Clone, Copy)]
+struct BufFlit {
+    packet: u32,
+    is_head: bool,
+    is_tail: bool,
+}
+
+/// Per-source stream state: the packet currently being pushed into the
+/// injection channel and how many of its flits have been emitted.
+#[derive(Debug, Clone, Copy)]
+struct Emitting {
+    packet: u32,
+    sent: u32,
+}
+
+/// A wormhole network simulation in progress.
+///
+/// Construct with [`Sim::new`], optionally seed packets with
+/// [`Sim::inject_packet`], then either call [`Sim::run`] for the full
+/// warmup/measure/drain protocol or drive individual cycles with
+/// [`Sim::step`].
+pub struct Sim<'a> {
+    topo: &'a dyn Topology,
+    routing: &'a dyn RoutingFunction,
+    pattern: &'a dyn TrafficPattern,
+    cfg: SimConfig,
+    rng: StdRng,
+    now: u64,
+
+    // --- static network description ---
+    num_nodes: usize,
+    dirs_per_node: usize,
+    /// First injection slot; ejection slots follow.
+    inj_base: usize,
+    ej_base: usize,
+    num_channels: usize,
+    /// Whether each network slot is a real channel.
+    exists: Vec<bool>,
+    /// Router whose input buffer each channel feeds (ejection channels
+    /// feed the local processor and carry their node here).
+    input_router: Vec<u32>,
+    /// Broken channels (fault injection).
+    faulty: Vec<bool>,
+
+    // --- dynamic channel state ---
+    owner: Vec<u32>,
+    /// Per-channel input buffers (FIFO, capacity `cfg.buffer_depth`; the
+    /// paper's routers use depth 1). A buffer only ever holds flits of
+    /// the packet owning the channel.
+    buf: Vec<VecDeque<BufFlit>>,
+    /// Output binding for each *input* channel, while a worm crosses it.
+    assigned_out: Vec<u32>,
+    /// Cycle the current head flit arrived in this buffer (for FCFS).
+    head_since: Vec<u64>,
+
+    // --- sources ---
+    packets: Vec<Packet>,
+    /// Per-packet node paths (populated when `cfg.record_paths`).
+    paths: Vec<Vec<NodeId>>,
+    queues: Vec<VecDeque<u32>>,
+    emitting: Vec<Option<Emitting>>,
+    next_arrival: Vec<f64>,
+
+    // --- measurement ---
+    window: (u64, u64),
+    generated_packets: u64,
+    generated_flits: u64,
+    delivered_flits_in_window: u64,
+    /// Flits that entered each channel's buffer during the measurement
+    /// window (per-channel utilization).
+    channel_flits: Vec<u64>,
+    max_queue_len: usize,
+    last_move: u64,
+    deadlocked: bool,
+
+    // scratch buffers reused across cycles
+    scratch_heads: Vec<u32>,
+    scratch_state: Vec<u8>,
+    scratch_order: Vec<u32>,
+    scratch_stack: Vec<u32>,
+}
+
+impl<'a> Sim<'a> {
+    /// Create a simulation of `routing` on `topo` under `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than 2 nodes.
+    pub fn new(
+        topo: &'a dyn Topology,
+        routing: &'a dyn RoutingFunction,
+        pattern: &'a dyn TrafficPattern,
+        cfg: SimConfig,
+    ) -> Sim<'a> {
+        let num_nodes = topo.num_nodes();
+        assert!(num_nodes >= 2, "need at least two nodes");
+        let dirs_per_node = 2 * topo.num_dims();
+        let inj_base = num_nodes * dirs_per_node;
+        let ej_base = inj_base + num_nodes;
+        let num_channels = ej_base + num_nodes;
+
+        let mut exists = vec![false; num_channels];
+        let mut input_router = vec![NONE_U32; num_channels];
+        for node in 0..num_nodes {
+            let node_id = NodeId(node as u32);
+            for dir in Direction::all(topo.num_dims()) {
+                let slot = topo.channel_slot(node_id, dir);
+                if let Some(next) = topo.neighbor(node_id, dir) {
+                    exists[slot] = true;
+                    input_router[slot] = next.0;
+                }
+            }
+            exists[inj_base + node] = true;
+            input_router[inj_base + node] = node as u32;
+            exists[ej_base + node] = true;
+            input_router[ej_base + node] = node as u32;
+        }
+
+        let mut sim = Sim {
+            topo,
+            routing,
+            pattern,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: 0,
+            num_nodes,
+            dirs_per_node,
+            inj_base,
+            ej_base,
+            num_channels,
+            exists,
+            input_router,
+            faulty: vec![false; num_channels],
+            owner: vec![NONE_U32; num_channels],
+            buf: vec![VecDeque::new(); num_channels],
+            assigned_out: vec![NONE_U32; num_channels],
+            head_since: vec![0; num_channels],
+            packets: Vec::new(),
+            paths: Vec::new(),
+            queues: vec![VecDeque::new(); num_nodes],
+            emitting: vec![None; num_nodes],
+            next_arrival: vec![0.0; num_nodes],
+            window: (0, u64::MAX),
+            generated_packets: 0,
+            generated_flits: 0,
+            delivered_flits_in_window: 0,
+            channel_flits: vec![0; num_channels],
+            max_queue_len: 0,
+            last_move: 0,
+            deadlocked: false,
+            scratch_heads: Vec::new(),
+            scratch_state: vec![0; num_channels],
+            scratch_order: Vec::new(),
+            scratch_stack: Vec::new(),
+        };
+        // Stagger first arrivals so all nodes do not fire at cycle 0.
+        if sim.cfg.injection_rate > 0.0 {
+            let mean = sim.mean_interarrival();
+            for v in 0..num_nodes {
+                sim.next_arrival[v] = sim.sample_exp(mean);
+            }
+        }
+        sim
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether deadlock was detected.
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// All packets created so far.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Flits that crossed the network channel leaving `node` in `dir`
+    /// during the measurement window. Zero for nonexistent channels.
+    pub fn channel_load(&self, node: NodeId, dir: Direction) -> u64 {
+        self.channel_flits[self.topo.channel_slot(node, dir)]
+    }
+
+    /// The heaviest per-channel flit count observed during the
+    /// measurement window, over network channels only.
+    pub fn max_channel_load(&self) -> u64 {
+        self.channel_flits[..self.inj_base]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total flits that crossed network channels during the measurement
+    /// window (the network's transferred volume; equals Σ hops over the
+    /// window's flits when traffic is in steady state).
+    pub fn total_channel_flits(&self) -> u64 {
+        self.channel_flits[..self.inj_base].iter().sum()
+    }
+
+    /// The node path a packet's header has taken so far (source
+    /// included). Empty unless the run was configured with
+    /// [`SimConfig::record_paths`].
+    pub fn packet_path(&self, id: PacketId) -> &[NodeId] {
+        if self.cfg.record_paths {
+            &self.paths[id.index()]
+        } else {
+            &[]
+        }
+    }
+
+    /// Mark the channel leaving `node` in `dir` as faulty; the routing
+    /// arbitration will never assign it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist.
+    pub fn set_fault(&mut self, node: NodeId, dir: Direction) {
+        let slot = self.topo.channel_slot(node, dir);
+        assert!(self.exists[slot], "no channel at {node} {dir}");
+        self.faulty[slot] = true;
+    }
+
+    /// Manually queue a packet (useful with `injection_rate == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or `len == 0`.
+    pub fn inject_packet(&mut self, src: NodeId, dst: NodeId, len: u32) -> PacketId {
+        assert_ne!(src, dst, "packet must leave its source");
+        assert!(len >= 1, "packet needs at least one flit");
+        let id = self.create_packet(src, dst, len);
+        PacketId(id)
+    }
+
+    fn create_packet(&mut self, src: NodeId, dst: NodeId, len: u32) -> u32 {
+        let id = self.packets.len() as u32;
+        self.packets.push(Packet {
+            id: PacketId(id),
+            src,
+            dst,
+            len,
+            created: self.now,
+            injected: None,
+            delivered: None,
+            hops: 0,
+            misroutes: 0,
+        });
+        self.queues[src.index()].push_back(id);
+        if self.cfg.record_paths {
+            self.paths.push(vec![src]);
+        }
+        if self.in_window() {
+            self.generated_packets += 1;
+            self.generated_flits += u64::from(len);
+        }
+        id
+    }
+
+    fn in_window(&self) -> bool {
+        self.now >= self.window.0 && self.now < self.window.1
+    }
+
+    fn mean_interarrival(&self) -> f64 {
+        self.cfg.lengths.mean() / self.cfg.injection_rate
+    }
+
+    fn sample_exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    fn sample_len(&mut self) -> u32 {
+        match self.cfg.lengths {
+            LengthDist::Fixed(n) => n,
+            LengthDist::Bimodal { short, long } => {
+                if self.rng.gen_bool(0.5) {
+                    short
+                } else {
+                    long
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn inj_slot(&self, node: usize) -> usize {
+        self.inj_base + node
+    }
+
+    #[inline]
+    fn ej_slot(&self, node: usize) -> usize {
+        self.ej_base + node
+    }
+
+    #[inline]
+    fn is_ejection(&self, slot: usize) -> bool {
+        slot >= self.ej_base
+    }
+
+    #[inline]
+    fn is_injection(&self, slot: usize) -> bool {
+        slot >= self.inj_base && slot < self.ej_base
+    }
+
+    #[inline]
+    fn dir_of_network_slot(&self, slot: usize) -> Direction {
+        Direction::from_index(slot % self.dirs_per_node)
+    }
+
+    /// Advance the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.generate();
+        self.assign_outputs();
+        self.advance();
+        self.feed_injection();
+        self.detect_deadlock();
+        self.now += 1;
+    }
+
+    /// Run the full warmup → measure → drain protocol from the current
+    /// state and summarize.
+    pub fn run(&mut self) -> SimReport {
+        let start = self.now;
+        let measure_start = start + self.cfg.warmup_cycles;
+        let measure_end = measure_start + self.cfg.measure_cycles;
+        let total_end = measure_end + self.cfg.drain_cycles;
+        self.window = (measure_start, measure_end);
+        while self.now < total_end && !self.deadlocked {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Step until the network is empty (queues drained, no flits in
+    /// flight) or `max_cycles` elapse. Returns `true` if it drained.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        let end = self.now + max_cycles;
+        while self.now < end && !self.deadlocked {
+            self.step();
+            if self.is_idle() {
+                return true;
+            }
+        }
+        self.is_idle()
+    }
+
+    /// Whether no packet is queued, streaming, or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.buf.iter().all(VecDeque::is_empty)
+            && self.queues.iter().all(VecDeque::is_empty)
+            && self.emitting.iter().all(Option::is_none)
+    }
+
+    /// Build a report summarizing packets created in the measurement
+    /// window.
+    pub fn report(&self) -> SimReport {
+        let (ms, me) = self.window;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut network_sum = 0u64;
+        let mut hops_sum = 0u64;
+        let mut misroute_sum = 0u64;
+        let mut delivered = 0u64;
+        for p in &self.packets {
+            if p.created < ms || p.created >= me {
+                continue;
+            }
+            if let Some(lat) = p.latency() {
+                delivered += 1;
+                latencies.push(lat);
+                network_sum += p.network_latency().unwrap_or(lat);
+                hops_sum += u64::from(p.hops);
+                misroute_sum += u64::from(p.misroutes);
+            }
+        }
+        latencies.sort_unstable();
+        let avg = |sum: u64, n: u64| if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+        let p99 = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[(latencies.len() - 1).min(latencies.len() * 99 / 100)] as f64
+        };
+        SimReport {
+            generated_packets: self.generated_packets,
+            generated_flits: self.generated_flits,
+            delivered_packets: delivered,
+            delivered_flits_in_window: self.delivered_flits_in_window,
+            measure_cycles: me.saturating_sub(ms),
+            avg_latency_cycles: avg(latencies.iter().sum(), delivered),
+            p99_latency_cycles: p99,
+            avg_network_latency_cycles: avg(network_sum, delivered),
+            avg_hops: avg(hops_sum, delivered),
+            avg_misroutes: avg(misroute_sum, delivered),
+            queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
+            max_queue_len: self.max_queue_len,
+            deadlocked: self.deadlocked,
+            end_cycle: self.now,
+        }
+    }
+
+    // ---- per-cycle phases -------------------------------------------
+
+    fn generate(&mut self) {
+        if self.cfg.injection_rate <= 0.0 {
+            return;
+        }
+        let mean = self.mean_interarrival();
+        for v in 0..self.num_nodes {
+            while self.next_arrival[v] <= self.now as f64 {
+                let step = self.sample_exp(mean);
+                self.next_arrival[v] += step;
+                let src = NodeId(v as u32);
+                let dst = self.pattern.dest(self.topo, src, &mut self.rng);
+                if let Some(dst) = dst {
+                    let len = self.sample_len();
+                    self.create_packet(src, dst, len);
+                }
+                // Self-directed messages are consumed locally: no network
+                // traffic, no queueing.
+            }
+            if self.in_window() {
+                self.max_queue_len = self.max_queue_len.max(self.queues[v].len());
+            }
+        }
+    }
+
+    /// Phase A: route waiting header flits and arbitrate output channels.
+    fn assign_outputs(&mut self) {
+        // Collect input channels whose buffered flit is an unassigned head.
+        let mut heads = std::mem::take(&mut self.scratch_heads);
+        heads.clear();
+        for slot in 0..self.ej_base {
+            if !self.exists[slot] || self.assigned_out[slot] != NONE_U32 {
+                continue;
+            }
+            // A header arriving at cycle t is normally routable at t+1;
+            // routing_delay postpones that by `delay` further cycles.
+            if matches!(self.buf[slot].front(), Some(f) if f.is_head)
+                && self.now > self.head_since[slot] + self.cfg.routing_delay
+            {
+                heads.push(slot as u32);
+            }
+        }
+        match self.cfg.input_policy {
+            InputPolicy::Fcfs => {
+                heads.sort_unstable_by_key(|&c| (self.head_since[c as usize], c));
+            }
+            InputPolicy::PortOrder => heads.sort_unstable(),
+            InputPolicy::Random => {
+                // Fisher–Yates with the run RNG for determinism.
+                for i in (1..heads.len()).rev() {
+                    let j = self.rng.gen_range(0..=i);
+                    heads.swap(i, j);
+                }
+            }
+        }
+        for &c in &heads {
+            self.try_assign(c as usize);
+        }
+        self.scratch_heads = heads;
+    }
+
+    fn try_assign(&mut self, c: usize) {
+        let flit = *self.buf[c].front().expect("head present");
+        let pkt = self.packets[flit.packet as usize];
+        let v = NodeId(self.input_router[c]);
+        // Destination reached: bind to the ejection channel.
+        if v == pkt.dst {
+            let ej = self.ej_slot(v.index());
+            if self.owner[ej] == NONE_U32 {
+                self.assigned_out[c] = ej as u32;
+                self.owner[ej] = flit.packet;
+            }
+            return;
+        }
+        let arrived = if self.is_injection(c) {
+            None
+        } else {
+            Some(self.dir_of_network_slot(c))
+        };
+        let dirs = self.routing.route(self.topo, v, pkt.dst, arrived);
+        // Candidate output channels: existing, non-faulty, and within the
+        // misroute budget when the routing function is nonminimal.
+        let here = self.topo.min_hops(v, pkt.dst);
+        let mut candidates: Vec<(Direction, usize, bool)> = Vec::with_capacity(4);
+        for dir in dirs.iter() {
+            let slot = self.topo.channel_slot(v, dir);
+            if !self.exists[slot] || self.faulty[slot] {
+                continue;
+            }
+            let next = self.topo.neighbor(v, dir).expect("existing channel");
+            let productive = self.topo.min_hops(next, pkt.dst) < here;
+            candidates.push((dir, slot, productive));
+        }
+        if !self.routing.is_minimal()
+            && pkt.misroutes >= self.cfg.misroute_budget
+            && candidates.iter().any(|&(_, _, p)| p)
+        {
+            candidates.retain(|&(_, _, p)| p);
+        }
+        // Free channels only, and misroute only when necessary: if any
+        // productive channel is free, unproductive ones are not taken.
+        candidates.retain(|&(_, slot, _)| self.owner[slot] == NONE_U32);
+        if candidates.iter().any(|&(_, _, p)| p) {
+            candidates.retain(|&(_, _, p)| p);
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        let pick = match self.cfg.output_policy {
+            OutputPolicy::LowestDim => *candidates
+                .iter()
+                .min_by_key(|&&(dir, _, _)| dir.index())
+                .expect("nonempty"),
+            OutputPolicy::HighestDim => *candidates
+                .iter()
+                .max_by_key(|&&(dir, _, _)| dir.index())
+                .expect("nonempty"),
+            OutputPolicy::Random => candidates[self.rng.gen_range(0..candidates.len())],
+        };
+        let (dir, slot, productive) = pick;
+        self.assigned_out[c] = slot as u32;
+        self.owner[slot] = flit.packet;
+        let p = &mut self.packets[flit.packet as usize];
+        p.hops += 1;
+        if !productive {
+            p.misroutes += 1;
+        }
+        if self.cfg.record_paths {
+            let next = self.topo.neighbor(v, dir).expect("assigned channel");
+            self.paths[flit.packet as usize].push(next);
+        }
+    }
+
+    /// Phase B: advance flits in lockstep. A flit moves when its bound
+    /// output buffer is empty or is itself vacating this cycle; dependency
+    /// cycles (deadlock) advance nothing.
+    fn advance(&mut self) {
+        const UNKNOWN: u8 = 0;
+        const IN_PROGRESS: u8 = 1;
+        const YES: u8 = 2;
+        const NO: u8 = 3;
+        let mut state = std::mem::take(&mut self.scratch_state);
+        let mut order = std::mem::take(&mut self.scratch_order);
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        state.iter_mut().for_each(|s| *s = UNKNOWN);
+        order.clear();
+
+        let depth = self.cfg.buffer_depth as usize;
+        for start in 0..self.num_channels {
+            if state[start] != UNKNOWN || self.buf[start].is_empty() {
+                continue;
+            }
+            stack.clear();
+            stack.push(start as u32);
+            while let Some(&c) = stack.last() {
+                let c = c as usize;
+                match state[c] {
+                    UNKNOWN => {
+                        if self.buf[c].is_empty() {
+                            state[c] = NO;
+                            stack.pop();
+                            continue;
+                        }
+                        if self.is_ejection(c) {
+                            state[c] = YES;
+                            order.push(c as u32);
+                            stack.pop();
+                            continue;
+                        }
+                        let o = self.assigned_out[c];
+                        if o == NONE_U32 {
+                            state[c] = NO;
+                            stack.pop();
+                            continue;
+                        }
+                        let o = o as usize;
+                        if self.buf[o].len() < depth {
+                            state[c] = YES;
+                            order.push(c as u32);
+                            stack.pop();
+                            continue;
+                        }
+                        match state[o] {
+                            UNKNOWN => {
+                                state[c] = IN_PROGRESS;
+                                stack.push(o as u32);
+                            }
+                            IN_PROGRESS => {
+                                // Dependency cycle: blocked (this is a
+                                // wormhole deadlock in the making).
+                                state[c] = NO;
+                                stack.pop();
+                            }
+                            YES => {
+                                state[c] = YES;
+                                order.push(c as u32);
+                                stack.pop();
+                            }
+                            _ => {
+                                state[c] = NO;
+                                stack.pop();
+                            }
+                        }
+                    }
+                    IN_PROGRESS => {
+                        let o = self.assigned_out[c] as usize;
+                        if state[o] == YES {
+                            state[c] = YES;
+                            order.push(c as u32);
+                        } else {
+                            state[c] = NO;
+                        }
+                        stack.pop();
+                    }
+                    _ => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+
+        // Apply moves targets-first.
+        let in_window = self.in_window();
+        for &c in &order {
+            let c = c as usize;
+            let flit = self.buf[c].pop_front().expect("flit scheduled to move");
+            self.last_move = self.now;
+            if self.is_ejection(c) {
+                if in_window {
+                    self.delivered_flits_in_window += 1;
+                }
+                if flit.is_tail {
+                    self.owner[c] = NONE_U32;
+                    let p = &mut self.packets[flit.packet as usize];
+                    p.delivered = Some(self.now);
+                }
+            } else {
+                let o = self.assigned_out[c] as usize;
+                debug_assert!(self.buf[o].len() < depth);
+                if in_window {
+                    self.channel_flits[o] += 1;
+                }
+                if flit.is_head {
+                    self.head_since[o] = self.now;
+                }
+                self.buf[o].push_back(flit);
+                if flit.is_tail {
+                    self.owner[c] = NONE_U32;
+                    self.assigned_out[c] = NONE_U32;
+                }
+            }
+        }
+
+        self.scratch_state = state;
+        self.scratch_order = order;
+        self.scratch_stack = stack;
+    }
+
+    /// Feed the next flit of the current packet into each free injection
+    /// buffer (the processor side of the injection channel).
+    fn feed_injection(&mut self) {
+        let depth = self.cfg.buffer_depth as usize;
+        for v in 0..self.num_nodes {
+            let inj = self.inj_slot(v);
+            if self.buf[inj].len() >= depth {
+                continue;
+            }
+            if self.emitting[v].is_none() {
+                let Some(pid) = self.queues[v].pop_front() else {
+                    continue;
+                };
+                self.packets[pid as usize].injected = Some(self.now);
+                self.emitting[v] = Some(Emitting { packet: pid, sent: 0 });
+            }
+            let Emitting { packet, sent } = self.emitting[v].expect("set above");
+            let len = self.packets[packet as usize].len;
+            let flit = BufFlit {
+                packet,
+                is_head: sent == 0,
+                is_tail: sent + 1 == len,
+            };
+            if flit.is_head {
+                self.head_since[inj] = self.now;
+                self.owner[inj] = packet;
+            }
+            self.buf[inj].push_back(flit);
+            self.emitting[v] = if sent + 1 == len {
+                None
+            } else {
+                Some(Emitting { packet, sent: sent + 1 })
+            };
+        }
+    }
+
+    fn detect_deadlock(&mut self) {
+        if self.now.saturating_sub(self.last_move) >= self.cfg.deadlock_threshold
+            && self.buf.iter().any(|b| !b.is_empty())
+        {
+            self.deadlocked = true;
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("routing", &self.routing.name())
+            .field("pattern", &self.pattern.name())
+            .field("packets", &self.packets.len())
+            .field("deadlocked", &self.deadlocked)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_routing::{mesh2d, RoutingMode};
+    use turnroute_topology::Mesh;
+    use turnroute_traffic::Uniform;
+
+    fn quiet_cfg() -> SimConfig {
+        SimConfig::builder()
+            .injection_rate(0.0)
+            .deadlock_threshold(500)
+            .build()
+    }
+
+    #[test]
+    fn single_packet_latency_is_distance_plus_length() {
+        // One packet, no contention: the head takes one cycle per channel
+        // (injection + hops + ejection) and the tail follows len-1 cycles
+        // behind.
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let src = mesh.node_at_coords(&[1, 1]);
+        let dst = mesh.node_at_coords(&[5, 4]); // 7 hops
+        let id = sim.inject_packet(src, dst, 10);
+        assert!(sim.run_until_idle(500));
+        let p = sim.packets()[id.index()];
+        assert_eq!(p.hops, 7);
+        // The head enters the injection buffer at the end of cycle 0, is
+        // consumed after 1 injection + 7 network + 1 ejection transfers
+        // (cycle 9), and the tail follows 9 flit-cycles behind: cycle 18.
+        assert_eq!(p.latency(), Some(18));
+        assert_eq!(p.misroutes, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::negative_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.08)
+            .warmup_cycles(300)
+            .measure_cycles(1_000)
+            .drain_cycles(1_000)
+            .seed(42)
+            .build();
+        let r1 = Sim::new(&mesh, &routing, &pattern, cfg.clone()).run();
+        let r2 = Sim::new(&mesh, &routing, &pattern, cfg).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn conservation_all_packets_delivered_at_low_load() {
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.05)
+            .lengths(crate::LengthDist::Fixed(10))
+            .warmup_cycles(0)
+            .measure_cycles(2_000)
+            .drain_cycles(3_000)
+            .seed(3)
+            .build();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, cfg);
+        let report = sim.run();
+        assert!(!report.deadlocked);
+        assert_eq!(report.delivered_packets, report.generated_packets);
+        assert_eq!(report.queued_at_end, 0);
+        assert!(report.generated_packets > 50, "load too low to be a test");
+    }
+
+    #[test]
+    fn two_packets_contend_for_one_channel() {
+        // Both packets need the same output channel; FCFS serializes them.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let a = sim.inject_packet(
+            mesh.node_at_coords(&[0, 0]),
+            mesh.node_at_coords(&[3, 0]),
+            10,
+        );
+        let b = sim.inject_packet(
+            mesh.node_at_coords(&[0, 0]),
+            mesh.node_at_coords(&[2, 0]),
+            10,
+        );
+        assert!(sim.run_until_idle(500));
+        let (pa, pb) = (sim.packets()[a.index()], sim.packets()[b.index()]);
+        // Same source: b cannot even start injecting until a's tail left
+        // the injection channel.
+        assert!(pb.injected.unwrap() >= pa.injected.unwrap() + 10);
+        assert!(pa.delivered.is_some() && pb.delivered.is_some());
+    }
+
+    #[test]
+    fn faulty_channel_is_avoided_by_adaptive_routing() {
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let src = mesh.node_at_coords(&[0, 0]);
+        let dst = mesh.node_at_coords(&[2, 2]);
+        // Break the eastward channel out of the source; WF can go north.
+        sim.set_fault(src, Direction::EAST);
+        let id = sim.inject_packet(src, dst, 5);
+        assert!(sim.run_until_idle(500));
+        let p = sim.packets()[id.index()];
+        assert_eq!(p.hops, 4);
+        assert!(p.delivered.is_some());
+    }
+
+    #[test]
+    fn is_idle_initially() {
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        assert!(sim.is_idle());
+        assert_eq!(sim.now(), 0);
+        assert!(!sim.deadlocked());
+        let dbg = format!("{sim:?}");
+        assert!(dbg.contains("xy"), "{dbg}");
+    }
+
+    #[test]
+    fn channel_loads_count_path_flits() {
+        // One 10-flit packet along a straight 3-hop eastward path: each
+        // network channel on the path carries all 10 flits.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let src = mesh.node_at_coords(&[0, 1]);
+        let dst = mesh.node_at_coords(&[3, 1]);
+        sim.inject_packet(src, dst, 10);
+        assert!(sim.run_until_idle(200));
+        for x in 0..3u16 {
+            let node = mesh.node_at_coords(&[x, 1]);
+            assert_eq!(sim.channel_load(node, Direction::EAST), 10);
+        }
+        assert_eq!(sim.channel_load(src, Direction::NORTH), 0);
+        assert_eq!(sim.max_channel_load(), 10);
+        assert_eq!(sim.total_channel_flits(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave its source")]
+    fn inject_rejects_self_packet() {
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let _ = sim.inject_packet(NodeId(3), NodeId(3), 5);
+    }
+}

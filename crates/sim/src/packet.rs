@@ -1,0 +1,89 @@
+//! Packet records.
+
+use turnroute_topology::NodeId;
+
+/// Identifier of a packet within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// Dense index for per-packet tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PacketId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The lifetime record of one packet (= one message; the paper's messages
+/// are single packets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// The packet's id.
+    pub id: PacketId,
+    /// Generating node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Length in flits (header included).
+    pub len: u32,
+    /// Cycle the message was generated at the source processor.
+    pub created: u64,
+    /// Cycle the header flit entered the injection channel, if it has.
+    pub injected: Option<u64>,
+    /// Cycle the tail flit was consumed at the destination, if delivered.
+    pub delivered: Option<u64>,
+    /// Network channels traversed by the header.
+    pub hops: u32,
+    /// Unproductive (nonminimal) hops taken.
+    pub misroutes: u32,
+}
+
+impl Packet {
+    /// Total latency in cycles (creation to tail consumption), if
+    /// delivered.
+    pub fn latency(&self) -> Option<u64> {
+        self.delivered.map(|d| d - self.created)
+    }
+
+    /// Network-only latency in cycles (injection start to tail
+    /// consumption), if delivered.
+    pub fn network_latency(&self) -> Option<u64> {
+        match (self.injected, self.delivered) {
+            (Some(i), Some(d)) => Some(d - i),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_accessors() {
+        let mut p = Packet {
+            id: PacketId(3),
+            src: NodeId(0),
+            dst: NodeId(5),
+            len: 10,
+            created: 100,
+            injected: None,
+            delivered: None,
+            hops: 0,
+            misroutes: 0,
+        };
+        assert_eq!(p.latency(), None);
+        p.injected = Some(110);
+        p.delivered = Some(150);
+        assert_eq!(p.latency(), Some(50));
+        assert_eq!(p.network_latency(), Some(40));
+        assert_eq!(p.id.to_string(), "p3");
+        assert_eq!(p.id.index(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Input and output selection policies (Section 6, and the policy study
+//! the paper defers to its companion paper \[19\]).
+
+/// How a router arbitrates when multiple input channels hold header flits
+/// waiting for the same available output channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputPolicy {
+    /// Local first-come-first-served: the header that arrived at the
+    /// router first wins. Fair, so it prevents indefinite postponement —
+    /// the paper's choice.
+    Fcfs,
+    /// Fixed priority by input port index. Simple but unfair: low-index
+    /// ports can indefinitely postpone high-index ones under load.
+    PortOrder,
+    /// Uniformly random among the waiting headers.
+    Random,
+}
+
+impl std::fmt::Display for InputPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputPolicy::Fcfs => write!(f, "fcfs"),
+            InputPolicy::PortOrder => write!(f, "port-order"),
+            InputPolicy::Random => write!(f, "random"),
+        }
+    }
+}
+
+/// How a header flit chooses when the routing algorithm offers several
+/// available output channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputPolicy {
+    /// Prefer the output channel along the lowest dimension (the paper's
+    /// "xy" output selection).
+    LowestDim,
+    /// Prefer the output channel along the highest dimension.
+    HighestDim,
+    /// Uniformly random among the available channels.
+    Random,
+}
+
+impl std::fmt::Display for OutputPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OutputPolicy::LowestDim => write!(f, "lowest-dim"),
+            OutputPolicy::HighestDim => write!(f, "highest-dim"),
+            OutputPolicy::Random => write!(f, "random"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(InputPolicy::Fcfs.to_string(), "fcfs");
+        assert_eq!(InputPolicy::PortOrder.to_string(), "port-order");
+        assert_eq!(InputPolicy::Random.to_string(), "random");
+        assert_eq!(OutputPolicy::LowestDim.to_string(), "lowest-dim");
+        assert_eq!(OutputPolicy::HighestDim.to_string(), "highest-dim");
+        assert_eq!(OutputPolicy::Random.to_string(), "random");
+    }
+}

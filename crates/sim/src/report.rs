@@ -1,0 +1,153 @@
+//! Simulation results.
+
+use crate::CYCLES_PER_MICROSEC;
+
+/// Aggregate results of one simulation run.
+///
+/// Latency statistics cover packets *created during the measurement
+/// window* that were delivered by the end of the run (including the drain
+/// phase). Throughput counts flits consumed at destinations during the
+/// window. At saturation, `delivered_fraction` falls below ~1 and source
+/// queues grow — the paper's "sustainable throughput" is the highest load
+/// at which queues stay small and bounded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Packets created in the measurement window.
+    pub generated_packets: u64,
+    /// Flits of packets created in the measurement window.
+    pub generated_flits: u64,
+    /// Of those, packets delivered by the end of the run.
+    pub delivered_packets: u64,
+    /// Flits consumed at destinations during the measurement window
+    /// (regardless of creation time).
+    pub delivered_flits_in_window: u64,
+    /// Measurement window length in cycles.
+    pub measure_cycles: u64,
+    /// Mean total latency (creation to tail consumption) in cycles.
+    pub avg_latency_cycles: f64,
+    /// 99th-percentile total latency in cycles.
+    pub p99_latency_cycles: f64,
+    /// Mean network-only latency (injection to tail consumption) in
+    /// cycles.
+    pub avg_network_latency_cycles: f64,
+    /// Mean hop count of delivered packets.
+    pub avg_hops: f64,
+    /// Mean misroutes per delivered packet.
+    pub avg_misroutes: f64,
+    /// Packets still waiting in source queues at the end of the run.
+    pub queued_at_end: u64,
+    /// Largest source queue observed at any node during measurement.
+    pub max_queue_len: usize,
+    /// Whether the run was cut short by deadlock detection.
+    pub deadlocked: bool,
+    /// Cycle at which the run ended.
+    pub end_cycle: u64,
+}
+
+impl SimReport {
+    /// Mean total latency in microseconds (20 cycles = 1 µs).
+    pub fn avg_latency_us(&self) -> f64 {
+        self.avg_latency_cycles / CYCLES_PER_MICROSEC
+    }
+
+    /// Delivered throughput in flits per microsecond across the whole
+    /// network (the paper's throughput axis).
+    pub fn throughput_flits_per_us(&self) -> f64 {
+        if self.measure_cycles == 0 {
+            return 0.0;
+        }
+        self.delivered_flits_in_window as f64 / (self.measure_cycles as f64 / CYCLES_PER_MICROSEC)
+    }
+
+    /// Offered load in flits per microsecond (from generation).
+    pub fn offered_flits_per_us(&self) -> f64 {
+        if self.measure_cycles == 0 {
+            return 0.0;
+        }
+        self.generated_flits as f64 / (self.measure_cycles as f64 / CYCLES_PER_MICROSEC)
+    }
+
+    /// Fraction of window-generated packets delivered by the end of the
+    /// run — near 1.0 when the load is sustainable.
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.generated_packets == 0 {
+            return 1.0;
+        }
+        self.delivered_packets as f64 / self.generated_packets as f64
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "latency {:.1} us (p99 {:.1}), throughput {:.1} flits/us (offered {:.1}), \
+             {}/{} packets delivered, {:.2} hops avg{}{}",
+            self.avg_latency_us(),
+            self.p99_latency_cycles / CYCLES_PER_MICROSEC,
+            self.throughput_flits_per_us(),
+            self.offered_flits_per_us(),
+            self.delivered_packets,
+            self.generated_packets,
+            self.avg_hops,
+            if self.queued_at_end > 0 {
+                format!(", {} queued", self.queued_at_end)
+            } else {
+                String::new()
+            },
+            if self.deadlocked { ", DEADLOCKED" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        SimReport {
+            generated_packets: 100,
+            generated_flits: 10_000,
+            delivered_packets: 95,
+            delivered_flits_in_window: 9_000,
+            measure_cycles: 2_000,
+            avg_latency_cycles: 200.0,
+            p99_latency_cycles: 700.0,
+            avg_network_latency_cycles: 150.0,
+            avg_hops: 5.5,
+            avg_misroutes: 0.0,
+            queued_at_end: 3,
+            max_queue_len: 4,
+            deadlocked: false,
+            end_cycle: 12_000,
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = sample();
+        assert!((r.avg_latency_us() - 10.0).abs() < 1e-9);
+        // 9000 flits over 100 us.
+        assert!((r.throughput_flits_per_us() - 90.0).abs() < 1e-9);
+        assert!((r.offered_flits_per_us() - 100.0).abs() < 1e-9);
+        assert!((r.delivered_fraction() - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let s = sample().to_string();
+        assert!(s.contains("latency 10.0 us"), "{s}");
+        assert!(s.contains("3 queued"), "{s}");
+        assert!(!s.contains("DEADLOCK"), "{s}");
+    }
+
+    #[test]
+    fn zero_window_is_safe() {
+        let mut r = sample();
+        r.measure_cycles = 0;
+        r.generated_packets = 0;
+        assert_eq!(r.throughput_flits_per_us(), 0.0);
+        assert_eq!(r.offered_flits_per_us(), 0.0);
+        assert_eq!(r.delivered_fraction(), 1.0);
+    }
+}

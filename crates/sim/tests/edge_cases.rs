@@ -1,0 +1,380 @@
+//! Simulator edge cases.
+
+use turnroute_routing::{mesh2d, ndmesh, RoutingMode};
+use turnroute_sim::{InputPolicy, LengthDist, OutputPolicy, Sim, SimConfig};
+use turnroute_topology::{Hypercube, Mesh, NodeId, Topology, Torus};
+use turnroute_traffic::{TrafficPattern, Uniform};
+use turnroute_routing::torus::NegativeFirstTorus;
+
+fn quiet() -> SimConfig {
+    SimConfig::builder()
+        .injection_rate(0.0)
+        .deadlock_threshold(500)
+        .build()
+}
+
+#[test]
+fn single_flit_packet_is_head_and_tail() {
+    let mesh = Mesh::new_2d(4, 4);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let mut sim = Sim::new(&mesh, &xy, &pattern, quiet());
+    let id = sim.inject_packet(NodeId(0), NodeId(3), 1);
+    assert!(sim.run_until_idle(100));
+    let p = sim.packets()[id.index()];
+    assert_eq!(p.hops, 3);
+    // 1 injection + 3 network + 1 ejection transfers for the only flit,
+    // plus the consumption cycle draining the ejection buffer.
+    assert_eq!(p.latency(), Some(5));
+}
+
+#[test]
+fn smallest_mesh_works() {
+    let mesh = Mesh::new_2d(2, 2);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.1)
+        .lengths(LengthDist::Fixed(4))
+        .warmup_cycles(100)
+        .measure_cycles(1_000)
+        .drain_cycles(1_000)
+        .seed(1)
+        .build();
+    let report = Sim::new(&mesh, &wf, &pattern, cfg).run();
+    assert!(!report.deadlocked);
+    assert!(report.delivered_fraction() > 0.99);
+}
+
+#[test]
+fn adjacent_nodes_minimum_latency() {
+    let mesh = Mesh::new_2d(4, 4);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let mut sim = Sim::new(&mesh, &xy, &pattern, quiet());
+    let id = sim.inject_packet(NodeId(0), NodeId(1), 2);
+    assert!(sim.run_until_idle(100));
+    let p = sim.packets()[id.index()];
+    assert_eq!(p.hops, 1);
+    // Head: inject + 1 hop + eject = 3 cycles; tail one behind = 4.
+    assert_eq!(p.latency(), Some(4));
+}
+
+#[test]
+fn all_input_policies_complete() {
+    let mesh = Mesh::new_2d(8, 8);
+    let nf = mesh2d::negative_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    for policy in [InputPolicy::Fcfs, InputPolicy::PortOrder, InputPolicy::Random] {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.08)
+            .lengths(LengthDist::Fixed(8))
+            .warmup_cycles(200)
+            .measure_cycles(2_000)
+            .drain_cycles(2_000)
+            .input_policy(policy)
+            .seed(2)
+            .build();
+        let report = Sim::new(&mesh, &nf, &pattern, cfg).run();
+        assert!(!report.deadlocked, "{policy} deadlocked");
+        assert!(
+            report.delivered_fraction() > 0.95,
+            "{policy}: {:.3}",
+            report.delivered_fraction()
+        );
+    }
+}
+
+#[test]
+fn all_output_policies_complete() {
+    let mesh = Mesh::new_2d(8, 8);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    for policy in [
+        OutputPolicy::LowestDim,
+        OutputPolicy::HighestDim,
+        OutputPolicy::Random,
+    ] {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.08)
+            .lengths(LengthDist::Fixed(8))
+            .warmup_cycles(200)
+            .measure_cycles(2_000)
+            .drain_cycles(2_000)
+            .output_policy(policy)
+            .seed(3)
+            .build();
+        let report = Sim::new(&mesh, &wf, &pattern, cfg).run();
+        assert!(!report.deadlocked, "{policy} deadlocked");
+        assert!(
+            report.delivered_fraction() > 0.95,
+            "{policy}: {:.3}",
+            report.delivered_fraction()
+        );
+    }
+}
+
+#[test]
+fn bimodal_lengths_sample_both_modes() {
+    let mesh = Mesh::new_2d(8, 8);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.3)
+        .lengths(LengthDist::Bimodal { short: 10, long: 200 })
+        .warmup_cycles(0)
+        .measure_cycles(4_000)
+        .drain_cycles(0)
+        .seed(4)
+        .build();
+    let mut sim = Sim::new(&mesh, &xy, &pattern, cfg);
+    let _ = sim.run();
+    let (mut short, mut long) = (0usize, 0usize);
+    for p in sim.packets() {
+        match p.len {
+            10 => short += 1,
+            200 => long += 1,
+            other => panic!("unexpected length {other}"),
+        }
+    }
+    assert!(short > 0 && long > 0);
+    let frac = short as f64 / (short + long) as f64;
+    assert!((frac - 0.5).abs() < 0.1, "short fraction {frac}");
+}
+
+#[test]
+fn hypercube_sim_smallest() {
+    let cube = Hypercube::new(2);
+    let ecube = turnroute_routing::hypercube::e_cube(2);
+    let pattern = Uniform::new();
+    let mut sim = Sim::new(&cube, &ecube, &pattern, quiet());
+    let id = sim.inject_packet(NodeId(0), NodeId(3), 5);
+    assert!(sim.run_until_idle(100));
+    assert_eq!(sim.packets()[id.index()].hops, 2);
+}
+
+#[test]
+fn torus_sim_wraparound_paths() {
+    let torus = Torus::new(5, 2);
+    let nf = NegativeFirstTorus::new(2);
+    let pattern = Uniform::new();
+    let mut sim = Sim::new(&torus, &nf, &pattern, quiet());
+    // 1 -> 4 in x: descend to 0 then wrap = 2 hops vs 3 ascending.
+    let src = torus.node_at_coords(&[1, 0]);
+    let dst = torus.node_at_coords(&[4, 0]);
+    let id = sim.inject_packet(src, dst, 5);
+    assert!(sim.run_until_idle(200));
+    let p = sim.packets()[id.index()];
+    assert_eq!(p.hops, 2, "wrap shortcut not taken");
+}
+
+#[test]
+fn three_d_mesh_sim() {
+    let mesh = Mesh::new(vec![4, 4, 4]);
+    let nf = ndmesh::negative_first(3, RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.05)
+        .lengths(LengthDist::Fixed(6))
+        .warmup_cycles(200)
+        .measure_cycles(2_000)
+        .drain_cycles(2_000)
+        .seed(5)
+        .build();
+    let report = Sim::new(&mesh, &nf, &pattern, cfg).run();
+    assert!(!report.deadlocked);
+    assert!(report.delivered_fraction() > 0.99);
+}
+
+#[test]
+fn zero_measure_window_is_safe() {
+    let mesh = Mesh::new_2d(4, 4);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.05)
+        .warmup_cycles(100)
+        .measure_cycles(0)
+        .drain_cycles(100)
+        .seed(6)
+        .build();
+    let report = Sim::new(&mesh, &xy, &pattern, cfg).run();
+    assert_eq!(report.generated_packets, 0);
+    assert_eq!(report.throughput_flits_per_us(), 0.0);
+    assert_eq!(report.delivered_fraction(), 1.0);
+}
+
+#[test]
+fn back_to_back_packets_pipeline_through_same_path() {
+    // Throughput check: N short packets along one path must take about
+    // N * len cycles end to end (full pipelining, no gaps).
+    let mesh = Mesh::new_2d(8, 8);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let mut sim = Sim::new(&mesh, &xy, &pattern, quiet());
+    let src = mesh.node_at_coords(&[0, 0]);
+    let dst = mesh.node_at_coords(&[7, 0]);
+    let n = 10u64;
+    for _ in 0..n {
+        sim.inject_packet(src, dst, 10);
+    }
+    assert!(sim.run_until_idle(2_000));
+    let last = sim.packets().last().unwrap();
+    // Serial occupancy of the injection channel: each packet's 10 flits
+    // feed one per cycle; total ≈ n * 10 + pipeline depth.
+    let done = last.delivered.unwrap();
+    assert!(done < n * 10 + 30, "pipelining broken: done at {done}");
+    assert!(done >= n * 10, "faster than channel bandwidth: {done}");
+}
+
+#[test]
+fn deeper_buffers_do_not_change_uncontended_latency() {
+    // Bandwidth, not buffering, limits a lone packet: latency must be
+    // identical at any buffer depth.
+    let mesh = Mesh::new_2d(8, 8);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let mut latencies = Vec::new();
+    for depth in [1u32, 2, 4, 8] {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .buffer_depth(depth)
+            .build();
+        let mut sim = Sim::new(&mesh, &xy, &pattern, cfg);
+        let id = sim.inject_packet(NodeId(0), NodeId(63), 10);
+        assert!(sim.run_until_idle(500));
+        latencies.push(sim.packets()[id.index()].latency().unwrap());
+    }
+    assert!(latencies.windows(2).all(|w| w[0] == w[1]), "{latencies:?}");
+}
+
+#[test]
+fn deeper_buffers_reduce_latency_under_contention() {
+    let mesh = Mesh::new_2d(8, 8);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let run = |depth: u32| {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.20)
+            .warmup_cycles(1_000)
+            .measure_cycles(4_000)
+            .drain_cycles(4_000)
+            .buffer_depth(depth)
+            .seed(8)
+            .build();
+        Sim::new(&mesh, &xy, &pattern, cfg).run()
+    };
+    let shallow = run(1);
+    let deep = run(8);
+    assert!(!shallow.deadlocked && !deep.deadlocked);
+    assert!(
+        deep.avg_latency_cycles < shallow.avg_latency_cycles,
+        "deep {:.1} should beat shallow {:.1}",
+        deep.avg_latency_cycles,
+        shallow.avg_latency_cycles
+    );
+}
+
+#[test]
+fn routing_delay_adds_per_hop_latency() {
+    // Section 7's node-delay concern: one extra cycle of route selection
+    // per router adds exactly hops + 2 cycles to an uncontended packet
+    // (every router the header visits, injection and ejection included).
+    let mesh = Mesh::new_2d(8, 8);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let mut base = None;
+    for delay in [0u64, 1, 2] {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .routing_delay(delay)
+            .build();
+        let mut sim = Sim::new(&mesh, &wf, &pattern, cfg);
+        let id = sim.inject_packet(NodeId(0), NodeId(7), 10); // 7 hops
+        assert!(sim.run_until_idle(500));
+        let latency = sim.packets()[id.index()].latency().unwrap();
+        match base {
+            None => base = Some(latency),
+            Some(b) => assert_eq!(latency, b + delay * 8, "delay {delay}"),
+        }
+    }
+}
+
+#[test]
+fn recorded_paths_are_legal_walks() {
+    let mesh = Mesh::new_2d(8, 8);
+    let nf = mesh2d::negative_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.08)
+        .lengths(LengthDist::Fixed(6))
+        .warmup_cycles(0)
+        .measure_cycles(1_500)
+        .drain_cycles(2_000)
+        .record_paths(true)
+        .seed(14)
+        .build();
+    let mut sim = Sim::new(&mesh, &nf, &pattern, cfg);
+    let _ = sim.run();
+    let mut checked = 0;
+    for p in sim.packets() {
+        if p.delivered.is_none() {
+            continue;
+        }
+        let path = sim.packet_path(p.id);
+        assert_eq!(*path.first().unwrap(), p.src);
+        assert_eq!(*path.last().unwrap(), p.dst);
+        assert_eq!(path.len() as u32 - 1, p.hops);
+        for w in path.windows(2) {
+            assert_eq!(mesh.min_hops(w[0], w[1]), 1, "non-adjacent hop");
+        }
+        checked += 1;
+    }
+    assert!(checked > 50, "too few packets to be meaningful");
+}
+
+#[test]
+fn paths_not_recorded_by_default() {
+    let mesh = Mesh::new_2d(4, 4);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let mut sim = Sim::new(&mesh, &xy, &pattern, quiet());
+    let id = sim.inject_packet(NodeId(0), NodeId(5), 4);
+    assert!(sim.run_until_idle(200));
+    assert!(sim.packet_path(id).is_empty());
+}
+
+/// Pattern that always returns None: all messages consumed locally.
+struct SelfLoop;
+
+impl TrafficPattern for SelfLoop {
+    fn name(&self) -> &str {
+        "self-loop"
+    }
+
+    fn dest(
+        &self,
+        _topo: &dyn Topology,
+        _src: NodeId,
+        _rng: &mut dyn rand::RngCore,
+    ) -> Option<NodeId> {
+        None
+    }
+}
+
+#[test]
+fn all_local_pattern_generates_no_network_traffic() {
+    let mesh = Mesh::new_2d(4, 4);
+    let xy = mesh2d::xy();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.5)
+        .warmup_cycles(0)
+        .measure_cycles(1_000)
+        .drain_cycles(0)
+        .seed(7)
+        .build();
+    let report = Sim::new(&mesh, &xy, &SelfLoop, cfg).run();
+    assert_eq!(report.generated_packets, 0);
+    assert_eq!(report.delivered_flits_in_window, 0);
+    assert!(!report.deadlocked);
+}

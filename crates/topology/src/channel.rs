@@ -1,0 +1,118 @@
+//! Unidirectional network channels.
+
+use crate::{Direction, NodeId};
+
+/// Identifier of a unidirectional channel, dense in `0..num_channels` for a
+/// given topology, in the stable order produced by
+/// [`Topology::channels`](crate::Topology::channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChannelId(pub u32);
+
+impl ChannelId {
+    /// The dense index of this channel, for per-channel tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A unidirectional channel from one router to a neighboring router.
+///
+/// Wormhole routing acquires and releases channels, so channels — not nodes —
+/// are the resource vertices of deadlock analysis (the channel dependency
+/// graph of Dally & Seitz).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    id: ChannelId,
+    src: NodeId,
+    dst: NodeId,
+    dir: Direction,
+    wrap: bool,
+}
+
+impl Channel {
+    /// Create a channel description.
+    pub fn new(id: ChannelId, src: NodeId, dst: NodeId, dir: Direction, wrap: bool) -> Channel {
+        Channel { id, src, dst, dir, wrap }
+    }
+
+    /// The channel's identifier.
+    #[inline]
+    pub fn id(&self) -> ChannelId {
+        self.id
+    }
+
+    /// The router the channel leaves.
+    #[inline]
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The router the channel enters.
+    #[inline]
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The physical direction the channel routes packets in.
+    #[inline]
+    pub fn dir(&self) -> Direction {
+        self.dir
+    }
+
+    /// Whether this is a wraparound channel of a torus.
+    #[inline]
+    pub fn is_wrap(&self) -> bool {
+        self.wrap
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} -> {} ({}{})",
+            self.id,
+            self.src,
+            self.dst,
+            self.dir,
+            if self.wrap { ", wrap" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sign;
+
+    #[test]
+    fn channel_accessors() {
+        let c = Channel::new(
+            ChannelId(3),
+            NodeId(0),
+            NodeId(1),
+            Direction::new(0, Sign::Plus),
+            false,
+        );
+        assert_eq!(c.id(), ChannelId(3));
+        assert_eq!(c.src(), NodeId(0));
+        assert_eq!(c.dst(), NodeId(1));
+        assert_eq!(c.dir(), Direction::EAST);
+        assert!(!c.is_wrap());
+        assert_eq!(c.to_string(), "c3 n0 -> n1 (east)");
+    }
+
+    #[test]
+    fn wrap_channel_display() {
+        let c = Channel::new(ChannelId(0), NodeId(3), NodeId(0), Direction::EAST, true);
+        assert_eq!(c.to_string(), "c0 n3 -> n0 (east, wrap)");
+        assert_eq!(c.id().index(), 0);
+    }
+}

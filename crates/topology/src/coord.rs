@@ -1,0 +1,208 @@
+//! Per-dimension node coordinates.
+
+/// The coordinates of a node: one component per dimension, with component
+/// `i` in `0..k_i`.
+///
+/// A `Coord` is an inexpensive, plain value. Components are `u16`, which is
+/// ample for any network this crate targets (radix up to 65 535).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::Coord;
+///
+/// let c = Coord::new(vec![3, 1]);
+/// assert_eq!(c.num_dims(), 2);
+/// assert_eq!(c.get(0), 3);
+/// assert_eq!(c.to_string(), "(3, 1)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Coord {
+    comps: Vec<u16>,
+}
+
+impl Coord {
+    /// Create a coordinate from its components.
+    pub fn new(comps: Vec<u16>) -> Self {
+        Coord { comps }
+    }
+
+    /// A coordinate of `n` zeros (the origin of an `n`-dimensional network).
+    pub fn origin(n: usize) -> Self {
+        Coord {
+            comps: vec![0; n],
+        }
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn num_dims(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// Component along `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    #[inline]
+    pub fn get(&self, dim: usize) -> u16 {
+        self.comps[dim]
+    }
+
+    /// Set the component along `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    #[inline]
+    pub fn set(&mut self, dim: usize, value: u16) {
+        self.comps[dim] = value;
+    }
+
+    /// View the components as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u16] {
+        &self.comps
+    }
+
+    /// Consume the coordinate, returning its components.
+    pub fn into_components(self) -> Vec<u16> {
+        self.comps
+    }
+
+    /// Iterate over the components.
+    pub fn iter(&self) -> std::slice::Iter<'_, u16> {
+        self.comps.iter()
+    }
+
+    /// The sum of the components (the paper's `X = Σ x_i`, used by the
+    /// negative-first channel numbering of Theorem 5).
+    pub fn component_sum(&self) -> u32 {
+        self.comps.iter().map(|&c| u32::from(c)).sum()
+    }
+
+    /// Manhattan distance to `other` (minimal hop count on a mesh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn manhattan(&self, other: &Coord) -> usize {
+        assert_eq!(
+            self.num_dims(),
+            other.num_dims(),
+            "coordinate dimensionality mismatch"
+        );
+        self.comps
+            .iter()
+            .zip(&other.comps)
+            .map(|(&a, &b)| usize::from(a.abs_diff(b)))
+            .sum()
+    }
+
+    /// Per-dimension absolute offsets `|other_i - self_i|` (the paper's
+    /// `Δx`, `Δy` generalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn deltas(&self, other: &Coord) -> Vec<u16> {
+        assert_eq!(
+            self.num_dims(),
+            other.num_dims(),
+            "coordinate dimensionality mismatch"
+        );
+        self.comps
+            .iter()
+            .zip(&other.comps)
+            .map(|(&a, &b)| a.abs_diff(b))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.comps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u16>> for Coord {
+    fn from(comps: Vec<u16>) -> Self {
+        Coord::new(comps)
+    }
+}
+
+impl AsRef<[u16]> for Coord {
+    fn as_ref(&self) -> &[u16] {
+        &self.comps
+    }
+}
+
+impl FromIterator<u16> for Coord {
+    fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
+        Coord::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_is_all_zero() {
+        let c = Coord::origin(3);
+        assert_eq!(c.as_slice(), &[0, 0, 0]);
+        assert_eq!(c.component_sum(), 0);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Coord::new(vec![0, 0]);
+        let b = Coord::new(vec![3, 4]);
+        assert_eq!(a.manhattan(&b), 7);
+        assert_eq!(b.manhattan(&a), 7);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn deltas_are_absolute() {
+        let a = Coord::new(vec![5, 1]);
+        let b = Coord::new(vec![2, 4]);
+        assert_eq!(a.deltas(&b), vec![3, 3]);
+        assert_eq!(b.deltas(&a), vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn manhattan_rejects_mismatched_dims() {
+        let a = Coord::new(vec![0, 0]);
+        let b = Coord::new(vec![0, 0, 0]);
+        let _ = a.manhattan(&b);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let c: Coord = vec![1u16, 2, 3].into();
+        assert_eq!(c.to_string(), "(1, 2, 3)");
+        let back: Vec<u16> = c.clone().into_components();
+        assert_eq!(back, vec![1, 2, 3]);
+        let collected: Coord = back.into_iter().collect();
+        assert_eq!(collected, c);
+        assert_eq!(c.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut c = Coord::origin(2);
+        c.set(1, 9);
+        assert_eq!(c.get(1), 9);
+        assert_eq!(c.iter().copied().collect::<Vec<_>>(), vec![0, 9]);
+    }
+}

@@ -1,0 +1,406 @@
+//! Directions (a dimension plus a sign) and compact direction sets.
+
+/// The sign of a direction along a dimension.
+///
+/// In the paper's 2D terminology, `Minus` along dimension 0 is *west* and
+/// `Plus` along dimension 1 is *north*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sign {
+    /// The negative direction (decreasing coordinate).
+    Minus,
+    /// The positive direction (increasing coordinate).
+    Plus,
+}
+
+impl Sign {
+    /// The opposite sign.
+    #[inline]
+    pub fn opposite(self) -> Sign {
+        match self {
+            Sign::Minus => Sign::Plus,
+            Sign::Plus => Sign::Minus,
+        }
+    }
+
+    /// `0` for `Minus`, `1` for `Plus` — used in direction indexing.
+    #[inline]
+    pub fn bit(self) -> usize {
+        match self {
+            Sign::Minus => 0,
+            Sign::Plus => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Sign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sign::Minus => write!(f, "-"),
+            Sign::Plus => write!(f, "+"),
+        }
+    }
+}
+
+/// A physical direction in an *n*-dimensional network: a dimension and a
+/// sign. An *n*-dimensional node has up to `2n` outgoing directions.
+///
+/// Directions have a dense index `2 * dim + sign_bit` in `0..2n`, used for
+/// [`DirSet`] membership and per-port tables.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{Direction, Sign};
+///
+/// let west = Direction::new(0, Sign::Minus);
+/// assert_eq!(west, Direction::WEST);
+/// assert_eq!(west.opposite(), Direction::EAST);
+/// assert_eq!(west.index(), 0);
+/// assert_eq!(Direction::from_index(1), Direction::EAST);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Direction {
+    dim: u8,
+    sign: Sign,
+}
+
+impl Direction {
+    /// West: `-x`, the negative direction of dimension 0.
+    pub const WEST: Direction = Direction { dim: 0, sign: Sign::Minus };
+    /// East: `+x`, the positive direction of dimension 0.
+    pub const EAST: Direction = Direction { dim: 0, sign: Sign::Plus };
+    /// South: `-y`, the negative direction of dimension 1.
+    pub const SOUTH: Direction = Direction { dim: 1, sign: Sign::Minus };
+    /// North: `+y`, the positive direction of dimension 1.
+    pub const NORTH: Direction = Direction { dim: 1, sign: Sign::Plus };
+
+    /// Create a direction along `dim` with the given sign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= 128` (direction indices are packed into a `u8`).
+    pub fn new(dim: usize, sign: Sign) -> Direction {
+        assert!(dim < 128, "dimension {dim} too large for Direction");
+        Direction { dim: dim as u8, sign }
+    }
+
+    /// The dimension this direction travels along.
+    #[inline]
+    pub fn dim(self) -> usize {
+        usize::from(self.dim)
+    }
+
+    /// The sign of travel along the dimension.
+    #[inline]
+    pub fn sign(self) -> Sign {
+        self.sign
+    }
+
+    /// The opposite direction (a 180-degree turn).
+    #[inline]
+    pub fn opposite(self) -> Direction {
+        Direction { dim: self.dim, sign: self.sign.opposite() }
+    }
+
+    /// The dense index `2 * dim + sign_bit` of this direction.
+    #[inline]
+    pub fn index(self) -> usize {
+        2 * usize::from(self.dim) + self.sign.bit()
+    }
+
+    /// The direction with the given dense index.
+    pub fn from_index(index: usize) -> Direction {
+        let sign = if index.is_multiple_of(2) { Sign::Minus } else { Sign::Plus };
+        Direction::new(index / 2, sign)
+    }
+
+    /// Iterate over all `2n` directions of an `n`-dimensional network, in
+    /// index order.
+    pub fn all(num_dims: usize) -> impl Iterator<Item = Direction> {
+        (0..2 * num_dims).map(Direction::from_index)
+    }
+
+    /// The 2D compass name of this direction, if it has one.
+    pub fn compass(self) -> Option<&'static str> {
+        match (self.dim, self.sign) {
+            (0, Sign::Minus) => Some("west"),
+            (0, Sign::Plus) => Some("east"),
+            (1, Sign::Minus) => Some("south"),
+            (1, Sign::Plus) => Some("north"),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.compass() {
+            Some(name) => write!(f, "{name}"),
+            None => write!(f, "{}d{}", self.sign, self.dim),
+        }
+    }
+}
+
+/// A compact set of [`Direction`]s, stored as a bitmask over direction
+/// indices. Supports networks of up to 16 dimensions (32 directions).
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{DirSet, Direction};
+///
+/// let mut set = DirSet::empty();
+/// set.insert(Direction::EAST);
+/// set.insert(Direction::NORTH);
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains(Direction::EAST));
+/// assert!(!set.contains(Direction::WEST));
+/// let dirs: Vec<_> = set.iter().collect();
+/// assert_eq!(dirs, vec![Direction::EAST, Direction::NORTH]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DirSet(u32);
+
+impl DirSet {
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> DirSet {
+        DirSet(0)
+    }
+
+    /// The set of all `2n` directions of an `n`-dimensional network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_dims > 16`.
+    pub fn all(num_dims: usize) -> DirSet {
+        assert!(num_dims <= 16, "DirSet supports at most 16 dimensions");
+        if num_dims == 16 {
+            DirSet(u32::MAX)
+        } else {
+            DirSet((1u32 << (2 * num_dims)) - 1)
+        }
+    }
+
+    /// A set containing a single direction.
+    #[inline]
+    pub fn single(dir: Direction) -> DirSet {
+        DirSet(1 << dir.index())
+    }
+
+    /// Insert a direction.
+    #[inline]
+    pub fn insert(&mut self, dir: Direction) {
+        self.0 |= 1 << dir.index();
+    }
+
+    /// Remove a direction.
+    #[inline]
+    pub fn remove(&mut self, dir: Direction) {
+        self.0 &= !(1 << dir.index());
+    }
+
+    /// Whether the set contains `dir`.
+    #[inline]
+    pub fn contains(self, dir: Direction) -> bool {
+        self.0 & (1 << dir.index()) != 0
+    }
+
+    /// Number of directions in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: DirSet) -> DirSet {
+        DirSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    /// Directions in `self` but not `other`.
+    #[inline]
+    pub fn difference(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & !other.0)
+    }
+
+    /// Whether every direction in `self` is also in `other`.
+    #[inline]
+    pub fn is_subset_of(self, other: DirSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate over the directions in the set, in index order.
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// The raw bitmask (bit `i` set iff the direction with index `i` is in
+    /// the set).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+}
+
+impl FromIterator<Direction> for DirSet {
+    fn from_iter<I: IntoIterator<Item = Direction>>(iter: I) -> Self {
+        let mut set = DirSet::empty();
+        for d in iter {
+            set.insert(d);
+        }
+        set
+    }
+}
+
+impl IntoIterator for DirSet {
+    type Item = Direction;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+impl Extend<Direction> for DirSet {
+    fn extend<I: IntoIterator<Item = Direction>>(&mut self, iter: I) {
+        for d in iter {
+            self.insert(d);
+        }
+    }
+}
+
+impl std::fmt::Display for DirSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, d) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the directions of a [`DirSet`], produced by
+/// [`DirSet::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter(u32);
+
+impl Iterator for Iter {
+    type Item = Direction;
+
+    fn next(&mut self) -> Option<Direction> {
+        if self.0 == 0 {
+            return None;
+        }
+        let index = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(Direction::from_index(index))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compass_constants() {
+        assert_eq!(Direction::WEST.to_string(), "west");
+        assert_eq!(Direction::EAST.to_string(), "east");
+        assert_eq!(Direction::SOUTH.to_string(), "south");
+        assert_eq!(Direction::NORTH.to_string(), "north");
+        assert_eq!(Direction::new(2, Sign::Plus).to_string(), "+d2");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for n in 1..=5 {
+            for d in Direction::all(n) {
+                assert_eq!(Direction::from_index(d.index()), d);
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in Direction::all(4) {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+            assert_eq!(d.opposite().dim(), d.dim());
+        }
+    }
+
+    #[test]
+    fn dirset_all_has_2n_members() {
+        for n in 1..=16 {
+            assert_eq!(DirSet::all(n).len(), 2 * n);
+        }
+    }
+
+    #[test]
+    fn dirset_operations() {
+        let a: DirSet = [Direction::WEST, Direction::NORTH].into_iter().collect();
+        let b: DirSet = [Direction::NORTH, Direction::EAST].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b), DirSet::single(Direction::NORTH));
+        assert_eq!(a.difference(b), DirSet::single(Direction::WEST));
+        assert!(DirSet::single(Direction::NORTH).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn dirset_insert_remove() {
+        let mut s = DirSet::empty();
+        assert!(s.is_empty());
+        s.insert(Direction::SOUTH);
+        assert!(s.contains(Direction::SOUTH));
+        s.remove(Direction::SOUTH);
+        assert!(s.is_empty());
+        // Removing an absent member is a no-op.
+        s.remove(Direction::EAST);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dirset_iter_is_sorted_and_exact() {
+        let s = DirSet::all(3);
+        let v: Vec<usize> = s.iter().map(Direction::index).collect();
+        assert_eq!(v, (0..6).collect::<Vec<_>>());
+        assert_eq!(s.iter().len(), 6);
+    }
+
+    #[test]
+    fn dirset_display() {
+        let s: DirSet = [Direction::WEST, Direction::EAST].into_iter().collect();
+        assert_eq!(s.to_string(), "{west, east}");
+        assert_eq!(DirSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn dirset_extend() {
+        let mut s = DirSet::empty();
+        s.extend(Direction::all(2));
+        assert_eq!(s, DirSet::all(2));
+    }
+}

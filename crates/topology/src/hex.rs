@@ -1,0 +1,268 @@
+//! Hexagonal mesh topology — the paper's Section 7 extension target.
+//!
+//! A hexagonal mesh gives every interior node six neighbors along three
+//! axes. We use axial coordinates `(q, r)` over a `Q × R` rhombus; the
+//! three axes are exposed as the three "dimensions" of the
+//! [`Topology`](crate::Topology) interface:
+//!
+//! | dimension | `+` direction | axial move |
+//! |---|---|---|
+//! | 0 (A) | east       | `(q+1, r)` |
+//! | 1 (B) | south-east | `(q, r+1)` |
+//! | 2 (C) | north-east | `(q+1, r-1)` |
+//!
+//! A node's [`Coord`] is `(q, r, q+r)` — the third component is the
+//! derived diagonal index, so every move changes exactly the components
+//! of its axis pair and coordinates stay non-negative. Distances use the
+//! standard hex metric `(|dq| + |dr| + |dq+dr|) / 2`.
+
+use crate::{Coord, DirSet, Direction, NodeId, Sign, Topology};
+
+/// A `Q × R` rhombus of hexagonally connected nodes.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{HexMesh, Topology};
+///
+/// let hex = HexMesh::new(4, 4);
+/// assert_eq!(hex.num_nodes(), 16);
+/// // Interior nodes have six neighbors.
+/// let center = hex.node_at_axial(1, 1);
+/// let degree = turnroute_topology::Direction::all(3)
+///     .filter(|&d| hex.neighbor(center, d).is_some())
+///     .count();
+/// assert_eq!(degree, 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HexMesh {
+    q: u16,
+    r: u16,
+}
+
+impl HexMesh {
+    /// Create a `Q × R` hexagonal rhombus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either extent is `< 2`.
+    pub fn new(q: u16, r: u16) -> HexMesh {
+        assert!(q >= 2 && r >= 2, "hex mesh needs extent >= 2 on both axes");
+        HexMesh { q, r }
+    }
+
+    /// The node at axial coordinates `(q, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn node_at_axial(&self, q: u16, r: u16) -> NodeId {
+        assert!(q < self.q && r < self.r, "axial ({q}, {r}) out of range");
+        NodeId(u32::from(r) * u32::from(self.q) + u32::from(q))
+    }
+
+    /// The axial coordinates of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn axial_of(&self, node: NodeId) -> (u16, u16) {
+        assert!(node.index() < self.num_nodes(), "node {node} out of range");
+        (
+            (node.index() % usize::from(self.q)) as u16,
+            (node.index() / usize::from(self.q)) as u16,
+        )
+    }
+
+    /// Hexagonal distance between axial offsets.
+    fn hex_distance(dq: i32, dr: i32) -> usize {
+        ((dq.abs() + dr.abs() + (dq + dr).abs()) / 2) as usize
+    }
+
+    /// The axial move of a direction: `(dq, dr)`.
+    fn delta(dir: Direction) -> (i32, i32) {
+        let (dq, dr) = match dir.dim() {
+            0 => (1, 0),  // A: east
+            1 => (0, 1),  // B: south-east
+            2 => (1, -1), // C: north-east
+            _ => panic!("hex mesh has three axes"),
+        };
+        match dir.sign() {
+            Sign::Plus => (dq, dr),
+            Sign::Minus => (-dq, -dr),
+        }
+    }
+}
+
+impl Topology for HexMesh {
+    fn num_dims(&self) -> usize {
+        3
+    }
+
+    fn radix(&self, dim: usize) -> usize {
+        match dim {
+            0 => usize::from(self.q),
+            1 => usize::from(self.r),
+            // The derived diagonal spans q + r - 1 distinct values.
+            2 => usize::from(self.q) + usize::from(self.r) - 1,
+            _ => panic!("hex mesh has three axes"),
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        usize::from(self.q) * usize::from(self.r)
+    }
+
+    fn has_wraparound(&self, dim: usize) -> bool {
+        assert!(dim < 3, "hex mesh has three axes");
+        false
+    }
+
+    fn coord_of(&self, node: NodeId) -> Coord {
+        let (q, r) = self.axial_of(node);
+        Coord::new(vec![q, r, q + r])
+    }
+
+    fn node_at(&self, coord: &Coord) -> NodeId {
+        assert_eq!(coord.num_dims(), 3, "hex coordinates have three components");
+        let (q, r) = (coord.get(0), coord.get(1));
+        assert_eq!(
+            coord.get(2),
+            q + r,
+            "third hex component must equal q + r"
+        );
+        self.node_at_axial(q, r)
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let (q, r) = self.axial_of(node);
+        let (dq, dr) = Self::delta(dir);
+        let nq = i32::from(q) + dq;
+        let nr = i32::from(r) + dr;
+        if nq < 0 || nr < 0 || nq >= i32::from(self.q) || nr >= i32::from(self.r) {
+            return None;
+        }
+        Some(self.node_at_axial(nq as u16, nr as u16))
+    }
+
+    fn is_wrap(&self, _node: NodeId, _dir: Direction) -> bool {
+        false
+    }
+
+    fn min_hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (qa, ra) = self.axial_of(a);
+        let (qb, rb) = self.axial_of(b);
+        Self::hex_distance(
+            i32::from(qb) - i32::from(qa),
+            i32::from(rb) - i32::from(ra),
+        )
+    }
+
+    fn productive_dirs(&self, from: NodeId, to: NodeId) -> DirSet {
+        let here = self.min_hops(from, to);
+        let mut set = DirSet::empty();
+        if here == 0 {
+            return set;
+        }
+        for dir in Direction::all(3) {
+            if let Some(next) = self.neighbor(from, dir) {
+                if self.min_hops(next, to) < here {
+                    set.insert(dir);
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axial_round_trip() {
+        let hex = HexMesh::new(5, 4);
+        for id in 0..hex.num_nodes() {
+            let node = NodeId(id as u32);
+            let (q, r) = hex.axial_of(node);
+            assert_eq!(hex.node_at_axial(q, r), node);
+            assert_eq!(hex.node_at(&hex.coord_of(node)), node);
+        }
+    }
+
+    #[test]
+    fn interior_nodes_have_six_neighbors_corners_fewer() {
+        let hex = HexMesh::new(4, 4);
+        let degree = |node: NodeId| {
+            Direction::all(3)
+                .filter(|&d| hex.neighbor(node, d).is_some())
+                .count()
+        };
+        assert_eq!(degree(hex.node_at_axial(1, 1)), 6);
+        // The (0,0) corner: +A, +B exist; -A, -B out of range; +C needs
+        // r-1 (no), -C needs q-1 (no).
+        assert_eq!(degree(hex.node_at_axial(0, 0)), 2);
+        // The (Q-1, 0) corner: -A, +B, -C=(q-1, r+1) exist.
+        assert_eq!(degree(hex.node_at_axial(3, 0)), 3);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let hex = HexMesh::new(4, 5);
+        for id in 0..hex.num_nodes() {
+            let node = NodeId(id as u32);
+            for dir in Direction::all(3) {
+                if let Some(next) = hex.neighbor(node, dir) {
+                    assert_eq!(hex.neighbor(next, dir.opposite()), Some(node));
+                    assert_eq!(hex.min_hops(node, next), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hex_distance_uses_diagonal_moves() {
+        let hex = HexMesh::new(6, 6);
+        let a = hex.node_at_axial(0, 3);
+        let b = hex.node_at_axial(2, 0);
+        // dq = +2, dr = -3: two +C moves and one -B move = 3 hops.
+        assert_eq!(hex.min_hops(a, b), 3);
+        // Same-direction offsets do not shortcut: dq = 2, dr = 2 -> 4.
+        let c = hex.node_at_axial(2, 5);
+        assert_eq!(hex.min_hops(a, c), 4);
+    }
+
+    #[test]
+    fn productive_dirs_reduce_distance() {
+        let hex = HexMesh::new(6, 6);
+        for a in 0..hex.num_nodes() {
+            let a = NodeId(a as u32);
+            for b in 0..hex.num_nodes() {
+                let b = NodeId(b as u32);
+                let dist = hex.min_hops(a, b);
+                let dirs = hex.productive_dirs(a, b);
+                assert_eq!(dirs.is_empty(), a == b);
+                for dir in dirs.iter() {
+                    let next = hex.neighbor(a, dir).unwrap();
+                    assert_eq!(hex.min_hops(next, b), dist - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_count() {
+        // Q x R rhombus: A channels: (Q-1)*R pairs; B: Q*(R-1);
+        // C: (Q-1)*(R-1); two unidirectional channels per pair.
+        let hex = HexMesh::new(4, 5);
+        let expected = 2 * (3 * 5 + 4 * 4 + 3 * 4);
+        assert_eq!(hex.channels().len(), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "third hex component")]
+    fn node_at_rejects_inconsistent_coord() {
+        let hex = HexMesh::new(4, 4);
+        let _ = hex.node_at(&Coord::new(vec![1, 1, 3]));
+    }
+}

@@ -1,0 +1,228 @@
+//! Binary hypercube topology.
+
+use crate::{Coord, DirSet, Direction, NodeId, Sign, Topology};
+
+/// A binary *n*-cube (hypercube): `2^n` nodes, each identified by an *n*-bit
+/// address; two nodes are neighbors iff their addresses differ in exactly
+/// one bit.
+///
+/// The hypercube is both an *n*-dimensional mesh with every `k_i = 2` and a
+/// 2-ary *n*-cube; here it follows the mesh view (no wraparound channels):
+/// moving along dimension `i` flips bit `i`, and the legal direction in a
+/// dimension depends on the current bit value, so every node has exactly `n`
+/// neighbors.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_topology::{Hypercube, Topology, NodeId};
+///
+/// let cube = Hypercube::new(8); // the paper's binary 8-cube, 256 nodes
+/// assert_eq!(cube.num_nodes(), 256);
+/// // Hamming distance = minimal hop count.
+/// assert_eq!(cube.min_hops(NodeId(0b1011_0101), NodeId(0b0010_1100)), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hypercube {
+    n: usize,
+}
+
+impl Hypercube {
+    /// Create a binary `n`-cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > 16`.
+    pub fn new(n: usize) -> Hypercube {
+        assert!(n >= 1, "hypercube needs at least one dimension");
+        assert!(n <= 16, "at most 16 dimensions supported");
+        Hypercube { n }
+    }
+
+    /// The `n`-bit binary address of `node` (identical to its id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn address(&self, node: NodeId) -> u32 {
+        assert!(node.index() < self.num_nodes(), "node {node} out of range");
+        node.0
+    }
+
+    /// The node with the given `n`-bit binary address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `address >= 2^n`.
+    pub fn node_with_address(&self, address: u32) -> NodeId {
+        assert!(
+            (address as usize) < self.num_nodes(),
+            "address {address:#b} out of range"
+        );
+        NodeId(address)
+    }
+
+    /// Hamming distance between two nodes (the paper's `h`).
+    pub fn hamming(&self, a: NodeId, b: NodeId) -> usize {
+        (self.address(a) ^ self.address(b)).count_ones() as usize
+    }
+
+    /// The dimensions in which `a` and `b` differ, lowest first.
+    pub fn differing_dims(&self, a: NodeId, b: NodeId) -> Vec<usize> {
+        let mut x = self.address(a) ^ self.address(b);
+        let mut dims = Vec::with_capacity(x.count_ones() as usize);
+        while x != 0 {
+            dims.push(x.trailing_zeros() as usize);
+            x &= x - 1;
+        }
+        dims
+    }
+}
+
+impl Topology for Hypercube {
+    fn num_dims(&self) -> usize {
+        self.n
+    }
+
+    fn radix(&self, dim: usize) -> usize {
+        assert!(dim < self.n, "dimension out of range");
+        2
+    }
+
+    fn num_nodes(&self) -> usize {
+        1 << self.n
+    }
+
+    fn has_wraparound(&self, dim: usize) -> bool {
+        assert!(dim < self.n, "dimension out of range");
+        false
+    }
+
+    fn coord_of(&self, node: NodeId) -> Coord {
+        let addr = self.address(node);
+        (0..self.n).map(|i| ((addr >> i) & 1) as u16).collect()
+    }
+
+    fn node_at(&self, coord: &Coord) -> NodeId {
+        assert_eq!(coord.num_dims(), self.n, "coordinate dimensionality mismatch");
+        let mut addr = 0u32;
+        for (dim, &c) in coord.as_slice().iter().enumerate() {
+            assert!(c < 2, "coordinate {coord} out of range in dimension {dim}");
+            addr |= u32::from(c) << dim;
+        }
+        NodeId(addr)
+    }
+
+    fn neighbor(&self, node: NodeId, dir: Direction) -> Option<NodeId> {
+        let dim = dir.dim();
+        assert!(dim < self.n, "direction {dir} out of range");
+        let addr = self.address(node);
+        let bit = (addr >> dim) & 1;
+        match (dir.sign(), bit) {
+            (Sign::Minus, 1) => Some(NodeId(addr & !(1 << dim))),
+            (Sign::Plus, 0) => Some(NodeId(addr | (1 << dim))),
+            _ => None,
+        }
+    }
+
+    fn is_wrap(&self, _node: NodeId, _dir: Direction) -> bool {
+        false
+    }
+
+    fn min_hops(&self, a: NodeId, b: NodeId) -> usize {
+        self.hamming(a, b)
+    }
+
+    fn productive_dirs(&self, from: NodeId, to: NodeId) -> DirSet {
+        let (fa, ta) = (self.address(from), self.address(to));
+        let mut set = DirSet::empty();
+        let mut diff = fa ^ ta;
+        while diff != 0 {
+            let dim = diff.trailing_zeros() as usize;
+            diff &= diff - 1;
+            let sign = if (fa >> dim) & 1 == 1 { Sign::Minus } else { Sign::Plus };
+            set.insert(Direction::new(dim, sign));
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_and_neighbors() {
+        let cube = Hypercube::new(3);
+        assert_eq!(cube.num_nodes(), 8);
+        // Every node has exactly n neighbors.
+        for id in 0..8u32 {
+            let node = NodeId(id);
+            let count = Direction::all(3)
+                .filter(|&d| cube.neighbor(node, d).is_some())
+                .count();
+            assert_eq!(count, 3);
+        }
+    }
+
+    #[test]
+    fn neighbor_flips_one_bit() {
+        let cube = Hypercube::new(4);
+        let node = NodeId(0b0101);
+        assert_eq!(
+            cube.neighbor(node, Direction::new(0, Sign::Minus)),
+            Some(NodeId(0b0100))
+        );
+        assert_eq!(cube.neighbor(node, Direction::new(0, Sign::Plus)), None);
+        assert_eq!(
+            cube.neighbor(node, Direction::new(1, Sign::Plus)),
+            Some(NodeId(0b0111))
+        );
+        assert_eq!(cube.neighbor(node, Direction::new(1, Sign::Minus)), None);
+    }
+
+    #[test]
+    fn coord_round_trip() {
+        let cube = Hypercube::new(5);
+        for id in 0..cube.num_nodes() {
+            let node = NodeId(id as u32);
+            assert_eq!(cube.node_at(&cube.coord_of(node)), node);
+        }
+    }
+
+    #[test]
+    fn hamming_and_differing_dims() {
+        let cube = Hypercube::new(10);
+        // The paper's Section 5 example.
+        let s = cube.node_with_address(0b1011010100);
+        let d = cube.node_with_address(0b0010111001);
+        assert_eq!(cube.hamming(s, d), 6);
+        assert_eq!(cube.differing_dims(s, d), vec![0, 2, 3, 5, 6, 9]);
+    }
+
+    #[test]
+    fn productive_dirs_match_bits() {
+        let cube = Hypercube::new(4);
+        let s = NodeId(0b1010);
+        let d = NodeId(0b0110);
+        let dirs = cube.productive_dirs(s, d);
+        // Must clear bit 3 (travel Minus in dim 3) and set bit 2 (Plus in dim 2).
+        assert_eq!(dirs.len(), 2);
+        assert!(dirs.contains(Direction::new(3, Sign::Minus)));
+        assert!(dirs.contains(Direction::new(2, Sign::Plus)));
+    }
+
+    #[test]
+    fn channel_count_is_n_times_nodes() {
+        // n * 2^n unidirectional channels (each node has n outgoing).
+        let cube = Hypercube::new(8);
+        assert_eq!(cube.channels().len(), 8 * 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn address_checks_range() {
+        let cube = Hypercube::new(3);
+        let _ = cube.address(NodeId(8));
+    }
+}

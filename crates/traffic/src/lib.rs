@@ -1,0 +1,758 @@
+//! Synthetic traffic patterns for interconnection-network simulation.
+//!
+//! Section 6 of the turn-model paper evaluates three workloads — uniform,
+//! matrix-transpose (mesh and hypercube variants), and reverse-flip — all
+//! implemented here, plus the common extras (bit-complement, tornado,
+//! hotspot, fixed permutations) used by the example applications.
+//!
+//! A [`TrafficPattern`] maps a source node to a destination for each
+//! generated message. Patterns that map a node to itself return `None`:
+//! such messages are consumed locally and never enter the network (the
+//! diagonal of a matrix transpose, for example).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+use rand::RngCore;
+use turnroute_topology::{Coord, NodeId, Topology};
+
+/// A synthetic traffic pattern: where does a message generated at `src`
+/// go?
+pub trait TrafficPattern {
+    /// A short human-readable name, e.g. `"uniform"`.
+    fn name(&self) -> &str;
+
+    /// The destination of a message generated at `src`, or `None` if the
+    /// pattern maps `src` to itself (the message is consumed locally and
+    /// generates no network traffic).
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId>;
+}
+
+impl<T: TrafficPattern + ?Sized> TrafficPattern for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        (**self).dest(topo, src, rng)
+    }
+}
+
+impl<T: TrafficPattern + ?Sized> TrafficPattern for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        (**self).dest(topo, src, rng)
+    }
+}
+
+/// Uniform traffic: each message goes to any *other* node with equal
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Uniform;
+
+impl Uniform {
+    /// Create the uniform pattern.
+    pub fn new() -> Uniform {
+        Uniform
+    }
+}
+
+impl TrafficPattern for Uniform {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        let n = topo.num_nodes() as u32;
+        debug_assert!(n >= 2);
+        // Sample uniformly among the n-1 other nodes.
+        let mut d = rng.gen_range(0..n - 1);
+        if d >= src.0 {
+            d += 1;
+        }
+        Some(NodeId(d))
+    }
+}
+
+/// Matrix-transpose traffic on a square 2D mesh, in the paper's
+/// convention: the node at row *i*, column *j* sends to the node at row
+/// *j*, column *i*, with rows counted from the top (so row *i* sits at
+/// `y = k-1-i`). In coordinates this is the *anti-diagonal* reflection
+/// `(x, y) -> (k-1-y, k-1-x)`, under which both per-dimension offsets
+/// always share a sign — the reason negative-first is fully adaptive on
+/// this workload. The paper's own hypercube embedding formula
+/// (`x̄4, x5, x6, x7, x̄0, …`) decodes, via the reflected Gray code, to
+/// exactly this reflection; see [`HypercubeTranspose`].
+///
+/// Nodes on the anti-diagonal map to themselves (no traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeshTranspose;
+
+impl MeshTranspose {
+    /// Create the mesh matrix-transpose pattern.
+    pub fn new() -> MeshTranspose {
+        MeshTranspose
+    }
+}
+
+impl TrafficPattern for MeshTranspose {
+    fn name(&self) -> &str {
+        "matrix-transpose"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        assert_eq!(topo.num_dims(), 2, "mesh transpose needs a 2D topology");
+        assert_eq!(
+            topo.radix(0),
+            topo.radix(1),
+            "mesh transpose needs a square mesh"
+        );
+        let k = topo.radix(0) as u16;
+        let c = topo.coord_of(src);
+        let (x, y) = (c.get(0), c.get(1));
+        if x + y == k - 1 {
+            return None;
+        }
+        Some(topo.node_at(&Coord::new(vec![k - 1 - y, k - 1 - x])))
+    }
+}
+
+/// The main-diagonal transpose `(x, y) -> (y, x)`: the coordinate-swap
+/// reading of "transpose", kept for comparison with [`MeshTranspose`].
+/// Under this reflection every packet has mixed-sign offsets, so
+/// negative-first degenerates to a single path per pair — a useful
+/// ablation of how much the workload convention matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DiagonalTranspose;
+
+impl DiagonalTranspose {
+    /// Create the main-diagonal transpose pattern.
+    pub fn new() -> DiagonalTranspose {
+        DiagonalTranspose
+    }
+}
+
+impl TrafficPattern for DiagonalTranspose {
+    fn name(&self) -> &str {
+        "diagonal-transpose"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        assert_eq!(topo.num_dims(), 2, "mesh transpose needs a 2D topology");
+        assert_eq!(
+            topo.radix(0),
+            topo.radix(1),
+            "mesh transpose needs a square mesh"
+        );
+        let c = topo.coord_of(src);
+        let (x, y) = (c.get(0), c.get(1));
+        if x == y {
+            return None;
+        }
+        Some(topo.node_at(&Coord::new(vec![y, x])))
+    }
+}
+
+/// The paper's hypercube matrix-transpose: a 16×16 mesh is embedded in the
+/// 8-cube so that mesh neighbors are cube neighbors, and messages follow
+/// the mesh transpose. The resulting pattern sends `(x_0, …, x_{n-1})` to
+/// `(x̄_{n/2}, x_{n/2+1}, …, x_{n-1}, x̄_0, x_1, …, x_{n/2-1})`: the address
+/// halves are swapped and the first bit of each half complemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HypercubeTranspose;
+
+impl HypercubeTranspose {
+    /// Create the hypercube transpose pattern.
+    pub fn new() -> HypercubeTranspose {
+        HypercubeTranspose
+    }
+}
+
+impl TrafficPattern for HypercubeTranspose {
+    fn name(&self) -> &str {
+        "matrix-transpose"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        let n = topo.num_dims();
+        assert!(n.is_multiple_of(2), "hypercube transpose needs an even dimension count");
+        let c = topo.coord_of(src);
+        let half = n / 2;
+        let mut d = Coord::origin(n);
+        for i in 0..n {
+            let source_dim = (i + half) % n;
+            let mut bit = c.get(source_dim);
+            if i.is_multiple_of(half) {
+                bit ^= 1; // complement the leading bit of each half
+            }
+            d.set(i, bit);
+        }
+        let dest = topo.node_at(&d);
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+/// Reverse-flip traffic on a hypercube: `(x_0, …, x_{n-1})` sends to
+/// `(x̄_{n-1}, …, x̄_0)` — the address reversed and every bit complemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReverseFlip;
+
+impl ReverseFlip {
+    /// Create the reverse-flip pattern.
+    pub fn new() -> ReverseFlip {
+        ReverseFlip
+    }
+}
+
+impl TrafficPattern for ReverseFlip {
+    fn name(&self) -> &str {
+        "reverse-flip"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        let n = topo.num_dims();
+        let c = topo.coord_of(src);
+        let d: Coord = (0..n).map(|i| c.get(n - 1 - i) ^ 1).collect();
+        let dest = topo.node_at(&d);
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+/// Bit-complement traffic: every coordinate is mirrored across its
+/// dimension (`x_i -> k_i - 1 - x_i`). On a hypercube this complements the
+/// address. A classic adversarial pattern for dimension-order routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BitComplement;
+
+impl BitComplement {
+    /// Create the bit-complement pattern.
+    pub fn new() -> BitComplement {
+        BitComplement
+    }
+}
+
+impl TrafficPattern for BitComplement {
+    fn name(&self) -> &str {
+        "bit-complement"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        let c = topo.coord_of(src);
+        let d: Coord = (0..topo.num_dims())
+            .map(|i| (topo.radix(i) - 1) as u16 - c.get(i))
+            .collect();
+        let dest = topo.node_at(&d);
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+/// Hotspot traffic: with probability `fraction`, a message goes to the
+/// hotspot node; otherwise it is uniform. Models the contended-server
+/// workloads adaptive routing is meant to help with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hotspot {
+    hotspot: NodeId,
+    fraction: f64,
+}
+
+impl Hotspot {
+    /// Create a hotspot pattern directing `fraction` of traffic at
+    /// `hotspot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn new(hotspot: NodeId, fraction: f64) -> Hotspot {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be a probability"
+        );
+        Hotspot { hotspot, fraction }
+    }
+
+    /// The hotspot node.
+    pub fn hotspot(&self) -> NodeId {
+        self.hotspot
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> &str {
+        "hotspot"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        if src != self.hotspot && rng.gen_bool(self.fraction) {
+            return Some(self.hotspot);
+        }
+        Uniform.dest(topo, src, rng)
+    }
+}
+
+/// Tornado traffic on a torus: each node sends nearly halfway around
+/// dimension 0, the classic worst case for wraparound load balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tornado;
+
+impl Tornado {
+    /// Create the tornado pattern.
+    pub fn new() -> Tornado {
+        Tornado
+    }
+}
+
+impl TrafficPattern for Tornado {
+    fn name(&self) -> &str {
+        "tornado"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        let k = topo.radix(0);
+        let offset = (k / 2).saturating_sub(1).max(1);
+        let mut c = topo.coord_of(src);
+        c.set(0, ((usize::from(c.get(0)) + offset) % k) as u16);
+        let dest = topo.node_at(&c);
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+/// Perfect-shuffle traffic on a hypercube: the address is rotated left by
+/// one bit (`(x_0, …, x_{n-1}) -> (x_{n-1}, x_0, …, x_{n-2})` in tuple
+/// form). The classic FFT/ sorting-network permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Shuffle;
+
+impl Shuffle {
+    /// Create the perfect-shuffle pattern.
+    pub fn new() -> Shuffle {
+        Shuffle
+    }
+}
+
+impl TrafficPattern for Shuffle {
+    fn name(&self) -> &str {
+        "shuffle"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        let n = topo.num_dims();
+        let c = topo.coord_of(src);
+        let d: Coord = (0..n).map(|i| c.get((i + n - 1) % n)).collect();
+        let dest = topo.node_at(&d);
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+/// Bit-reversal traffic on a hypercube: the address bits are reversed
+/// (`x_i -> x_{n-1-i}`), without the complement of [`ReverseFlip`]. The
+/// classic FFT data-exchange pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BitReverse;
+
+impl BitReverse {
+    /// Create the bit-reversal pattern.
+    pub fn new() -> BitReverse {
+        BitReverse
+    }
+}
+
+impl TrafficPattern for BitReverse {
+    fn name(&self) -> &str {
+        "bit-reverse"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        let n = topo.num_dims();
+        let c = topo.coord_of(src);
+        let d: Coord = (0..n).map(|i| c.get(n - 1 - i)).collect();
+        let dest = topo.node_at(&d);
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+/// Nearest-neighbor traffic: each message goes to a uniformly random
+/// neighboring node — the local, stencil-style communication of many
+/// scientific workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NearestNeighbor;
+
+impl NearestNeighbor {
+    /// Create the nearest-neighbor pattern.
+    pub fn new() -> NearestNeighbor {
+        NearestNeighbor
+    }
+}
+
+impl TrafficPattern for NearestNeighbor {
+    fn name(&self) -> &str {
+        "nearest-neighbor"
+    }
+
+    fn dest(&self, topo: &dyn Topology, src: NodeId, rng: &mut dyn RngCore) -> Option<NodeId> {
+        use turnroute_topology::Direction;
+        let neighbors: Vec<NodeId> = Direction::all(topo.num_dims())
+            .filter_map(|d| topo.neighbor(src, d))
+            .collect();
+        debug_assert!(!neighbors.is_empty());
+        Some(neighbors[rng.gen_range(0..neighbors.len())])
+    }
+}
+
+/// An arbitrary fixed permutation supplied as a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    name: String,
+    table: Vec<NodeId>,
+}
+
+impl Permutation {
+    /// Create a permutation pattern from a destination table (entry `i` is
+    /// the destination of node `i`; a node mapping to itself generates no
+    /// traffic).
+    pub fn new(name: impl Into<String>, table: Vec<NodeId>) -> Permutation {
+        Permutation { name: name.into(), table }
+    }
+}
+
+impl TrafficPattern for Permutation {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn dest(&self, _topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
+        let dest = self.table[src.index()];
+        if dest == src {
+            None
+        } else {
+            Some(dest)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use turnroute_topology::{Hypercube, Mesh, Torus};
+
+    #[test]
+    fn uniform_never_self_and_covers_nodes() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let src = NodeId(5);
+        let mut seen = [false; 16];
+        for _ in 0..2000 {
+            let d = Uniform.dest(&mesh, src, &mut rng).unwrap();
+            assert_ne!(d, src);
+            seen[d.index()] = true;
+        }
+        assert_eq!(seen.iter().filter(|&&s| s).count(), 15);
+    }
+
+    #[test]
+    fn mesh_transpose_reflects_across_the_anti_diagonal() {
+        let mesh = Mesh::new_2d(16, 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = mesh.node_at_coords(&[3, 11]);
+        let dst = MeshTranspose.dest(&mesh, src, &mut rng).unwrap();
+        assert_eq!(mesh.coord_of(dst).as_slice(), &[4, 12]);
+        // Anti-diagonal nodes generate no traffic.
+        let fixed = mesh.node_at_coords(&[5, 10]);
+        assert_eq!(MeshTranspose.dest(&mesh, fixed, &mut rng), None);
+    }
+
+    #[test]
+    fn mesh_transpose_offsets_share_a_sign() {
+        // The property that makes negative-first fully adaptive on this
+        // workload: both per-dimension displacements are equal.
+        let mesh = Mesh::new_2d(16, 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        for id in 0..mesh.num_nodes() {
+            let src = NodeId(id as u32);
+            if let Some(d) = MeshTranspose.dest(&mesh, src, &mut rng) {
+                let (cs, cd) = (mesh.coord_of(src), mesh.coord_of(d));
+                let dx = i32::from(cd.get(0)) - i32::from(cs.get(0));
+                let dy = i32::from(cd.get(1)) - i32::from(cs.get(1));
+                assert_eq!(dx, dy, "offsets must match at {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_transpose_is_involutive() {
+        let mesh = Mesh::new_2d(8, 8);
+        let mut rng = StdRng::seed_from_u64(0);
+        for id in 0..mesh.num_nodes() {
+            let src = NodeId(id as u32);
+            if let Some(d) = MeshTranspose.dest(&mesh, src, &mut rng) {
+                assert_eq!(MeshTranspose.dest(&mesh, d, &mut rng), Some(src));
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_transpose_swaps_coordinates() {
+        let mesh = Mesh::new_2d(16, 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = mesh.node_at_coords(&[3, 11]);
+        let dst = DiagonalTranspose.dest(&mesh, src, &mut rng).unwrap();
+        assert_eq!(mesh.coord_of(dst).as_slice(), &[11, 3]);
+        let diag = mesh.node_at_coords(&[5, 5]);
+        assert_eq!(DiagonalTranspose.dest(&mesh, diag, &mut rng), None);
+    }
+
+    #[test]
+    fn hypercube_transpose_is_gray_embedded_mesh_transpose() {
+        // Embed the 16x16 mesh into the 8-cube with a reflected Gray code
+        // per 4-bit half: tuple positions x0..x3 hold gray(y) MSB-first,
+        // x4..x7 hold gray(x) MSB-first. Mesh neighbors become cube
+        // neighbors, and the paper's cube formula must equal the embedded
+        // anti-diagonal mesh transpose (x, y) -> (15-y, 15-x) — because
+        // gray(15-v) = gray(v) XOR MSB, which is exactly the formula's
+        // "swap halves and complement the leading bit of each".
+        fn gray4(v: u16) -> u16 {
+            v ^ (v >> 1)
+        }
+        fn embed(cube: &Hypercube, x: u16, y: u16) -> NodeId {
+            let (g1, g2) = (gray4(y), gray4(x));
+            let comps: Vec<u16> = (0..8)
+                .map(|i| {
+                    if i < 4 {
+                        (g1 >> (3 - i)) & 1 // x0..x3, MSB first
+                    } else {
+                        (g2 >> (7 - i)) & 1 // x4..x7, MSB first
+                    }
+                })
+                .collect();
+            cube.node_at(&Coord::new(comps))
+        }
+
+        let mesh = Mesh::new_2d(16, 16);
+        let cube = Hypercube::new(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        for x in 0..16u16 {
+            for y in 0..16u16 {
+                let src_mesh = mesh.node_at_coords(&[x, y]);
+                let mesh_dst = MeshTranspose.dest(&mesh, src_mesh, &mut rng);
+                let cube_dst = HypercubeTranspose.dest(&cube, embed(&cube, x, y), &mut rng);
+                match (mesh_dst, cube_dst) {
+                    (None, None) => {}
+                    (Some(md), Some(cd)) => {
+                        let mc = mesh.coord_of(md);
+                        assert_eq!(
+                            cd,
+                            embed(&cube, mc.get(0), mc.get(1)),
+                            "mismatch at ({x},{y})"
+                        );
+                    }
+                    other => panic!("fixed-point mismatch at ({x},{y}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_transpose_matches_paper_formula() {
+        // (x0..x7) -> (x̄4, x5, x6, x7, x̄0, x1, x2, x3)
+        let cube = Hypercube::new(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = cube.node_at(&Coord::new(vec![1, 0, 1, 1, 0, 0, 1, 0]));
+        let dst = HypercubeTranspose.dest(&cube, src, &mut rng).unwrap();
+        // d0 = !x4 = 1, d1 = x5 = 0, d2 = x6 = 1, d3 = x7 = 0,
+        // d4 = !x0 = 0, d5 = x1 = 0, d6 = x2 = 1, d7 = x3 = 1.
+        assert_eq!(cube.coord_of(dst).as_slice(), &[1, 0, 1, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn hypercube_transpose_is_involutive_with_16_fixed_points() {
+        // The fixed points are the embedded anti-diagonal of the 16x16
+        // mesh: one per diagonal position, 16 in all.
+        let cube = Hypercube::new(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut fixed = 0;
+        for id in 0..cube.num_nodes() {
+            let src = NodeId(id as u32);
+            match HypercubeTranspose.dest(&cube, src, &mut rng) {
+                None => fixed += 1,
+                Some(d) => {
+                    assert_eq!(HypercubeTranspose.dest(&cube, d, &mut rng), Some(src));
+                }
+            }
+        }
+        assert_eq!(fixed, 16);
+    }
+
+    #[test]
+    fn reverse_flip_matches_paper_formula() {
+        let cube = Hypercube::new(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = cube.node_at(&Coord::new(vec![1, 1, 1, 1, 0, 0, 1, 0]));
+        let dst = ReverseFlip.dest(&cube, src, &mut rng).unwrap();
+        // Reverse: [0,1,0,0,1,1,1,1], complement: [1,0,1,1,0,0,0,0].
+        assert_eq!(cube.coord_of(dst).as_slice(), &[1, 0, 1, 1, 0, 0, 0, 0]);
+        // Anti-palindromic addresses are fixed points (consumed locally).
+        let fixed = cube.node_at(&Coord::new(vec![1, 0, 1, 1, 0, 0, 1, 0]));
+        assert_eq!(ReverseFlip.dest(&cube, fixed, &mut rng), None);
+    }
+
+    #[test]
+    fn reverse_flip_average_distance_matches_paper() {
+        // The paper reports 4.27 hops average for reverse-flip in the
+        // 8-cube (vs 4.01 for uniform).
+        let cube = Hypercube::new(8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for id in 0..cube.num_nodes() {
+            let src = NodeId(id as u32);
+            if let Some(d) = ReverseFlip.dest(&cube, src, &mut rng) {
+                total += cube.min_hops(src, d);
+                count += 1;
+            }
+        }
+        let avg = total as f64 / count as f64;
+        assert!((avg - 4.27).abs() < 0.05, "avg reverse-flip distance {avg}");
+    }
+
+    #[test]
+    fn bit_complement_mirrors_coordinates() {
+        let mesh = Mesh::new_2d(8, 8);
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = mesh.node_at_coords(&[2, 5]);
+        let dst = BitComplement.dest(&mesh, src, &mut rng).unwrap();
+        assert_eq!(mesh.coord_of(dst).as_slice(), &[5, 2]);
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let hot = NodeId(9);
+        let pattern = Hotspot::new(hot, 0.5);
+        let mut hits = 0;
+        for _ in 0..4000 {
+            if pattern.dest(&mesh, NodeId(0), &mut rng) == Some(hot) {
+                hits += 1;
+            }
+        }
+        // 50% directed + ~1/15 of the uniform remainder.
+        let expected = 4000.0 * (0.5 + 0.5 / 15.0);
+        assert!((f64::from(hits) - expected).abs() < 200.0, "hits = {hits}");
+        assert_eq!(pattern.hotspot(), hot);
+    }
+
+    #[test]
+    fn tornado_on_torus() {
+        let torus = Torus::new(8, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let src = torus.node_at_coords(&[6, 2]);
+        let dst = Tornado.dest(&torus, src, &mut rng).unwrap();
+        assert_eq!(torus.coord_of(dst).as_slice(), &[1, 2]); // 6 + 3 mod 8
+    }
+
+    #[test]
+    fn shuffle_rotates_tuple() {
+        let cube = Hypercube::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        // (x0,x1,x2,x3) = (1,0,1,0) -> (0,1,0,1).
+        let src = cube.node_at(&Coord::new(vec![1, 0, 1, 0]));
+        let dst = Shuffle.dest(&cube, src, &mut rng).unwrap();
+        assert_eq!(cube.coord_of(dst).as_slice(), &[0, 1, 0, 1]);
+        // All-ones is a fixed point.
+        let fixed = cube.node_at(&Coord::new(vec![1, 1, 1, 1]));
+        assert_eq!(Shuffle.dest(&cube, fixed, &mut rng), None);
+    }
+
+    #[test]
+    fn shuffle_orbit_returns_after_n_steps() {
+        let cube = Hypercube::new(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let start = NodeId(0b101100);
+        let mut cur = start;
+        for _ in 0..6 {
+            cur = Shuffle.dest(&cube, cur, &mut rng).unwrap_or(cur);
+        }
+        assert_eq!(cur, start);
+    }
+
+    #[test]
+    fn bit_reverse_is_involutive() {
+        let cube = Hypercube::new(6);
+        let mut rng = StdRng::seed_from_u64(0);
+        for id in 0..cube.num_nodes() {
+            let src = NodeId(id as u32);
+            if let Some(d) = BitReverse.dest(&cube, src, &mut rng) {
+                assert_eq!(BitReverse.dest(&cube, d, &mut rng), Some(src));
+            }
+        }
+        // Palindromic addresses are fixed points.
+        let fixed = cube.node_at(&Coord::new(vec![1, 0, 1, 1, 0, 1]));
+        assert_eq!(BitReverse.dest(&cube, fixed, &mut rng), None);
+    }
+
+    #[test]
+    fn nearest_neighbor_always_one_hop() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        for id in 0..mesh.num_nodes() {
+            let src = NodeId(id as u32);
+            for _ in 0..8 {
+                let d = NearestNeighbor.dest(&mesh, src, &mut rng).unwrap();
+                assert_eq!(mesh.min_hops(src, d), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_table() {
+        let mesh = Mesh::new_2d(2, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Permutation::new("swap", vec![NodeId(1), NodeId(0), NodeId(2), NodeId(3)]);
+        assert_eq!(p.dest(&mesh, NodeId(0), &mut rng), Some(NodeId(1)));
+        assert_eq!(p.dest(&mesh, NodeId(2), &mut rng), None); // self-map
+        assert_eq!(p.name(), "swap");
+    }
+
+    #[test]
+    fn trait_object_and_box_delegate() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let boxed: Box<dyn TrafficPattern> = Box::new(MeshTranspose);
+        let by_ref: &dyn TrafficPattern = &MeshTranspose;
+        let src = mesh.node_at_coords(&[1, 2]);
+        assert_eq!(boxed.name(), "matrix-transpose");
+        assert_eq!(
+            boxed.dest(&mesh, src, &mut rng),
+            by_ref.dest(&mesh, src, &mut rng)
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Channel dependency graphs over virtual channels.
+
+use crate::{VcRoutingFunction, VirtualDirection};
+use turnroute_topology::{Mesh, NodeId, Topology};
+
+/// One virtual channel of the double-y mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VcChannel {
+    /// Dense id.
+    pub id: u32,
+    /// Router the channel leaves.
+    pub src: NodeId,
+    /// Router the channel enters.
+    pub dst: NodeId,
+    /// The virtual direction it routes packets in.
+    pub vdir: VirtualDirection,
+}
+
+/// The Dally–Seitz dependency graph with *virtual* channels as vertices —
+/// the form of the analysis needed once extra channels enter the picture
+/// (each virtual channel is a resource of its own).
+#[derive(Debug, Clone)]
+pub struct VcCdg {
+    channels: Vec<VcChannel>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl VcCdg {
+    /// Build the dependency graph induced by `routing` on `mesh`,
+    /// quantifying only reachable `(incoming channel, destination)` states
+    /// for minimal functions.
+    pub fn from_routing(mesh: &Mesh, routing: &dyn VcRoutingFunction) -> VcCdg {
+        // Enumerate virtual channels and a slot lookup.
+        let slots_per_node = 2 * 2 * mesh.num_dims(); // dirs * classes
+        let mut slot_to_id = vec![u32::MAX; mesh.num_nodes() * slots_per_node];
+        let mut channels = Vec::new();
+        for node in 0..mesh.num_nodes() {
+            let node = NodeId(node as u32);
+            for vd in VirtualDirection::double_y_all() {
+                if let Some(dst) = mesh.neighbor(node, vd.dir()) {
+                    let id = channels.len() as u32;
+                    slot_to_id[node.index() * slots_per_node + vd.index()] = id;
+                    channels.push(VcChannel { id, src: node, dst, vdir: vd });
+                }
+            }
+        }
+        let minimal = routing.is_minimal();
+        let mut adj = vec![Vec::new(); channels.len()];
+        for c1 in &channels {
+            let mid = c1.dst;
+            let mut union: Vec<VirtualDirection> = Vec::new();
+            for dest in 0..mesh.num_nodes() {
+                let dest = NodeId(dest as u32);
+                if dest == mid {
+                    continue;
+                }
+                if minimal && mesh.min_hops(mid, dest) >= mesh.min_hops(c1.src, dest) {
+                    continue;
+                }
+                for vd in routing.route(mesh, mid, dest, Some(c1.vdir)) {
+                    if !union.contains(&vd) {
+                        union.push(vd);
+                    }
+                }
+            }
+            for vd in union {
+                let id = slot_to_id[mid.index() * slots_per_node + vd.index()];
+                assert_ne!(id, u32::MAX, "routing offered a nonexistent channel");
+                adj[c1.id as usize].push(id);
+            }
+        }
+        VcCdg { channels, adj }
+    }
+
+    /// The virtual channels (vertices).
+    pub fn channels(&self) -> &[VcChannel] {
+        &self.channels
+    }
+
+    /// Number of dependency edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Find a dependency cycle, or `None` if the graph is acyclic.
+    pub fn find_cycle(&self) -> Option<Vec<u32>> {
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        let n = self.channels.len();
+        let mut color = vec![WHITE; n];
+        let mut path = Vec::new();
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            color[start] = GRAY;
+            path.push(start);
+            stack.push((start, 0));
+            while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+                if *next < self.adj[v].len() {
+                    let w = self.adj[v][*next] as usize;
+                    *next += 1;
+                    match color[w] {
+                        WHITE => {
+                            color[w] = GRAY;
+                            path.push(w);
+                            stack.push((w, 0));
+                        }
+                        GRAY => {
+                            let pos = path.iter().position(|&x| x == w).expect("on path");
+                            return Some(path[pos..].iter().map(|&i| i as u32).collect());
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[v] = 2;
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the graph is acyclic (deadlock free).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DoubleYAdaptive;
+    use turnroute_topology::{Direction, Sign};
+
+    #[test]
+    fn double_y_is_acyclic_on_assorted_meshes() {
+        for (m, n) in [(3u16, 3u16), (4, 4), (8, 8), (5, 3), (3, 7)] {
+            let mesh = Mesh::new_2d(m, n);
+            let cdg = VcCdg::from_routing(&mesh, &DoubleYAdaptive::new());
+            assert!(cdg.is_acyclic(), "cyclic on {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn channel_count_includes_doubled_y() {
+        let mesh = Mesh::new_2d(4, 4);
+        let cdg = VcCdg::from_routing(&mesh, &DoubleYAdaptive::new());
+        // x channels: 2 * 3 * 4 = 24 (one class); y channels: 24 * 2.
+        assert_eq!(cdg.channels().len(), 24 + 48);
+        assert!(cdg.num_edges() > 0);
+    }
+
+    /// A deliberately unrestricted VC routing: fully adaptive on both
+    /// classes — which reintroduces the deadlock cycles.
+    struct Unrestricted;
+
+    impl VcRoutingFunction for Unrestricted {
+        fn name(&self) -> &str {
+            "unrestricted"
+        }
+
+        fn route(
+            &self,
+            mesh: &Mesh,
+            current: NodeId,
+            dest: NodeId,
+            _arrived: Option<VirtualDirection>,
+        ) -> Vec<VirtualDirection> {
+            let mut out = Vec::new();
+            let (c, d) = (mesh.coord_of(current), mesh.coord_of(dest));
+            if d.get(0) != c.get(0) {
+                let sign = if d.get(0) > c.get(0) { Sign::Plus } else { Sign::Minus };
+                out.push(VirtualDirection::new(
+                    Direction::new(0, sign),
+                    crate::VcClass::One,
+                ));
+            }
+            if d.get(1) != c.get(1) {
+                let sign = if d.get(1) > c.get(1) { Sign::Plus } else { Sign::Minus };
+                out.push(VirtualDirection::new(
+                    Direction::new(1, sign),
+                    crate::VcClass::One,
+                ));
+                out.push(VirtualDirection::new(
+                    Direction::new(1, sign),
+                    crate::VcClass::Two,
+                ));
+            }
+            out
+        }
+
+        fn is_minimal(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn unrestricted_vc_routing_still_deadlocks() {
+        // Extra channels alone do not prevent deadlock: the turn rules do.
+        let mesh = Mesh::new_2d(4, 4);
+        let cdg = VcCdg::from_routing(&mesh, &Unrestricted);
+        assert!(cdg.find_cycle().is_some());
+    }
+}

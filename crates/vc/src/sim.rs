@@ -1,0 +1,683 @@
+//! Virtual-channel wormhole simulator.
+//!
+//! Mirrors the base simulator's mechanics (single-flit buffers, header
+//! reservation, tail release, FCFS input selection) with one addition:
+//! each *physical* link transfers at most one flit per cycle, shared by
+//! its virtual channels — the bandwidth cost of virtual channels the
+//! paper points out ("it also reduces the bandwidths of the virtual
+//! channels already sharing the physical channel").
+
+use crate::{VcRoutingFunction, VirtualDirection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use turnroute_sim::{LengthDist, Packet, PacketId, SimConfig, SimReport};
+use turnroute_topology::{Mesh, NodeId, Topology};
+use turnroute_traffic::TrafficPattern;
+
+const NONE_U32: u32 = u32::MAX;
+
+/// Results of a virtual-channel simulation (same shape as the base
+/// simulator's report).
+pub type VcSimReport = SimReport;
+
+#[derive(Debug, Clone, Copy)]
+struct BufFlit {
+    packet: u32,
+    is_head: bool,
+    is_tail: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Emitting {
+    packet: u32,
+    sent: u32,
+}
+
+/// A wormhole simulation over a double-y virtual-channel mesh.
+///
+/// Uses the same [`SimConfig`] as the base simulator; input selection is
+/// local FCFS and output selection takes the routing function's first
+/// offered virtual channel that is free (the `input_policy` /
+/// `output_policy` fields are ignored).
+pub struct VcSim<'a> {
+    mesh: &'a Mesh,
+    routing: &'a dyn VcRoutingFunction,
+    pattern: &'a dyn TrafficPattern,
+    cfg: SimConfig,
+    rng: StdRng,
+    now: u64,
+
+    num_nodes: usize,
+    /// Network VC slots: `node * 8 + vdir.index()`; then injection, then
+    /// ejection slots.
+    inj_base: usize,
+    ej_base: usize,
+    num_channels: usize,
+    exists: Vec<bool>,
+    input_router: Vec<u32>,
+    /// Physical link of each slot (per-cycle bandwidth arbiter).
+    phys_link: Vec<u32>,
+    num_links: usize,
+
+    owner: Vec<u32>,
+    buf: Vec<Option<BufFlit>>,
+    assigned_out: Vec<u32>,
+    head_since: Vec<u64>,
+
+    packets: Vec<Packet>,
+    queues: Vec<VecDeque<u32>>,
+    emitting: Vec<Option<Emitting>>,
+    next_arrival: Vec<f64>,
+
+    window: (u64, u64),
+    generated_packets: u64,
+    generated_flits: u64,
+    delivered_flits_in_window: u64,
+    max_queue_len: usize,
+    last_move: u64,
+    deadlocked: bool,
+}
+
+impl<'a> VcSim<'a> {
+    /// Create a virtual-channel simulation.
+    pub fn new(
+        mesh: &'a Mesh,
+        routing: &'a dyn VcRoutingFunction,
+        pattern: &'a dyn TrafficPattern,
+        cfg: SimConfig,
+    ) -> VcSim<'a> {
+        assert_eq!(mesh.num_dims(), 2, "double-y scheme is for 2D meshes");
+        let num_nodes = mesh.num_nodes();
+        let inj_base = num_nodes * 8;
+        let ej_base = inj_base + num_nodes;
+        let num_channels = ej_base + num_nodes;
+        let phys_network_links = num_nodes * 4;
+        let num_links = phys_network_links + 2 * num_nodes;
+
+        let mut exists = vec![false; num_channels];
+        let mut input_router = vec![NONE_U32; num_channels];
+        let mut phys_link = vec![NONE_U32; num_channels];
+        for node in 0..num_nodes {
+            let node_id = NodeId(node as u32);
+            for vd in VirtualDirection::double_y_all() {
+                if let Some(next) = mesh.neighbor(node_id, vd.dir()) {
+                    let slot = node * 8 + vd.index();
+                    exists[slot] = true;
+                    input_router[slot] = next.0;
+                    phys_link[slot] = (node * 4 + vd.dir().index()) as u32;
+                }
+            }
+            exists[inj_base + node] = true;
+            input_router[inj_base + node] = node as u32;
+            phys_link[inj_base + node] = (phys_network_links + node) as u32;
+            exists[ej_base + node] = true;
+            input_router[ej_base + node] = node as u32;
+            phys_link[ej_base + node] = (phys_network_links + num_nodes + node) as u32;
+        }
+
+        let mut sim = VcSim {
+            mesh,
+            routing,
+            pattern,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: 0,
+            num_nodes,
+            inj_base,
+            ej_base,
+            num_channels,
+            exists,
+            input_router,
+            phys_link,
+            num_links,
+            owner: vec![NONE_U32; num_channels],
+            buf: vec![None; num_channels],
+            assigned_out: vec![NONE_U32; num_channels],
+            head_since: vec![0; num_channels],
+            packets: Vec::new(),
+            queues: vec![VecDeque::new(); num_nodes],
+            emitting: vec![None; num_nodes],
+            next_arrival: vec![0.0; num_nodes],
+            window: (0, u64::MAX),
+            generated_packets: 0,
+            generated_flits: 0,
+            delivered_flits_in_window: 0,
+            max_queue_len: 0,
+            last_move: 0,
+            deadlocked: false,
+        };
+        if sim.cfg.injection_rate > 0.0 {
+            let mean = sim.mean_interarrival();
+            for v in 0..num_nodes {
+                sim.next_arrival[v] = sim.sample_exp(mean);
+            }
+        }
+        sim
+    }
+
+    /// The current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether deadlock was detected.
+    pub fn deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// All packets created so far.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Manually queue a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or `len == 0`.
+    pub fn inject_packet(&mut self, src: NodeId, dst: NodeId, len: u32) -> PacketId {
+        assert_ne!(src, dst, "packet must leave its source");
+        assert!(len >= 1, "packet needs at least one flit");
+        PacketId(self.create_packet(src, dst, len))
+    }
+
+    fn create_packet(&mut self, src: NodeId, dst: NodeId, len: u32) -> u32 {
+        let id = self.packets.len() as u32;
+        self.packets.push(Packet {
+            id: PacketId(id),
+            src,
+            dst,
+            len,
+            created: self.now,
+            injected: None,
+            delivered: None,
+            hops: 0,
+            misroutes: 0,
+        });
+        self.queues[src.index()].push_back(id);
+        if self.in_window() {
+            self.generated_packets += 1;
+            self.generated_flits += u64::from(len);
+        }
+        id
+    }
+
+    fn in_window(&self) -> bool {
+        self.now >= self.window.0 && self.now < self.window.1
+    }
+
+    fn mean_interarrival(&self) -> f64 {
+        self.cfg.lengths.mean() / self.cfg.injection_rate
+    }
+
+    fn sample_exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    fn sample_len(&mut self) -> u32 {
+        match self.cfg.lengths {
+            LengthDist::Fixed(n) => n,
+            LengthDist::Bimodal { short, long } => {
+                if self.rng.gen_bool(0.5) {
+                    short
+                } else {
+                    long
+                }
+            }
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        self.generate();
+        self.assign_outputs();
+        self.advance();
+        self.feed_injection();
+        if self.now.saturating_sub(self.last_move) >= self.cfg.deadlock_threshold
+            && self.buf.iter().any(Option::is_some)
+        {
+            self.deadlocked = true;
+        }
+        self.now += 1;
+    }
+
+    /// Run warmup → measure → drain and summarize.
+    pub fn run(&mut self) -> VcSimReport {
+        let start = self.now;
+        let ms = start + self.cfg.warmup_cycles;
+        let me = ms + self.cfg.measure_cycles;
+        let end = me + self.cfg.drain_cycles;
+        self.window = (ms, me);
+        while self.now < end && !self.deadlocked {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Step until idle or `max_cycles` pass; `true` if everything
+    /// drained.
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> bool {
+        let end = self.now + max_cycles;
+        while self.now < end && !self.deadlocked {
+            self.step();
+            if self.is_idle() {
+                return true;
+            }
+        }
+        self.is_idle()
+    }
+
+    /// Whether nothing is queued, streaming, or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.buf.iter().all(Option::is_none)
+            && self.queues.iter().all(VecDeque::is_empty)
+            && self.emitting.iter().all(Option::is_none)
+    }
+
+    /// Summarize packets created in the measurement window.
+    pub fn report(&self) -> VcSimReport {
+        let (ms, me) = self.window;
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut network_sum = 0u64;
+        let mut hops_sum = 0u64;
+        let mut delivered = 0u64;
+        for p in &self.packets {
+            if p.created < ms || p.created >= me {
+                continue;
+            }
+            if let Some(lat) = p.latency() {
+                delivered += 1;
+                latencies.push(lat);
+                network_sum += p.network_latency().unwrap_or(lat);
+                hops_sum += u64::from(p.hops);
+            }
+        }
+        latencies.sort_unstable();
+        let avg = |sum: u64, n: u64| if n == 0 { 0.0 } else { sum as f64 / n as f64 };
+        let p99 = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[(latencies.len() - 1).min(latencies.len() * 99 / 100)] as f64
+        };
+        SimReport {
+            generated_packets: self.generated_packets,
+            generated_flits: self.generated_flits,
+            delivered_packets: delivered,
+            delivered_flits_in_window: self.delivered_flits_in_window,
+            measure_cycles: me.saturating_sub(ms),
+            avg_latency_cycles: avg(latencies.iter().sum(), delivered),
+            p99_latency_cycles: p99,
+            avg_network_latency_cycles: avg(network_sum, delivered),
+            avg_hops: avg(hops_sum, delivered),
+            avg_misroutes: 0.0,
+            queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
+            max_queue_len: self.max_queue_len,
+            deadlocked: self.deadlocked,
+            end_cycle: self.now,
+        }
+    }
+
+    fn generate(&mut self) {
+        if self.cfg.injection_rate <= 0.0 {
+            return;
+        }
+        let mean = self.mean_interarrival();
+        for v in 0..self.num_nodes {
+            while self.next_arrival[v] <= self.now as f64 {
+                let step = self.sample_exp(mean);
+                self.next_arrival[v] += step;
+                let src = NodeId(v as u32);
+                if let Some(dst) = self.pattern.dest(self.mesh, src, &mut self.rng) {
+                    let len = self.sample_len();
+                    self.create_packet(src, dst, len);
+                }
+            }
+            if self.in_window() {
+                self.max_queue_len = self.max_queue_len.max(self.queues[v].len());
+            }
+        }
+    }
+
+    fn vdir_of_slot(slot: usize) -> VirtualDirection {
+        let vidx = slot % 8;
+        let dir = turnroute_topology::Direction::from_index(vidx / 2);
+        let class = if vidx.is_multiple_of(2) {
+            crate::VcClass::One
+        } else {
+            crate::VcClass::Two
+        };
+        VirtualDirection::new(dir, class)
+    }
+
+    fn assign_outputs(&mut self) {
+        let mut heads: Vec<u32> = Vec::new();
+        for slot in 0..self.ej_base {
+            if !self.exists[slot] || self.assigned_out[slot] != NONE_U32 {
+                continue;
+            }
+            if matches!(self.buf[slot], Some(f) if f.is_head) {
+                heads.push(slot as u32);
+            }
+        }
+        heads.sort_unstable_by_key(|&c| (self.head_since[c as usize], c));
+        for &c in &heads {
+            self.try_assign(c as usize);
+        }
+    }
+
+    fn try_assign(&mut self, c: usize) {
+        let flit = self.buf[c].expect("head present");
+        let pkt = self.packets[flit.packet as usize];
+        let v = NodeId(self.input_router[c]);
+        if v == pkt.dst {
+            let ej = self.ej_base + v.index();
+            if self.owner[ej] == NONE_U32 {
+                self.assigned_out[c] = ej as u32;
+                self.owner[ej] = flit.packet;
+            }
+            return;
+        }
+        let arrived = if c >= self.inj_base {
+            None
+        } else {
+            Some(Self::vdir_of_slot(c))
+        };
+        for vd in self.routing.route(self.mesh, v, pkt.dst, arrived) {
+            let slot = v.index() * 8 + vd.index();
+            debug_assert!(self.exists[slot], "offered channel must exist");
+            if self.owner[slot] == NONE_U32 {
+                self.assigned_out[c] = slot as u32;
+                self.owner[slot] = flit.packet;
+                self.packets[flit.packet as usize].hops += 1;
+                return;
+            }
+        }
+    }
+
+    fn advance(&mut self) {
+        const UNKNOWN: u8 = 0;
+        const IN_PROGRESS: u8 = 1;
+        const YES: u8 = 2;
+        const NO: u8 = 3;
+        let mut state = vec![UNKNOWN; self.num_channels];
+        let mut order: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+
+        for start in 0..self.num_channels {
+            if state[start] != UNKNOWN || self.buf[start].is_none() {
+                continue;
+            }
+            stack.clear();
+            stack.push(start as u32);
+            while let Some(&c) = stack.last() {
+                let c = c as usize;
+                match state[c] {
+                    UNKNOWN => {
+                        if self.buf[c].is_none() {
+                            state[c] = NO;
+                            stack.pop();
+                            continue;
+                        }
+                        if c >= self.ej_base {
+                            state[c] = YES;
+                            order.push(c as u32);
+                            stack.pop();
+                            continue;
+                        }
+                        let o = self.assigned_out[c];
+                        if o == NONE_U32 {
+                            state[c] = NO;
+                            stack.pop();
+                            continue;
+                        }
+                        let o = o as usize;
+                        if self.buf[o].is_none() {
+                            state[c] = YES;
+                            order.push(c as u32);
+                            stack.pop();
+                            continue;
+                        }
+                        match state[o] {
+                            UNKNOWN => {
+                                state[c] = IN_PROGRESS;
+                                stack.push(o as u32);
+                            }
+                            IN_PROGRESS => {
+                                state[c] = NO;
+                                stack.pop();
+                            }
+                            YES => {
+                                state[c] = YES;
+                                order.push(c as u32);
+                                stack.pop();
+                            }
+                            _ => {
+                                state[c] = NO;
+                                stack.pop();
+                            }
+                        }
+                    }
+                    IN_PROGRESS => {
+                        let o = self.assigned_out[c] as usize;
+                        if state[o] == YES {
+                            state[c] = YES;
+                            order.push(c as u32);
+                        } else {
+                            state[c] = NO;
+                        }
+                        stack.pop();
+                    }
+                    _ => {
+                        stack.pop();
+                    }
+                }
+            }
+        }
+
+        // Apply targets-first, with one flit per physical link per cycle.
+        // A move is skipped if its link budget is spent or its target did
+        // not actually vacate (because an earlier move was skipped);
+        // skipping cascades naturally through the occupancy check.
+        let in_window = self.in_window();
+        let mut link_used = vec![false; self.num_links];
+        for &c in &order {
+            let c = c as usize;
+            let Some(flit) = self.buf[c] else { continue };
+            if c >= self.ej_base {
+                // Consume from the ejection buffer (the processor side of
+                // the ejection link was already paid when entering it).
+                self.buf[c] = None;
+                self.last_move = self.now;
+                if in_window {
+                    self.delivered_flits_in_window += 1;
+                }
+                if flit.is_tail {
+                    self.owner[c] = NONE_U32;
+                    self.packets[flit.packet as usize].delivered = Some(self.now);
+                }
+                continue;
+            }
+            let o = self.assigned_out[c] as usize;
+            if self.buf[o].is_some() {
+                continue; // upstream of a skipped move
+            }
+            let link = self.phys_link[o] as usize;
+            if link_used[link] {
+                continue; // physical bandwidth spent this cycle
+            }
+            link_used[link] = true;
+            self.buf[c] = None;
+            self.buf[o] = Some(flit);
+            self.last_move = self.now;
+            if flit.is_head {
+                self.head_since[o] = self.now;
+            }
+            if flit.is_tail {
+                self.owner[c] = NONE_U32;
+                self.assigned_out[c] = NONE_U32;
+            }
+        }
+    }
+
+    fn feed_injection(&mut self) {
+        for v in 0..self.num_nodes {
+            let inj = self.inj_base + v;
+            if self.buf[inj].is_some() {
+                continue;
+            }
+            if self.emitting[v].is_none() {
+                let Some(pid) = self.queues[v].pop_front() else {
+                    continue;
+                };
+                self.packets[pid as usize].injected = Some(self.now);
+                self.emitting[v] = Some(Emitting { packet: pid, sent: 0 });
+            }
+            let Emitting { packet, sent } = self.emitting[v].expect("set above");
+            let len = self.packets[packet as usize].len;
+            let flit = BufFlit {
+                packet,
+                is_head: sent == 0,
+                is_tail: sent + 1 == len,
+            };
+            self.buf[inj] = Some(flit);
+            if flit.is_head {
+                self.head_since[inj] = self.now;
+                self.owner[inj] = packet;
+            }
+            self.emitting[v] = if sent + 1 == len {
+                None
+            } else {
+                Some(Emitting { packet, sent: sent + 1 })
+            };
+        }
+    }
+}
+
+impl std::fmt::Debug for VcSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcSim")
+            .field("now", &self.now)
+            .field("routing", &self.routing.name())
+            .field("packets", &self.packets.len())
+            .field("deadlocked", &self.deadlocked)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DoubleYAdaptive;
+    use turnroute_traffic::{MeshTranspose, Uniform};
+
+    fn quiet_cfg() -> SimConfig {
+        SimConfig::builder()
+            .injection_rate(0.0)
+            .deadlock_threshold(500)
+            .build()
+    }
+
+    #[test]
+    fn single_packet_latency_matches_base_model() {
+        let mesh = Mesh::new_2d(8, 8);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let mut sim = VcSim::new(&mesh, &alg, &pattern, quiet_cfg());
+        let src = mesh.node_at_coords(&[1, 1]);
+        let dst = mesh.node_at_coords(&[5, 4]);
+        let id = sim.inject_packet(src, dst, 10);
+        assert!(sim.run_until_idle(500));
+        let p = sim.packets()[id.index()];
+        assert_eq!(p.hops, 7);
+        // Identical pipeline to the base sim: head consumed at cycle 9,
+        // tail 9 flit-cycles later.
+        assert_eq!(p.latency(), Some(18));
+    }
+
+    #[test]
+    fn delivers_uniform_traffic_without_deadlock() {
+        let mesh = Mesh::new_2d(8, 8);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.05)
+            .lengths(LengthDist::Fixed(8))
+            .warmup_cycles(500)
+            .measure_cycles(3_000)
+            .drain_cycles(4_000)
+            .seed(2)
+            .build();
+        let report = VcSim::new(&mesh, &alg, &pattern, cfg).run();
+        assert!(!report.deadlocked);
+        assert!(report.delivered_fraction() > 0.99);
+        assert!(report.generated_packets > 100);
+    }
+
+    #[test]
+    fn oversaturation_does_not_deadlock() {
+        let mesh = Mesh::new_2d(8, 8);
+        let alg = DoubleYAdaptive::new();
+        let pattern = MeshTranspose::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.8)
+            .warmup_cycles(0)
+            .measure_cycles(6_000)
+            .drain_cycles(0)
+            .deadlock_threshold(2_000)
+            .seed(3)
+            .build();
+        let report = VcSim::new(&mesh, &alg, &pattern, cfg).run();
+        assert!(!report.deadlocked);
+        assert!(report.delivered_flits_in_window > 0);
+    }
+
+    #[test]
+    fn physical_link_bandwidth_is_shared() {
+        // Two packets heading north through the same physical link on
+        // different virtual channels: total time must reflect one
+        // flit/cycle of shared bandwidth, not two.
+        let mesh = Mesh::new_2d(4, 4);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let mut sim = VcSim::new(&mesh, &alg, &pattern, quiet_cfg());
+        // Packet A: pure vertical (uses y2). Packet B: west-then-north at
+        // the same column (uses y1 while westbound... it starts at the
+        // column, so it is pure vertical too — give it a west leg first).
+        let a = sim.inject_packet(
+            mesh.node_at_coords(&[1, 0]),
+            mesh.node_at_coords(&[1, 3]),
+            20,
+        );
+        let b = sim.inject_packet(
+            mesh.node_at_coords(&[2, 0]),
+            mesh.node_at_coords(&[1, 3]),
+            20,
+        );
+        assert!(sim.run_until_idle(1_000));
+        let (pa, pb) = (sim.packets()[a.index()], sim.packets()[b.index()]);
+        // Both traverse the column-1 northward links; with one flit per
+        // cycle per physical link their tails must be >= 20 cycles apart
+        // (they also share the ejection channel).
+        let (da, db) = (pa.delivered.unwrap(), pb.delivered.unwrap());
+        assert!(da.abs_diff(db) >= 20, "physical bandwidth not shared");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = Mesh::new_2d(8, 8);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.06)
+            .warmup_cycles(200)
+            .measure_cycles(1_000)
+            .drain_cycles(1_000)
+            .seed(42)
+            .build();
+        let r1 = VcSim::new(&mesh, &alg, &pattern, cfg.clone()).run();
+        let r2 = VcSim::new(&mesh, &alg, &pattern, cfg).run();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Virtual directions: a physical direction plus a virtual-channel class.
+
+use turnroute_topology::{Direction, Mesh, NodeId, Topology};
+
+/// The virtual-channel class of a channel. The double-y mesh uses
+/// [`VcClass::One`] for x channels and both classes for y channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VcClass {
+    /// The first (or only) virtual channel of a physical link.
+    One,
+    /// The second virtual channel of a doubled physical link.
+    Two,
+}
+
+impl VcClass {
+    /// `0` for `One`, `1` for `Two` — used in slot indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            VcClass::One => 0,
+            VcClass::Two => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for VcClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VcClass::One => write!(f, "1"),
+            VcClass::Two => write!(f, "2"),
+        }
+    }
+}
+
+/// A virtual direction: the paper's Step 1 treats the `v` channels of a
+/// physical direction as `v` distinct virtual directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualDirection {
+    dir: Direction,
+    class: VcClass,
+}
+
+impl VirtualDirection {
+    /// Create a virtual direction.
+    pub fn new(dir: Direction, class: VcClass) -> VirtualDirection {
+        VirtualDirection { dir, class }
+    }
+
+    /// The underlying physical direction.
+    #[inline]
+    pub fn dir(self) -> Direction {
+        self.dir
+    }
+
+    /// The virtual-channel class.
+    #[inline]
+    pub fn class(self) -> VcClass {
+        self.class
+    }
+
+    /// Dense index in `0..4n` (two classes per physical direction; class
+    /// slots of single-channel directions simply go unused).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.dir.index() * 2 + self.class.index()
+    }
+
+    /// All virtual directions of a double-y 2D mesh: `west`, `east` in
+    /// class One, and both classes of `north` and `south`.
+    pub fn double_y_all() -> [VirtualDirection; 6] {
+        [
+            VirtualDirection::new(Direction::WEST, VcClass::One),
+            VirtualDirection::new(Direction::EAST, VcClass::One),
+            VirtualDirection::new(Direction::NORTH, VcClass::One),
+            VirtualDirection::new(Direction::NORTH, VcClass::Two),
+            VirtualDirection::new(Direction::SOUTH, VcClass::One),
+            VirtualDirection::new(Direction::SOUTH, VcClass::Two),
+        ]
+    }
+
+    /// Whether this virtual direction exists in the double-y scheme
+    /// (x channels have a single class).
+    pub fn exists_in_double_y(self) -> bool {
+        self.dir.dim() == 1 || self.class == VcClass::One
+    }
+}
+
+impl std::fmt::Display for VirtualDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.dir.dim() == 0 {
+            write!(f, "{}", self.dir)
+        } else {
+            write!(f, "{}{}", self.dir, self.class)
+        }
+    }
+}
+
+/// A routing function over virtual channels of a 2D mesh.
+///
+/// The contract mirrors
+/// [`turnroute_model::RoutingFunction`]: empty output exactly at the
+/// destination, only existing channels, and for minimal functions only
+/// distance-reducing physical moves. Unreachable `(arrived, dest)` states
+/// must return the empty set so dependency analysis stays exact.
+pub trait VcRoutingFunction {
+    /// Short human-readable name.
+    fn name(&self) -> &str;
+
+    /// Legal output virtual channels for a packet at `current` bound for
+    /// `dest`, having arrived on `arrived` (`None` at injection).
+    fn route(
+        &self,
+        mesh: &Mesh,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<VirtualDirection>,
+    ) -> Vec<VirtualDirection>;
+
+    /// Whether only shortest-path moves are offered.
+    fn is_minimal(&self) -> bool;
+}
+
+/// The virtual channels leaving `node` in a double-y mesh, in a stable
+/// order.
+pub fn outgoing_vdirs(mesh: &Mesh, node: NodeId) -> Vec<VirtualDirection> {
+    VirtualDirection::double_y_all()
+        .into_iter()
+        .filter(|vd| mesh.neighbor(node, vd.dir()).is_some())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_virtual_directions() {
+        let all = VirtualDirection::double_y_all();
+        assert_eq!(all.len(), 6);
+        for vd in all {
+            assert!(vd.exists_in_double_y());
+        }
+        assert!(!VirtualDirection::new(Direction::WEST, VcClass::Two).exists_in_double_y());
+    }
+
+    #[test]
+    fn display_marks_classes_on_y_only() {
+        assert_eq!(
+            VirtualDirection::new(Direction::WEST, VcClass::One).to_string(),
+            "west"
+        );
+        assert_eq!(
+            VirtualDirection::new(Direction::NORTH, VcClass::Two).to_string(),
+            "north2"
+        );
+    }
+
+    #[test]
+    fn indices_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for vd in VirtualDirection::double_y_all() {
+            assert!(seen.insert(vd.index()));
+        }
+    }
+
+    #[test]
+    fn corner_node_has_fewer_outgoing() {
+        let mesh = Mesh::new_2d(4, 4);
+        let corner = mesh.node_at_coords(&[0, 0]);
+        // east (1 class) + north (2 classes).
+        assert_eq!(outgoing_vdirs(&mesh, corner).len(), 3);
+        let center = mesh.node_at_coords(&[1, 1]);
+        assert_eq!(outgoing_vdirs(&mesh, center).len(), 6);
+    }
+}

@@ -1,0 +1,34 @@
+//! Degree-of-adaptiveness tables: Sections 3.4 and 5 reproduced.
+//!
+//! ```text
+//! cargo run --release --example adaptiveness_table
+//! ```
+
+use turnroute::experiments::{adaptiveness_exp, pcube_table};
+use turnroute::model::adaptiveness::{count_minimal_paths, s_fully_adaptive};
+use turnroute::routing::{mesh2d, RoutingMode};
+use turnroute::topology::{Mesh, Topology};
+
+fn main() {
+    // Section 3.4 aggregate table (exhaustive over all pairs of an 8x8
+    // mesh; use the `exp adaptiveness-2d` subcommand for the 16x16 run).
+    println!("{}", adaptiveness_exp::render(8));
+
+    // A few concrete pairs, counted exhaustively.
+    let mesh = Mesh::new_2d(8, 8);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    println!("\nConcrete west-first path counts on the 8x8 mesh:");
+    for (s, d) in [([1u16, 1u16], [6u16, 6u16]), ([6, 1], [1, 6]), ([4, 4], [4, 7])] {
+        let (src, dst) = (mesh.node_at_coords(&s), mesh.node_at_coords(&d));
+        let sp = count_minimal_paths(&mesh, &wf, src, dst);
+        let sf = s_fully_adaptive(&mesh.coord_of(src), &mesh.coord_of(dst));
+        println!(
+            "  ({},{}) -> ({},{}): S_wf = {sp:>4}, S_f = {sf:>4}, ratio {:.3}",
+            s[0], s[1], d[0], d[1],
+            sp as f64 / sf as f64
+        );
+    }
+
+    // Section 5: the 10-cube p-cube table.
+    println!("\n{}", pcube_table::render());
+}

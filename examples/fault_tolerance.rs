@@ -1,0 +1,69 @@
+//! Fault tolerance through nonminimal adaptive routing.
+//!
+//! The paper argues nonminimal routing "provides better fault tolerance":
+//! a packet can route *around* a broken channel that minimal routing must
+//! cross. This example breaks channels in an 8x8 mesh and compares
+//! minimal and nonminimal west-first.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use turnroute::routing::{mesh2d, RoutingMode};
+use turnroute::sim::{OutputPolicy, Sim, SimConfig};
+use turnroute::topology::{Direction, Mesh, Topology};
+use turnroute::traffic::Uniform;
+
+fn main() {
+    let mesh = Mesh::new_2d(8, 8);
+    let pattern = Uniform::new();
+
+    // Break the whole eastward column between x=3 and x=4 except one row:
+    // packets crossing west-to-east must detour through row 7.
+    let faults: Vec<_> = (0..7u16)
+        .map(|y| (mesh.node_at_coords(&[3, y]), Direction::EAST))
+        .collect();
+
+    for (label, mode, budget) in [
+        ("minimal west-first", RoutingMode::Minimal, 0u32),
+        ("nonminimal west-first (8 misroutes)", RoutingMode::Nonminimal, 8),
+    ] {
+        let routing = mesh2d::west_first(mode);
+        // HighestDim makes the misrouting packet climb north toward the
+        // one intact row rather than descending into the dead southwest
+        // corner (column 3's eastward channels are broken for rows 0-6).
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .misroute_budget(budget)
+            .output_policy(OutputPolicy::HighestDim)
+            .deadlock_threshold(2_000)
+            .build();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, cfg);
+        for (node, dir) in &faults {
+            sim.set_fault(*node, *dir);
+        }
+        // A packet that must cross the broken column on a row where the
+        // minimal path is severed.
+        let src = mesh.node_at_coords(&[1, 2]);
+        let dst = mesh.node_at_coords(&[6, 2]);
+        let id = sim.inject_packet(src, dst, 10);
+        let drained = sim.run_until_idle(4_000);
+        let p = sim.packets()[id.index()];
+        match p.delivered {
+            Some(cycle) => println!(
+                "{label}: delivered at cycle {cycle} in {} hops ({} misroutes)",
+                p.hops, p.misroutes
+            ),
+            None => println!(
+                "{label}: NOT delivered (drained={drained}) — minimal routing cannot avoid the fault"
+            ),
+        }
+    }
+
+    println!();
+    println!("The minimal router is stuck: west-first minimal offers only the");
+    println!("eastward channel on the packet's row, and that channel is broken.");
+    println!("The nonminimal router misroutes north, crosses on row 7, and");
+    println!("returns south — exactly the fault tolerance the paper credits");
+    println!("nonminimal turn-model routing with.");
+}

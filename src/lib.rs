@@ -1,0 +1,48 @@
+//! # turnroute
+//!
+//! A from-scratch reproduction of *The Turn Model for Adaptive Routing*
+//! (Glass & Ni): deadlock-free partially adaptive wormhole routing
+//! algorithms for meshes, k-ary n-cubes, and hypercubes, the analysis
+//! machinery behind the paper's theorems, a cycle-accurate flit-level
+//! wormhole network simulator, and the workloads and harnesses that
+//! regenerate every figure and table in the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's sub-crates under stable
+//! module names:
+//!
+//! * [`topology`] — meshes, tori, hypercubes, coordinates, channels.
+//! * [`model`] — turns, turn sets, abstract cycles, channel dependency
+//!   graphs, channel numberings, adaptiveness analysis.
+//! * [`routing`] — the concrete algorithms: xy, west-first, north-last,
+//!   negative-first, dimension-order, ABONF, ABOPL, e-cube, p-cube, and
+//!   the torus extensions.
+//! * [`sim`] — the wormhole simulator (routers, flits, arbitration,
+//!   injection, metrics, fault injection).
+//! * [`traffic`] — uniform, transpose, reverse-flip, and other synthetic
+//!   traffic patterns.
+//! * [`vc`] — the virtual-channel extension: fully adaptive double-y
+//!   routing (the paper's "forthcoming paper" direction).
+//! * [`experiments`] — load sweeps and the per-figure experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use turnroute::model::{Cdg, presets};
+//! use turnroute::topology::{Mesh, Topology};
+//!
+//! // Verify, mechanically, that west-first routing cannot deadlock on an
+//! // 8x8 mesh: its channel dependency graph is acyclic.
+//! let mesh = Mesh::new_2d(8, 8);
+//! let cdg = Cdg::from_turn_set(&mesh, &presets::west_first_turns());
+//! assert!(cdg.is_acyclic());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use turnroute_experiments as experiments;
+pub use turnroute_model as model;
+pub use turnroute_routing as routing;
+pub use turnroute_sim as sim;
+pub use turnroute_topology as topology;
+pub use turnroute_traffic as traffic;
+pub use turnroute_vc as vc;

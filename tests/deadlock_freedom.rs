@@ -1,0 +1,177 @@
+//! Integration: every shipped routing algorithm is mechanically deadlock
+//! free on its target topologies, and the turn-model bookkeeping is
+//! consistent end to end.
+
+use turnroute::model::numbering::{
+    negative_first_numbering, numbering_from_cdg, verify_monotonic, west_first_numbering,
+    Monotonic,
+};
+use turnroute::model::{Cdg, RoutingFunction};
+use turnroute::routing::torus::{NegativeFirstTorus, WrapOnFirstHop};
+use turnroute::routing::{hypercube, mesh2d, ndmesh, DimensionOrder, RoutingMode};
+use turnroute::topology::{Direction, Hypercube, Mesh, NodeId, Topology, Torus};
+
+fn mesh_algorithms() -> Vec<Box<dyn RoutingFunction>> {
+    vec![
+        Box::new(mesh2d::xy()),
+        Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::west_first(RoutingMode::Nonminimal)),
+        Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+        Box::new(mesh2d::north_last(RoutingMode::Nonminimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Nonminimal)),
+    ]
+}
+
+#[test]
+fn all_2d_algorithms_have_acyclic_cdgs_on_assorted_meshes() {
+    for (m, n) in [(4u16, 4u16), (8, 8), (3, 9), (9, 3), (2, 6)] {
+        let mesh = Mesh::new_2d(m, n);
+        for alg in mesh_algorithms() {
+            let cdg = Cdg::from_routing(&mesh, &alg);
+            assert!(
+                cdg.is_acyclic(),
+                "{} ({:?}) cyclic on {m}x{n}",
+                alg.name(),
+                alg.is_minimal()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_nd_algorithms_have_acyclic_cdgs() {
+    for dims in [vec![3u16, 3, 3], vec![2, 4, 3], vec![2, 2, 2, 2]] {
+        let mesh = Mesh::new(dims.clone());
+        let n = mesh.num_dims();
+        let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+            Box::new(DimensionOrder::e_cube(n)),
+            Box::new(ndmesh::negative_first(n, RoutingMode::Minimal)),
+            Box::new(ndmesh::negative_first(n, RoutingMode::Nonminimal)),
+            Box::new(ndmesh::all_but_one_negative_first(n, RoutingMode::Minimal)),
+            Box::new(ndmesh::all_but_one_negative_first(n, RoutingMode::Nonminimal)),
+            Box::new(ndmesh::all_but_one_positive_last(n, RoutingMode::Minimal)),
+            Box::new(ndmesh::all_but_one_positive_last(n, RoutingMode::Nonminimal)),
+        ];
+        for alg in &algorithms {
+            assert!(
+                Cdg::from_routing(&mesh, alg).is_acyclic(),
+                "{} cyclic on {dims:?}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hypercube_algorithms_have_acyclic_cdgs() {
+    for n in [3usize, 4, 5, 6] {
+        let cube = Hypercube::new(n);
+        let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+            Box::new(hypercube::e_cube(n)),
+            Box::new(hypercube::p_cube(n, RoutingMode::Minimal)),
+            Box::new(hypercube::p_cube(n, RoutingMode::Nonminimal)),
+            Box::new(ndmesh::all_but_one_negative_first(n, RoutingMode::Minimal)),
+            Box::new(ndmesh::all_but_one_positive_last(n, RoutingMode::Minimal)),
+        ];
+        for alg in &algorithms {
+            assert!(
+                Cdg::from_routing(&cube, alg).is_acyclic(),
+                "{} cyclic on {n}-cube",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn torus_adaptations_have_acyclic_cdgs() {
+    for (k, n) in [(3u16, 2usize), (4, 2), (5, 2), (3, 3)] {
+        let torus = Torus::new(k, n);
+        let nf = NegativeFirstTorus::new(n);
+        assert!(
+            Cdg::from_routing(&torus, &nf).is_acyclic(),
+            "NF-torus cyclic on {k}-ary {n}-cube"
+        );
+        if n == 2 {
+            let wrapped = WrapOnFirstHop::new(mesh2d::negative_first(RoutingMode::Minimal), &torus);
+            assert!(
+                Cdg::from_routing(&torus, &wrapped).is_acyclic(),
+                "wrap-first-hop cyclic on {k}-ary {n}-cube"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_route_move_is_within_the_declared_turn_set() {
+    let mesh = Mesh::new_2d(6, 6);
+    for alg in mesh_algorithms() {
+        let Some(set) = alg.turn_set(2) else {
+            continue;
+        };
+        for cur in 0..mesh.num_nodes() {
+            let cur = NodeId(cur as u32);
+            for dst in 0..mesh.num_nodes() {
+                let dst = NodeId(dst as u32);
+                for arrived in Direction::all(2) {
+                    for out in alg.route(&mesh, cur, dst, Some(arrived)).iter() {
+                        assert!(
+                            set.is_allowed(arrived, out),
+                            "{}: move {arrived}->{out} outside turn set",
+                            alg.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_numbering_witnesses_agree_with_cdg_witnesses() {
+    // Theorem 2 and Theorem 5 witness the same algorithms the CDG clears.
+    let mesh = Mesh::new_2d(6, 5);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    verify_monotonic(&mesh, &wf, &west_first_numbering(&mesh), Monotonic::Decreasing)
+        .expect("Theorem 2 numbering");
+    let cdg = Cdg::from_routing(&mesh, &wf);
+    let generic = numbering_from_cdg(&cdg).expect("acyclic");
+    verify_monotonic(&mesh, &wf, &generic, Monotonic::Increasing).expect("generic numbering");
+
+    let mesh3 = Mesh::new(vec![3, 4, 2]);
+    let nf = ndmesh::negative_first(3, RoutingMode::Minimal);
+    verify_monotonic(
+        &mesh3,
+        &nf,
+        &negative_first_numbering(&mesh3),
+        Monotonic::Increasing,
+    )
+    .expect("Theorem 5 numbering");
+}
+
+#[test]
+fn turn_set_cdg_is_a_superset_of_routing_cdg() {
+    // The turn-set relation covers every move the concrete minimal
+    // routing can make, so its edge set must contain the routing CDG's.
+    let mesh = Mesh::new_2d(5, 5);
+    for alg in [
+        mesh2d::west_first(RoutingMode::Minimal),
+        mesh2d::north_last(RoutingMode::Minimal),
+        mesh2d::negative_first(RoutingMode::Minimal),
+    ] {
+        let set = alg.turn_set(2).expect("2d turn set");
+        let from_set = Cdg::from_turn_set(&mesh, &set);
+        let from_routing = Cdg::from_routing(&mesh, &alg);
+        assert!(from_set.num_edges() >= from_routing.num_edges());
+        for ch in from_routing.channels() {
+            for succ in from_routing.successors(ch.id()) {
+                assert!(
+                    from_set.successors(ch.id()).contains(succ),
+                    "{}: routing edge missing from turn-set CDG",
+                    alg.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! One consolidated test per paper artifact: the repository's
+//! "reproduction certificate". Each test pins the paper's analytical
+//! claim to the measured value.
+
+use turnroute::experiments::{adaptiveness_exp, claims, fig1, pcube_table, theorems};
+use turnroute::model::cycle::{
+    abstract_cycles, breaks_all_hex_cycles, hex_abstract_cycles, num_ninety_turns,
+    two_turn_census,
+};
+use turnroute::model::symmetry::equivalence_classes;
+use turnroute::model::{presets, TurnSet};
+use turnroute::topology::{Hypercube, Mesh, Topology};
+use turnroute::traffic::{MeshTranspose, ReverseFlip, Uniform};
+
+#[test]
+fn figure_1_deadlock_happens_and_is_prevented() {
+    let deadlock = fig1::run_scenario(&fig1::TurnLeft::new());
+    assert!(deadlock.deadlocked);
+    assert_eq!(deadlock.delivered_packets, 0);
+    let wf = turnroute::routing::mesh2d::west_first(turnroute::routing::RoutingMode::Minimal);
+    let safe = fig1::run_scenario(&wf);
+    assert!(!safe.deadlocked);
+    assert_eq!(safe.delivered_packets, 4);
+}
+
+#[test]
+fn figure_2_two_abstract_cycles_of_four_turns() {
+    let cycles = abstract_cycles(2);
+    assert_eq!(cycles.len(), 2);
+    for c in &cycles {
+        assert_eq!(c.turns().len(), 4);
+    }
+    assert_eq!(num_ninety_turns(2), 8);
+}
+
+#[test]
+fn section_3_census_16_candidates_12_safe_3_unique() {
+    let mesh = Mesh::new_2d(4, 4);
+    let census = two_turn_census(&mesh);
+    assert_eq!(census.total(), 16);
+    assert_eq!(census.deadlock_free(), 12);
+    let safe: Vec<TurnSet> = census
+        .entries
+        .iter()
+        .filter(|(_, free)| *free)
+        .map(|(s, _)| s.clone())
+        .collect();
+    assert_eq!(equivalence_classes(&safe).len(), 3);
+}
+
+#[test]
+fn theorems_1_and_6_hold_for_n_2_to_5() {
+    for row in theorems::verify(5) {
+        assert_eq!(row.prohibited * 4, row.turns, "a quarter of the turns");
+        assert!(row.sufficient && row.necessary, "n = {}", row.n);
+    }
+}
+
+#[test]
+fn section_3_4_adaptiveness_table() {
+    // Mean S_p/S_f > 1/2 and S_p = 1 for >= half the pairs, with closed
+    // forms matching exhaustive counts, on an 8x8 mesh.
+    for row in adaptiveness_exp::analyze(8) {
+        assert!(row.formula_verified, "{}", row.algorithm);
+        assert!(row.summary.mean_ratio > 0.5);
+        assert!(row.summary.single_path_fraction >= 0.5);
+    }
+}
+
+#[test]
+fn section_5_pcube_table_and_counts() {
+    let rows = pcube_table::table();
+    let choices: Vec<(u32, u32)> = rows
+        .iter()
+        .take(6)
+        .map(|r| (r.choices, r.extra_nonminimal))
+        .collect();
+    assert_eq!(choices, vec![(3, 2), (2, 2), (1, 2), (3, 0), (2, 0), (1, 0)]);
+    let s = pcube_table::render();
+    assert!(s.contains("p-cube 36"));
+}
+
+#[test]
+fn section_6_path_lengths() {
+    let mesh = Mesh::new_2d(16, 16);
+    let cube = Hypercube::new(8);
+    let checks = [
+        (claims::average_path_length(&cube, &Uniform::new(), 1), 4.01, 0.05),
+        (claims::average_path_length(&cube, &ReverseFlip::new(), 1), 4.27, 0.05),
+        (claims::average_path_length(&mesh, &Uniform::new(), 1), 10.61, 0.1),
+        (claims::average_path_length(&mesh, &MeshTranspose::new(), 1), 11.34, 0.1),
+    ];
+    for (measured, paper, tol) in checks {
+        assert!(
+            (measured - paper).abs() < tol,
+            "path length {measured:.3} vs paper {paper}"
+        );
+    }
+}
+
+#[test]
+fn section_7_hexagonal_cycles_are_triangles() {
+    let cycles = hex_abstract_cycles();
+    assert_eq!(cycles.len(), 4);
+    for c in &cycles {
+        assert_eq!(c.turns().len(), 3, "hex cycles have three turns");
+    }
+    assert!(breaks_all_hex_cycles(&presets::negative_first_turns(3)));
+}
+
+#[test]
+fn paper_simulation_parameters_are_the_defaults() {
+    // 256-node networks, 20 flits/us channels, single-flit buffers,
+    // 10-or-200-flit packets, FCFS input and lowest-dim output selection.
+    let cfg = turnroute::sim::SimConfig::default();
+    assert_eq!(cfg.lengths, turnroute::sim::LengthDist::Bimodal { short: 10, long: 200 });
+    assert_eq!(cfg.buffer_depth, 1);
+    assert_eq!(cfg.input_policy, turnroute::sim::InputPolicy::Fcfs);
+    assert_eq!(cfg.output_policy, turnroute::sim::OutputPolicy::LowestDim);
+    assert_eq!(turnroute::sim::CYCLES_PER_MICROSEC, 20.0);
+    assert_eq!(Mesh::new_2d(16, 16).num_nodes(), 256);
+    assert_eq!(Hypercube::new(8).num_nodes(), 256);
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of simulator invariants across random
+//! configurations.
+
+use proptest::prelude::*;
+use turnroute::routing::{mesh2d, RoutingMode};
+use turnroute::sim::{LengthDist, Sim, SimConfig};
+use turnroute::topology::{Mesh, Topology};
+use turnroute::traffic::Uniform;
+
+fn arb_cfg() -> impl Strategy<Value = SimConfig> {
+    (
+        0.01f64..0.4,
+        2u32..24,
+        0u64..500,
+        500u64..3_000,
+        any::<u64>(),
+        1u32..5,
+    )
+        .prop_map(|(rate, len, warmup, measure, seed, depth)| {
+            SimConfig::builder()
+                .injection_rate(rate)
+                .lengths(LengthDist::Fixed(len))
+                .warmup_cycles(warmup)
+                .measure_cycles(measure)
+                .drain_cycles(measure)
+                .buffer_depth(depth)
+                .deadlock_threshold(5_000)
+                .seed(seed)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation and sanity across random loads, lengths, seeds, and
+    /// buffer depths: the turn-model algorithms never deadlock, delivered
+    /// packets are exact-minimal, and the report's accounting is
+    /// internally consistent.
+    #[test]
+    fn random_runs_conserve_and_never_deadlock(cfg in arb_cfg(), alg_pick in 0usize..4) {
+        let mesh = Mesh::new_2d(6, 6);
+        let algorithms: [Box<dyn turnroute::model::RoutingFunction>; 4] = [
+            Box::new(mesh2d::xy()),
+            Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+            Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+            Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+        ];
+        let alg = &algorithms[alg_pick];
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, alg, &pattern, cfg);
+        let report = sim.run();
+
+        prop_assert!(!report.deadlocked, "{} deadlocked", alg.name());
+        prop_assert!(report.delivered_packets <= report.generated_packets);
+        prop_assert!(report.delivered_fraction() <= 1.0 + 1e-9);
+
+        // Per-packet invariants.
+        let mut delivered_window_packets = 0;
+        for p in sim.packets() {
+            if let Some(done) = p.delivered {
+                prop_assert!(p.injected.is_some());
+                prop_assert!(done >= p.injected.unwrap());
+                let min = mesh.min_hops(p.src, p.dst) as u32;
+                prop_assert_eq!(p.hops, min, "minimal routing must be exact");
+                // Uncontended latency is exactly injection + hops +
+                // ejection transfers for the head (hops + 2 ... but the
+                // head enters the injection buffer in its creation
+                // cycle), then len - 1 flit cycles for the tail:
+                // hops + len + 1. Queuing and contention only add.
+                let floor = u64::from(min) + u64::from(p.len) + 1;
+                prop_assert!(
+                    p.latency().unwrap() >= floor,
+                    "latency {} below physical floor {}",
+                    p.latency().unwrap(),
+                    floor
+                );
+            }
+            if p.delivered.is_some()
+                && p.created >= cfg_window_start(&report)
+                && p.created < cfg_window_end(&report)
+            {
+                delivered_window_packets += 1;
+            }
+        }
+        prop_assert_eq!(delivered_window_packets, report.delivered_packets);
+    }
+}
+
+/// Reconstruct the measurement window from a completed run: arb_cfg sets
+/// `drain == measure`, so the window starts at `end - 2 * measure`.
+fn cfg_window_start(report: &turnroute::sim::SimReport) -> u64 {
+    report.end_cycle - 2 * report.measure_cycles
+}
+
+fn cfg_window_end(report: &turnroute::sim::SimReport) -> u64 {
+    cfg_window_start(report) + report.measure_cycles
+}

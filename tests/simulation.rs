@@ -1,0 +1,221 @@
+//! Integration: end-to-end simulations across topologies, algorithms,
+//! and workloads.
+
+use turnroute::model::RoutingFunction;
+use turnroute::routing::torus::{NegativeFirstTorus, WrapOnFirstHop};
+use turnroute::routing::{hypercube, mesh2d, ndmesh, RoutingMode};
+use turnroute::sim::{LengthDist, Sim, SimConfig};
+use turnroute::topology::{Hypercube, Mesh, Topology, Torus};
+use turnroute::traffic::{
+    BitComplement, HypercubeTranspose, MeshTranspose, ReverseFlip, TrafficPattern, Uniform,
+};
+
+fn low_load_cfg(seed: u64) -> SimConfig {
+    SimConfig::builder()
+        .injection_rate(0.04)
+        .lengths(LengthDist::Fixed(8))
+        .warmup_cycles(500)
+        .measure_cycles(3_000)
+        .drain_cycles(4_000)
+        .seed(seed)
+        .build()
+}
+
+fn assert_clean_delivery(
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    pattern: &dyn TrafficPattern,
+    seed: u64,
+) {
+    let report = Sim::new(topo, routing, pattern, low_load_cfg(seed)).run();
+    assert!(!report.deadlocked, "{} deadlocked", routing.name());
+    assert!(
+        report.delivered_fraction() > 0.99,
+        "{} on {}: delivered {:.3}",
+        routing.name(),
+        pattern.name(),
+        report.delivered_fraction()
+    );
+    assert!(report.generated_packets > 100, "workload too small");
+}
+
+#[test]
+fn mesh_algorithms_deliver_uniform_and_transpose() {
+    let mesh = Mesh::new_2d(8, 8);
+    let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+        Box::new(mesh2d::xy()),
+        Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+    ];
+    for alg in &algorithms {
+        assert_clean_delivery(&mesh, alg, &Uniform::new(), 1);
+        assert_clean_delivery(&mesh, alg, &MeshTranspose::new(), 2);
+        assert_clean_delivery(&mesh, alg, &BitComplement::new(), 3);
+    }
+}
+
+#[test]
+fn cube_algorithms_deliver_all_paper_patterns() {
+    let cube = Hypercube::new(6);
+    let algorithms: Vec<Box<dyn RoutingFunction>> = vec![
+        Box::new(hypercube::e_cube(6)),
+        Box::new(hypercube::p_cube(6, RoutingMode::Minimal)),
+        Box::new(ndmesh::all_but_one_negative_first(6, RoutingMode::Minimal)),
+        Box::new(ndmesh::all_but_one_positive_last(6, RoutingMode::Minimal)),
+    ];
+    for alg in &algorithms {
+        assert_clean_delivery(&cube, alg, &Uniform::new(), 4);
+        assert_clean_delivery(&cube, alg, &HypercubeTranspose::new(), 5);
+        assert_clean_delivery(&cube, alg, &ReverseFlip::new(), 6);
+    }
+}
+
+#[test]
+fn torus_adaptations_deliver_uniform_traffic() {
+    let torus = Torus::new(4, 2);
+    let nf = NegativeFirstTorus::new(2);
+    assert_clean_delivery(&torus, &nf, &Uniform::new(), 7);
+    let wrapped = WrapOnFirstHop::new(mesh2d::west_first(RoutingMode::Minimal), &torus);
+    assert_clean_delivery(&torus, &wrapped, &Uniform::new(), 8);
+}
+
+#[test]
+fn nd_mesh_negative_first_delivers() {
+    let mesh = Mesh::new(vec![4, 4, 4]);
+    let nf = ndmesh::negative_first(3, RoutingMode::Minimal);
+    assert_clean_delivery(&mesh, &nf, &Uniform::new(), 9);
+}
+
+#[test]
+fn hexagonal_mesh_negative_first_delivers() {
+    let hex = turnroute::topology::HexMesh::new(8, 8);
+    let nf = turnroute::routing::hex::negative_first_hex(RoutingMode::Minimal);
+    assert_clean_delivery(&hex, &nf, &Uniform::new(), 14);
+}
+
+#[test]
+fn nonminimal_modes_deliver_with_budget() {
+    let mesh = Mesh::new_2d(8, 8);
+    let cfg = SimConfig::builder()
+        .injection_rate(0.04)
+        .lengths(LengthDist::Fixed(8))
+        .warmup_cycles(500)
+        .measure_cycles(3_000)
+        .drain_cycles(5_000)
+        .misroute_budget(4)
+        .seed(10)
+        .build();
+    for alg in [
+        mesh2d::west_first(RoutingMode::Nonminimal),
+        mesh2d::negative_first(RoutingMode::Nonminimal),
+    ] {
+        let report = Sim::new(&mesh, &alg, &Uniform::new(), cfg.clone()).run();
+        assert!(!report.deadlocked, "{} deadlocked", alg.name());
+        assert!(
+            report.delivered_fraction() > 0.98,
+            "{} delivered {:.3}",
+            alg.name(),
+            report.delivered_fraction()
+        );
+    }
+}
+
+#[test]
+fn hop_counts_match_minimal_distance_at_low_load() {
+    let mesh = Mesh::new_2d(8, 8);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let mut sim = Sim::new(&mesh, &xy, &pattern, low_load_cfg(11));
+    let report = sim.run();
+    assert!(report.avg_hops > 0.0);
+    for p in sim.packets() {
+        if p.delivered.is_some() {
+            assert_eq!(
+                u32::try_from(mesh.min_hops(p.src, p.dst)).unwrap(),
+                p.hops,
+                "minimal routing must use exactly min_hops"
+            );
+            assert_eq!(p.misroutes, 0);
+        }
+    }
+}
+
+#[test]
+fn latency_grows_with_load() {
+    let mesh = Mesh::new_2d(8, 8);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let mut latencies = Vec::new();
+    for rate in [0.02, 0.10, 0.25] {
+        let cfg = SimConfig::builder()
+            .injection_rate(rate)
+            .warmup_cycles(1_000)
+            .measure_cycles(4_000)
+            .drain_cycles(4_000)
+            .seed(12)
+            .build();
+        let report = Sim::new(&mesh, &xy, &pattern, cfg).run();
+        latencies.push(report.avg_latency_cycles);
+    }
+    assert!(
+        latencies[0] < latencies[1] && latencies[1] < latencies[2],
+        "latency must grow with load: {latencies:?}"
+    );
+}
+
+#[test]
+fn oversaturation_does_not_deadlock_partially_adaptive_routing() {
+    // Far beyond saturation the network must keep moving (no deadlock):
+    // that is the whole point of the turn model.
+    let mesh = Mesh::new_2d(8, 8);
+    for alg in [
+        mesh2d::west_first(RoutingMode::Minimal),
+        mesh2d::negative_first(RoutingMode::Minimal),
+    ] {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.8)
+            .warmup_cycles(0)
+            .measure_cycles(8_000)
+            .drain_cycles(0)
+            .deadlock_threshold(2_000)
+            .seed(13)
+            .build();
+        let report = Sim::new(&mesh, &alg, &MeshTranspose::new(), cfg).run();
+        assert!(!report.deadlocked, "{} deadlocked at saturation", alg.name());
+        assert!(report.delivered_flits_in_window > 0);
+    }
+}
+
+#[test]
+fn seeded_runs_replay_identically_across_topologies() {
+    let cube = Hypercube::new(6);
+    let pc = hypercube::p_cube(6, RoutingMode::Minimal);
+    let pattern = ReverseFlip::new();
+    let r1 = Sim::new(&cube, &pc, &pattern, low_load_cfg(99)).run();
+    let r2 = Sim::new(&cube, &pc, &pattern, low_load_cfg(99)).run();
+    assert_eq!(r1, r2);
+    let r3 = Sim::new(&cube, &pc, &pattern, low_load_cfg(100)).run();
+    assert_ne!(r1, r3, "different seeds should differ");
+}
+
+#[test]
+fn ejection_contention_is_modeled() {
+    // Two packets to the same destination share one ejection channel:
+    // their deliveries must serialize.
+    let mesh = Mesh::new_2d(4, 4);
+    let xy = mesh2d::xy();
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder().injection_rate(0.0).build();
+    let mut sim = Sim::new(&mesh, &xy, &pattern, cfg);
+    let dst = mesh.node_at_coords(&[3, 3]);
+    let a = sim.inject_packet(mesh.node_at_coords(&[0, 3]), dst, 20);
+    let b = sim.inject_packet(mesh.node_at_coords(&[3, 0]), dst, 20);
+    assert!(sim.run_until_idle(1_000));
+    let (pa, pb) = (sim.packets()[a.index()], sim.packets()[b.index()]);
+    let (da, db) = (pa.delivered.unwrap(), pb.delivered.unwrap());
+    assert!(
+        da.abs_diff(db) >= 20,
+        "20-flit packets through one ejection port must be >= 20 cycles apart"
+    );
+}

@@ -1,0 +1,120 @@
+//! Integration: the virtual-channel extension end to end.
+
+use proptest::prelude::*;
+use turnroute::model::adaptiveness::s_fully_adaptive;
+use turnroute::routing::{mesh2d, RoutingMode};
+use turnroute::sim::{LengthDist, Sim, SimConfig};
+use turnroute::topology::{Mesh, NodeId, Topology};
+use turnroute::traffic::{MeshTranspose, Uniform};
+use turnroute::vc::{count_paths, DoubleYAdaptive, VcCdg, VcRoutingFunction, VcSim};
+
+#[test]
+fn double_y_delivers_transpose_traffic() {
+    let mesh = Mesh::new_2d(16, 16);
+    let alg = DoubleYAdaptive::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.06)
+        .lengths(LengthDist::Fixed(8))
+        .warmup_cycles(500)
+        .measure_cycles(3_000)
+        .drain_cycles(4_000)
+        .seed(21)
+        .build();
+    let report = VcSim::new(&mesh, &alg, &MeshTranspose::new(), cfg).run();
+    assert!(!report.deadlocked);
+    assert!(report.delivered_fraction() > 0.99);
+    assert!(report.generated_packets > 100);
+}
+
+#[test]
+fn vc_sim_matches_base_sim_at_zero_contention() {
+    // A lone packet should see identical timing in both simulators.
+    let mesh = Mesh::new_2d(8, 8);
+    let cfg = SimConfig::builder().injection_rate(0.0).build();
+    let pattern = Uniform::new();
+
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let mut base = Sim::new(&mesh, &wf, &pattern, cfg.clone());
+    let a = base.inject_packet(mesh.node_at_coords(&[0, 0]), mesh.node_at_coords(&[6, 6]), 12);
+    assert!(base.run_until_idle(500));
+
+    let dy = DoubleYAdaptive::new();
+    let mut vc = VcSim::new(&mesh, &dy, &pattern, cfg);
+    let b = vc.inject_packet(mesh.node_at_coords(&[0, 0]), mesh.node_at_coords(&[6, 6]), 12);
+    assert!(vc.run_until_idle(500));
+
+    let (pa, pb) = (base.packets()[a.index()], vc.packets()[b.index()]);
+    assert_eq!(pa.hops, pb.hops);
+    assert_eq!(pa.latency(), pb.latency());
+}
+
+#[test]
+fn double_y_hops_are_always_minimal() {
+    let mesh = Mesh::new_2d(8, 8);
+    let alg = DoubleYAdaptive::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.08)
+        .lengths(LengthDist::Fixed(6))
+        .warmup_cycles(200)
+        .measure_cycles(2_000)
+        .drain_cycles(3_000)
+        .seed(22)
+        .build();
+    let uniform = Uniform::new();
+    let mut sim = VcSim::new(&mesh, &alg, &uniform, cfg);
+    let _ = sim.run();
+    for p in sim.packets() {
+        if p.delivered.is_some() {
+            assert_eq!(
+                u32::try_from(mesh.min_hops(p.src, p.dst)).unwrap(),
+                p.hops
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn double_y_cdg_acyclic_on_random_meshes(m in 2u16..8, n in 2u16..8) {
+        let mesh = Mesh::new_2d(m, n);
+        let cdg = VcCdg::from_routing(&mesh, &DoubleYAdaptive::new());
+        prop_assert!(cdg.is_acyclic());
+    }
+
+    #[test]
+    fn double_y_is_fully_adaptive_on_random_pairs(
+        m in 2u16..9, n in 2u16..9, a in any::<u32>(), b in any::<u32>()
+    ) {
+        let mesh = Mesh::new_2d(m, n);
+        let total = mesh.num_nodes() as u32;
+        let (src, dst) = (NodeId(a % total), NodeId(b % total));
+        prop_assume!(src != dst);
+        prop_assert_eq!(
+            count_paths(&mesh, src, dst),
+            s_fully_adaptive(&mesh.coord_of(src), &mesh.coord_of(dst))
+        );
+    }
+
+    #[test]
+    fn double_y_walks_deliver(m in 3u16..8, n in 3u16..8, a in any::<u32>(), b in any::<u32>()) {
+        let mesh = Mesh::new_2d(m, n);
+        let total = mesh.num_nodes() as u32;
+        let (src, dst) = (NodeId(a % total), NodeId(b % total));
+        prop_assume!(src != dst);
+        let alg = DoubleYAdaptive::new();
+        let mut cur = src;
+        let mut arrived = None;
+        let mut hops = 0usize;
+        while cur != dst {
+            let out = alg.route(&mesh, cur, dst, arrived);
+            prop_assert!(!out.is_empty(), "stuck at {cur}");
+            let vd = *out.last().unwrap();
+            cur = mesh.neighbor(cur, vd.dir()).unwrap();
+            arrived = Some(vd);
+            hops += 1;
+        }
+        prop_assert_eq!(hops, mesh.min_hops(src, dst));
+    }
+}
