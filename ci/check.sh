@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, and the test suite.
+#
+#   ./ci/check.sh          # fmt + clippy + build + quick tests
+#   ./ci/check.sh --full   # also the release build and full test suite
+#
+# Everything runs with --offline; the workspace has no external
+# dependencies, so no network access is ever required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+full=0
+[[ "${1:-}" == "--full" ]] && full=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build"
+cargo build --workspace --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline --quiet
+
+if [[ $full -eq 1 ]]; then
+    echo "==> cargo build --release"
+    cargo build --workspace --release --offline
+    echo "==> exp smoke runs"
+    tmp="$(mktemp -d)"
+    trap 'rm -rf "$tmp"' EXIT
+    cargo run --release --offline -p turnroute-experiments --bin exp -- \
+        fig13 --quick --out "$tmp" --metrics-out "$tmp/metrics.json"
+    cargo run --release --offline -p turnroute-experiments --bin exp -- \
+        fig1 --trace --out "$tmp"
+    test -s "$tmp/metrics.json"
+    test -s "$tmp/fig1_postmortem.jsonl"
+fi
+
+echo "OK"

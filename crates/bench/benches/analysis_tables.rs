@@ -4,7 +4,8 @@
 //! (`sec5_pcube_table`), and the Section 6 path-length claims
 //! (`sec6_claims`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use turnroute_bench::harness::{black_box, Criterion};
+use turnroute_bench::{criterion_group, criterion_main};
 use turnroute_experiments::claims::average_path_length;
 use turnroute_experiments::fig1::{self, TurnLeft};
 use turnroute_experiments::{adaptiveness_exp, paths, pcube_table};

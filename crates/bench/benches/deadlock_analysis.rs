@@ -3,7 +3,8 @@
 //! Figures 6–8 numbering verification (`fig06_08_numbering`), and CDG
 //! construction/cycle search at paper scale.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use turnroute_bench::harness::{black_box, Criterion};
+use turnroute_bench::{criterion_group, criterion_main};
 use turnroute_experiments::theorems;
 use turnroute_model::cycle::two_turn_census;
 use turnroute_model::numbering::{

@@ -2,19 +2,15 @@
 //! each figure's (topology, pattern, algorithm-set) combination at quick
 //! scale. Full curves come from `cargo run --release --bin exp -- figN`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use turnroute_bench::{BENCH_RATE, BENCH_SCALE};
+use turnroute_bench::harness::{black_box, Criterion};
+use turnroute_bench::{criterion_group, criterion_main, BENCH_RATE, BENCH_SCALE};
 use turnroute_model::RoutingFunction;
 use turnroute_routing::{hypercube, mesh2d, ndmesh, RoutingMode};
 use turnroute_sim::{Sim, SimConfig};
 use turnroute_topology::{Hypercube, Mesh, Topology};
 use turnroute_traffic::{HypercubeTranspose, MeshTranspose, ReverseFlip, TrafficPattern, Uniform};
 
-fn run_once(
-    topo: &dyn Topology,
-    alg: &dyn RoutingFunction,
-    pattern: &dyn TrafficPattern,
-) -> f64 {
+fn run_once(topo: &dyn Topology, alg: &dyn RoutingFunction, pattern: &dyn TrafficPattern) -> f64 {
     let (warmup, measure, drain) = BENCH_SCALE.cycles();
     let cfg = SimConfig::builder()
         .injection_rate(BENCH_RATE)
@@ -65,7 +61,13 @@ fn cube_algorithms() -> Vec<Box<dyn RoutingFunction>> {
 
 fn fig13_mesh_uniform(c: &mut Criterion) {
     let mesh = Mesh::new_2d(16, 16);
-    bench_figure(c, "fig13_mesh_uniform", &mesh, &mesh_algorithms(), &Uniform::new());
+    bench_figure(
+        c,
+        "fig13_mesh_uniform",
+        &mesh,
+        &mesh_algorithms(),
+        &Uniform::new(),
+    );
 }
 
 fn fig14_mesh_transpose(c: &mut Criterion) {

@@ -2,7 +2,8 @@
 //! the "more complex control logic" overhead the paper's Section 7
 //! discusses as the price of adaptivity.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use turnroute_bench::harness::{black_box, Criterion};
+use turnroute_bench::{criterion_group, criterion_main};
 use turnroute_model::RoutingFunction;
 use turnroute_routing::torus::NegativeFirstTorus;
 use turnroute_routing::{hypercube, mesh2d, ndmesh, RoutingMode};
@@ -32,9 +33,7 @@ fn route_all_pairs(c: &mut Criterion) {
                         if s == d {
                             continue;
                         }
-                        acc ^= alg
-                            .route(&mesh, NodeId(s), NodeId(d), None)
-                            .bits();
+                        acc ^= alg.route(&mesh, NodeId(s), NodeId(d), None).bits();
                     }
                 }
                 black_box(acc)

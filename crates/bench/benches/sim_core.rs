@@ -1,7 +1,8 @@
 //! Simulator-core benchmarks: cycles per second of the wormhole engine
 //! under light and heavy load, and injection/arbitration overhead.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use turnroute_bench::harness::{black_box, Criterion, Throughput};
+use turnroute_bench::{criterion_group, criterion_main};
 use turnroute_routing::{mesh2d, RoutingMode};
 use turnroute_sim::{Sim, SimConfig};
 use turnroute_topology::Mesh;
@@ -66,5 +67,10 @@ fn vc_engine_cycles(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_cycles, single_packet_flight, vc_engine_cycles);
+criterion_group!(
+    benches,
+    engine_cycles,
+    single_packet_flight,
+    vc_engine_cycles
+);
 criterion_main!(benches);

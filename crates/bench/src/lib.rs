@@ -1,6 +1,7 @@
-//! Benchmark crate: all content lives in `benches/` (one criterion target
-//! per paper figure/table plus microbenchmarks). This library only hosts
-//! small shared helpers for the bench targets.
+//! Benchmark crate: all content lives in `benches/` (one target per paper
+//! figure/table plus microbenchmarks). This library hosts shared
+//! constants and [`harness`], a small self-contained timing harness with
+//! a criterion-shaped API so the bench targets build fully offline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,6 +16,229 @@ pub const BENCH_SCALE: Scale = Scale::Quick;
 /// per-figure bench targets so they measure one representative run, not a
 /// whole sweep.
 pub const BENCH_RATE: f64 = 0.10;
+
+/// Minimal timing harness exposing the slice of the criterion API the
+/// bench targets use: [`harness::Criterion`], benchmark groups,
+/// [`harness::black_box`], plus the [`criterion_group!`] and
+/// [`criterion_main!`] macros at the crate root. Each benchmark prints a
+/// median and minimum ns/iter; pass a substring argument to run a subset
+/// (`cargo bench -p turnroute-bench --bench sim_core -- heavy`).
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// Opaque value barrier preventing the optimizer from deleting the
+    /// measured computation.
+    pub fn black_box<T>(x: T) -> T {
+        std::hint::black_box(x)
+    }
+
+    /// Throughput annotation for a benchmark group.
+    #[derive(Debug, Clone, Copy)]
+    pub enum Throughput {
+        /// The measured function processes this many logical elements per
+        /// iteration; results additionally print elements/second.
+        Elements(u64),
+    }
+
+    /// Top-level benchmark driver; times functions and prints results.
+    pub struct Criterion {
+        filter: Option<String>,
+        sample_size: usize,
+    }
+
+    impl Default for Criterion {
+        fn default() -> Criterion {
+            // `cargo bench` passes `--bench`; the first non-flag argument
+            // is treated as a benchmark-name substring filter.
+            let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+            Criterion {
+                filter,
+                sample_size: 15,
+            }
+        }
+    }
+
+    impl Criterion {
+        /// Benchmark a single function under `name`.
+        pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+            run_one(self, name, None, self.sample_size, f);
+            self
+        }
+
+        /// Start a named group of related benchmarks.
+        pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+            BenchmarkGroup {
+                name: name.to_string(),
+                throughput: None,
+                sample_size: None,
+                c: self,
+            }
+        }
+    }
+
+    /// A set of benchmarks sharing a name prefix and settings.
+    pub struct BenchmarkGroup<'a> {
+        c: &'a mut Criterion,
+        name: String,
+        throughput: Option<Throughput>,
+        sample_size: Option<usize>,
+    }
+
+    impl BenchmarkGroup<'_> {
+        /// Use `n` timing samples for benchmarks in this group.
+        pub fn sample_size(&mut self, n: usize) -> &mut Self {
+            self.sample_size = Some(n.max(3));
+            self
+        }
+
+        /// Annotate per-iteration throughput.
+        pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+            self.throughput = Some(t);
+            self
+        }
+
+        /// Benchmark one function within the group.
+        pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+            let full = format!("{}/{}", self.name, name);
+            let samples = self.sample_size.unwrap_or(self.c.sample_size);
+            run_one(self.c, &full, self.throughput, samples, f);
+            self
+        }
+
+        /// End the group (kept for criterion API parity; prints nothing).
+        pub fn finish(self) {}
+    }
+
+    /// Passed to the measured closure; call [`Bencher::iter`] with the
+    /// code under test.
+    pub struct Bencher {
+        iters: u64,
+        elapsed: Duration,
+    }
+
+    impl Bencher {
+        /// Time `f` over this sample's iteration budget.
+        pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+            let start = Instant::now();
+            for _ in 0..self.iters {
+                black_box(f());
+            }
+            self.elapsed = start.elapsed();
+        }
+    }
+
+    fn time_batch<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        b.elapsed
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        c: &Criterion,
+        name: &str,
+        throughput: Option<Throughput>,
+        samples: usize,
+        mut f: F,
+    ) {
+        if let Some(filter) = &c.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warmup doubles as calibration: grow the batch until one batch
+        // runs >= 2 ms, keeping per-sample timer noise under ~0.1%.
+        let mut iters = 1u64;
+        loop {
+            let d = time_batch(&mut f, iters);
+            if d >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        let mut per_iter: Vec<f64> = (0..samples)
+            .map(|_| time_batch(&mut f, iters).as_secs_f64() * 1e9 / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let extra = match throughput {
+            // median is ns/iter, so elements per second = n / median * 1e9.
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 / median * 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<55} {:>13} ns/iter (min {:>13}){extra}",
+            group_digits(median.round() as u64),
+            group_digits(min.round() as u64),
+        );
+    }
+
+    fn group_digits(v: u64) -> String {
+        let s = v.to_string();
+        let mut out = String::with_capacity(s.len() + s.len() / 3);
+        for (i, ch) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(ch);
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn digit_grouping() {
+            assert_eq!(group_digits(0), "0");
+            assert_eq!(group_digits(999), "999");
+            assert_eq!(group_digits(1_000), "1,000");
+            assert_eq!(group_digits(1_234_567), "1,234,567");
+        }
+
+        #[test]
+        fn bencher_runs_requested_iterations() {
+            let mut b = Bencher {
+                iters: 10,
+                elapsed: Duration::ZERO,
+            };
+            let mut n = 0u64;
+            b.iter(|| {
+                n += 1;
+                n
+            });
+            assert_eq!(n, 10);
+        }
+    }
+}
+
+/// Define a function running several benchmark targets in order
+/// (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups (criterion-compatible shape).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
 
 #[cfg(test)]
 mod tests {

@@ -5,7 +5,7 @@ use turnroute_model::adaptiveness::{
     adaptiveness_summary, count_minimal_paths, s_fully_adaptive, s_negative_first, s_north_last,
     s_west_first, AdaptivenessSummary,
 };
-use turnroute_routing::{mesh2d, RoutingMode, RoutingFunction};
+use turnroute_routing::{mesh2d, RoutingFunction, RoutingMode};
 use turnroute_topology::{Mesh, NodeId, Topology};
 
 /// Results for one algorithm on one mesh.
@@ -81,7 +81,11 @@ pub fn render(m: u16) -> String {
             row.algorithm,
             row.summary.mean_ratio,
             row.summary.single_path_fraction * 100.0,
-            if row.formula_verified { "verified" } else { "MISMATCH" },
+            if row.formula_verified {
+                "verified"
+            } else {
+                "MISMATCH"
+            },
         ));
     }
     out.push_str(

@@ -29,8 +29,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use turnroute_experiments::{
-    adaptiveness_exp, buffers, census, claims, fig1, figures, linkload, node_delay,
-    nonminimal_exp, numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
+    adaptiveness_exp, buffers, census, claims, fig1, figures, linkload, node_delay, nonminimal_exp,
+    numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
 };
 use turnroute_model::RoutingFunction;
 use turnroute_routing::{mesh2d, RoutingMode};
@@ -40,13 +40,19 @@ struct Options {
     scale: Scale,
     seed: u64,
     out: Option<PathBuf>,
+    /// Run sweeps instrumented and write per-point channel heatmaps and
+    /// latency histograms (JSON) to this path.
+    metrics_out: Option<PathBuf>,
+    /// Emit the flit-level event trace / deadlock postmortem (JSONL) for
+    /// subcommands that support it (`fig1`).
+    trace: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: exp <fig1|turn-census|example-paths|numbering|theorems|adaptiveness-2d|\
          pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|buffer-depth|node-delay|all> \
-         [--quick] [--seed N] [--out DIR]"
+         [--quick] [--seed N] [--out DIR] [--metrics-out FILE] [--trace]"
     );
     ExitCode::FAILURE
 }
@@ -56,10 +62,17 @@ fn main() -> ExitCode {
     let Some(cmd) = args.next() else {
         return usage();
     };
-    let mut opts = Options { scale: Scale::Full, seed: 1, out: None };
+    let mut opts = Options {
+        scale: Scale::Full,
+        seed: 1,
+        out: None,
+        metrics_out: None,
+        trace: false,
+    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => opts.scale = Scale::Quick,
+            "--trace" => opts.trace = true,
             "--seed" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     return usage();
@@ -72,12 +85,25 @@ fn main() -> ExitCode {
                 };
                 opts.out = Some(PathBuf::from(v));
             }
+            "--metrics-out" => {
+                let Some(v) = args.next() else {
+                    return usage();
+                };
+                opts.metrics_out = Some(PathBuf::from(v));
+            }
             _ => return usage(),
         }
     }
 
+    let mut metrics_docs: Vec<String> = Vec::new();
     let outputs: Vec<(&str, String)> = match cmd.as_str() {
-        "fig1" => vec![("fig1.md", fig1::render())],
+        "fig1" => {
+            let mut v = vec![("fig1.md", fig1::render())];
+            if opts.trace {
+                v.push(("fig1_postmortem.jsonl", fig1::postmortem()));
+            }
+            v
+        }
         "turn-census" => vec![("turn_census.md", census::render())],
         "turn-census-3d" => vec![("turn_census_3d.md", census::render_3d())],
         "example-paths" => vec![("example_paths.md", paths::render())],
@@ -93,7 +119,9 @@ fn main() -> ExitCode {
         "pcube-table" => vec![("pcube_table.md", pcube_table::render())],
         "fig13" | "fig14" | "fig15" | "fig16" => {
             let n: u8 = cmd[3..].parse().expect("figure number");
-            let (md, csv, svg) = figure_outputs(n, opts.scale, opts.seed);
+            let (md, csv, svg, metrics) =
+                figure_outputs(n, opts.scale, opts.seed, opts.metrics_out.is_some());
+            metrics_docs.extend(metrics);
             vec![
                 (leak(format!("fig{n}.md")), md),
                 (leak(format!("fig{n}.csv")), csv),
@@ -104,16 +132,16 @@ fn main() -> ExitCode {
         "link-load" => vec![("link_load.md", render_link_load(opts.seed))],
         "policy-ablation" => {
             let wf = mesh2d::west_first(RoutingMode::Minimal);
-            vec![("policy_ablation.md", policies::render(&wf, opts.scale, opts.seed))]
+            vec![(
+                "policy_ablation.md",
+                policies::render(&wf, opts.scale, opts.seed),
+            )]
         }
         "nonminimal" => vec![(
             "nonminimal.md",
             nonminimal_exp::render(opts.scale, opts.seed),
         )],
-        "vc-ablation" => vec![(
-            "vc_ablation.md",
-            vc_ablation::render(opts.scale, opts.seed),
-        )],
+        "vc-ablation" => vec![("vc_ablation.md", vc_ablation::render(opts.scale, opts.seed))],
         "buffer-depth" => vec![("buffer_depth.md", buffers::render(opts.scale, opts.seed))],
         "node-delay" => vec![("node_delay.md", node_delay::render(opts.scale, opts.seed))],
         "all" => {
@@ -135,7 +163,9 @@ fn main() -> ExitCode {
             ];
             for n in [13u8, 14, 15, 16] {
                 eprintln!("running figure {n} sweeps...");
-                let (md, csv, svg) = figure_outputs(n, opts.scale, opts.seed);
+                let (md, csv, svg, metrics) =
+                    figure_outputs(n, opts.scale, opts.seed, opts.metrics_out.is_some());
+                metrics_docs.extend(metrics);
                 v.push((leak(format!("fig{n}.md")), md));
                 v.push((leak(format!("fig{n}.csv")), csv));
                 v.push((leak(format!("fig{n}.svg")), svg));
@@ -145,8 +175,14 @@ fn main() -> ExitCode {
             eprintln!("running ablations...");
             v.push(("link_load.md", render_link_load(opts.seed)));
             let wf = mesh2d::west_first(RoutingMode::Minimal);
-            v.push(("policy_ablation.md", policies::render(&wf, opts.scale, opts.seed)));
-            v.push(("nonminimal.md", nonminimal_exp::render(opts.scale, opts.seed)));
+            v.push((
+                "policy_ablation.md",
+                policies::render(&wf, opts.scale, opts.seed),
+            ));
+            v.push((
+                "nonminimal.md",
+                nonminimal_exp::render(opts.scale, opts.seed),
+            ));
             v.push(("vc_ablation.md", vc_ablation::render(opts.scale, opts.seed)));
             v.push(("buffer_depth.md", buffers::render(opts.scale, opts.seed)));
             v.push(("node_delay.md", node_delay::render(opts.scale, opts.seed)));
@@ -172,6 +208,22 @@ fn main() -> ExitCode {
             None => println!("{content}"),
         }
     }
+    if let Some(path) = &opts.metrics_out {
+        if metrics_docs.is_empty() {
+            eprintln!("--metrics-out applies to sweep subcommands (fig13..fig16, all)");
+            return ExitCode::FAILURE;
+        }
+        let doc = if metrics_docs.len() == 1 {
+            metrics_docs.remove(0)
+        } else {
+            format!("[{}]", metrics_docs.join(","))
+        };
+        if let Err(e) = fs::write(path, doc) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
     ExitCode::SUCCESS
 }
 
@@ -188,25 +240,35 @@ fn leak(s: String) -> &'static str {
     Box::leak(s.into_boxed_str())
 }
 
-/// Run one figure's sweeps once and render all three artifacts from
-/// them.
-fn figure_outputs(n: u8, scale: Scale, seed: u64) -> (String, String, String) {
+/// Run one figure's sweeps once and render all artifacts from them;
+/// `instrument` additionally captures per-point channel heatmaps and
+/// latency histograms and returns them as a JSON document.
+fn figure_outputs(
+    n: u8,
+    scale: Scale,
+    seed: u64,
+    instrument: bool,
+) -> (String, String, String, Option<String>) {
     let (sweeps, title) = match n {
-        13 => (figures::fig13(scale, seed), "Figure 13: uniform traffic, 16x16 mesh"),
+        13 => (
+            figures::fig13(scale, seed, instrument),
+            "Figure 13: uniform traffic, 16x16 mesh",
+        ),
         14 => (
-            figures::fig14(scale, seed),
+            figures::fig14(scale, seed, instrument),
             "Figure 14: matrix-transpose traffic, 16x16 mesh",
         ),
         15 => (
-            figures::fig15(scale, seed),
+            figures::fig15(scale, seed, instrument),
             "Figure 15: matrix-transpose traffic, binary 8-cube",
         ),
         16 => (
-            figures::fig16(scale, seed),
+            figures::fig16(scale, seed, instrument),
             "Figure 16: reverse-flip traffic, binary 8-cube",
         ),
         _ => unreachable!("validated above"),
     };
+    let metrics = instrument.then(|| turnroute_experiments::sweep::metrics_json(&sweeps, title));
     let md = turnroute_experiments::sweep::to_markdown(&sweeps, title);
     let mut csv = String::new();
     for (i, s) in sweeps.iter().enumerate() {
@@ -219,5 +281,5 @@ fn figure_outputs(n: u8, scale: Scale, seed: u64) -> (String, String, String) {
         }
     }
     let svg = turnroute_experiments::plot::latency_vs_throughput_svg(&sweeps, title, 120.0);
-    (md, csv, svg)
+    (md, csv, svg, metrics)
 }

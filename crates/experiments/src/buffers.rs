@@ -103,7 +103,10 @@ mod tests {
         for w in cells.chunks(4) {
             let d1 = w[0].report.throughput_flits_per_us();
             let d8 = w[3].report.throughput_flits_per_us();
-            assert!(d8 >= d1 * 0.9, "depth 8 ({d8:.1}) much worse than depth 1 ({d1:.1})");
+            assert!(
+                d8 >= d1 * 0.9,
+                "depth 8 ({d8:.1}) much worse than depth 1 ({d1:.1})"
+            );
         }
     }
 }

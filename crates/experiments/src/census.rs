@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn render_reports_12_of_16() {
         let s = render();
-        assert!(s.contains("16 candidate prohibitions, 12 deadlock free"), "{s}");
+        assert!(
+            s.contains("16 candidate prohibitions, 12 deadlock free"),
+            "{s}"
+        );
         assert!(s.contains("west-first"), "{s}");
         // Exactly four census rows marked deadlocking.
         assert_eq!(s.matches("**no**").count(), 4, "{s}");

@@ -13,8 +13,8 @@
 
 use crate::figures;
 use crate::Scale;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use turnroute_rng::rngs::StdRng;
+use turnroute_rng::SeedableRng;
 use turnroute_topology::{Hypercube, Mesh, NodeId, Topology};
 use turnroute_traffic::{HypercubeTranspose, MeshTranspose, ReverseFlip, TrafficPattern, Uniform};
 
@@ -85,10 +85,10 @@ pub fn measure(scale: Scale, seed: u64) -> Claims {
         "all-but-one-positive-last",
     ];
 
-    let f13 = figures::fig13(scale, seed);
-    let f14 = figures::fig14(scale, seed);
-    let f15 = figures::fig15(scale, seed);
-    let f16 = figures::fig16(scale, seed);
+    let f13 = figures::fig13(scale, seed, false);
+    let f14 = figures::fig14(scale, seed, false);
+    let f15 = figures::fig15(scale, seed, false);
+    let f16 = figures::fig16(scale, seed, false);
     // The paper's cube-uniform runner-up combination (e-cube + uniform).
     let cube8 = Hypercube::new(8);
     let cube_uniform_ecube = crate::sweep::load_sweep(

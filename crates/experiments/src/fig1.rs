@@ -8,7 +8,7 @@
 //! west-first routing delivers all four packets.
 
 use turnroute_model::{RoutingFunction, TurnSet};
-use turnroute_sim::{Sim, SimConfig, SimReport};
+use turnroute_sim::{Sim, SimConfig, SimReport, Telemetry};
 use turnroute_topology::{DirSet, Direction, Mesh, NodeId, Topology};
 use turnroute_traffic::{Permutation, TrafficPattern};
 
@@ -99,23 +99,55 @@ pub fn run_scenario(routing: &dyn RoutingFunction) -> SimReport {
     run_scenario_on(&mesh, routing, &pattern)
 }
 
-fn run_scenario_on(
-    mesh: &Mesh,
-    routing: &dyn RoutingFunction,
-    pattern: &dyn TrafficPattern,
-) -> SimReport {
-    let cfg = SimConfig::builder()
+fn scenario_cfg() -> SimConfig {
+    SimConfig::builder()
         .injection_rate(0.0)
         .warmup_cycles(0)
         .measure_cycles(400)
         .drain_cycles(0)
         .deadlock_threshold(100)
-        .build();
-    let mut sim = Sim::new(mesh, routing, pattern, cfg);
+        .build()
+}
+
+fn run_scenario_on(
+    mesh: &Mesh,
+    routing: &dyn RoutingFunction,
+    pattern: &dyn TrafficPattern,
+) -> SimReport {
+    let mut sim = Sim::new(mesh, routing, pattern, scenario_cfg());
     for (src, dst) in scenario(mesh) {
         sim.inject_packet(src, dst, 8);
     }
     sim.run()
+}
+
+/// Run the Figure 1 scenario with full telemetry attached: the report
+/// plus the collectors, including the ring trace that captures the
+/// deadlock snapshot when `routing` deadlocks.
+pub fn run_scenario_traced(routing: &dyn RoutingFunction) -> (SimReport, Telemetry) {
+    let mesh = Mesh::new_2d(2, 2);
+    let pattern = Permutation::new("fig1", (0..4).map(NodeId).collect());
+    let mut sim = Sim::with_observer(
+        &mesh,
+        routing,
+        &pattern,
+        scenario_cfg(),
+        Telemetry::new(&mesh),
+    );
+    for (src, dst) in scenario(&mesh) {
+        sim.inject_packet(src, dst, 8);
+    }
+    let report = sim.run();
+    (report, sim.into_observer())
+}
+
+/// The JSONL postmortem of the deadlocking Figure 1 run: the trace
+/// events leading into the deadlock, then the frozen waits-for graph
+/// (one JSON object per line; the `exp fig1 --trace` output).
+pub fn postmortem() -> String {
+    let (report, telemetry) = run_scenario_traced(&TurnLeft::new());
+    assert!(report.deadlocked, "Figure 1 scenario must deadlock");
+    telemetry.trace.postmortem_jsonl()
 }
 
 /// Render the Figure 1 experiment: the same four packets deadlock under
@@ -130,9 +162,17 @@ pub fn render() -> String {
          | routing | outcome | packets delivered |\n|---|---|---:|\n\
          | turn-left (all turns allowed) | {} | {}/4 |\n\
          | west-first (turn model) | {} | {}/4 |\n",
-        if deadlock.deadlocked { "DEADLOCK" } else { "completed" },
+        if deadlock.deadlocked {
+            "DEADLOCK"
+        } else {
+            "completed"
+        },
         deadlock.delivered_packets,
-        if safe.deadlocked { "DEADLOCK" } else { "completed" },
+        if safe.deadlocked {
+            "DEADLOCK"
+        } else {
+            "completed"
+        },
         safe.delivered_packets,
     )
 }
@@ -170,7 +210,26 @@ mod tests {
     fn turn_left_cdg_is_cyclic() {
         // The demo router's own dependency graph confirms the hazard.
         let mesh = Mesh::new_2d(2, 2);
-        assert!(Cdg::from_routing(&mesh, &TurnLeft::new()).find_cycle().is_some());
+        assert!(Cdg::from_routing(&mesh, &TurnLeft::new())
+            .find_cycle()
+            .is_some());
+    }
+
+    #[test]
+    fn postmortem_is_parseable_jsonl_with_a_cycle() {
+        let dump = postmortem();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert!(lines.len() > 2, "{dump}");
+        for line in &lines {
+            assert!(turnroute_sim::obs::json::validate(line), "bad line: {line}");
+        }
+        assert!(lines[0].contains("\"deadlocked\":true"), "{}", lines[0]);
+        let snap_line = lines.last().unwrap();
+        assert!(snap_line.contains("deadlock_snapshot"), "{snap_line}");
+        // The captured snapshot names an actual circular wait.
+        let (_, telemetry) = run_scenario_traced(&TurnLeft::new());
+        let snap = telemetry.trace.snapshot().expect("snapshot captured");
+        assert!(!snap.cycle_channels().is_empty(), "circular wait found");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Figures 13–16: latency vs throughput sweeps on the paper's two
 //! 256-node networks.
 
-use crate::sweep::{default_rates, load_sweep, to_markdown, SweepResult};
+use crate::sweep::{default_rates, load_sweep, load_sweep_instrumented, to_markdown, SweepResult};
 use crate::Scale;
 use turnroute_routing::{hypercube, mesh2d, ndmesh, RoutingFunction, RoutingMode};
 use turnroute_topology::{Hypercube, Mesh};
@@ -29,56 +29,82 @@ fn cube_algorithms() -> Vec<Box<dyn RoutingFunction + Sync>> {
     ]
 }
 
-fn run_mesh<P: TrafficPattern + Sync>(pattern: &P, scale: Scale, seed: u64) -> Vec<SweepResult> {
+fn run_mesh<P: TrafficPattern + Sync>(
+    pattern: &P,
+    scale: Scale,
+    seed: u64,
+    instrument: bool,
+) -> Vec<SweepResult> {
     let mesh = Mesh::new_2d(16, 16);
     mesh_algorithms()
         .iter()
-        .map(|alg| load_sweep(&mesh, alg, pattern, &default_rates(), scale, seed))
+        .map(|alg| {
+            if instrument {
+                load_sweep_instrumented(&mesh, alg, pattern, &default_rates(), scale, seed)
+            } else {
+                load_sweep(&mesh, alg, pattern, &default_rates(), scale, seed)
+            }
+        })
         .collect()
 }
 
-fn run_cube<P: TrafficPattern + Sync>(pattern: &P, scale: Scale, seed: u64) -> Vec<SweepResult> {
+fn run_cube<P: TrafficPattern + Sync>(
+    pattern: &P,
+    scale: Scale,
+    seed: u64,
+    instrument: bool,
+) -> Vec<SweepResult> {
     let cube = Hypercube::new(8);
     cube_algorithms()
         .iter()
-        .map(|alg| load_sweep(&cube, alg, pattern, &default_rates(), scale, seed))
+        .map(|alg| {
+            if instrument {
+                load_sweep_instrumented(&cube, alg, pattern, &default_rates(), scale, seed)
+            } else {
+                load_sweep(&cube, alg, pattern, &default_rates(), scale, seed)
+            }
+        })
         .collect()
 }
 
-/// Figure 13: uniform traffic in a 16×16 mesh.
-pub fn fig13(scale: Scale, seed: u64) -> Vec<SweepResult> {
-    run_mesh(&Uniform::new(), scale, seed)
+/// Figure 13: uniform traffic in a 16×16 mesh. `instrument` fills each
+/// point's [`crate::sweep::SweepPoint::metrics`].
+pub fn fig13(scale: Scale, seed: u64, instrument: bool) -> Vec<SweepResult> {
+    run_mesh(&Uniform::new(), scale, seed, instrument)
 }
 
 /// Figure 14: matrix-transpose traffic in a 16×16 mesh.
-pub fn fig14(scale: Scale, seed: u64) -> Vec<SweepResult> {
-    run_mesh(&MeshTranspose::new(), scale, seed)
+pub fn fig14(scale: Scale, seed: u64, instrument: bool) -> Vec<SweepResult> {
+    run_mesh(&MeshTranspose::new(), scale, seed, instrument)
 }
 
 /// Figure 15: matrix-transpose traffic in a binary 8-cube.
-pub fn fig15(scale: Scale, seed: u64) -> Vec<SweepResult> {
-    run_cube(&HypercubeTranspose::new(), scale, seed)
+pub fn fig15(scale: Scale, seed: u64, instrument: bool) -> Vec<SweepResult> {
+    run_cube(&HypercubeTranspose::new(), scale, seed, instrument)
 }
 
 /// Figure 16: reverse-flip traffic in a binary 8-cube.
-pub fn fig16(scale: Scale, seed: u64) -> Vec<SweepResult> {
-    run_cube(&ReverseFlip::new(), scale, seed)
+pub fn fig16(scale: Scale, seed: u64, instrument: bool) -> Vec<SweepResult> {
+    run_cube(&ReverseFlip::new(), scale, seed, instrument)
 }
 
 /// Render one figure's sweeps as markdown.
 pub fn render(figure: u8, scale: Scale, seed: u64) -> String {
     let (sweeps, title) = match figure {
-        13 => (fig13(scale, seed), "Figure 13: uniform traffic, 16x16 mesh"),
+        13 => (
+            fig13(scale, seed, false),
+            "Figure 13: uniform traffic, 16x16 mesh",
+        ),
         14 => (
-            fig14(scale, seed),
+            fig14(scale, seed, false),
             "Figure 14: matrix-transpose traffic, 16x16 mesh",
         ),
         15 => (
-            fig15(scale, seed),
+            fig15(scale, seed, false),
             "Figure 15: matrix-transpose traffic, binary 8-cube",
         ),
         16 => (
-            fig16(scale, seed),
+            fig16(scale, seed, false),
             "Figure 16: reverse-flip traffic, binary 8-cube",
         ),
         other => panic!("no figure {other}; expected 13..=16"),

@@ -37,11 +37,11 @@ pub mod figures;
 pub mod linkload;
 pub mod node_delay;
 pub mod nonminimal_exp;
-pub mod policies;
 pub mod numbering_exp;
 pub mod paths;
 pub mod pcube_table;
 pub mod plot;
+pub mod policies;
 pub mod sweep;
 pub mod theorems;
 pub mod vc_ablation;

@@ -67,7 +67,11 @@ pub fn measure(
         grid.push(row);
     }
     (
-        LoadStats { peak, mean, imbalance: peak as f64 / mean.max(1e-9) },
+        LoadStats {
+            peak,
+            mean,
+            imbalance: peak as f64 / mean.max(1e-9),
+        },
         grid,
     )
 }
@@ -144,7 +148,11 @@ mod tests {
     fn uniform_traffic_is_roughly_balanced() {
         let mesh = Mesh::new_2d(16, 16);
         let (stats, grid) = measure(&mesh, &mesh2d::xy(), &Uniform::new(), 4);
-        assert!(stats.imbalance < 4.0, "uniform imbalance {:.2}", stats.imbalance);
+        assert!(
+            stats.imbalance < 4.0,
+            "uniform imbalance {:.2}",
+            stats.imbalance
+        );
         assert_eq!(grid.len(), 16);
         assert_eq!(grid[0].len(), 15);
     }

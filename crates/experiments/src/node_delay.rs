@@ -118,7 +118,11 @@ mod tests {
         let cells = measure(Scale::Quick, 15, 0.04);
         assert_eq!(cells.len(), 8);
         for c in &cells {
-            assert!(!c.report.deadlocked, "{}/{} deadlocked", c.algorithm, c.delay);
+            assert!(
+                !c.report.deadlocked,
+                "{}/{} deadlocked",
+                c.algorithm, c.delay
+            );
         }
         let nf_uniform: Vec<&DelayCell> = cells
             .iter()

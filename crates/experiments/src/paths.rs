@@ -44,7 +44,9 @@ pub fn trace_path(
             })
             .or_else(|| usable.first().copied())
             .unwrap_or_else(|| dirs.iter().next().expect("nonempty"));
-        current = topo.neighbor(current, choice).expect("offered channel exists");
+        current = topo
+            .neighbor(current, choice)
+            .expect("offered channel exists");
         arrived = Some(choice);
         path.push(current);
     }
@@ -66,8 +68,14 @@ pub fn render() -> String {
     let mut out = String::from("# Figures 5b / 9b / 10b: example paths in an 8x8 mesh\n\n");
 
     let cases: Vec<(&str, Box<dyn RoutingFunction>)> = vec![
-        ("west-first (Figure 5b)", Box::new(mesh2d::west_first(RoutingMode::Minimal))),
-        ("north-last (Figure 9b)", Box::new(mesh2d::north_last(RoutingMode::Minimal))),
+        (
+            "west-first (Figure 5b)",
+            Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        ),
+        (
+            "north-last (Figure 9b)",
+            Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+        ),
         (
             "negative-first (Figure 10b)",
             Box::new(mesh2d::negative_first(RoutingMode::Minimal)),

@@ -182,7 +182,9 @@ pub fn latency_vs_throughput_svg(
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -199,7 +201,14 @@ mod tests {
         let mesh = Mesh::new_2d(4, 4);
         let uniform = Uniform::new();
         let sweeps = vec![
-            load_sweep(&mesh, &mesh2d::xy(), &uniform, &[0.02, 0.08], Scale::Quick, 1),
+            load_sweep(
+                &mesh,
+                &mesh2d::xy(),
+                &uniform,
+                &[0.02, 0.08],
+                Scale::Quick,
+                1,
+            ),
             load_sweep(
                 &mesh,
                 &mesh2d::west_first(turnroute_routing::RoutingMode::Minimal),

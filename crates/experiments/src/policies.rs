@@ -36,7 +36,11 @@ pub fn measure(
     let pattern = MeshTranspose::new();
     let (warmup, measure, drain) = scale.cycles();
     let mut out = Vec::new();
-    for input in [InputPolicy::Fcfs, InputPolicy::PortOrder, InputPolicy::Random] {
+    for input in [
+        InputPolicy::Fcfs,
+        InputPolicy::PortOrder,
+        InputPolicy::Random,
+    ] {
         for output in [
             OutputPolicy::LowestDim,
             OutputPolicy::HighestDim,
@@ -52,7 +56,11 @@ pub fn measure(
                 .seed(seed)
                 .build();
             let report = Sim::new(&mesh, routing, &pattern, cfg).run();
-            out.push(PolicyCell { input, output, report });
+            out.push(PolicyCell {
+                input,
+                output,
+                report,
+            });
         }
     }
     out
@@ -96,7 +104,11 @@ mod tests {
         let cells = measure(&wf, 0.08, Scale::Quick, 5);
         assert_eq!(cells.len(), 9);
         for cell in &cells {
-            assert!(!cell.report.deadlocked, "{}/{} deadlocked", cell.input, cell.output);
+            assert!(
+                !cell.report.deadlocked,
+                "{}/{} deadlocked",
+                cell.input, cell.output
+            );
             assert!(cell.report.delivered_packets > 0);
         }
     }

@@ -2,9 +2,30 @@
 
 use crate::Scale;
 use turnroute_model::RoutingFunction;
+use turnroute_sim::obs::{ChannelHeatmap, ChannelLayout, StreamingHistogram};
 use turnroute_sim::{Sim, SimConfig, SimReport};
 use turnroute_topology::Topology;
 use turnroute_traffic::TrafficPattern;
+
+/// Telemetry captured at one sweep point by [`load_sweep_instrumented`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointMetrics {
+    /// Per-channel load and stall attribution for the whole run.
+    pub heatmap: ChannelHeatmap,
+    /// Latency histogram of delivered window packets.
+    pub latency: StreamingHistogram,
+}
+
+impl PointMetrics {
+    /// The point's telemetry as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"channels\":{},\"latency_hist\":{}}}",
+            self.heatmap.to_json(),
+            self.latency.to_json()
+        )
+    }
+}
 
 /// One point of a load sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,6 +35,9 @@ pub struct SweepPoint {
     pub injection_rate: f64,
     /// The run's results.
     pub report: SimReport,
+    /// Per-channel/latency telemetry; `None` unless the sweep ran
+    /// through [`load_sweep_instrumented`].
+    pub metrics: Option<PointMetrics>,
 }
 
 impl SweepPoint {
@@ -83,8 +107,8 @@ impl SweepResult {
 /// per cycle.
 pub fn default_rates() -> Vec<f64> {
     vec![
-        0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.18, 0.22, 0.26, 0.30, 0.36, 0.44,
-        0.55, 0.70, 0.85, 1.0,
+        0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.14, 0.18, 0.22, 0.26, 0.30, 0.36, 0.44, 0.55, 0.70,
+        0.85, 1.0,
     ]
 }
 
@@ -117,7 +141,11 @@ where
                         .seed(seed)
                         .build();
                     let report = Sim::new(topo, routing, pattern, cfg).run();
-                    SweepPoint { injection_rate: rate, report }
+                    SweepPoint {
+                        injection_rate: rate,
+                        report,
+                        metrics: None,
+                    }
                 })
             })
             .collect();
@@ -131,6 +159,114 @@ where
         pattern: pattern.name().to_string(),
         points,
     }
+}
+
+/// Like [`load_sweep`], but each point runs with a
+/// [`ChannelHeatmap`] observer attached and fills
+/// [`SweepPoint::metrics`] with the per-channel load/stall heatmap and
+/// the latency histogram — the data behind `exp --metrics-out`.
+pub fn load_sweep_instrumented<T, R, P>(
+    topo: &T,
+    routing: &R,
+    pattern: &P,
+    rates: &[f64],
+    scale: Scale,
+    seed: u64,
+) -> SweepResult
+where
+    T: Topology + Sync,
+    R: RoutingFunction + Sync,
+    P: TrafficPattern + Sync,
+{
+    let (warmup, measure, drain) = scale.cycles();
+    let points = std::thread::scope(|scope| {
+        let handles: Vec<_> = rates
+            .iter()
+            .map(|&rate| {
+                scope.spawn(move || {
+                    let cfg = SimConfig::builder()
+                        .injection_rate(rate)
+                        .warmup_cycles(warmup)
+                        .measure_cycles(measure)
+                        .drain_cycles(drain)
+                        .seed(seed)
+                        .build();
+                    let heatmap = ChannelHeatmap::new(ChannelLayout::for_topology(topo));
+                    let mut sim = Sim::with_observer(topo, routing, pattern, cfg, heatmap);
+                    let report = sim.run();
+                    let latency = sim.latency_histogram();
+                    SweepPoint {
+                        injection_rate: rate,
+                        report,
+                        metrics: Some(PointMetrics {
+                            heatmap: sim.into_observer(),
+                            latency,
+                        }),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    SweepResult {
+        algorithm: routing.name().to_string(),
+        pattern: pattern.name().to_string(),
+        points,
+    }
+}
+
+/// Render instrumented sweeps as one JSON document: per sweep, per
+/// point, the report's headline numbers plus the channel heatmap and
+/// latency histogram (for points carrying metrics).
+pub fn metrics_json(sweeps: &[SweepResult], title: &str) -> String {
+    let mut out = format!(
+        "{{\"title\":{},\"sweeps\":[",
+        turnroute_sim::obs::json::string(title)
+    );
+    for (i, s) in sweeps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"algorithm\":{},\"pattern\":{},\"points\":[",
+            turnroute_sim::obs::json::string(&s.algorithm),
+            turnroute_sim::obs::json::string(&s.pattern)
+        ));
+        for (j, p) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let r = &p.report;
+            out.push_str(&format!(
+                "{{\"injection_rate\":{},\"throughput_flits_per_us\":{:.3},\
+                 \"avg_latency_cycles\":{:.3},\"p50_latency_cycles\":{},\
+                 \"p99_latency_cycles\":{},\"max_latency_cycles\":{},\
+                 \"total_stall_cycles\":{},\"deadlocked\":{}",
+                p.injection_rate,
+                r.throughput_flits_per_us(),
+                r.avg_latency_cycles,
+                r.p50_latency_cycles,
+                r.p99_latency_cycles,
+                r.max_latency_cycles,
+                r.total_stall_cycles,
+                r.deadlocked,
+            ));
+            if let Some(m) = &p.metrics {
+                out.push_str(&format!(
+                    ",\"channels\":{},\"latency_hist\":{}",
+                    m.heatmap.to_json(),
+                    m.latency.to_json()
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Render several sweeps as an aligned markdown table of
@@ -193,6 +329,21 @@ mod tests {
         let result = load_sweep(&mesh, &xy, &uniform, &[0.02], Scale::Quick, 1);
         assert!(result.points[0].is_sustainable());
         assert!(result.sustainable_throughput() > 0.0);
+    }
+
+    #[test]
+    fn instrumented_sweep_carries_valid_metrics() {
+        let mesh = Mesh::new_2d(4, 4);
+        let xy = mesh2d::xy();
+        let uniform = Uniform::new();
+        let result = load_sweep_instrumented(&mesh, &xy, &uniform, &[0.05], Scale::Quick, 1);
+        let m = result.points[0].metrics.as_ref().expect("metrics captured");
+        assert!(m.heatmap.total_load() > 0, "channels saw traffic");
+        assert!(m.latency.count() > 0, "latencies recorded");
+        let json = metrics_json(&[result], "test sweep");
+        assert!(turnroute_sim::obs::json::validate(&json), "{json}");
+        assert!(json.contains("\"channels\""));
+        assert!(json.contains("\"latency_hist\""));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! `4n(n-1)` — is necessary and sufficient to prevent deadlock in an
 //! n-dimensional mesh.
 
-use turnroute_model::cycle::{
-    breaks_all_abstract_cycles, num_abstract_cycles, num_ninety_turns,
-};
+use turnroute_model::cycle::{breaks_all_abstract_cycles, num_abstract_cycles, num_ninety_turns};
 use turnroute_model::{presets, Cdg};
 use turnroute_topology::Mesh;
 
@@ -68,7 +66,11 @@ pub fn render(max_n: usize) -> String {
             row.turns,
             row.cycles,
             row.prohibited,
-            if row.prohibited * 4 == row.turns { "yes" } else { "NO" },
+            if row.prohibited * 4 == row.turns {
+                "yes"
+            } else {
+                "NO"
+            },
             if row.sufficient { "yes" } else { "NO" },
             if row.necessary { "yes" } else { "NO" },
         ));

@@ -44,7 +44,11 @@ pub fn sweep_double_y<P: TrafficPattern + Sync>(
                         .seed(seed)
                         .build();
                     let report = VcSim::new(mesh, alg, pattern, cfg).run();
-                    SweepPoint { injection_rate: rate, report }
+                    SweepPoint {
+                        injection_rate: rate,
+                        report,
+                        metrics: None,
+                    }
                 })
             })
             .collect();
@@ -62,11 +66,7 @@ pub fn sweep_double_y<P: TrafficPattern + Sync>(
 
 /// Run the ablation on one pattern: xy and negative-first (plain mesh)
 /// vs double-y (virtual channels).
-pub fn measure<P: TrafficPattern + Sync>(
-    pattern: &P,
-    scale: Scale,
-    seed: u64,
-) -> Vec<SweepResult> {
+pub fn measure<P: TrafficPattern + Sync>(pattern: &P, scale: Scale, seed: u64) -> Vec<SweepResult> {
     let mesh = Mesh::new_2d(16, 16);
     let rates = crate::sweep::default_rates();
     let mut out = vec![
@@ -95,7 +95,10 @@ pub fn render(scale: Scale, seed: u64) -> String {
     );
     for (title, sweeps) in [
         ("Uniform traffic", measure(&Uniform::new(), scale, seed)),
-        ("Matrix-transpose traffic", measure(&MeshTranspose::new(), scale, seed)),
+        (
+            "Matrix-transpose traffic",
+            measure(&MeshTranspose::new(), scale, seed),
+        ),
     ] {
         out.push_str(&crate::sweep::to_markdown(&sweeps, title));
     }

@@ -356,7 +356,10 @@ mod tests {
         let src = NodeId(0);
         let dst = NodeId(18); // (3, 3): 20 shortest paths
         let paths = enumerate_minimal_paths(&mesh, &FullyAdaptive, src, dst, usize::MAX);
-        assert_eq!(paths.len() as u128, count_minimal_paths(&mesh, &FullyAdaptive, src, dst));
+        assert_eq!(
+            paths.len() as u128,
+            count_minimal_paths(&mesh, &FullyAdaptive, src, dst)
+        );
         assert_eq!(paths.len(), 20);
         for p in &paths {
             assert_eq!(*p.first().unwrap(), src);

@@ -115,7 +115,11 @@ impl Cdg {
                 num_edges += 1;
             }
         }
-        Cdg { channels, adj, num_edges }
+        Cdg {
+            channels,
+            adj,
+            num_edges,
+        }
     }
 
     /// The channels (vertices) of the graph, indexed by channel id.
@@ -193,8 +197,7 @@ impl Cdg {
                 indegree[w as usize] += 1;
             }
         }
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop() {
             order.push(ChannelId(v as u32));

@@ -59,8 +59,13 @@ impl std::fmt::Display for AbstractCycle {
         write!(
             f,
             "plane ({}, {}) {:?}: {} {} {} {}",
-            self.plane.0, self.plane.1, self.orientation,
-            self.turns[0], self.turns[1], self.turns[2], self.turns[3]
+            self.plane.0,
+            self.plane.1,
+            self.orientation,
+            self.turns[0],
+            self.turns[1],
+            self.turns[2],
+            self.turns[3]
         )
     }
 }
@@ -109,7 +114,9 @@ pub fn abstract_cycles(num_dims: usize) -> Vec<AbstractCycle> {
 /// cycles can compose into complex cycles (Figure 4), which
 /// [`Cdg::from_turn_set`] detects.
 pub fn breaks_all_abstract_cycles(set: &TurnSet) -> bool {
-    abstract_cycles(set.num_dims()).iter().all(|c| c.is_broken_by(set))
+    abstract_cycles(set.num_dims())
+        .iter()
+        .all(|c| c.is_broken_by(set))
 }
 
 /// The number of 90-degree turns in an `n`-dimensional mesh: `4n(n-1)`.
@@ -330,8 +337,12 @@ mod tests {
     fn partially_adaptive_presets_break_all_cycles() {
         assert!(breaks_all_abstract_cycles(&presets::west_first_turns()));
         assert!(breaks_all_abstract_cycles(&presets::north_last_turns()));
-        assert!(breaks_all_abstract_cycles(&presets::negative_first_turns(2)));
-        assert!(breaks_all_abstract_cycles(&presets::negative_first_turns(4)));
+        assert!(breaks_all_abstract_cycles(&presets::negative_first_turns(
+            2
+        )));
+        assert!(breaks_all_abstract_cycles(&presets::negative_first_turns(
+            4
+        )));
     }
 
     #[test]
@@ -386,10 +397,7 @@ mod tests {
         assert!(free < 4096, "complex cycles must kill some candidates");
         // Negative-first's choice is among the safe ones.
         let nf = presets::negative_first_turns(3);
-        let found = census
-            .entries
-            .iter()
-            .any(|(set, ok)| *ok && *set == nf);
+        let found = census.entries.iter().any(|(set, ok)| *ok && *set == nf);
         assert!(found, "negative-first missing from the safe census entries");
     }
 

@@ -94,10 +94,10 @@ pub fn west_first_numbering(mesh: &Mesh) -> Vec<i64> {
             let c = mesh.coord_of(ch.src());
             let (x, y) = (i64::from(c.get(0)), i64::from(c.get(1)));
             let (a, b) = match (ch.dir().dim(), ch.dir().sign()) {
-                (0, Sign::Minus) => (2 * m + x, 0),          // west
-                (0, Sign::Plus) => (2 * (m - 1 - x), 0),     // east
+                (0, Sign::Minus) => (2 * m + x, 0),                  // west
+                (0, Sign::Plus) => (2 * (m - 1 - x), 0),             // east
                 (1, Sign::Plus) => (2 * (m - 1 - x) + 1, n - 1 - y), // north
-                (1, Sign::Minus) => (2 * (m - 1 - x) + 1, y), // south
+                (1, Sign::Minus) => (2 * (m - 1 - x) + 1, y),        // south
                 _ => unreachable!("2D mesh has dims 0 and 1"),
             };
             a * base + b
@@ -205,7 +205,10 @@ mod tests {
             let productive = topo.productive_dirs(current, dest);
             if matches!(arrived, Some(d) if d.sign() == Sign::Plus) {
                 // Phase 2: once traveling positive, never turn negative.
-                return productive.iter().filter(|d| d.sign() == Sign::Plus).collect();
+                return productive
+                    .iter()
+                    .filter(|d| d.sign() == Sign::Plus)
+                    .collect();
             }
             let negative: DirSet = productive
                 .iter()
@@ -261,8 +264,13 @@ mod tests {
         for dims in [vec![4, 4], vec![3, 3, 3], vec![5, 2, 3]] {
             let mesh = Mesh::new(dims);
             let numbers = negative_first_numbering(&mesh);
-            verify_monotonic(&mesh, &MinimalNegativeFirst, &numbers, Monotonic::Increasing)
-                .expect("Theorem 5 numbering must strictly increase");
+            verify_monotonic(
+                &mesh,
+                &MinimalNegativeFirst,
+                &numbers,
+                Monotonic::Increasing,
+            )
+            .expect("Theorem 5 numbering must strictly increase");
         }
     }
 
@@ -297,8 +305,13 @@ mod tests {
         let set = crate::presets::negative_first_turns(2);
         let cdg = Cdg::from_turn_set(&mesh, &set);
         let numbers = numbering_from_cdg(&cdg).expect("acyclic");
-        verify_monotonic(&mesh, &MinimalNegativeFirst, &numbers, Monotonic::Increasing)
-            .expect("topological numbering witnesses the covered routing");
+        verify_monotonic(
+            &mesh,
+            &MinimalNegativeFirst,
+            &numbers,
+            Monotonic::Increasing,
+        )
+        .expect("topological numbering witnesses the covered routing");
     }
 
     #[test]

@@ -118,7 +118,11 @@ mod tests {
 
     #[test]
     fn partially_adaptive_sets_prohibit_exactly_two_in_2d() {
-        for set in [west_first_turns(), north_last_turns(), negative_first_turns(2)] {
+        for set in [
+            west_first_turns(),
+            north_last_turns(),
+            negative_first_turns(2),
+        ] {
             assert_eq!(set.prohibited_ninety().len(), 2);
             assert_eq!(set.allowed_ninety().len(), 6);
         }
@@ -153,7 +157,9 @@ mod tests {
     fn abonf_abopl_prohibit_quarter_of_turns() {
         for n in 2..=6 {
             assert_eq!(
-                all_but_one_negative_first_turns(n).prohibited_ninety().len(),
+                all_but_one_negative_first_turns(n)
+                    .prohibited_ninety()
+                    .len(),
                 n * (n - 1),
                 "ABONF n={n}"
             );
@@ -180,8 +186,12 @@ mod tests {
         for n in 2..=4 {
             assert!(breaks_all_abstract_cycles(&dimension_order_turns(n)));
             assert!(breaks_all_abstract_cycles(&negative_first_turns(n)));
-            assert!(breaks_all_abstract_cycles(&all_but_one_negative_first_turns(n)));
-            assert!(breaks_all_abstract_cycles(&all_but_one_positive_last_turns(n)));
+            assert!(breaks_all_abstract_cycles(
+                &all_but_one_negative_first_turns(n)
+            ));
+            assert!(breaks_all_abstract_cycles(
+                &all_but_one_positive_last_turns(n)
+            ));
         }
     }
 

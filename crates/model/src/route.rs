@@ -141,14 +141,8 @@ mod tests {
         assert_eq!(by_ref.name(), "fully-adaptive");
         assert_eq!(boxed.name(), "fully-adaptive");
         assert!(by_ref.is_minimal() && boxed.is_minimal());
-        assert_eq!(
-            by_ref.route(&mesh, a, b, None),
-            f.route(&mesh, a, b, None)
-        );
-        assert_eq!(
-            boxed.route(&mesh, a, b, None),
-            f.route(&mesh, a, b, None)
-        );
+        assert_eq!(by_ref.route(&mesh, a, b, None), f.route(&mesh, a, b, None));
+        assert_eq!(boxed.route(&mesh, a, b, None), f.route(&mesh, a, b, None));
         assert!(by_ref.turn_set(2).is_none());
         assert!(boxed.turn_set(2).is_none());
     }

@@ -23,7 +23,10 @@ pub struct Symmetry {
 impl Symmetry {
     /// The identity symmetry on `n` dimensions.
     pub fn identity(n: usize) -> Symmetry {
-        Symmetry { perm: (0..n).collect(), flip: vec![false; n] }
+        Symmetry {
+            perm: (0..n).collect(),
+            flip: vec![false; n],
+        }
     }
 
     /// Apply the symmetry to a direction.
@@ -39,7 +42,10 @@ impl Symmetry {
 
     /// Apply the symmetry to a turn.
     pub fn apply_turn(&self, turn: Turn) -> Turn {
-        Turn::new(self.apply_dir(turn.from_dir()), self.apply_dir(turn.to_dir()))
+        Turn::new(
+            self.apply_dir(turn.from_dir()),
+            self.apply_dir(turn.to_dir()),
+        )
     }
 
     /// Apply the symmetry to a whole turn set.
@@ -74,7 +80,10 @@ pub fn mesh_symmetries(n: usize) -> Vec<Symmetry> {
     for perm in &perms {
         for mask in 0..(1u32 << n) {
             let flip = (0..n).map(|i| mask & (1 << i) != 0).collect();
-            out.push(Symmetry { perm: perm.clone(), flip });
+            out.push(Symmetry {
+                perm: perm.clone(),
+                flip,
+            });
         }
     }
     out
@@ -146,7 +155,10 @@ mod tests {
     #[test]
     fn symmetry_maps_directions_consistently() {
         // Swap axes and flip the new dimension 1: east -> north-flipped.
-        let g = Symmetry { perm: vec![1, 0], flip: vec![true, false] };
+        let g = Symmetry {
+            perm: vec![1, 0],
+            flip: vec![true, false],
+        };
         assert_eq!(g.apply_dir(Direction::EAST), Direction::SOUTH);
         assert_eq!(g.apply_dir(Direction::NORTH), Direction::EAST);
     }
@@ -198,16 +210,22 @@ mod tests {
         for name_set in &named {
             let class = classes
                 .iter()
-                .position(|c| c.iter().any(|&i| {
-                    let group = mesh_symmetries(2);
-                    group.iter().any(|g| &g.apply(&safe[i]) == name_set)
-                }))
+                .position(|c| {
+                    c.iter().any(|&i| {
+                        let group = mesh_symmetries(2);
+                        group.iter().any(|g| &g.apply(&safe[i]) == name_set)
+                    })
+                })
                 .expect("named algorithm not found in any class");
             found.push(class);
         }
         found.sort_unstable();
         found.dedup();
-        assert_eq!(found.len(), 3, "the three algorithms span the three classes");
+        assert_eq!(
+            found.len(),
+            3,
+            "the three algorithms span the three classes"
+        );
     }
 
     #[test]
@@ -235,7 +253,8 @@ mod tests {
         let nf_class = classes
             .iter()
             .find(|c| {
-                c.iter().any(|&i| group.iter().any(|g| g.apply(&safe[i]) == nf))
+                c.iter()
+                    .any(|&i| group.iter().any(|g| g.apply(&safe[i]) == nf))
             })
             .expect("negative-first class");
         assert_eq!(nf_class.len(), 8);

@@ -70,7 +70,10 @@ impl Turn {
 
     /// The reverse turn (`to -> from`).
     pub fn reversed(self) -> Turn {
-        Turn { from: self.to, to: self.from }
+        Turn {
+            from: self.to,
+            to: self.from,
+        }
     }
 
     /// Enumerate all `4n(n-1)` 90-degree turns of an `n`-dimensional
@@ -141,7 +144,10 @@ mod tests {
 
     #[test]
     fn reversed_swaps_endpoints() {
-        let t = Turn::new(Direction::new(0, Sign::Plus), Direction::new(2, Sign::Minus));
+        let t = Turn::new(
+            Direction::new(0, Sign::Plus),
+            Direction::new(2, Sign::Minus),
+        );
         let r = t.reversed();
         assert_eq!(r.from_dir(), t.to_dir());
         assert_eq!(r.to_dir(), t.from_dir());

@@ -1,0 +1,273 @@
+//! Deterministic pseudo-random numbers with no external dependencies.
+//!
+//! The simulators need a small, fast, seedable generator and a handful of
+//! sampling helpers (`gen_range`, `gen_bool`). This crate provides exactly
+//! that surface, mirroring the `rand` API names the workspace used before
+//! it went fully offline: [`StdRng`], [`SeedableRng`], [`RngCore`], and an
+//! extension trait [`Rng`] carrying the samplers. Streams are stable
+//! across platforms and releases — identical seeds give identical runs,
+//! which the simulation determinism tests rely on.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! SplitMix64, the standard recipe for expanding a 64-bit seed into a
+//! full 256-bit state.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let die = rng.gen_range(1u32..=6);
+//! assert!((1..=6).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let _ = coin;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words. Object safe: traffic patterns take
+/// `&mut dyn RngCore`.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (the high half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Create a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's default generator: xoshiro256** with SplitMix64
+/// seeding. Not cryptographic; excellent statistical quality for
+/// simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        let s2 = s2 ^ t;
+        let s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
+
+/// Compatibility module mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// A range of values [`Rng::gen_range`] can sample uniformly.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draw one uniform sample using `bits` as the entropy source.
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+/// Uniform integer in `[0, n)` by 128-bit multiply-shift (Lemire). The
+/// modulo bias is at most `n / 2^64` — irrelevant at simulation scales.
+#[inline]
+fn uniform_below(bits: &mut dyn FnMut() -> u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((u128::from(bits()) * u128::from(n)) >> 64) as u64
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(bits, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + bits() as $t;
+                }
+                lo + uniform_below(bits, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u16, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 uniform bits in [0, 1), scaled into the range. Floating-point
+        // rounding could land exactly on `end`; fold that back to `start`.
+        let unit = (bits() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * unit;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Sampling helpers, available on every [`RngCore`] (including
+/// `&mut dyn RngCore`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        let mut bits = || self.next_u64();
+        range.sample(&mut bits)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u32..10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values should appear");
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..=7);
+            assert!((5..=7).contains(&v));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(rng.gen_range(9u64..=9), 9);
+    }
+
+    #[test]
+    fn float_range_is_half_open() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits = {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn uniformity_chi_square_sanity() {
+        // 16 cells, 16k draws: expected 1000 per cell; a crude bound on
+        // the deviation catches gross generator bugs.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cells = [0u32; 16];
+        for _ in 0..16_000 {
+            cells[rng.gen_range(0usize..16)] += 1;
+        }
+        for (i, &c) in cells.iter().enumerate() {
+            assert!((850..1150).contains(&c), "cell {i} has {c}");
+        }
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = dyn_rng.gen_range(0u32..100);
+        assert!(v < 100);
+        assert!(dyn_rng.next_u32() as u64 <= u64::from(u32::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -46,7 +46,10 @@ impl DimensionOrder {
             sorted.iter().copied().eq(0..order.len()),
             "order must be a permutation of 0..n"
         );
-        DimensionOrder { name: name.into(), order }
+        DimensionOrder {
+            name: name.into(),
+            order,
+        }
     }
 
     /// The xy algorithm for 2D meshes: dimension 0 (x) then dimension 1

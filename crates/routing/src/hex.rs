@@ -55,7 +55,9 @@ mod tests {
     fn unrestricted_adaptivity_deadlocks_on_hex_too() {
         // The hazard the turn model fixes is not mesh-specific.
         let hex = HexMesh::new(4, 4);
-        assert!(Cdg::from_routing(&hex, &FullyAdaptive::new()).find_cycle().is_some());
+        assert!(Cdg::from_routing(&hex, &FullyAdaptive::new())
+            .find_cycle()
+            .is_some());
     }
 
     #[test]

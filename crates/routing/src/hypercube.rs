@@ -39,7 +39,11 @@ pub fn p_cube(num_dims: usize, mode: RoutingMode) -> TwoPhase {
 /// Step 2 computes `R = C ∧ D̄`; if that is zero, step 3 computes
 /// `R = C̄ ∧ D` (masked to `n` bits).
 pub fn minimal_register(current: u32, dest: u32, num_dims: usize) -> u32 {
-    let mask = if num_dims >= 32 { u32::MAX } else { (1 << num_dims) - 1 };
+    let mask = if num_dims >= 32 {
+        u32::MAX
+    } else {
+        (1 << num_dims) - 1
+    };
     let r = current & !dest & mask;
     if r != 0 {
         r
@@ -54,7 +58,11 @@ pub fn minimal_register(current: u32, dest: u32, num_dims: usize) -> u32 {
 /// once `C ∧ D̄ = 0` *and* the packet enters phase 2, the register is
 /// `C̄ ∧ D`.
 pub fn nonminimal_register(current: u32, dest: u32, num_dims: usize, phase1: bool) -> u32 {
-    let mask = if num_dims >= 32 { u32::MAX } else { (1 << num_dims) - 1 };
+    let mask = if num_dims >= 32 {
+        u32::MAX
+    } else {
+        (1 << num_dims) - 1
+    };
     if phase1 {
         current & mask
     } else {
@@ -124,7 +132,11 @@ mod tests {
     fn pcube_path_count_formula_holds() {
         let cube = Hypercube::new(6);
         let alg = p_cube(6, RoutingMode::Minimal);
-        for (s, d) in [(0b101010u32, 0b010101u32), (0b111000, 0b000111), (0, 0b111111)] {
+        for (s, d) in [
+            (0b101010u32, 0b010101u32),
+            (0b111000, 0b000111),
+            (0, 0b111111),
+        ] {
             let h1 = (s & !d).count_ones();
             let h0 = (!s & d).count_ones();
             assert_eq!(
@@ -141,7 +153,11 @@ mod tests {
             p_cube(5, RoutingMode::Minimal),
             p_cube(5, RoutingMode::Nonminimal),
         ] {
-            assert!(Cdg::from_routing(&cube, &alg).is_acyclic(), "{}", alg.name());
+            assert!(
+                Cdg::from_routing(&cube, &alg).is_acyclic(),
+                "{}",
+                alg.name()
+            );
         }
         assert!(Cdg::from_routing(&cube, &e_cube(5)).is_acyclic());
     }
@@ -160,7 +176,10 @@ mod tests {
         // c = 1010, d = 0011: minimal phase 1 clears bit 3 only, but
         // nonminimal phase 1 may also travel dimension 1 (c_1 = 1, d_1 = 1).
         let dirs = alg.route(&cube, NodeId(0b1010), NodeId(0b0011), None);
-        assert_eq!(dirs_to_dims(dirs), nonminimal_register(0b1010, 0b0011, 4, true));
+        assert_eq!(
+            dirs_to_dims(dirs),
+            nonminimal_register(0b1010, 0b0011, 4, true)
+        );
         for dir in dirs.iter() {
             assert_eq!(dir.sign(), Sign::Minus, "phase 1 travels negative only");
         }

@@ -21,7 +21,10 @@ fn negatives(num_dims: usize) -> DirSet {
 /// Panics if `num_dims < 2` (with one dimension there are no turns to
 /// restrict and phase 2 would be empty).
 pub fn negative_first(num_dims: usize, mode: RoutingMode) -> TwoPhase {
-    assert!(num_dims >= 2, "negative-first needs at least two dimensions");
+    assert!(
+        num_dims >= 2,
+        "negative-first needs at least two dimensions"
+    );
     TwoPhase::new("negative-first", num_dims, negatives(num_dims), mode)
 }
 

@@ -13,7 +13,6 @@
 //!    to `0` *decreases* the coordinate, so it is a negative channel, and
 //!    vice versa) and apply negative-first over the classified directions.
 
-
 use turnroute_model::RoutingFunction;
 use turnroute_topology::{DirSet, Direction, Mesh, NodeId, Sign, Topology};
 
@@ -67,7 +66,11 @@ impl<R: RoutingFunction> WrapOnFirstHop<R> {
             .map(|d| torus.radix(d) as u16)
             .collect();
         let name = format!("{}+wrap-first-hop", inner.name());
-        WrapOnFirstHop { inner, mesh: Mesh::new(radices), name }
+        WrapOnFirstHop {
+            inner,
+            mesh: Mesh::new(radices),
+            name,
+        }
     }
 
     /// The underlying mesh the inner algorithm routes over.
@@ -178,25 +181,45 @@ impl NegativeFirstTorus {
         let mut plans: Vec<DimPlan> = Vec::with_capacity(3);
         if d < c {
             // Pure descend: classified-negative mesh hops.
-            plans.push(DimPlan { cost: c - d, first_sign: Sign::Minus, first_is_phase1: true });
+            plans.push(DimPlan {
+                cost: c - d,
+                first_sign: Sign::Minus,
+                first_is_phase1: true,
+            });
         }
         if d > c {
             // Pure ascend: classified-positive mesh hops.
-            plans.push(DimPlan { cost: d - c, first_sign: Sign::Plus, first_is_phase1: false });
+            plans.push(DimPlan {
+                cost: d - c,
+                first_sign: Sign::Plus,
+                first_is_phase1: false,
+            });
         }
         if d == k - 1 {
             // Descend to 0, then the `-` wrap (classified positive) jumps
             // 0 -> k-1.
             // First hop descends if above zero; at zero the next hop is
             // the wrap itself (classified positive).
-            plans.push(DimPlan { cost: c + 1, first_sign: Sign::Minus, first_is_phase1: c > 0 });
+            plans.push(DimPlan {
+                cost: c + 1,
+                first_sign: Sign::Minus,
+                first_is_phase1: c > 0,
+            });
         }
         if c == k - 1 {
             // The `+` wrap (classified negative) jumps k-1 -> 0, then
             // ascend to d.
-            plans.push(DimPlan { cost: 1 + d, first_sign: Sign::Plus, first_is_phase1: true });
+            plans.push(DimPlan {
+                cost: 1 + d,
+                first_sign: Sign::Plus,
+                first_is_phase1: true,
+            });
         }
-        let best = plans.iter().map(|p| p.cost).min().expect("c != d has a plan");
+        let best = plans
+            .iter()
+            .map(|p| p.cost)
+            .min()
+            .expect("c != d has a plan");
         plans.retain(|p| p.cost == best);
         plans
     }
@@ -282,7 +305,11 @@ mod tests {
         let mut hops = 0;
         while cur != dst {
             let dirs = alg.route(topo, cur, dst, arrived);
-            assert!(!dirs.is_empty(), "{} stuck at {cur} toward {dst}", alg.name());
+            assert!(
+                !dirs.is_empty(),
+                "{} stuck at {cur} toward {dst}",
+                alg.name()
+            );
             let dir = dirs.iter().next().unwrap();
             cur = topo.neighbor(cur, dir).unwrap();
             arrived = Some(dir);

@@ -62,7 +62,12 @@ impl TwoPhase {
         );
         assert!(!phase1.is_empty(), "phase 1 must contain a direction");
         assert_ne!(phase1, all, "phase 2 must contain a direction");
-        TwoPhase { name: name.into(), num_dims, phase1, mode }
+        TwoPhase {
+            name: name.into(),
+            num_dims,
+            phase1,
+            mode,
+        }
     }
 
     /// The phase-1 direction set.
@@ -86,12 +91,7 @@ impl TwoPhase {
     /// overshoot can be undone without re-entering phase 1) and some
     /// productive phase-2 work remains in another dimension (so the
     /// packet can turn off `d` without a prohibited 180-degree reversal).
-    fn phase2_moves(
-        &self,
-        topo: &dyn Topology,
-        current: NodeId,
-        productive: DirSet,
-    ) -> DirSet {
+    fn phase2_moves(&self, topo: &dyn Topology, current: NodeId, productive: DirSet) -> DirSet {
         let phase2 = self.phase2();
         let p2_productive = productive.intersection(phase2);
         let mut out = p2_productive;
@@ -215,7 +215,9 @@ mod tests {
     use turnroute_topology::{Mesh, Sign};
 
     fn negatives(n: usize) -> DirSet {
-        Direction::all(n).filter(|d| d.sign() == Sign::Minus).collect()
+        Direction::all(n)
+            .filter(|d| d.sign() == Sign::Minus)
+            .collect()
     }
 
     #[test]
@@ -249,7 +251,7 @@ mod tests {
         let nf = TwoPhase::new("nf", 2, negatives(2), RoutingMode::Minimal);
         let cur = mesh.node_at_coords(&[4, 4]);
         let dst = mesh.node_at_coords(&[6, 2]); // needs east and south
-        // Arrived traveling east (phase 2): south is forbidden now.
+                                                // Arrived traveling east (phase 2): south is forbidden now.
         let dirs = nf.route(&mesh, cur, dst, Some(Direction::EAST));
         assert_eq!(dirs, DirSet::single(Direction::EAST));
     }
@@ -293,9 +295,9 @@ mod tests {
         let dst = mesh.node_at_coords(&[6, 6]);
         let dirs = nf.route(&mesh, cur, dst, Some(Direction::EAST));
         assert_eq!(dirs.len(), 2); // east + north, both productive
-        // West-first with the eastward work finished: a lone northward
-        // leg must not be padded with unrecoverable east misroutes, and
-        // north/south misroutes need productive work in another dimension.
+                                   // West-first with the eastward work finished: a lone northward
+                                   // leg must not be padded with unrecoverable east misroutes, and
+                                   // north/south misroutes need productive work in another dimension.
         let wf = TwoPhase::new(
             "wf",
             2,
@@ -358,7 +360,10 @@ mod tests {
         let nf = TwoPhase::new("negative-first", 2, negatives(2), RoutingMode::Minimal);
         assert_eq!(nf.to_string(), "negative-first (minimal)");
         assert_eq!(nf.phase1(), negatives(2));
-        assert_eq!(nf.phase2(), negatives(2).iter().map(|d| d.opposite()).collect());
+        assert_eq!(
+            nf.phase2(),
+            negatives(2).iter().map(|d| d.opposite()).collect()
+        );
         assert_eq!(nf.num_dims(), 2);
         assert_eq!(nf.mode(), RoutingMode::Minimal);
     }

@@ -24,7 +24,10 @@ pub enum LengthDist {
 impl LengthDist {
     /// The paper's distribution: 10 or 200 flits, equally likely.
     pub fn paper() -> LengthDist {
-        LengthDist::Bimodal { short: 10, long: 200 }
+        LengthDist::Bimodal {
+            short: 10,
+            long: 200,
+        }
     }
 
     /// Mean packet length in flits.
@@ -242,7 +245,13 @@ mod tests {
     #[test]
     fn paper_length_distribution() {
         let d = LengthDist::paper();
-        assert_eq!(d, LengthDist::Bimodal { short: 10, long: 200 });
+        assert_eq!(
+            d,
+            LengthDist::Bimodal {
+                short: 10,
+                long: 200
+            }
+        );
         assert!((d.mean() - 105.0).abs() < 1e-9);
         assert!((LengthDist::Fixed(16).mean() - 16.0).abs() < 1e-9);
     }

@@ -1,11 +1,15 @@
 //! The simulation engine: wormhole mechanics, arbitration, and the
 //! measurement protocol.
 
+use crate::obs::{
+    ChannelLayout, DeadlockSnapshot, NoopObserver, SimObserver, StallReason, StreamingHistogram,
+    WaitEdge,
+};
 use crate::{InputPolicy, LengthDist, OutputPolicy, Packet, PacketId, SimConfig, SimReport};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
-use turnroute_model::RoutingFunction;
+use turnroute_model::{RoutingFunction, Turn};
+use turnroute_rng::rngs::StdRng;
+use turnroute_rng::{Rng, SeedableRng};
 use turnroute_topology::{Direction, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
 
@@ -34,12 +38,19 @@ struct Emitting {
 /// [`Sim::inject_packet`], then either call [`Sim::run`] for the full
 /// warmup/measure/drain protocol or drive individual cycles with
 /// [`Sim::step`].
-pub struct Sim<'a> {
+///
+/// The engine is generic over a [`SimObserver`] receiving flit-level
+/// telemetry hooks; the default [`NoopObserver`] has `ENABLED = false`
+/// and every hook call site is guarded by that associated constant, so
+/// an unobserved simulation compiles to the same code as before the
+/// hooks existed. Attach collectors with [`Sim::with_observer`].
+pub struct Sim<'a, O: SimObserver = NoopObserver> {
     topo: &'a dyn Topology,
     routing: &'a dyn RoutingFunction,
     pattern: &'a dyn TrafficPattern,
     cfg: SimConfig,
     rng: StdRng,
+    obs: O,
     now: u64,
 
     // --- static network description ---
@@ -87,6 +98,13 @@ pub struct Sim<'a> {
     max_queue_len: usize,
     last_move: u64,
     deadlocked: bool,
+    /// Channels whose input buffer currently holds at least one flit,
+    /// maintained incrementally at every push/pop so stall accounting
+    /// costs O(moved flits), not O(channels), per cycle.
+    occupied_buffers: usize,
+    /// Occupied-channel cycles that advanced nothing, measurement window
+    /// only.
+    total_stall_cycles: u64,
 
     // scratch buffers reused across cycles
     scratch_heads: Vec<u32>,
@@ -107,6 +125,24 @@ impl<'a> Sim<'a> {
         pattern: &'a dyn TrafficPattern,
         cfg: SimConfig,
     ) -> Sim<'a> {
+        Sim::with_observer(topo, routing, pattern, cfg, NoopObserver)
+    }
+}
+
+impl<'a, O: SimObserver> Sim<'a, O> {
+    /// Like [`Sim::new`], but with `observer` attached to receive
+    /// flit-level telemetry hooks (see [`crate::obs`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than 2 nodes.
+    pub fn with_observer(
+        topo: &'a dyn Topology,
+        routing: &'a dyn RoutingFunction,
+        pattern: &'a dyn TrafficPattern,
+        cfg: SimConfig,
+        observer: O,
+    ) -> Sim<'a, O> {
         let num_nodes = topo.num_nodes();
         assert!(num_nodes >= 2, "need at least two nodes");
         let dirs_per_node = 2 * topo.num_dims();
@@ -137,6 +173,7 @@ impl<'a> Sim<'a> {
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
+            obs: observer,
             now: 0,
             num_nodes,
             dirs_per_node,
@@ -163,6 +200,8 @@ impl<'a> Sim<'a> {
             max_queue_len: 0,
             last_move: 0,
             deadlocked: false,
+            occupied_buffers: 0,
+            total_stall_cycles: 0,
             scratch_heads: Vec::new(),
             scratch_state: vec![0; num_channels],
             scratch_order: Vec::new(),
@@ -186,6 +225,21 @@ impl<'a> Sim<'a> {
     /// Whether deadlock was detected.
     pub fn deadlocked(&self) -> bool {
         self.deadlocked
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the simulation and keep only the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
     }
 
     /// All packets created so far.
@@ -370,45 +424,57 @@ impl<'a> Sim<'a> {
             && self.emitting.iter().all(Option::is_none)
     }
 
-    /// Build a report summarizing packets created in the measurement
-    /// window.
-    pub fn report(&self) -> SimReport {
+    /// Streaming histogram of total latencies (creation to tail
+    /// consumption) of delivered packets created in the measurement
+    /// window — the distribution the report's quantiles come from.
+    pub fn latency_histogram(&self) -> StreamingHistogram {
         let (ms, me) = self.window;
-        let mut latencies: Vec<u64> = Vec::new();
-        let mut network_sum = 0u64;
-        let mut hops_sum = 0u64;
-        let mut misroute_sum = 0u64;
-        let mut delivered = 0u64;
+        let mut hist = StreamingHistogram::new();
         for p in &self.packets {
             if p.created < ms || p.created >= me {
                 continue;
             }
             if let Some(lat) = p.latency() {
-                delivered += 1;
-                latencies.push(lat);
+                hist.record(lat);
+            }
+        }
+        hist
+    }
+
+    /// Build a report summarizing packets created in the measurement
+    /// window.
+    pub fn report(&self) -> SimReport {
+        let (ms, me) = self.window;
+        let hist = self.latency_histogram();
+        let mut network_sum = 0u64;
+        let mut hops_sum = 0u64;
+        let mut misroute_sum = 0u64;
+        for p in &self.packets {
+            if p.created < ms || p.created >= me {
+                continue;
+            }
+            if let Some(lat) = p.latency() {
                 network_sum += p.network_latency().unwrap_or(lat);
                 hops_sum += u64::from(p.hops);
                 misroute_sum += u64::from(p.misroutes);
             }
         }
-        latencies.sort_unstable();
+        let delivered = hist.count();
         let avg = |sum: u64, n: u64| if n == 0 { 0.0 } else { sum as f64 / n as f64 };
-        let p99 = if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[(latencies.len() - 1).min(latencies.len() * 99 / 100)] as f64
-        };
         SimReport {
             generated_packets: self.generated_packets,
             generated_flits: self.generated_flits,
             delivered_packets: delivered,
             delivered_flits_in_window: self.delivered_flits_in_window,
             measure_cycles: me.saturating_sub(ms),
-            avg_latency_cycles: avg(latencies.iter().sum(), delivered),
-            p99_latency_cycles: p99,
+            avg_latency_cycles: hist.mean(),
+            p50_latency_cycles: hist.p50() as f64,
+            p99_latency_cycles: hist.p99() as f64,
+            max_latency_cycles: hist.max(),
             avg_network_latency_cycles: avg(network_sum, delivered),
             avg_hops: avg(hops_sum, delivered),
             avg_misroutes: avg(misroute_sum, delivered),
+            total_stall_cycles: self.total_stall_cycles,
             queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
             max_queue_len: self.max_queue_len,
             deadlocked: self.deadlocked,
@@ -539,6 +605,16 @@ impl<'a> Sim<'a> {
         let (dir, slot, productive) = pick;
         self.assigned_out[c] = slot as u32;
         self.owner[slot] = flit.packet;
+        if O::ENABLED {
+            if let Some(arr) = arrived {
+                self.obs
+                    .on_turn(self.now, PacketId(flit.packet), v, Turn::new(arr, dir));
+            }
+            if !productive {
+                self.obs
+                    .on_misroute(self.now, PacketId(flit.packet), v, dir);
+            }
+        }
         let p = &mut self.packets[flit.packet as usize];
         p.hops += 1;
         if !productive {
@@ -638,20 +714,59 @@ impl<'a> Sim<'a> {
             }
         }
 
-        // Apply moves targets-first.
+        // Stall accounting: every occupied channel either moves a flit
+        // this cycle (it is in `order`) or stalls in place.
         let in_window = self.in_window();
+        if in_window {
+            self.total_stall_cycles += (self.occupied_buffers - order.len()) as u64;
+        }
+        if O::ENABLED {
+            for (c, &st) in state.iter().enumerate() {
+                if st == YES {
+                    continue;
+                }
+                let Some(front) = self.buf[c].front() else {
+                    continue;
+                };
+                let reason = if self.assigned_out[c] == NONE_U32 {
+                    StallReason::NotRouted
+                } else {
+                    StallReason::Backpressure
+                };
+                self.obs
+                    .on_stall(self.now, c, PacketId(front.packet), reason);
+            }
+        }
+
+        // Apply moves targets-first.
         for &c in &order {
             let c = c as usize;
             let flit = self.buf[c].pop_front().expect("flit scheduled to move");
+            if self.buf[c].is_empty() {
+                self.occupied_buffers -= 1;
+            }
             self.last_move = self.now;
             if self.is_ejection(c) {
                 if in_window {
                     self.delivered_flits_in_window += 1;
                 }
+                if O::ENABLED {
+                    self.obs.on_flit_advance(
+                        self.now,
+                        c,
+                        None,
+                        PacketId(flit.packet),
+                        flit.is_tail,
+                    );
+                }
                 if flit.is_tail {
                     self.owner[c] = NONE_U32;
                     let p = &mut self.packets[flit.packet as usize];
                     p.delivered = Some(self.now);
+                    let (id, created, hops) = (p.id, p.created, p.hops);
+                    if O::ENABLED {
+                        self.obs.on_deliver(self.now, id, self.now - created, hops);
+                    }
                 }
             } else {
                 let o = self.assigned_out[c] as usize;
@@ -662,7 +777,19 @@ impl<'a> Sim<'a> {
                 if flit.is_head {
                     self.head_since[o] = self.now;
                 }
+                if self.buf[o].is_empty() {
+                    self.occupied_buffers += 1;
+                }
                 self.buf[o].push_back(flit);
+                if O::ENABLED {
+                    self.obs.on_flit_advance(
+                        self.now,
+                        c,
+                        Some(o),
+                        PacketId(flit.packet),
+                        flit.is_tail,
+                    );
+                }
                 if flit.is_tail {
                     self.owner[c] = NONE_U32;
                     self.assigned_out[c] = NONE_U32;
@@ -689,7 +816,14 @@ impl<'a> Sim<'a> {
                     continue;
                 };
                 self.packets[pid as usize].injected = Some(self.now);
-                self.emitting[v] = Some(Emitting { packet: pid, sent: 0 });
+                self.emitting[v] = Some(Emitting {
+                    packet: pid,
+                    sent: 0,
+                });
+                if O::ENABLED {
+                    let p = self.packets[pid as usize];
+                    self.obs.on_inject(self.now, p.id, p.src, p.dst, p.len);
+                }
             }
             let Emitting { packet, sent } = self.emitting[v].expect("set above");
             let len = self.packets[packet as usize].len;
@@ -702,25 +836,122 @@ impl<'a> Sim<'a> {
                 self.head_since[inj] = self.now;
                 self.owner[inj] = packet;
             }
+            if self.buf[inj].is_empty() {
+                self.occupied_buffers += 1;
+            }
             self.buf[inj].push_back(flit);
             self.emitting[v] = if sent + 1 == len {
                 None
             } else {
-                Some(Emitting { packet, sent: sent + 1 })
+                Some(Emitting {
+                    packet,
+                    sent: sent + 1,
+                })
             };
         }
     }
 
     fn detect_deadlock(&mut self) {
         if self.now.saturating_sub(self.last_move) >= self.cfg.deadlock_threshold
-            && self.buf.iter().any(|b| !b.is_empty())
+            && self.occupied_buffers > 0
         {
             self.deadlocked = true;
+            if O::ENABLED {
+                let snapshot = self.deadlock_snapshot();
+                self.obs.on_deadlock(self.now, &snapshot);
+            }
         }
+    }
+
+    /// The frozen waits-for graph over currently occupied channels.
+    ///
+    /// Each occupied channel contributes one edge naming the front flit's
+    /// packet and, when the worm is routed, the output channel it waits
+    /// on; [`DeadlockSnapshot::cycle_channels`] then separates worms on
+    /// an actual circular wait from traffic merely blocked behind them.
+    pub fn deadlock_snapshot(&self) -> DeadlockSnapshot {
+        let layout = ChannelLayout::new(self.num_nodes, self.dirs_per_node / 2);
+        let mut edges = Vec::new();
+        for c in 0..self.num_channels {
+            let Some(front) = self.buf[c].front() else {
+                continue;
+            };
+            let waits_for = if self.is_ejection(c) {
+                None
+            } else if self.assigned_out[c] != NONE_U32 {
+                Some(self.assigned_out[c] as usize)
+            } else if front.is_head {
+                // Unrouted head: arbitration never bound it because every
+                // output it wants is held by another worm. Re-derive the
+                // wanted output — that is the true waits-for edge.
+                self.wanted_output(c)
+            } else {
+                None
+            };
+            edges.push(WaitEdge {
+                channel: c,
+                packet: front.packet,
+                buffered: self.buf[c].len(),
+                head_waiting: front.is_head,
+                waits_for,
+            });
+        }
+        DeadlockSnapshot {
+            now: self.now,
+            layout,
+            edges,
+        }
+    }
+
+    /// The output channel the (unassigned) head flit at `c` is waiting
+    /// to acquire: [`Sim::try_assign`]'s candidate selection minus the
+    /// free-channel filter. With several busy alternatives the output
+    /// policy's preferred one is reported (`Random` falls back to
+    /// `LowestDim` — the snapshot cannot perturb the RNG).
+    fn wanted_output(&self, c: usize) -> Option<usize> {
+        let flit = self.buf[c].front()?;
+        let pkt = self.packets[flit.packet as usize];
+        let v = NodeId(self.input_router[c]);
+        if v == pkt.dst {
+            return Some(self.ej_slot(v.index()));
+        }
+        let arrived = if self.is_injection(c) {
+            None
+        } else {
+            Some(self.dir_of_network_slot(c))
+        };
+        let dirs = self.routing.route(self.topo, v, pkt.dst, arrived);
+        let here = self.topo.min_hops(v, pkt.dst);
+        let mut candidates: Vec<(Direction, usize, bool)> = Vec::with_capacity(4);
+        for dir in dirs.iter() {
+            let slot = self.topo.channel_slot(v, dir);
+            if !self.exists[slot] || self.faulty[slot] {
+                continue;
+            }
+            let next = self.topo.neighbor(v, dir).expect("existing channel");
+            let productive = self.topo.min_hops(next, pkt.dst) < here;
+            candidates.push((dir, slot, productive));
+        }
+        if !self.routing.is_minimal()
+            && pkt.misroutes >= self.cfg.misroute_budget
+            && candidates.iter().any(|&(_, _, p)| p)
+        {
+            candidates.retain(|&(_, _, p)| p);
+        }
+        if candidates.iter().any(|&(_, _, p)| p) {
+            candidates.retain(|&(_, _, p)| p);
+        }
+        let pick = match self.cfg.output_policy {
+            OutputPolicy::HighestDim => candidates.iter().max_by_key(|&&(dir, _, _)| dir.index()),
+            OutputPolicy::LowestDim | OutputPolicy::Random => {
+                candidates.iter().min_by_key(|&&(dir, _, _)| dir.index())
+            }
+        };
+        pick.map(|&(_, slot, _)| slot)
     }
 }
 
-impl std::fmt::Debug for Sim<'_> {
+impl<O: SimObserver> std::fmt::Debug for Sim<'_, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)

@@ -50,12 +50,14 @@
 
 mod config;
 mod engine;
+pub mod obs;
 mod packet;
 mod policies;
 mod report;
 
 pub use config::{LengthDist, SimConfig, SimConfigBuilder, CYCLES_PER_MICROSEC};
 pub use engine::Sim;
+pub use obs::{NoopObserver, SimObserver, Telemetry};
 pub use packet::{Packet, PacketId};
 pub use policies::{InputPolicy, OutputPolicy};
 pub use report::SimReport;

@@ -1,0 +1,232 @@
+//! Tiny JSON helpers: string escaping for emission and a minimal
+//! validator used by tests. Hand-rolled so the workspace stays
+//! dependency-free.
+
+/// `s` as a JSON string literal (quoted and escaped).
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Whether `s` is one complete, well-formed JSON value. A minimal
+/// recursive-descent check — enough to keep emitted metrics honest.
+pub fn validate(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    if !value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string_lit(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => false,
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') || !string_lit(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn string_lit(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // opening quote
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return false;
+                        }
+                        *pos += 5;
+                    }
+                    _ => return false,
+                }
+            }
+            c if c < 0x20 => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn number(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert!(validate(&string("control \u{1} char")));
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        for ok in [
+            "{}",
+            "[]",
+            "0",
+            "-12.5e3",
+            "true",
+            "null",
+            "\"hi\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":\"x\\ny\"}",
+            " { \"a\" : 1 } ",
+        ] {
+            assert!(validate(ok), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "1.2.3",
+            "\"unterminated",
+            "{} extra",
+            "{'a':1}",
+            "01x",
+        ] {
+            assert!(!validate(bad), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,469 @@
+//! Flit-level telemetry: observer hooks and composable collectors.
+//!
+//! The engine is generic over a [`SimObserver`]; the default
+//! [`NoopObserver`] has `ENABLED = false`, so every hook call sits behind
+//! an `if O::ENABLED` the compiler folds away — an uninstrumented
+//! simulation pays nothing. Collectors in this module implement the trait
+//! and can be composed with tuples (`(A, B)`) or via the all-in-one
+//! [`Telemetry`] bundle:
+//!
+//! ```
+//! use turnroute_sim::obs::Telemetry;
+//! use turnroute_sim::{Sim, SimConfig};
+//! use turnroute_routing::{mesh2d, RoutingMode};
+//! use turnroute_topology::Mesh;
+//! use turnroute_traffic::Uniform;
+//!
+//! let mesh = Mesh::new_2d(4, 4);
+//! let routing = mesh2d::west_first(RoutingMode::Minimal);
+//! let pattern = Uniform::new();
+//! let cfg = SimConfig::builder().injection_rate(0.05).seed(7).build();
+//! let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, Telemetry::new(&mesh));
+//! for _ in 0..500 {
+//!     sim.step();
+//! }
+//! let telemetry = sim.observer();
+//! assert!(telemetry.census.total() > 0 || telemetry.heatmap.total_load() > 0);
+//! ```
+
+mod census;
+mod heatmap;
+mod hist;
+pub mod json;
+mod trace;
+
+pub use census::TurnCensus;
+pub use heatmap::ChannelHeatmap;
+pub use hist::StreamingHistogram;
+pub use trace::{RingTrace, TraceEvent};
+
+use crate::PacketId;
+use turnroute_model::Turn;
+use turnroute_topology::{Direction, NodeId, Topology};
+
+/// Why an occupied channel failed to advance a flit this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// The buffered head flit has no output channel yet (all candidates
+    /// busy, faulty, or the header is still in its routing delay).
+    NotRouted,
+    /// An output is assigned but the downstream buffer never vacated
+    /// (includes flits caught in a dependency cycle).
+    Backpressure,
+}
+
+/// Hooks the engine fires at each interesting simulation event.
+///
+/// Every method has an empty default body, so collectors implement only
+/// what they need. `ENABLED` gates the call sites: when `false` (the
+/// [`NoopObserver`]) the instrumentation compiles away entirely.
+pub trait SimObserver {
+    /// Whether the engine should fire hooks at all.
+    const ENABLED: bool = true;
+
+    /// A packet started streaming into its source's injection buffer.
+    fn on_inject(&mut self, _now: u64, _packet: PacketId, _src: NodeId, _dst: NodeId, _len: u32) {}
+
+    /// A flit moved from channel `from` into channel `to`'s buffer
+    /// (`None` = consumed at its destination's ejection buffer).
+    fn on_flit_advance(
+        &mut self,
+        _now: u64,
+        _from: usize,
+        _to: Option<usize>,
+        _packet: PacketId,
+        _is_tail: bool,
+    ) {
+    }
+
+    /// A header reserved an output channel, turning from its arrival
+    /// direction. Not fired for injections (no arrival direction).
+    fn on_turn(&mut self, _now: u64, _packet: PacketId, _at: NodeId, _turn: Turn) {}
+
+    /// A header reserved an unproductive (nonminimal) output channel.
+    fn on_misroute(&mut self, _now: u64, _packet: PacketId, _at: NodeId, _dir: Direction) {}
+
+    /// An occupied channel advanced nothing this cycle.
+    fn on_stall(&mut self, _now: u64, _slot: usize, _packet: PacketId, _reason: StallReason) {}
+
+    /// A packet's tail flit was consumed at its destination.
+    fn on_deliver(&mut self, _now: u64, _packet: PacketId, _latency: u64, _hops: u32) {}
+
+    /// Deadlock detection tripped; `snapshot` holds the frozen waits-for
+    /// graph and channel occupancy.
+    fn on_deadlock(&mut self, _now: u64, _snapshot: &DeadlockSnapshot) {}
+}
+
+/// The default do-nothing observer; `ENABLED = false` removes every hook
+/// call from the compiled engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// Two observers side by side, both receiving every event.
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn on_inject(&mut self, now: u64, packet: PacketId, src: NodeId, dst: NodeId, len: u32) {
+        self.0.on_inject(now, packet, src, dst, len);
+        self.1.on_inject(now, packet, src, dst, len);
+    }
+
+    fn on_flit_advance(
+        &mut self,
+        now: u64,
+        from: usize,
+        to: Option<usize>,
+        packet: PacketId,
+        is_tail: bool,
+    ) {
+        self.0.on_flit_advance(now, from, to, packet, is_tail);
+        self.1.on_flit_advance(now, from, to, packet, is_tail);
+    }
+
+    fn on_turn(&mut self, now: u64, packet: PacketId, at: NodeId, turn: Turn) {
+        self.0.on_turn(now, packet, at, turn);
+        self.1.on_turn(now, packet, at, turn);
+    }
+
+    fn on_misroute(&mut self, now: u64, packet: PacketId, at: NodeId, dir: Direction) {
+        self.0.on_misroute(now, packet, at, dir);
+        self.1.on_misroute(now, packet, at, dir);
+    }
+
+    fn on_stall(&mut self, now: u64, slot: usize, packet: PacketId, reason: StallReason) {
+        self.0.on_stall(now, slot, packet, reason);
+        self.1.on_stall(now, slot, packet, reason);
+    }
+
+    fn on_deliver(&mut self, now: u64, packet: PacketId, latency: u64, hops: u32) {
+        self.0.on_deliver(now, packet, latency, hops);
+        self.1.on_deliver(now, packet, latency, hops);
+    }
+
+    fn on_deadlock(&mut self, now: u64, snapshot: &DeadlockSnapshot) {
+        self.0.on_deadlock(now, snapshot);
+        self.1.on_deadlock(now, snapshot);
+    }
+}
+
+/// The engine's channel-slot numbering, decoupled from the engine so
+/// collectors can decode slots on their own: network slots are
+/// `node * 2 * num_dims + dir.index()`, then one injection slot per node,
+/// then one ejection slot per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelLayout {
+    /// Nodes in the topology.
+    pub num_nodes: usize,
+    /// Dimensions of the topology (2 directions each).
+    pub num_dims: usize,
+    /// First injection slot == number of network slots.
+    pub inj_base: usize,
+    /// First ejection slot.
+    pub ej_base: usize,
+    /// Total slots (network + injection + ejection).
+    pub num_channels: usize,
+}
+
+impl ChannelLayout {
+    /// Layout for a topology with `num_nodes` nodes and `num_dims`
+    /// dimensions.
+    pub fn new(num_nodes: usize, num_dims: usize) -> ChannelLayout {
+        let inj_base = num_nodes * 2 * num_dims;
+        let ej_base = inj_base + num_nodes;
+        ChannelLayout {
+            num_nodes,
+            num_dims,
+            inj_base,
+            ej_base,
+            num_channels: ej_base + num_nodes,
+        }
+    }
+
+    /// Layout matching what the engine builds for `topo`.
+    pub fn for_topology(topo: &dyn Topology) -> ChannelLayout {
+        ChannelLayout::new(topo.num_nodes(), topo.num_dims())
+    }
+
+    /// Whether `slot` is an injection slot.
+    pub fn is_injection(&self, slot: usize) -> bool {
+        (self.inj_base..self.ej_base).contains(&slot)
+    }
+
+    /// Whether `slot` is an ejection slot.
+    pub fn is_ejection(&self, slot: usize) -> bool {
+        slot >= self.ej_base
+    }
+
+    /// The node whose router the slot belongs to: the channel's *source*
+    /// node for network slots, the local node for injection/ejection.
+    pub fn node_of(&self, slot: usize) -> NodeId {
+        if slot >= self.inj_base {
+            NodeId(((slot - self.inj_base) % self.num_nodes) as u32)
+        } else {
+            NodeId((slot / (2 * self.num_dims)) as u32)
+        }
+    }
+
+    /// The direction of a network slot (`None` for injection/ejection).
+    pub fn dir_of(&self, slot: usize) -> Option<Direction> {
+        if slot >= self.inj_base {
+            None
+        } else {
+            Some(Direction::from_index(slot % (2 * self.num_dims)))
+        }
+    }
+
+    /// Human-readable slot name, e.g. `"n12>E"`, `"inj n3"`, `"ej n3"`.
+    pub fn describe(&self, slot: usize) -> String {
+        if self.is_ejection(slot) {
+            format!("ej n{}", slot - self.ej_base)
+        } else if self.is_injection(slot) {
+            format!("inj n{}", slot - self.inj_base)
+        } else {
+            format!(
+                "n{}>{}",
+                self.node_of(slot).0,
+                Direction::from_index(slot % (2 * self.num_dims))
+            )
+        }
+    }
+}
+
+/// One blocked channel in a frozen deadlock: who occupies it and which
+/// channel it is waiting on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The occupied channel slot.
+    pub channel: usize,
+    /// Packet whose flit sits at the buffer's front.
+    pub packet: u32,
+    /// Flits buffered in this channel.
+    pub buffered: usize,
+    /// Whether the front flit is an (unrouted or blocked) header.
+    pub head_waiting: bool,
+    /// The output channel this worm is bound to, if routed.
+    pub waits_for: Option<usize>,
+}
+
+/// Frozen waits-for graph and channel occupancy, captured when deadlock
+/// detection trips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockSnapshot {
+    /// Cycle at which the snapshot was taken.
+    pub now: u64,
+    /// Slot numbering used by `edges`.
+    pub layout: ChannelLayout,
+    /// One edge per occupied channel.
+    pub edges: Vec<WaitEdge>,
+}
+
+impl DeadlockSnapshot {
+    /// The snapshot as one JSON object (used as the last line of a
+    /// postmortem dump).
+    pub fn to_json(&self) -> String {
+        let mut edges = String::new();
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                edges.push(',');
+            }
+            edges.push_str(&format!(
+                "{{\"channel\":{},\"name\":{},\"packet\":{},\"buffered\":{},\"head_waiting\":{},\"waits_for\":{}}}",
+                e.channel,
+                json::string(&self.layout.describe(e.channel)),
+                e.packet,
+                e.buffered,
+                e.head_waiting,
+                match e.waits_for {
+                    Some(w) => w.to_string(),
+                    None => "null".into(),
+                },
+            ));
+        }
+        format!(
+            "{{\"event\":\"deadlock_snapshot\",\"cycle\":{},\"occupied_channels\":{},\"edges\":[{}]}}",
+            self.now,
+            self.edges.len(),
+            edges
+        )
+    }
+
+    /// Channels that form circular waits (slots on some cycle of the
+    /// waits-for graph) — the actual deadlocked worms, as opposed to
+    /// traffic merely blocked behind them.
+    pub fn cycle_channels(&self) -> Vec<usize> {
+        // waits_for is a partial function: each node has at most one
+        // outgoing edge, so every cycle is reachable by pointer chasing.
+        let mut next = vec![usize::MAX; self.layout.num_channels];
+        for e in &self.edges {
+            if let Some(w) = e.waits_for {
+                next[e.channel] = w;
+            }
+        }
+        let mut on_cycle = vec![false; self.layout.num_channels];
+        let mut mark = vec![0u32; self.layout.num_channels];
+        let mut pass = 0u32;
+        for e in &self.edges {
+            pass += 1;
+            let mut c = e.channel;
+            // Walk until we leave the graph, hit an earlier pass, or
+            // revisit this pass's own path (a new cycle).
+            while c != usize::MAX && mark[c] == 0 {
+                mark[c] = pass;
+                c = next[c];
+            }
+            if c != usize::MAX && mark[c] == pass {
+                // Found a fresh cycle: walk it once more to mark members.
+                let start = c;
+                loop {
+                    on_cycle[c] = true;
+                    c = next[c];
+                    if c == start {
+                        break;
+                    }
+                }
+            }
+        }
+        (0..self.layout.num_channels)
+            .filter(|&c| on_cycle[c])
+            .collect()
+    }
+}
+
+/// Everything-on collector bundle: per-channel heatmap, turn census, and
+/// a ring-buffer event trace with deadlock postmortem.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    /// Per-channel load and stall-attribution heatmap.
+    pub heatmap: ChannelHeatmap,
+    /// Counts of turns taken, by direction pair.
+    pub census: TurnCensus,
+    /// Bounded event trace; dumps a JSONL postmortem after deadlock.
+    pub trace: RingTrace,
+}
+
+impl Telemetry {
+    /// Default trace depth (events kept for the postmortem).
+    pub const DEFAULT_TRACE_DEPTH: usize = 256;
+
+    /// Collectors sized for `topo`.
+    pub fn new(topo: &dyn Topology) -> Telemetry {
+        let layout = ChannelLayout::for_topology(topo);
+        Telemetry {
+            heatmap: ChannelHeatmap::new(layout),
+            census: TurnCensus::new(topo.num_dims()),
+            trace: RingTrace::new(Self::DEFAULT_TRACE_DEPTH),
+        }
+    }
+
+    /// The combined collector state as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"channels\":{},\"turns\":{}}}",
+            self.heatmap.to_json(),
+            self.census.to_json()
+        )
+    }
+}
+
+impl SimObserver for Telemetry {
+    fn on_inject(&mut self, now: u64, packet: PacketId, src: NodeId, dst: NodeId, len: u32) {
+        self.trace.on_inject(now, packet, src, dst, len);
+    }
+
+    fn on_flit_advance(
+        &mut self,
+        now: u64,
+        from: usize,
+        to: Option<usize>,
+        packet: PacketId,
+        is_tail: bool,
+    ) {
+        self.heatmap.on_flit_advance(now, from, to, packet, is_tail);
+        self.trace.on_flit_advance(now, from, to, packet, is_tail);
+    }
+
+    fn on_turn(&mut self, now: u64, packet: PacketId, at: NodeId, turn: Turn) {
+        self.census.on_turn(now, packet, at, turn);
+        self.trace.on_turn(now, packet, at, turn);
+    }
+
+    fn on_misroute(&mut self, now: u64, packet: PacketId, at: NodeId, dir: Direction) {
+        self.trace.on_misroute(now, packet, at, dir);
+    }
+
+    fn on_stall(&mut self, now: u64, slot: usize, packet: PacketId, reason: StallReason) {
+        self.heatmap.on_stall(now, slot, packet, reason);
+    }
+
+    fn on_deliver(&mut self, now: u64, packet: PacketId, latency: u64, hops: u32) {
+        self.trace.on_deliver(now, packet, latency, hops);
+    }
+
+    fn on_deadlock(&mut self, now: u64, snapshot: &DeadlockSnapshot) {
+        self.trace.on_deadlock(now, snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_decodes_slots() {
+        // 2x2 mesh: 4 nodes, 2 dims -> 16 network slots, inj 16..20,
+        // ej 20..24.
+        let l = ChannelLayout::new(4, 2);
+        assert_eq!(l.inj_base, 16);
+        assert_eq!(l.ej_base, 20);
+        assert_eq!(l.num_channels, 24);
+        assert_eq!(l.node_of(5), NodeId(1));
+        assert_eq!(l.dir_of(5), Some(Direction::from_index(1)));
+        assert!(l.is_injection(17) && !l.is_injection(21));
+        assert!(l.is_ejection(21) && !l.is_ejection(17));
+        assert_eq!(l.node_of(17), NodeId(1));
+        assert_eq!(l.node_of(21), NodeId(1));
+        assert_eq!(l.dir_of(17), None);
+        assert_eq!(l.describe(17), "inj n1");
+        assert_eq!(l.describe(21), "ej n1");
+        assert!(l.describe(5).starts_with("n1>"));
+    }
+
+    #[test]
+    fn snapshot_finds_circular_wait() {
+        // 0 -> 1 -> 2 -> 0 is a cycle; 3 -> 0 is blocked traffic behind it.
+        let layout = ChannelLayout::new(4, 1);
+        let edge = |c: usize, w: Option<usize>| WaitEdge {
+            channel: c,
+            packet: c as u32,
+            buffered: 1,
+            head_waiting: w.is_none(),
+            waits_for: w,
+        };
+        let snap = DeadlockSnapshot {
+            now: 99,
+            layout,
+            edges: vec![
+                edge(0, Some(1)),
+                edge(1, Some(2)),
+                edge(2, Some(0)),
+                edge(3, Some(0)),
+            ],
+        };
+        assert_eq!(snap.cycle_channels(), vec![0, 1, 2]);
+        let j = snap.to_json();
+        assert!(j.contains("\"cycle\":99"), "{j}");
+        assert!(json::validate(&j), "snapshot JSON must parse: {j}");
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn noop_is_disabled_and_tuples_or_enabled() {
+        assert!(!NoopObserver::ENABLED);
+        assert!(!<(NoopObserver, NoopObserver)>::ENABLED);
+        assert!(<(TurnCensus, NoopObserver)>::ENABLED);
+    }
+}

@@ -1,0 +1,290 @@
+//! Bounded event trace with deadlock postmortems.
+
+use super::{DeadlockSnapshot, SimObserver};
+use crate::PacketId;
+use std::collections::VecDeque;
+use turnroute_model::Turn;
+use turnroute_topology::{Direction, NodeId};
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet started streaming into the network.
+    Inject {
+        /// Cycle of the event.
+        now: u64,
+        /// The packet.
+        packet: u32,
+        /// Its source node.
+        src: NodeId,
+        /// Its destination node.
+        dst: NodeId,
+        /// Its length in flits.
+        len: u32,
+    },
+    /// A flit crossed between channel buffers (`to: None` = consumed).
+    Advance {
+        /// Cycle of the event.
+        now: u64,
+        /// Source channel slot.
+        from: usize,
+        /// Destination channel slot, `None` when consumed.
+        to: Option<usize>,
+        /// The flit's packet.
+        packet: u32,
+        /// Whether this was the tail flit.
+        is_tail: bool,
+    },
+    /// A header turned at a router.
+    Turn {
+        /// Cycle of the event.
+        now: u64,
+        /// The packet.
+        packet: u32,
+        /// Router where the turn happened.
+        at: NodeId,
+        /// The turn taken.
+        turn: Turn,
+    },
+    /// A header took an unproductive channel.
+    Misroute {
+        /// Cycle of the event.
+        now: u64,
+        /// The packet.
+        packet: u32,
+        /// Router where the misroute happened.
+        at: NodeId,
+        /// The unproductive direction taken.
+        dir: Direction,
+    },
+    /// A packet's tail was consumed at its destination.
+    Deliver {
+        /// Cycle of the event.
+        now: u64,
+        /// The packet.
+        packet: u32,
+        /// Creation-to-consumption latency in cycles.
+        latency: u64,
+        /// Network hops taken.
+        hops: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The event as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        match *self {
+            TraceEvent::Inject { now, packet, src, dst, len } => format!(
+                "{{\"event\":\"inject\",\"cycle\":{now},\"packet\":{packet},\"src\":{},\"dst\":{},\"len\":{len}}}",
+                src.0, dst.0
+            ),
+            TraceEvent::Advance { now, from, to, packet, is_tail } => format!(
+                "{{\"event\":\"advance\",\"cycle\":{now},\"packet\":{packet},\"from\":{from},\"to\":{},\"is_tail\":{is_tail}}}",
+                match to {
+                    Some(t) => t.to_string(),
+                    None => "null".into(),
+                }
+            ),
+            TraceEvent::Turn { now, packet, at, turn } => format!(
+                "{{\"event\":\"turn\",\"cycle\":{now},\"packet\":{packet},\"at\":{},\"turn\":{}}}",
+                at.0,
+                super::json::string(&turn.to_string())
+            ),
+            TraceEvent::Misroute { now, packet, at, dir } => format!(
+                "{{\"event\":\"misroute\",\"cycle\":{now},\"packet\":{packet},\"at\":{},\"dir\":{}}}",
+                at.0,
+                super::json::string(&dir.to_string())
+            ),
+            TraceEvent::Deliver { now, packet, latency, hops } => format!(
+                "{{\"event\":\"deliver\",\"cycle\":{now},\"packet\":{packet},\"latency\":{latency},\"hops\":{hops}}}"
+            ),
+        }
+    }
+}
+
+/// Keeps the last `capacity` events in a ring buffer; when the engine
+/// detects deadlock the snapshot is captured, and
+/// [`RingTrace::postmortem_jsonl`] renders the whole story — the final
+/// events leading in, then the frozen waits-for graph — as JSONL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingTrace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    snapshot: Option<DeadlockSnapshot>,
+}
+
+impl RingTrace {
+    /// A trace keeping the last `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> RingTrace {
+        let capacity = capacity.max(1);
+        RingTrace {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+            snapshot: None,
+        }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events that fell out of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The deadlock snapshot, if the run deadlocked.
+    pub fn snapshot(&self) -> Option<&DeadlockSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// The postmortem as JSONL: a header line, the last events oldest
+    /// first, and the deadlock snapshot (when one was captured) last.
+    /// Every line is one JSON object.
+    pub fn postmortem_jsonl(&self) -> String {
+        let mut out = format!(
+            "{{\"event\":\"trace_header\",\"events\":{},\"dropped\":{},\"deadlocked\":{}}}\n",
+            self.events.len(),
+            self.dropped,
+            self.snapshot.is_some()
+        );
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        if let Some(snap) = &self.snapshot {
+            out.push_str(&snap.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl SimObserver for RingTrace {
+    fn on_inject(&mut self, now: u64, packet: PacketId, src: NodeId, dst: NodeId, len: u32) {
+        self.push(TraceEvent::Inject {
+            now,
+            packet: packet.0,
+            src,
+            dst,
+            len,
+        });
+    }
+
+    fn on_flit_advance(
+        &mut self,
+        now: u64,
+        from: usize,
+        to: Option<usize>,
+        packet: PacketId,
+        is_tail: bool,
+    ) {
+        self.push(TraceEvent::Advance {
+            now,
+            from,
+            to,
+            packet: packet.0,
+            is_tail,
+        });
+    }
+
+    fn on_turn(&mut self, now: u64, packet: PacketId, at: NodeId, turn: Turn) {
+        self.push(TraceEvent::Turn {
+            now,
+            packet: packet.0,
+            at,
+            turn,
+        });
+    }
+
+    fn on_misroute(&mut self, now: u64, packet: PacketId, at: NodeId, dir: Direction) {
+        self.push(TraceEvent::Misroute {
+            now,
+            packet: packet.0,
+            at,
+            dir,
+        });
+    }
+
+    fn on_deliver(&mut self, now: u64, packet: PacketId, latency: u64, hops: u32) {
+        self.push(TraceEvent::Deliver {
+            now,
+            packet: packet.0,
+            latency,
+            hops,
+        });
+    }
+
+    fn on_deadlock(&mut self, _now: u64, snapshot: &DeadlockSnapshot) {
+        self.snapshot = Some(snapshot.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ChannelLayout, WaitEdge};
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let mut t = RingTrace::new(3);
+        for i in 0..5u64 {
+            t.on_deliver(i, PacketId(i as u32), 10 + i, 2);
+        }
+        assert_eq!(t.events().count(), 3);
+        assert_eq!(t.dropped(), 2);
+        let first = t.events().next().unwrap();
+        match first {
+            TraceEvent::Deliver { packet, .. } => assert_eq!(*packet, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn postmortem_lines_are_json() {
+        let mut t = RingTrace::new(16);
+        t.on_inject(0, PacketId(0), NodeId(0), NodeId(3), 4);
+        t.on_turn(
+            2,
+            PacketId(0),
+            NodeId(1),
+            Turn::new(Direction::EAST, Direction::NORTH),
+        );
+        t.on_misroute(3, PacketId(0), NodeId(1), Direction::SOUTH);
+        t.on_flit_advance(3, 0, Some(4), PacketId(0), false);
+        t.on_flit_advance(4, 4, None, PacketId(0), true);
+        t.on_deliver(4, PacketId(0), 9, 2);
+        let snap = DeadlockSnapshot {
+            now: 7,
+            layout: ChannelLayout::new(4, 2),
+            edges: vec![WaitEdge {
+                channel: 1,
+                packet: 0,
+                buffered: 1,
+                head_waiting: true,
+                waits_for: None,
+            }],
+        };
+        t.on_deadlock(7, &snap);
+        let dump = t.postmortem_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        // header + 6 events + snapshot
+        assert_eq!(lines.len(), 8);
+        for line in &lines {
+            assert!(crate::obs::json::validate(line), "bad JSON line: {line}");
+        }
+        assert!(lines[0].contains("\"deadlocked\":true"));
+        assert!(lines[7].contains("deadlock_snapshot"));
+    }
+}

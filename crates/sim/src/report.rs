@@ -25,8 +25,12 @@ pub struct SimReport {
     pub measure_cycles: u64,
     /// Mean total latency (creation to tail consumption) in cycles.
     pub avg_latency_cycles: f64,
+    /// Median total latency in cycles.
+    pub p50_latency_cycles: f64,
     /// 99th-percentile total latency in cycles.
     pub p99_latency_cycles: f64,
+    /// Largest total latency of any delivered window packet, in cycles.
+    pub max_latency_cycles: u64,
     /// Mean network-only latency (injection to tail consumption) in
     /// cycles.
     pub avg_network_latency_cycles: f64,
@@ -34,6 +38,10 @@ pub struct SimReport {
     pub avg_hops: f64,
     /// Mean misroutes per delivered packet.
     pub avg_misroutes: f64,
+    /// Occupied-channel cycles that advanced no flit during the
+    /// measurement window, summed over channels (a network-wide
+    /// contention measure: 0 when every buffered flit moves every cycle).
+    pub total_stall_cycles: u64,
     /// Packets still waiting in source queues at the end of the run.
     pub queued_at_end: u64,
     /// Largest source queue observed at any node during measurement.
@@ -112,10 +120,13 @@ mod tests {
             delivered_flits_in_window: 9_000,
             measure_cycles: 2_000,
             avg_latency_cycles: 200.0,
+            p50_latency_cycles: 180.0,
             p99_latency_cycles: 700.0,
+            max_latency_cycles: 900,
             avg_network_latency_cycles: 150.0,
             avg_hops: 5.5,
             avg_misroutes: 0.0,
+            total_stall_cycles: 1_234,
             queued_at_end: 3,
             max_queue_len: 4,
             deadlocked: false,

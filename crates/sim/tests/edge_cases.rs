@@ -1,10 +1,10 @@
 //! Simulator edge cases.
 
+use turnroute_routing::torus::NegativeFirstTorus;
 use turnroute_routing::{mesh2d, ndmesh, RoutingMode};
 use turnroute_sim::{InputPolicy, LengthDist, OutputPolicy, Sim, SimConfig};
 use turnroute_topology::{Hypercube, Mesh, NodeId, Topology, Torus};
 use turnroute_traffic::{TrafficPattern, Uniform};
-use turnroute_routing::torus::NegativeFirstTorus;
 
 fn quiet() -> SimConfig {
     SimConfig::builder()
@@ -65,7 +65,11 @@ fn all_input_policies_complete() {
     let mesh = Mesh::new_2d(8, 8);
     let nf = mesh2d::negative_first(RoutingMode::Minimal);
     let pattern = Uniform::new();
-    for policy in [InputPolicy::Fcfs, InputPolicy::PortOrder, InputPolicy::Random] {
+    for policy in [
+        InputPolicy::Fcfs,
+        InputPolicy::PortOrder,
+        InputPolicy::Random,
+    ] {
         let cfg = SimConfig::builder()
             .injection_rate(0.08)
             .lengths(LengthDist::Fixed(8))
@@ -121,7 +125,10 @@ fn bimodal_lengths_sample_both_modes() {
     let pattern = Uniform::new();
     let cfg = SimConfig::builder()
         .injection_rate(0.3)
-        .lengths(LengthDist::Bimodal { short: 10, long: 200 })
+        .lengths(LengthDist::Bimodal {
+            short: 10,
+            long: 200,
+        })
         .warmup_cycles(0)
         .measure_cycles(4_000)
         .drain_cycles(0)
@@ -356,7 +363,7 @@ impl TrafficPattern for SelfLoop {
         &self,
         _topo: &dyn Topology,
         _src: NodeId,
-        _rng: &mut dyn rand::RngCore,
+        _rng: &mut dyn turnroute_rng::RngCore,
     ) -> Option<NodeId> {
         None
     }

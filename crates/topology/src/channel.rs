@@ -39,7 +39,13 @@ pub struct Channel {
 impl Channel {
     /// Create a channel description.
     pub fn new(id: ChannelId, src: NodeId, dst: NodeId, dir: Direction, wrap: bool) -> Channel {
-        Channel { id, src, dst, dir, wrap }
+        Channel {
+            id,
+            src,
+            dst,
+            dir,
+            wrap,
+        }
     }
 
     /// The channel's identifier.

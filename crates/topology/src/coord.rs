@@ -29,9 +29,7 @@ impl Coord {
 
     /// A coordinate of `n` zeros (the origin of an `n`-dimensional network).
     pub fn origin(n: usize) -> Self {
-        Coord {
-            comps: vec![0; n],
-        }
+        Coord { comps: vec![0; n] }
     }
 
     /// Number of dimensions.

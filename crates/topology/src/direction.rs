@@ -66,13 +66,25 @@ pub struct Direction {
 
 impl Direction {
     /// West: `-x`, the negative direction of dimension 0.
-    pub const WEST: Direction = Direction { dim: 0, sign: Sign::Minus };
+    pub const WEST: Direction = Direction {
+        dim: 0,
+        sign: Sign::Minus,
+    };
     /// East: `+x`, the positive direction of dimension 0.
-    pub const EAST: Direction = Direction { dim: 0, sign: Sign::Plus };
+    pub const EAST: Direction = Direction {
+        dim: 0,
+        sign: Sign::Plus,
+    };
     /// South: `-y`, the negative direction of dimension 1.
-    pub const SOUTH: Direction = Direction { dim: 1, sign: Sign::Minus };
+    pub const SOUTH: Direction = Direction {
+        dim: 1,
+        sign: Sign::Minus,
+    };
     /// North: `+y`, the positive direction of dimension 1.
-    pub const NORTH: Direction = Direction { dim: 1, sign: Sign::Plus };
+    pub const NORTH: Direction = Direction {
+        dim: 1,
+        sign: Sign::Plus,
+    };
 
     /// Create a direction along `dim` with the given sign.
     ///
@@ -81,7 +93,10 @@ impl Direction {
     /// Panics if `dim >= 128` (direction indices are packed into a `u8`).
     pub fn new(dim: usize, sign: Sign) -> Direction {
         assert!(dim < 128, "dimension {dim} too large for Direction");
-        Direction { dim: dim as u8, sign }
+        Direction {
+            dim: dim as u8,
+            sign,
+        }
     }
 
     /// The dimension this direction travels along.
@@ -99,7 +114,10 @@ impl Direction {
     /// The opposite direction (a 180-degree turn).
     #[inline]
     pub fn opposite(self) -> Direction {
-        Direction { dim: self.dim, sign: self.sign.opposite() }
+        Direction {
+            dim: self.dim,
+            sign: self.sign.opposite(),
+        }
     }
 
     /// The dense index `2 * dim + sign_bit` of this direction.
@@ -110,7 +128,11 @@ impl Direction {
 
     /// The direction with the given dense index.
     pub fn from_index(index: usize) -> Direction {
-        let sign = if index.is_multiple_of(2) { Sign::Minus } else { Sign::Plus };
+        let sign = if index.is_multiple_of(2) {
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
         Direction::new(index / 2, sign)
     }
 

@@ -126,11 +126,7 @@ impl Topology for HexMesh {
     fn node_at(&self, coord: &Coord) -> NodeId {
         assert_eq!(coord.num_dims(), 3, "hex coordinates have three components");
         let (q, r) = (coord.get(0), coord.get(1));
-        assert_eq!(
-            coord.get(2),
-            q + r,
-            "third hex component must equal q + r"
-        );
+        assert_eq!(coord.get(2), q + r, "third hex component must equal q + r");
         self.node_at_axial(q, r)
     }
 
@@ -152,10 +148,7 @@ impl Topology for HexMesh {
     fn min_hops(&self, a: NodeId, b: NodeId) -> usize {
         let (qa, ra) = self.axial_of(a);
         let (qb, rb) = self.axial_of(b);
-        Self::hex_distance(
-            i32::from(qb) - i32::from(qa),
-            i32::from(rb) - i32::from(ra),
-        )
+        Self::hex_distance(i32::from(qb) - i32::from(qa), i32::from(rb) - i32::from(ra))
     }
 
     fn productive_dirs(&self, from: NodeId, to: NodeId) -> DirSet {

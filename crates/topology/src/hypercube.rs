@@ -104,7 +104,11 @@ impl Topology for Hypercube {
     }
 
     fn node_at(&self, coord: &Coord) -> NodeId {
-        assert_eq!(coord.num_dims(), self.n, "coordinate dimensionality mismatch");
+        assert_eq!(
+            coord.num_dims(),
+            self.n,
+            "coordinate dimensionality mismatch"
+        );
         let mut addr = 0u32;
         for (dim, &c) in coord.as_slice().iter().enumerate() {
             assert!(c < 2, "coordinate {coord} out of range in dimension {dim}");
@@ -140,7 +144,11 @@ impl Topology for Hypercube {
         while diff != 0 {
             let dim = diff.trailing_zeros() as usize;
             diff &= diff - 1;
-            let sign = if (fa >> dim) & 1 == 1 { Sign::Minus } else { Sign::Plus };
+            let sign = if (fa >> dim) & 1 == 1 {
+                Sign::Minus
+            } else {
+                Sign::Plus
+            };
             set.insert(Direction::new(dim, sign));
         }
         set

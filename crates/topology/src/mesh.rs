@@ -52,7 +52,11 @@ impl Mesh {
                 .expect("node count overflow");
         }
         assert!(acc <= u32::MAX as usize, "node count must fit in u32");
-        Mesh { radices, strides, num_nodes: acc }
+        Mesh {
+            radices,
+            strides,
+            num_nodes: acc,
+        }
     }
 
     /// Create a 2D `m × n` mesh (`m` columns along x, `n` rows along y).

@@ -44,10 +44,17 @@ impl Torus {
         let mut acc: usize = 1;
         for _ in 0..n {
             strides.push(acc);
-            acc = acc.checked_mul(usize::from(k)).expect("node count overflow");
+            acc = acc
+                .checked_mul(usize::from(k))
+                .expect("node count overflow");
         }
         assert!(acc <= u32::MAX as usize, "node count must fit in u32");
-        Torus { k, n, strides, num_nodes: acc }
+        Torus {
+            k,
+            n,
+            strides,
+            num_nodes: acc,
+        }
     }
 
     /// The radix `k` shared by every dimension.
@@ -90,7 +97,11 @@ impl Topology for Torus {
     }
 
     fn node_at(&self, coord: &Coord) -> NodeId {
-        assert_eq!(coord.num_dims(), self.n, "coordinate dimensionality mismatch");
+        assert_eq!(
+            coord.num_dims(),
+            self.n,
+            "coordinate dimensionality mismatch"
+        );
         let mut id = 0usize;
         for (dim, &c) in coord.as_slice().iter().enumerate() {
             assert!(
@@ -219,10 +230,7 @@ mod tests {
         let torus = Torus::new(8, 2);
         let a = torus.node_at_coords(&[1, 0]);
         let b = torus.node_at_coords(&[7, 0]); // 2 hops west (wrap), 6 east
-        assert_eq!(
-            torus.productive_dirs(a, b),
-            DirSet::single(Direction::WEST)
-        );
+        assert_eq!(torus.productive_dirs(a, b), DirSet::single(Direction::WEST));
     }
 
     #[test]

@@ -1,144 +1,200 @@
-//! Property-based tests for topology invariants.
+//! Randomized tests for topology invariants (seeded, deterministic).
 
-use proptest::prelude::*;
+use turnroute_rng::{Rng, SeedableRng, StdRng};
 use turnroute_topology::{Coord, Direction, HexMesh, Hypercube, Mesh, NodeId, Topology, Torus};
 
-fn arb_mesh() -> impl Strategy<Value = Mesh> {
-    proptest::collection::vec(2u16..8, 1..4).prop_map(Mesh::new)
+const CASES: usize = 128;
+
+fn random_mesh(rng: &mut StdRng) -> Mesh {
+    let ndims = rng.gen_range(1usize..4);
+    Mesh::new(
+        (0..ndims)
+            .map(|_| rng.gen_range(2u16..8))
+            .collect::<Vec<_>>(),
+    )
 }
 
-fn arb_torus() -> impl Strategy<Value = Torus> {
-    (3u16..8, 1usize..4).prop_map(|(k, n)| Torus::new(k, n))
+fn random_torus(rng: &mut StdRng) -> Torus {
+    Torus::new(rng.gen_range(3u16..8), rng.gen_range(1usize..4))
 }
 
-proptest! {
-    #[test]
-    fn mesh_coord_round_trip(mesh in arb_mesh(), seed in any::<u32>()) {
-        let node = NodeId(seed % mesh.num_nodes() as u32);
-        prop_assert_eq!(mesh.node_at(&mesh.coord_of(node)), node);
-    }
+fn random_node(rng: &mut StdRng, topo: &dyn Topology) -> NodeId {
+    NodeId(rng.gen_range(0u32..topo.num_nodes() as u32))
+}
 
-    #[test]
-    fn torus_coord_round_trip(torus in arb_torus(), seed in any::<u32>()) {
-        let node = NodeId(seed % torus.num_nodes() as u32);
-        prop_assert_eq!(torus.node_at(&torus.coord_of(node)), node);
+#[test]
+fn mesh_coord_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x701);
+    for _ in 0..CASES {
+        let mesh = random_mesh(&mut rng);
+        let node = random_node(&mut rng, &mesh);
+        assert_eq!(mesh.node_at(&mesh.coord_of(node)), node);
     }
+}
 
-    #[test]
-    fn mesh_neighbor_is_symmetric(mesh in arb_mesh(), seed in any::<u32>()) {
-        let node = NodeId(seed % mesh.num_nodes() as u32);
+#[test]
+fn torus_coord_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x702);
+    for _ in 0..CASES {
+        let torus = random_torus(&mut rng);
+        let node = random_node(&mut rng, &torus);
+        assert_eq!(torus.node_at(&torus.coord_of(node)), node);
+    }
+}
+
+#[test]
+fn mesh_neighbor_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x703);
+    for _ in 0..CASES {
+        let mesh = random_mesh(&mut rng);
+        let node = random_node(&mut rng, &mesh);
         for dir in Direction::all(mesh.num_dims()) {
             if let Some(next) = mesh.neighbor(node, dir) {
-                prop_assert_eq!(mesh.neighbor(next, dir.opposite()), Some(node));
-                prop_assert_eq!(mesh.min_hops(node, next), 1);
+                assert_eq!(mesh.neighbor(next, dir.opposite()), Some(node));
+                assert_eq!(mesh.min_hops(node, next), 1);
             }
         }
     }
+}
 
-    #[test]
-    fn torus_neighbor_is_symmetric(torus in arb_torus(), seed in any::<u32>()) {
-        let node = NodeId(seed % torus.num_nodes() as u32);
+#[test]
+fn torus_neighbor_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x704);
+    for _ in 0..CASES {
+        let torus = random_torus(&mut rng);
+        let node = random_node(&mut rng, &torus);
         for dir in Direction::all(torus.num_dims()) {
-            let next = torus.neighbor(node, dir).expect("torus channels always exist");
-            prop_assert_eq!(torus.neighbor(next, dir.opposite()), Some(node));
+            let next = torus
+                .neighbor(node, dir)
+                .expect("torus channels always exist");
+            assert_eq!(torus.neighbor(next, dir.opposite()), Some(node));
         }
     }
+}
 
-    #[test]
-    fn productive_dirs_reduce_distance(mesh in arb_mesh(), a in any::<u32>(), b in any::<u32>()) {
-        let from = NodeId(a % mesh.num_nodes() as u32);
-        let to = NodeId(b % mesh.num_nodes() as u32);
+#[test]
+fn productive_dirs_reduce_distance() {
+    let mut rng = StdRng::seed_from_u64(0x705);
+    for _ in 0..CASES {
+        let mesh = random_mesh(&mut rng);
+        let from = random_node(&mut rng, &mesh);
+        let to = random_node(&mut rng, &mesh);
         let dist = mesh.min_hops(from, to);
         for dir in mesh.productive_dirs(from, to).iter() {
             let next = mesh.neighbor(from, dir).expect("productive channel exists");
-            prop_assert_eq!(mesh.min_hops(next, to), dist - 1);
+            assert_eq!(mesh.min_hops(next, to), dist - 1);
         }
         // Unproductive existing channels do not reduce distance.
         for dir in Direction::all(mesh.num_dims()) {
             if !mesh.productive_dirs(from, to).contains(dir) {
                 if let Some(next) = mesh.neighbor(from, dir) {
-                    prop_assert!(mesh.min_hops(next, to) >= dist);
+                    assert!(mesh.min_hops(next, to) >= dist);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn torus_productive_dirs_reduce_distance(torus in arb_torus(), a in any::<u32>(), b in any::<u32>()) {
-        let from = NodeId(a % torus.num_nodes() as u32);
-        let to = NodeId(b % torus.num_nodes() as u32);
+#[test]
+fn torus_productive_dirs_reduce_distance() {
+    let mut rng = StdRng::seed_from_u64(0x706);
+    for _ in 0..CASES {
+        let torus = random_torus(&mut rng);
+        let from = random_node(&mut rng, &torus);
+        let to = random_node(&mut rng, &torus);
         let dist = torus.min_hops(from, to);
         for dir in torus.productive_dirs(from, to).iter() {
-            let next = torus.neighbor(from, dir).expect("torus channels always exist");
-            prop_assert_eq!(torus.min_hops(next, to), dist - 1);
+            let next = torus
+                .neighbor(from, dir)
+                .expect("torus channels always exist");
+            assert_eq!(torus.min_hops(next, to), dist - 1);
         }
     }
+}
 
-    #[test]
-    fn hypercube_matches_k2_mesh_distances(n in 1usize..8, a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn hypercube_matches_k2_mesh_distances() {
+    let mut rng = StdRng::seed_from_u64(0x707);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..8);
         let cube = Hypercube::new(n);
         let mesh = Mesh::new_cubic(2, n);
-        let x = NodeId(a % cube.num_nodes() as u32);
-        let y = NodeId(b % cube.num_nodes() as u32);
-        prop_assert_eq!(cube.min_hops(x, y), mesh.min_hops(x, y));
-        prop_assert_eq!(cube.coord_of(x), mesh.coord_of(x));
+        let x = random_node(&mut rng, &cube);
+        let y = random_node(&mut rng, &cube);
+        assert_eq!(cube.min_hops(x, y), mesh.min_hops(x, y));
+        assert_eq!(cube.coord_of(x), mesh.coord_of(x));
         for dir in Direction::all(n) {
-            prop_assert_eq!(cube.neighbor(x, dir), mesh.neighbor(x, dir));
+            assert_eq!(cube.neighbor(x, dir), mesh.neighbor(x, dir));
         }
     }
+}
 
-    #[test]
-    fn manhattan_triangle_inequality(
-        dims in proptest::collection::vec(2u16..6, 1..4),
-        a in any::<u32>(), b in any::<u32>(), c in any::<u32>()
-    ) {
-        let mesh = Mesh::new(dims);
-        let total = mesh.num_nodes() as u32;
-        let (x, y, z) = (NodeId(a % total), NodeId(b % total), NodeId(c % total));
-        prop_assert!(mesh.min_hops(x, z) <= mesh.min_hops(x, y) + mesh.min_hops(y, z));
+#[test]
+fn manhattan_triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0x708);
+    for _ in 0..CASES {
+        let ndims = rng.gen_range(1usize..4);
+        let mesh = Mesh::new(
+            (0..ndims)
+                .map(|_| rng.gen_range(2u16..6))
+                .collect::<Vec<_>>(),
+        );
+        let x = random_node(&mut rng, &mesh);
+        let y = random_node(&mut rng, &mesh);
+        let z = random_node(&mut rng, &mesh);
+        assert!(mesh.min_hops(x, z) <= mesh.min_hops(x, y) + mesh.min_hops(y, z));
     }
+}
 
-    #[test]
-    fn hex_mesh_invariants(q in 2u16..8, r in 2u16..8, a in any::<u32>(), b in any::<u32>()) {
-        let hex = HexMesh::new(q, r);
-        let total = hex.num_nodes() as u32;
-        let (x, y) = (NodeId(a % total), NodeId(b % total));
+#[test]
+fn hex_mesh_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x709);
+    for _ in 0..CASES {
+        let hex = HexMesh::new(rng.gen_range(2u16..8), rng.gen_range(2u16..8));
+        let x = random_node(&mut rng, &hex);
+        let y = random_node(&mut rng, &hex);
         // Distance is a metric: symmetric, zero iff equal.
-        prop_assert_eq!(hex.min_hops(x, y), hex.min_hops(y, x));
-        prop_assert_eq!(hex.min_hops(x, y) == 0, x == y);
+        assert_eq!(hex.min_hops(x, y), hex.min_hops(y, x));
+        assert_eq!(hex.min_hops(x, y) == 0, x == y);
         // Neighbors are mutual and at distance 1.
         for dir in Direction::all(3) {
             if let Some(next) = hex.neighbor(x, dir) {
-                prop_assert_eq!(hex.neighbor(next, dir.opposite()), Some(x));
-                prop_assert_eq!(hex.min_hops(x, next), 1);
+                assert_eq!(hex.neighbor(next, dir.opposite()), Some(x));
+                assert_eq!(hex.min_hops(x, next), 1);
             }
         }
         // Productive moves reduce distance by exactly one.
         let dist = hex.min_hops(x, y);
         for dir in hex.productive_dirs(x, y).iter() {
             let next = hex.neighbor(x, dir).expect("productive channel exists");
-            prop_assert_eq!(hex.min_hops(next, y), dist - 1);
+            assert_eq!(hex.min_hops(next, y), dist - 1);
         }
         // Coordinate round trip.
-        prop_assert_eq!(hex.node_at(&hex.coord_of(x)), x);
+        assert_eq!(hex.node_at(&hex.coord_of(x)), x);
     }
+}
 
-    #[test]
-    fn hex_triangle_inequality(q in 2u16..7, r in 2u16..7, a in any::<u32>(), b in any::<u32>(), c in any::<u32>()) {
-        let hex = HexMesh::new(q, r);
-        let total = hex.num_nodes() as u32;
-        let (x, y, z) = (NodeId(a % total), NodeId(b % total), NodeId(c % total));
-        prop_assert!(hex.min_hops(x, z) <= hex.min_hops(x, y) + hex.min_hops(y, z));
+#[test]
+fn hex_triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0x70A);
+    for _ in 0..CASES {
+        let hex = HexMesh::new(rng.gen_range(2u16..7), rng.gen_range(2u16..7));
+        let x = random_node(&mut rng, &hex);
+        let y = random_node(&mut rng, &hex);
+        let z = random_node(&mut rng, &hex);
+        assert!(hex.min_hops(x, z) <= hex.min_hops(x, y) + hex.min_hops(y, z));
     }
+}
 
-    #[test]
-    fn coord_manhattan_symmetric(
-        a in proptest::collection::vec(0u16..16, 1..5),
-        b in proptest::collection::vec(0u16..16, 1..5)
-    ) {
-        prop_assume!(a.len() == b.len());
+#[test]
+fn coord_manhattan_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x70B);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1usize..5);
+        let a: Vec<u16> = (0..len).map(|_| rng.gen_range(0u16..16)).collect();
+        let b: Vec<u16> = (0..len).map(|_| rng.gen_range(0u16..16)).collect();
         let ca = Coord::new(a);
         let cb = Coord::new(b);
-        prop_assert_eq!(ca.manhattan(&cb), cb.manhattan(&ca));
+        assert_eq!(ca.manhattan(&cb), cb.manhattan(&ca));
     }
 }

@@ -13,8 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::Rng;
-use rand::RngCore;
+use turnroute_rng::Rng;
+use turnroute_rng::RngCore;
 use turnroute_topology::{Coord, NodeId, Topology};
 
 /// A synthetic traffic pattern: where does a message generated at `src`
@@ -179,7 +179,10 @@ impl TrafficPattern for HypercubeTranspose {
 
     fn dest(&self, topo: &dyn Topology, src: NodeId, _rng: &mut dyn RngCore) -> Option<NodeId> {
         let n = topo.num_dims();
-        assert!(n.is_multiple_of(2), "hypercube transpose needs an even dimension count");
+        assert!(
+            n.is_multiple_of(2),
+            "hypercube transpose needs an even dimension count"
+        );
         let c = topo.coord_of(src);
         let half = n / 2;
         let mut d = Coord::origin(n);
@@ -438,7 +441,10 @@ impl Permutation {
     /// the destination of node `i`; a node mapping to itself generates no
     /// traffic).
     pub fn new(name: impl Into<String>, table: Vec<NodeId>) -> Permutation {
-        Permutation { name: name.into(), table }
+        Permutation {
+            name: name.into(),
+            table,
+        }
     }
 }
 
@@ -460,8 +466,8 @@ impl TrafficPattern for Permutation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use turnroute_rng::rngs::StdRng;
+    use turnroute_rng::SeedableRng;
     use turnroute_topology::{Hypercube, Mesh, Torus};
 
     #[test]

@@ -67,8 +67,16 @@ impl VcRoutingFunction for DoubleYAdaptive {
             out.push(VirtualDirection::new(Direction::EAST, VcClass::One));
         }
         if d.get(1) != c.get(1) {
-            let sign = if d.get(1) > c.get(1) { Sign::Plus } else { Sign::Minus };
-            let class = if needs_west { VcClass::One } else { VcClass::Two };
+            let sign = if d.get(1) > c.get(1) {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            };
+            let class = if needs_west {
+                VcClass::One
+            } else {
+                VcClass::Two
+            };
             out.push(VirtualDirection::new(Direction::new(1, sign), class));
         }
         out

@@ -40,7 +40,12 @@ impl VcCdg {
                 if let Some(dst) = mesh.neighbor(node, vd.dir()) {
                     let id = channels.len() as u32;
                     slot_to_id[node.index() * slots_per_node + vd.index()] = id;
-                    channels.push(VcChannel { id, src: node, dst, vdir: vd });
+                    channels.push(VcChannel {
+                        id,
+                        src: node,
+                        dst,
+                        vdir: vd,
+                    });
                 }
             }
         }
@@ -172,14 +177,22 @@ mod tests {
             let mut out = Vec::new();
             let (c, d) = (mesh.coord_of(current), mesh.coord_of(dest));
             if d.get(0) != c.get(0) {
-                let sign = if d.get(0) > c.get(0) { Sign::Plus } else { Sign::Minus };
+                let sign = if d.get(0) > c.get(0) {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
                 out.push(VirtualDirection::new(
                     Direction::new(0, sign),
                     crate::VcClass::One,
                 ));
             }
             if d.get(1) != c.get(1) {
-                let sign = if d.get(1) > c.get(1) { Sign::Plus } else { Sign::Minus };
+                let sign = if d.get(1) > c.get(1) {
+                    Sign::Plus
+                } else {
+                    Sign::Minus
+                };
                 out.push(VirtualDirection::new(
                     Direction::new(1, sign),
                     crate::VcClass::One,

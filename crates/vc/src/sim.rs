@@ -8,9 +8,10 @@
 //! channels already sharing the physical channel").
 
 use crate::{VcRoutingFunction, VirtualDirection};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+use turnroute_rng::rngs::StdRng;
+use turnroute_rng::{Rng, SeedableRng};
+use turnroute_sim::obs::StreamingHistogram;
 use turnroute_sim::{LengthDist, Packet, PacketId, SimConfig, SimReport};
 use turnroute_topology::{Mesh, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
@@ -77,6 +78,9 @@ pub struct VcSim<'a> {
     max_queue_len: usize,
     last_move: u64,
     deadlocked: bool,
+    /// Occupied-channel cycles that advanced nothing, measurement window
+    /// only.
+    total_stall_cycles: u64,
 }
 
 impl<'a> VcSim<'a> {
@@ -146,6 +150,7 @@ impl<'a> VcSim<'a> {
             max_queue_len: 0,
             last_move: 0,
             deadlocked: false,
+            total_stall_cycles: 0,
         };
         if sim.cfg.injection_rate > 0.0 {
             let mean = sim.mean_interarrival();
@@ -279,39 +284,35 @@ impl<'a> VcSim<'a> {
     /// Summarize packets created in the measurement window.
     pub fn report(&self) -> VcSimReport {
         let (ms, me) = self.window;
-        let mut latencies: Vec<u64> = Vec::new();
+        let mut hist = StreamingHistogram::new();
         let mut network_sum = 0u64;
         let mut hops_sum = 0u64;
-        let mut delivered = 0u64;
         for p in &self.packets {
             if p.created < ms || p.created >= me {
                 continue;
             }
             if let Some(lat) = p.latency() {
-                delivered += 1;
-                latencies.push(lat);
+                hist.record(lat);
                 network_sum += p.network_latency().unwrap_or(lat);
                 hops_sum += u64::from(p.hops);
             }
         }
-        latencies.sort_unstable();
+        let delivered = hist.count();
         let avg = |sum: u64, n: u64| if n == 0 { 0.0 } else { sum as f64 / n as f64 };
-        let p99 = if latencies.is_empty() {
-            0.0
-        } else {
-            latencies[(latencies.len() - 1).min(latencies.len() * 99 / 100)] as f64
-        };
         SimReport {
             generated_packets: self.generated_packets,
             generated_flits: self.generated_flits,
             delivered_packets: delivered,
             delivered_flits_in_window: self.delivered_flits_in_window,
             measure_cycles: me.saturating_sub(ms),
-            avg_latency_cycles: avg(latencies.iter().sum(), delivered),
-            p99_latency_cycles: p99,
+            avg_latency_cycles: hist.mean(),
+            p50_latency_cycles: hist.p50() as f64,
+            p99_latency_cycles: hist.p99() as f64,
+            max_latency_cycles: hist.max(),
             avg_network_latency_cycles: avg(network_sum, delivered),
             avg_hops: avg(hops_sum, delivered),
             avg_misroutes: 0.0,
+            total_stall_cycles: self.total_stall_cycles,
             queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
             max_queue_len: self.max_queue_len,
             deadlocked: self.deadlocked,
@@ -405,8 +406,13 @@ impl<'a> VcSim<'a> {
         let mut order: Vec<u32> = Vec::new();
         let mut stack: Vec<u32> = Vec::new();
 
+        let mut occupied = 0usize;
         for start in 0..self.num_channels {
-            if state[start] != UNKNOWN || self.buf[start].is_none() {
+            if self.buf[start].is_none() {
+                continue;
+            }
+            occupied += 1;
+            if state[start] != UNKNOWN {
                 continue;
             }
             stack.clear();
@@ -482,6 +488,7 @@ impl<'a> VcSim<'a> {
         // skipping cascades naturally through the occupancy check.
         let in_window = self.in_window();
         let mut link_used = vec![false; self.num_links];
+        let mut moved = 0usize;
         for &c in &order {
             let c = c as usize;
             let Some(flit) = self.buf[c] else { continue };
@@ -490,6 +497,7 @@ impl<'a> VcSim<'a> {
                 // the ejection link was already paid when entering it).
                 self.buf[c] = None;
                 self.last_move = self.now;
+                moved += 1;
                 if in_window {
                     self.delivered_flits_in_window += 1;
                 }
@@ -511,6 +519,7 @@ impl<'a> VcSim<'a> {
             self.buf[c] = None;
             self.buf[o] = Some(flit);
             self.last_move = self.now;
+            moved += 1;
             if flit.is_head {
                 self.head_since[o] = self.now;
             }
@@ -518,6 +527,10 @@ impl<'a> VcSim<'a> {
                 self.owner[c] = NONE_U32;
                 self.assigned_out[c] = NONE_U32;
             }
+        }
+        // Occupied channels that moved nothing this cycle stalled.
+        if in_window {
+            self.total_stall_cycles += (occupied - moved) as u64;
         }
     }
 
@@ -532,7 +545,10 @@ impl<'a> VcSim<'a> {
                     continue;
                 };
                 self.packets[pid as usize].injected = Some(self.now);
-                self.emitting[v] = Some(Emitting { packet: pid, sent: 0 });
+                self.emitting[v] = Some(Emitting {
+                    packet: pid,
+                    sent: 0,
+                });
             }
             let Emitting { packet, sent } = self.emitting[v].expect("set above");
             let len = self.packets[packet as usize].len;
@@ -549,7 +565,10 @@ impl<'a> VcSim<'a> {
             self.emitting[v] = if sent + 1 == len {
                 None
             } else {
-                Some(Emitting { packet, sent: sent + 1 })
+                Some(Emitting {
+                    packet,
+                    sent: sent + 1,
+                })
             };
         }
     }

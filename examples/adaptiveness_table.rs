@@ -18,13 +18,20 @@ fn main() {
     let mesh = Mesh::new_2d(8, 8);
     let wf = mesh2d::west_first(RoutingMode::Minimal);
     println!("\nConcrete west-first path counts on the 8x8 mesh:");
-    for (s, d) in [([1u16, 1u16], [6u16, 6u16]), ([6, 1], [1, 6]), ([4, 4], [4, 7])] {
+    for (s, d) in [
+        ([1u16, 1u16], [6u16, 6u16]),
+        ([6, 1], [1, 6]),
+        ([4, 4], [4, 7]),
+    ] {
         let (src, dst) = (mesh.node_at_coords(&s), mesh.node_at_coords(&d));
         let sp = count_minimal_paths(&mesh, &wf, src, dst);
         let sf = s_fully_adaptive(&mesh.coord_of(src), &mesh.coord_of(dst));
         println!(
             "  ({},{}) -> ({},{}): S_wf = {sp:>4}, S_f = {sf:>4}, ratio {:.3}",
-            s[0], s[1], d[0], d[1],
+            s[0],
+            s[1],
+            d[0],
+            d[1],
             sp as f64 / sf as f64
         );
     }

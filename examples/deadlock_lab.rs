@@ -1,9 +1,10 @@
 //! Deadlock laboratory: watch the turn model at work.
 //!
 //! Demonstrates (1) a real wormhole deadlock in the simulator — the
-//! paper's Figure 1 — (2) the census of two-turn prohibitions, and (3) a
-//! dependency-cycle witness for a turn set that looks safe but is not
-//! (Figure 4).
+//! paper's Figure 1 — complete with the flit-level postmortem the
+//! telemetry subsystem captures, (2) the census of two-turn
+//! prohibitions, and (3) a dependency-cycle witness for a turn set that
+//! looks safe but is not (Figure 4).
 //!
 //! ```text
 //! cargo run --release --example deadlock_lab
@@ -17,14 +18,38 @@ use turnroute::topology::Mesh;
 
 fn main() {
     // --- Figure 1: four left-turning packets deadlock ---------------
-    let report = fig1::run_scenario(&TurnLeft::new());
-    println!("Figure 1 scenario under unrestricted turns: deadlocked = {}", report.deadlocked);
+    let (report, telemetry) = fig1::run_scenario_traced(&TurnLeft::new());
+    println!(
+        "Figure 1 scenario under unrestricted turns: deadlocked = {}",
+        report.deadlocked
+    );
     let wf = mesh2d::west_first(RoutingMode::Minimal);
-    let report = fig1::run_scenario(&wf);
+    let safe = fig1::run_scenario(&wf);
     println!(
         "same packets under west-first: delivered {}/4, deadlocked = {}\n",
-        report.delivered_packets, report.deadlocked
+        safe.delivered_packets, safe.deadlocked
     );
+
+    // --- The postmortem: what the event trace saw ---------------------
+    // The ring trace kept the last flit-level events; the deadlock
+    // detector froze the waits-for graph when it tripped.
+    if let Some(snap) = telemetry.trace.snapshot() {
+        let cycle = snap.cycle_channels();
+        println!(
+            "deadlock at cycle {}: {} channels hold a flit; circular wait through {} channels:",
+            snap.now,
+            snap.edges.len(),
+            cycle.len()
+        );
+        for &c in &cycle {
+            println!("  {}", snap.layout.describe(c));
+        }
+        println!("\npostmortem JSONL (what `exp fig1 --trace` writes):");
+        for line in telemetry.trace.postmortem_jsonl().lines() {
+            println!("  {line}");
+        }
+        println!();
+    }
 
     // --- Census: 16 two-turn prohibitions, 12 deadlock free ----------
     let mesh = Mesh::new_2d(6, 6);
@@ -35,7 +60,11 @@ fn main() {
         census.total()
     );
     for (set, _) in census.entries.iter().filter(|(_, free)| !free) {
-        let turns: Vec<String> = set.prohibited_ninety().iter().map(|t| t.to_string()).collect();
+        let turns: Vec<String> = set
+            .prohibited_ninety()
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
         println!("  UNSAFE pair: {}", turns.join(" + "));
     }
 

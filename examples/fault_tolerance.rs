@@ -26,7 +26,11 @@ fn main() {
 
     for (label, mode, budget) in [
         ("minimal west-first", RoutingMode::Minimal, 0u32),
-        ("nonminimal west-first (8 misroutes)", RoutingMode::Nonminimal, 8),
+        (
+            "nonminimal west-first (8 misroutes)",
+            RoutingMode::Nonminimal,
+            8,
+        ),
     ] {
         let routing = mesh2d::west_first(mode);
         // HighestDim makes the misrouting packet climb north toward the

@@ -12,6 +12,7 @@
 
 use turnroute::model::RoutingFunction;
 use turnroute::routing::{mesh2d, RoutingMode};
+use turnroute::sim::obs::{ChannelHeatmap, ChannelLayout};
 use turnroute::sim::{Sim, SimConfig};
 use turnroute::topology::{Mesh, Topology};
 use turnroute::traffic::Hotspot;
@@ -31,7 +32,10 @@ fn main() {
     ];
 
     println!("hotspot at (8,8), 10% of traffic; 16x16 mesh; load 0.03 flits/node/cycle\n");
-    println!("{:<16} {:>12} {:>12} {:>10}", "algorithm", "latency(us)", "p99(us)", "delivered");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "algorithm", "latency(us)", "p99(us)", "delivered"
+    );
     for alg in &algorithms {
         let cfg = SimConfig::builder()
             .injection_rate(0.03)
@@ -52,4 +56,40 @@ fn main() {
     println!("\nNote: the ejection channel at the hotspot is the ultimate bottleneck");
     println!("for traffic *to* the hotspot; adaptivity helps the background traffic");
     println!("route around the congested region instead of queueing behind it.");
+
+    // --- Channel heatmaps: where the load actually lands --------------
+    // Re-run the two extremes with a ChannelHeatmap observer attached and
+    // render per-node load as an ASCII grid (darker = more flit-moves).
+    for alg in [&algorithms[0], &algorithms[3]] {
+        let cfg = SimConfig::builder()
+            .injection_rate(0.03)
+            .warmup_cycles(3_000)
+            .measure_cycles(12_000)
+            .drain_cycles(12_000)
+            .seed(11)
+            .build();
+        let heatmap = ChannelHeatmap::new(ChannelLayout::for_topology(&mesh));
+        let mut sim = Sim::with_observer(&mesh, alg, &hotspot, cfg, heatmap);
+        sim.run();
+        let heatmap = sim.into_observer();
+        println!(
+            "\nchannel load heatmap, {} (total {} flit-moves, {} stall-cycles):",
+            alg.name(),
+            heatmap.total_load(),
+            heatmap.total_stall_cycles()
+        );
+        println!(
+            "{}",
+            heatmap.render_grid(16, 16, |x, y| mesh.node_at_coords(&[x, y]))
+        );
+        let layout = heatmap.layout();
+        for (slot, load, stall) in heatmap.hottest_channels(3) {
+            println!(
+                "  hot: {:<28} load {:>6}  stalls {:>6}",
+                layout.describe(slot),
+                load,
+                stall
+            );
+        }
+    }
 }

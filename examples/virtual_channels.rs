@@ -10,8 +10,8 @@
 //! ```
 
 use turnroute::model::adaptiveness::s_fully_adaptive;
-use turnroute::sim::{Sim, SimConfig};
 use turnroute::routing::{mesh2d, RoutingMode};
+use turnroute::sim::{Sim, SimConfig};
 use turnroute::topology::{Mesh, Topology};
 use turnroute::traffic::Uniform;
 use turnroute::vc::{count_paths, DoubleYAdaptive, VcCdg, VcSim};

@@ -3,8 +3,7 @@
 //! consistent end to end.
 
 use turnroute::model::numbering::{
-    negative_first_numbering, numbering_from_cdg, verify_monotonic, west_first_numbering,
-    Monotonic,
+    negative_first_numbering, numbering_from_cdg, verify_monotonic, west_first_numbering, Monotonic,
 };
 use turnroute::model::{Cdg, RoutingFunction};
 use turnroute::routing::torus::{NegativeFirstTorus, WrapOnFirstHop};
@@ -49,9 +48,15 @@ fn all_nd_algorithms_have_acyclic_cdgs() {
             Box::new(ndmesh::negative_first(n, RoutingMode::Minimal)),
             Box::new(ndmesh::negative_first(n, RoutingMode::Nonminimal)),
             Box::new(ndmesh::all_but_one_negative_first(n, RoutingMode::Minimal)),
-            Box::new(ndmesh::all_but_one_negative_first(n, RoutingMode::Nonminimal)),
+            Box::new(ndmesh::all_but_one_negative_first(
+                n,
+                RoutingMode::Nonminimal,
+            )),
             Box::new(ndmesh::all_but_one_positive_last(n, RoutingMode::Minimal)),
-            Box::new(ndmesh::all_but_one_positive_last(n, RoutingMode::Nonminimal)),
+            Box::new(ndmesh::all_but_one_positive_last(
+                n,
+                RoutingMode::Nonminimal,
+            )),
         ];
         for alg in &algorithms {
             assert!(
@@ -133,8 +138,13 @@ fn paper_numbering_witnesses_agree_with_cdg_witnesses() {
     // Theorem 2 and Theorem 5 witness the same algorithms the CDG clears.
     let mesh = Mesh::new_2d(6, 5);
     let wf = mesh2d::west_first(RoutingMode::Minimal);
-    verify_monotonic(&mesh, &wf, &west_first_numbering(&mesh), Monotonic::Decreasing)
-        .expect("Theorem 2 numbering");
+    verify_monotonic(
+        &mesh,
+        &wf,
+        &west_first_numbering(&mesh),
+        Monotonic::Decreasing,
+    )
+    .expect("Theorem 2 numbering");
     let cdg = Cdg::from_routing(&mesh, &wf);
     let generic = numbering_from_cdg(&cdg).expect("acyclic");
     verify_monotonic(&mesh, &wf, &generic, Monotonic::Increasing).expect("generic numbering");

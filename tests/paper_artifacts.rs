@@ -4,8 +4,7 @@
 
 use turnroute::experiments::{adaptiveness_exp, claims, fig1, pcube_table, theorems};
 use turnroute::model::cycle::{
-    abstract_cycles, breaks_all_hex_cycles, hex_abstract_cycles, num_ninety_turns,
-    two_turn_census,
+    abstract_cycles, breaks_all_hex_cycles, hex_abstract_cycles, num_ninety_turns, two_turn_census,
 };
 use turnroute::model::symmetry::equivalence_classes;
 use turnroute::model::{presets, TurnSet};
@@ -75,7 +74,10 @@ fn section_5_pcube_table_and_counts() {
         .take(6)
         .map(|r| (r.choices, r.extra_nonminimal))
         .collect();
-    assert_eq!(choices, vec![(3, 2), (2, 2), (1, 2), (3, 0), (2, 0), (1, 0)]);
+    assert_eq!(
+        choices,
+        vec![(3, 2), (2, 2), (1, 2), (3, 0), (2, 0), (1, 0)]
+    );
     let s = pcube_table::render();
     assert!(s.contains("p-cube 36"));
 }
@@ -85,10 +87,26 @@ fn section_6_path_lengths() {
     let mesh = Mesh::new_2d(16, 16);
     let cube = Hypercube::new(8);
     let checks = [
-        (claims::average_path_length(&cube, &Uniform::new(), 1), 4.01, 0.05),
-        (claims::average_path_length(&cube, &ReverseFlip::new(), 1), 4.27, 0.05),
-        (claims::average_path_length(&mesh, &Uniform::new(), 1), 10.61, 0.1),
-        (claims::average_path_length(&mesh, &MeshTranspose::new(), 1), 11.34, 0.1),
+        (
+            claims::average_path_length(&cube, &Uniform::new(), 1),
+            4.01,
+            0.05,
+        ),
+        (
+            claims::average_path_length(&cube, &ReverseFlip::new(), 1),
+            4.27,
+            0.05,
+        ),
+        (
+            claims::average_path_length(&mesh, &Uniform::new(), 1),
+            10.61,
+            0.1,
+        ),
+        (
+            claims::average_path_length(&mesh, &MeshTranspose::new(), 1),
+            11.34,
+            0.1,
+        ),
     ];
     for (measured, paper, tol) in checks {
         assert!(
@@ -113,7 +131,13 @@ fn paper_simulation_parameters_are_the_defaults() {
     // 256-node networks, 20 flits/us channels, single-flit buffers,
     // 10-or-200-flit packets, FCFS input and lowest-dim output selection.
     let cfg = turnroute::sim::SimConfig::default();
-    assert_eq!(cfg.lengths, turnroute::sim::LengthDist::Bimodal { short: 10, long: 200 });
+    assert_eq!(
+        cfg.lengths,
+        turnroute::sim::LengthDist::Bimodal {
+            short: 10,
+            long: 200
+        }
+    );
     assert_eq!(cfg.buffer_depth, 1);
     assert_eq!(cfg.input_policy, turnroute::sim::InputPolicy::Fcfs);
     assert_eq!(cfg.output_policy, turnroute::sim::OutputPolicy::LowestDim);

@@ -1,116 +1,129 @@
-//! Cross-crate property-based tests.
+//! Cross-crate randomized property tests (seeded, deterministic).
 
-use proptest::prelude::*;
 use turnroute::model::adaptiveness::{
     count_minimal_paths, s_fully_adaptive, s_negative_first, s_north_last, s_west_first,
 };
 use turnroute::model::RoutingFunction;
 use turnroute::routing::{hypercube, mesh2d, ndmesh, RoutingMode};
 use turnroute::topology::{Direction, Hypercube, Mesh, NodeId, Topology};
+use turnroute_rng::{Rng, RngCore, SeedableRng, StdRng};
 
-fn arb_mesh2d() -> impl Strategy<Value = Mesh> {
-    (2u16..9, 2u16..9).prop_map(|(m, n)| Mesh::new_2d(m, n))
+fn random_mesh2d(rng: &mut StdRng) -> Mesh {
+    Mesh::new_2d(rng.gen_range(2u16..9), rng.gen_range(2u16..9))
+}
+
+fn random_pair(rng: &mut dyn RngCore, total: usize) -> (NodeId, NodeId) {
+    let total = total as u32;
+    let src = NodeId(rng.gen_range(0u32..total));
+    loop {
+        let dst = NodeId(rng.gen_range(0u32..total));
+        if dst != src {
+            return (src, dst);
+        }
+    }
 }
 
 /// Greedy walk following the *last* offered direction, checking turn
 /// legality and minimality along the way.
-fn walk_checked(
-    topo: &dyn Topology,
-    alg: &dyn RoutingFunction,
-    src: NodeId,
-    dst: NodeId,
-) -> Result<usize, TestCaseError> {
+fn walk_checked(topo: &dyn Topology, alg: &dyn RoutingFunction, src: NodeId, dst: NodeId) -> usize {
     let mut cur = src;
     let mut arrived: Option<Direction> = None;
     let mut hops = 0usize;
     let turn_set = alg.turn_set(topo.num_dims());
     while cur != dst {
         let dirs = alg.route(topo, cur, dst, arrived);
-        prop_assert!(!dirs.is_empty(), "{} stuck at {cur}", alg.name());
+        assert!(!dirs.is_empty(), "{} stuck at {cur}", alg.name());
         let dir = dirs.iter().last().expect("nonempty");
         if let (Some(set), Some(arr)) = (&turn_set, arrived) {
-            prop_assert!(set.is_allowed(arr, dir), "illegal turn {arr}->{dir}");
+            assert!(set.is_allowed(arr, dir), "illegal turn {arr}->{dir}");
         }
         let next = topo.neighbor(cur, dir).expect("offered channel exists");
         if alg.is_minimal() {
-            prop_assert_eq!(topo.min_hops(next, dst), topo.min_hops(cur, dst) - 1);
+            assert_eq!(topo.min_hops(next, dst), topo.min_hops(cur, dst) - 1);
         }
         cur = next;
         arrived = Some(dir);
         hops += 1;
-        prop_assert!(hops <= 4 * (topo.num_nodes() + 4), "walk too long");
+        assert!(hops <= 4 * (topo.num_nodes() + 4), "walk too long");
     }
-    Ok(hops)
+    hops
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn minimal_2d_algorithms_deliver_all_pairs(
-        mesh in arb_mesh2d(), a in any::<u32>(), b in any::<u32>()
-    ) {
-        let total = mesh.num_nodes() as u32;
-        let (src, dst) = (NodeId(a % total), NodeId(b % total));
-        prop_assume!(src != dst);
+#[test]
+fn minimal_2d_algorithms_deliver_all_pairs() {
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for _ in 0..64 {
+        let mesh = random_mesh2d(&mut rng);
+        let (src, dst) = random_pair(&mut rng, mesh.num_nodes());
         for alg in [
             mesh2d::west_first(RoutingMode::Minimal),
             mesh2d::north_last(RoutingMode::Minimal),
             mesh2d::negative_first(RoutingMode::Minimal),
         ] {
-            let hops = walk_checked(&mesh, &alg, src, dst)?;
-            prop_assert_eq!(hops, mesh.min_hops(src, dst));
+            let hops = walk_checked(&mesh, &alg, src, dst);
+            assert_eq!(hops, mesh.min_hops(src, dst));
         }
     }
+}
 
-    #[test]
-    fn closed_forms_match_exhaustive_counts(
-        mesh in arb_mesh2d(), a in any::<u32>(), b in any::<u32>()
-    ) {
-        let total = mesh.num_nodes() as u32;
-        let (src, dst) = (NodeId(a % total), NodeId(b % total));
-        prop_assume!(src != dst);
+#[test]
+fn closed_forms_match_exhaustive_counts() {
+    let mut rng = StdRng::seed_from_u64(0xB22);
+    for _ in 0..64 {
+        let mesh = random_mesh2d(&mut rng);
+        let (src, dst) = random_pair(&mut rng, mesh.num_nodes());
         let (cs, cd) = (mesh.coord_of(src), mesh.coord_of(dst));
         let wf = mesh2d::west_first(RoutingMode::Minimal);
-        prop_assert_eq!(count_minimal_paths(&mesh, &wf, src, dst), s_west_first(&cs, &cd));
+        assert_eq!(
+            count_minimal_paths(&mesh, &wf, src, dst),
+            s_west_first(&cs, &cd)
+        );
         let nl = mesh2d::north_last(RoutingMode::Minimal);
-        prop_assert_eq!(count_minimal_paths(&mesh, &nl, src, dst), s_north_last(&cs, &cd));
+        assert_eq!(
+            count_minimal_paths(&mesh, &nl, src, dst),
+            s_north_last(&cs, &cd)
+        );
         let nf = mesh2d::negative_first(RoutingMode::Minimal);
-        prop_assert_eq!(count_minimal_paths(&mesh, &nf, src, dst), s_negative_first(&cs, &cd));
+        assert_eq!(
+            count_minimal_paths(&mesh, &nf, src, dst),
+            s_negative_first(&cs, &cd)
+        );
     }
+}
 
-    #[test]
-    fn xy_has_exactly_one_path_everywhere(
-        mesh in arb_mesh2d(), a in any::<u32>(), b in any::<u32>()
-    ) {
-        let total = mesh.num_nodes() as u32;
-        let (src, dst) = (NodeId(a % total), NodeId(b % total));
-        prop_assume!(src != dst);
-        prop_assert_eq!(count_minimal_paths(&mesh, &mesh2d::xy(), src, dst), 1);
+#[test]
+fn xy_has_exactly_one_path_everywhere() {
+    let mut rng = StdRng::seed_from_u64(0xC33);
+    for _ in 0..64 {
+        let mesh = random_mesh2d(&mut rng);
+        let (src, dst) = random_pair(&mut rng, mesh.num_nodes());
+        assert_eq!(count_minimal_paths(&mesh, &mesh2d::xy(), src, dst), 1);
     }
+}
 
-    #[test]
-    fn pcube_counts_match_formula(n in 3usize..8, a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn pcube_counts_match_formula() {
+    let mut rng = StdRng::seed_from_u64(0xD44);
+    for _ in 0..64 {
+        let n = rng.gen_range(3usize..8);
         let cube = Hypercube::new(n);
-        let total = cube.num_nodes() as u32;
-        let (src, dst) = (NodeId(a % total), NodeId(b % total));
-        prop_assume!(src != dst);
+        let (src, dst) = random_pair(&mut rng, cube.num_nodes());
         let alg = hypercube::p_cube(n, RoutingMode::Minimal);
         let h1 = (cube.address(src) & !cube.address(dst)).count_ones();
         let h0 = (!cube.address(src) & cube.address(dst) & ((1 << n) - 1)).count_ones();
-        prop_assert_eq!(
+        assert_eq!(
             count_minimal_paths(&cube, &alg, src, dst),
             turnroute::model::adaptiveness::s_pcube(h1, h0)
         );
     }
+}
 
-    #[test]
-    fn partial_counts_never_exceed_fully_adaptive(
-        mesh in arb_mesh2d(), a in any::<u32>(), b in any::<u32>()
-    ) {
-        let total = mesh.num_nodes() as u32;
-        let (src, dst) = (NodeId(a % total), NodeId(b % total));
-        prop_assume!(src != dst);
+#[test]
+fn partial_counts_never_exceed_fully_adaptive() {
+    let mut rng = StdRng::seed_from_u64(0xE55);
+    for _ in 0..64 {
+        let mesh = random_mesh2d(&mut rng);
+        let (src, dst) = random_pair(&mut rng, mesh.num_nodes());
         let sf = s_fully_adaptive(&mesh.coord_of(src), &mesh.coord_of(dst));
         for alg in [
             mesh2d::west_first(RoutingMode::Minimal),
@@ -118,53 +131,53 @@ proptest! {
             mesh2d::negative_first(RoutingMode::Minimal),
         ] {
             let sp = count_minimal_paths(&mesh, &alg, src, dst);
-            prop_assert!(sp >= 1 && sp <= sf);
+            assert!(sp >= 1 && sp <= sf);
         }
     }
+}
 
-    #[test]
-    fn nd_negative_first_delivers(
-        dims in proptest::collection::vec(2u16..5, 2..4),
-        a in any::<u32>(), b in any::<u32>()
-    ) {
+#[test]
+fn nd_negative_first_delivers() {
+    let mut rng = StdRng::seed_from_u64(0xF66);
+    for _ in 0..64 {
+        let ndims = rng.gen_range(2usize..4);
+        let dims: Vec<u16> = (0..ndims).map(|_| rng.gen_range(2u16..5)).collect();
         let mesh = Mesh::new(dims);
         let n = mesh.num_dims();
-        let total = mesh.num_nodes() as u32;
-        let (src, dst) = (NodeId(a % total), NodeId(b % total));
-        prop_assume!(src != dst);
+        let (src, dst) = random_pair(&mut rng, mesh.num_nodes());
         for alg in [
             ndmesh::negative_first(n, RoutingMode::Minimal),
             ndmesh::all_but_one_negative_first(n, RoutingMode::Minimal),
             ndmesh::all_but_one_positive_last(n, RoutingMode::Minimal),
         ] {
-            let hops = walk_checked(&mesh, &alg, src, dst)?;
-            prop_assert_eq!(hops, mesh.min_hops(src, dst));
+            let hops = walk_checked(&mesh, &alg, src, dst);
+            assert_eq!(hops, mesh.min_hops(src, dst));
         }
     }
+}
 
-    #[test]
-    fn nonminimal_walks_terminate_with_first_choice_policy(
-        mesh in arb_mesh2d(), a in any::<u32>(), b in any::<u32>()
-    ) {
-        // Following the FIRST offered direction (lowest index = most
-        // negative) of nonminimal negative-first still terminates:
-        // phase-1 wandering is bounded by the mesh boundary and phase 2
-        // is productive.
-        let total = mesh.num_nodes() as u32;
-        let (src, dst) = (NodeId(a % total), NodeId(b % total));
-        prop_assume!(src != dst);
+#[test]
+fn nonminimal_walks_terminate_with_first_choice_policy() {
+    // Following the FIRST offered direction (lowest index = most
+    // negative) of nonminimal negative-first still terminates:
+    // phase-1 wandering is bounded by the mesh boundary and phase 2
+    // is productive.
+    let mut rng = StdRng::seed_from_u64(0x177);
+    for _ in 0..64 {
+        let mesh = random_mesh2d(&mut rng);
+        let (src, dst) = random_pair(&mut rng, mesh.num_nodes());
         let alg = mesh2d::negative_first(RoutingMode::Nonminimal);
         let mut cur = src;
         let mut arrived = None;
         let mut hops = 0usize;
         while cur != dst {
             let dirs = alg.route(&mesh, cur, dst, arrived);
-            prop_assert!(!dirs.is_empty());
+            assert!(!dirs.is_empty());
             let dir = dirs.iter().next().expect("nonempty");
             cur = mesh.neighbor(cur, dir).expect("exists");
             arrived = Some(dir);
             hops += 1;
-            prop_assert!(hops <= 6 * mesh.num_nodes(), "nonminimal walk unbounded");
+            assert!(hops <= 6 * mesh.num_nodes(), "nonminimal walk unbounded");
         }
     }
 }

@@ -182,7 +182,11 @@ fn oversaturation_does_not_deadlock_partially_adaptive_routing() {
             .seed(13)
             .build();
         let report = Sim::new(&mesh, &alg, &MeshTranspose::new(), cfg).run();
-        assert!(!report.deadlocked, "{} deadlocked at saturation", alg.name());
+        assert!(
+            !report.deadlocked,
+            "{} deadlocked at saturation",
+            alg.name()
+        );
         assert!(report.delivered_flits_in_window > 0);
     }
 }
