@@ -24,6 +24,15 @@ cargo build --workspace --offline
 echo "==> cargo test"
 cargo test --workspace --offline --quiet
 
+echo "==> fault-injection group"
+# The fault subsystem's own gates, runnable in isolation: determinism and
+# degradation tests in both simulators, the sweep harness, and the
+# workspace deadlock-freedom-under-faults suite.
+cargo test -p turnroute-sim --offline --quiet fault
+cargo test -p turnroute-vc --offline --quiet fault
+cargo test -p turnroute-experiments --offline --quiet faults
+cargo test -p turnroute --offline --quiet --test fault_tolerance
+
 if [[ $full -eq 1 ]]; then
     echo "==> cargo build --release"
     cargo build --workspace --release --offline
@@ -34,8 +43,11 @@ if [[ $full -eq 1 ]]; then
         fig13 --quick --out "$tmp" --metrics-out "$tmp/metrics.json"
     cargo run --release --offline -p turnroute-experiments --bin exp -- \
         fig1 --trace --out "$tmp"
+    cargo run --release --offline -p turnroute-experiments --bin exp -- \
+        faults --quick --out "$tmp"
     test -s "$tmp/metrics.json"
     test -s "$tmp/fig1_postmortem.jsonl"
+    test -s "$tmp/faults.csv"
 fi
 
 echo "OK"

@@ -20,6 +20,7 @@
 //!   policy-ablation  input/output selection policy grid ([19])
 //!   nonminimal       minimal vs nonminimal, healthy and faulty
 //!   vc-ablation      no-extra-channel adaptivity vs double-y VCs
+//!   faults           graceful degradation vs failed-link fraction
 //!   buffer-depth     input-buffer depth sensitivity
 //!   node-delay       Section 7's route-selection delay trade-off
 //!   all              everything above, written to --out
@@ -29,8 +30,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use turnroute_experiments::{
-    adaptiveness_exp, buffers, census, claims, fig1, figures, linkload, node_delay, nonminimal_exp,
-    numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
+    adaptiveness_exp, buffers, census, claims, faults, fig1, figures, linkload, node_delay,
+    nonminimal_exp, numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
 };
 use turnroute_model::RoutingFunction;
 use turnroute_routing::{mesh2d, RoutingMode};
@@ -51,7 +52,7 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: exp <fig1|turn-census|example-paths|numbering|theorems|adaptiveness-2d|\
-         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|buffer-depth|node-delay|all> \
+         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|buffer-depth|node-delay|all> \
          [--quick] [--seed N] [--out DIR] [--metrics-out FILE] [--trace]"
     );
     ExitCode::FAILURE
@@ -142,6 +143,16 @@ fn main() -> ExitCode {
             nonminimal_exp::render(opts.scale, opts.seed),
         )],
         "vc-ablation" => vec![("vc_ablation.md", vc_ablation::render(opts.scale, opts.seed))],
+        // `--faults` accepted as an alias so the sweep reads naturally as
+        // a flag: `exp --faults --quick`.
+        "faults" | "--faults" => {
+            let (md, csv, json) = fault_outputs(opts.scale, opts.seed);
+            vec![
+                ("faults.md", md),
+                ("faults.csv", csv),
+                ("faults.json", json),
+            ]
+        }
         "buffer-depth" => vec![("buffer_depth.md", buffers::render(opts.scale, opts.seed))],
         "node-delay" => vec![("node_delay.md", node_delay::render(opts.scale, opts.seed))],
         "all" => {
@@ -186,6 +197,11 @@ fn main() -> ExitCode {
             v.push(("vc_ablation.md", vc_ablation::render(opts.scale, opts.seed)));
             v.push(("buffer_depth.md", buffers::render(opts.scale, opts.seed)));
             v.push(("node_delay.md", node_delay::render(opts.scale, opts.seed)));
+            eprintln!("running fault-injection sweeps...");
+            let (md, csv, json) = fault_outputs(opts.scale, opts.seed);
+            v.push(("faults.md", md));
+            v.push(("faults.csv", csv));
+            v.push(("faults.json", json));
             v
         }
         _ => return usage(),
@@ -225,6 +241,34 @@ fn main() -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// Run the graceful-degradation sweep: every turn-model algorithm over
+/// the same random link-failure patterns on a uniform-traffic mesh.
+fn fault_outputs(scale: Scale, seed: u64) -> (String, String, String) {
+    let m = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 16,
+    };
+    let mesh = turnroute_topology::Mesh::new_2d(m, m);
+    let uniform = turnroute_traffic::Uniform::new();
+    let fractions = faults::default_fractions();
+    let algorithms: Vec<Box<dyn RoutingFunction + Sync>> = vec![
+        Box::new(mesh2d::xy()),
+        Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        Box::new(mesh2d::north_last(RoutingMode::Minimal)),
+        Box::new(mesh2d::negative_first(RoutingMode::Minimal)),
+    ];
+    let curves: Vec<_> = algorithms
+        .iter()
+        .map(|alg| faults::fault_sweep(&mesh, alg.as_ref(), &uniform, &fractions, scale, seed))
+        .collect();
+    let title = format!("Graceful degradation under link faults, {m}x{m} mesh");
+    (
+        faults::to_markdown(&curves, &title),
+        faults::to_csv(&curves),
+        faults::to_json(&curves, &title),
+    )
 }
 
 fn render_link_load(seed: u64) -> String {

@@ -24,6 +24,9 @@
 //! measures the cost/benefit of misrouting with and without faults. A
 //! fourth, [`vc_ablation`] (`vc-ablation`), compares the no-extra-channel
 //! algorithms against the fully adaptive double-y virtual-channel scheme.
+//! [`faults`] (`faults`) sweeps random link-failure fractions and plots
+//! each algorithm's graceful degradation: delivered fraction and latency
+//! quantiles vs percentage of failed links.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +35,7 @@ pub mod adaptiveness_exp;
 pub mod buffers;
 pub mod census;
 pub mod claims;
+pub mod faults;
 pub mod fig1;
 pub mod figures;
 pub mod linkload;

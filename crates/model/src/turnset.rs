@@ -107,6 +107,24 @@ impl TurnSet {
         self.rows[from.index()]
     }
 
+    /// The outgoing directions a packet may legally take given the direction
+    /// it `arrived` on: every direction when the packet is still at its
+    /// source (`None`), otherwise exactly the turns (and straight
+    /// continuation) this set allows from the arrival direction.
+    ///
+    /// This is the filter fault-aware routing applies to candidate outputs —
+    /// restricting a route to a subset of `legal_outputs` can only remove
+    /// channel-dependency edges, never add them, so deadlock freedom of the
+    /// full turn set is preserved under any fault pattern.
+    pub fn legal_outputs(&self, arrived: Option<Direction>) -> turnroute_topology::DirSet {
+        match arrived {
+            None => turnroute_topology::DirSet::all(self.num_dims),
+            Some(from) => Direction::all(self.num_dims)
+                .filter(|&to| self.is_allowed(from, to))
+                .collect(),
+        }
+    }
+
     /// The 90-degree turns this set allows.
     pub fn allowed_ninety(&self) -> Vec<Turn> {
         Turn::all_ninety(self.num_dims)
@@ -222,6 +240,21 @@ mod tests {
         assert_ne!(bits & (1 << Direction::NORTH.index()), 0);
         assert_ne!(bits & (1 << Direction::WEST.index()), 0); // straight
         assert_eq!(bits & (1 << Direction::SOUTH.index()), 0);
+    }
+
+    #[test]
+    fn legal_outputs_filters_by_arrival() {
+        use turnroute_topology::DirSet;
+        let mut set = TurnSet::no_turns(2);
+        set.allow(Turn::new(Direction::WEST, Direction::NORTH));
+        // At the source every direction is legal.
+        assert_eq!(set.legal_outputs(None), DirSet::all(2));
+        // Arrived west: straight plus the one allowed turn.
+        let from_west: Vec<Direction> = set.legal_outputs(Some(Direction::WEST)).iter().collect();
+        assert_eq!(from_west, vec![Direction::WEST, Direction::NORTH]);
+        // Arrived north: straight only.
+        let from_north: Vec<Direction> = set.legal_outputs(Some(Direction::NORTH)).iter().collect();
+        assert_eq!(from_north, vec![Direction::NORTH]);
     }
 
     #[test]

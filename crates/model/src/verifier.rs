@@ -7,8 +7,8 @@
 //! turn-set consistency (every move uses an allowed turn). Run it against
 //! a custom algorithm before trusting it with a network.
 
-use crate::{Cdg, RoutingFunction};
-use turnroute_topology::{ChannelId, Direction, NodeId, Topology};
+use crate::{Cdg, RoutingFunction, TurnSet};
+use turnroute_topology::{ChannelId, DirSet, Direction, FaultSet, NodeId, Topology};
 
 /// The outcome of one verification check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -237,10 +237,227 @@ fn check_turns(topo: &dyn Topology, routing: &dyn RoutingFunction) -> Check {
     Check::Passed
 }
 
+/// Verification of a routing function operating under a fault pattern.
+///
+/// Built by [`verify_under_faults`]. Under faults, full connectivity is not
+/// expected — the network may be partitioned — so reachability is reported
+/// as a census rather than a pass/fail check. Deadlock freedom, however,
+/// must survive *every* fault pattern: filtering a turn set's outputs (and
+/// misrouting along still-allowed turns) only removes channel-dependency
+/// edges, so the faulted CDG stays a subgraph of the fault-free one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultVerification {
+    /// Name of the verified algorithm.
+    pub algorithm: String,
+    /// Channels failed in the pattern this report covers.
+    pub failed_links: usize,
+    /// Nodes failed in the pattern this report covers.
+    pub failed_nodes: usize,
+    /// Acyclicity of the CDG induced by the fault-masked routing function
+    /// (including its misroute-around-fault fallback moves).
+    pub deadlock_free: Check,
+    /// Ordered pairs a greedy worst-case walk still delivers.
+    pub reachable_pairs: usize,
+    /// Ordered pairs that dead-end, livelock, or touch a failed node.
+    pub unreachable_pairs: usize,
+}
+
+impl FaultVerification {
+    /// Whether the surviving routing relation is deadlock free.
+    pub fn all_ok(&self) -> bool {
+        self.deadlock_free.is_ok()
+    }
+}
+
+impl std::fmt::Display for FaultVerification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fault verification of {} ({} links, {} nodes failed):",
+            self.algorithm, self.failed_links, self.failed_nodes
+        )?;
+        match &self.deadlock_free {
+            Check::Passed => writeln!(f, "  deadlock-free: ok")?,
+            Check::Skipped => writeln!(f, "  deadlock-free: n/a")?,
+            Check::Failed(why) => writeln!(f, "  deadlock-free: FAILED — {why}")?,
+        }
+        writeln!(
+            f,
+            "  reachable pairs: {} of {}",
+            self.reachable_pairs,
+            self.reachable_pairs + self.unreachable_pairs
+        )
+    }
+}
+
+/// A routing function masked by a fault pattern, mirroring the simulator's
+/// fault-aware candidate selection: offered directions crossing a failed
+/// link or into a failed node are removed; if that empties the set and the
+/// inner function declares a turn set, the fallback offers every
+/// turn-legal healthy direction (a misroute around the fault).
+///
+/// All outputs — primary and fallback — are filtered through the declared
+/// turn set, so the induced CDG is a subgraph of the turn set's CDG and
+/// inherits its acyclicity.
+struct FaultMasked<'a> {
+    inner: &'a dyn RoutingFunction,
+    faults: &'a FaultSet,
+    turns: Option<TurnSet>,
+    name: String,
+}
+
+impl<'a> FaultMasked<'a> {
+    fn new(topo: &dyn Topology, inner: &'a dyn RoutingFunction, faults: &'a FaultSet) -> Self {
+        FaultMasked {
+            turns: inner.turn_set(topo.num_dims()),
+            name: format!("{}+faults", inner.name()),
+            inner,
+            faults,
+        }
+    }
+
+    fn healthy(&self, topo: &dyn Topology, current: NodeId, dir: Direction) -> bool {
+        match topo.neighbor(current, dir) {
+            Some(next) => {
+                !self.faults.link_failed(topo.channel_slot(current, dir))
+                    && !self.faults.node_failed(next)
+            }
+            None => false,
+        }
+    }
+}
+
+impl RoutingFunction for FaultMasked<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        if self.faults.node_failed(current) {
+            return DirSet::empty();
+        }
+        if let Some(a) = arrived {
+            // A packet cannot occupy a failed input channel, so states that
+            // arrive on one are vacuous — excluding them removes their CDG
+            // edges.
+            match topo.neighbor(current, a.opposite()) {
+                Some(prev) if !self.faults.link_failed(topo.channel_slot(prev, a)) => {}
+                _ => return DirSet::empty(),
+            }
+        }
+        let legal = match &self.turns {
+            Some(set) => set.legal_outputs(arrived),
+            None => DirSet::all(topo.num_dims()),
+        };
+        let primary: DirSet = self
+            .inner
+            .route(topo, current, dest, arrived)
+            .intersection(legal)
+            .iter()
+            .filter(|&d| self.healthy(topo, current, d))
+            .collect();
+        if !primary.is_empty() || self.turns.is_none() {
+            return primary;
+        }
+        // Misroute-around-fault fallback: any turn-legal healthy direction.
+        legal
+            .iter()
+            .filter(|&d| self.healthy(topo, current, d))
+            .collect()
+    }
+
+    fn is_minimal(&self) -> bool {
+        false // fallback misroutes
+    }
+
+    fn turn_set(&self, num_dims: usize) -> Option<TurnSet> {
+        self.inner.turn_set(num_dims)
+    }
+}
+
+/// Verify `routing` on `topo` under the fault pattern `faults`.
+///
+/// Checks that the channel dependency graph induced by the fault-masked
+/// routing relation (primary routes and misroute fallbacks, both filtered
+/// through the declared turn set) remains acyclic, and censuses which
+/// ordered node pairs a greedy worst-case walk still delivers. Partition is
+/// reported, not failed: only a dependency cycle makes `all_ok()` false.
+pub fn verify_under_faults(
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    faults: &FaultSet,
+) -> FaultVerification {
+    let masked = FaultMasked::new(topo, routing, faults);
+    let deadlock_free = check_deadlock(topo, &masked);
+    let (reachable, unreachable) = fault_reachability(topo, &masked, faults);
+    FaultVerification {
+        algorithm: routing.name().to_string(),
+        failed_links: faults.failed_link_count(),
+        failed_nodes: faults.failed_node_count(),
+        deadlock_free,
+        reachable_pairs: reachable,
+        unreachable_pairs: unreachable,
+    }
+}
+
+/// Greedy worst-case walk census under faults: unlike [`check_connected`],
+/// dead ends and over-long walks are tallied, not fatal — a faulted network
+/// may legitimately be partitioned.
+fn fault_reachability(
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    faults: &FaultSet,
+) -> (usize, usize) {
+    let limit = 8 * (topo.num_nodes() + 8);
+    let (mut reachable, mut unreachable) = (0usize, 0usize);
+    for s in 0..topo.num_nodes() {
+        for d in 0..topo.num_nodes() {
+            if s == d {
+                continue;
+            }
+            let (src, dst) = (NodeId(s as u32), NodeId(d as u32));
+            if faults.node_failed(src) || faults.node_failed(dst) {
+                unreachable += 1;
+                continue;
+            }
+            let mut cur = src;
+            let mut arrived: Option<Direction> = None;
+            let mut hops = 0usize;
+            let delivered = loop {
+                if cur == dst {
+                    break true;
+                }
+                let dirs = routing.route(topo, cur, dst, arrived);
+                let Some(dir) = dirs.iter().last() else {
+                    break false;
+                };
+                cur = topo.neighbor(cur, dir).expect("offered channel exists");
+                arrived = Some(dir);
+                hops += 1;
+                if hops > limit {
+                    break false;
+                }
+            };
+            if delivered {
+                reachable += 1;
+            } else {
+                unreachable += 1;
+            }
+        }
+    }
+    (reachable, unreachable)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use turnroute_topology::{DirSet, Mesh};
+    use turnroute_topology::Mesh;
 
     /// A minimal fully adaptive function: connected and minimal, but not
     /// deadlock free.
@@ -375,6 +592,80 @@ mod tests {
         let mesh = Mesh::new_2d(4, 4);
         let report = verify(&mesh, &XOnly);
         assert!(matches!(report.connected, Check::Failed(ref why) if why.contains("dead end")));
+    }
+
+    /// West-first as a turn-set-declaring minimal adaptive function, for
+    /// fault verification without depending on the routing crate.
+    struct WestFirstLike;
+
+    impl RoutingFunction for WestFirstLike {
+        fn name(&self) -> &str {
+            "west-first-like"
+        }
+
+        fn route(
+            &self,
+            topo: &dyn Topology,
+            current: NodeId,
+            dest: NodeId,
+            _arrived: Option<Direction>,
+        ) -> DirSet {
+            let productive = topo.productive_dirs(current, dest);
+            // If west is productive it must be taken first; otherwise route
+            // fully adaptively among the remaining productive directions.
+            if productive.contains(Direction::WEST) {
+                DirSet::single(Direction::WEST)
+            } else {
+                productive
+            }
+        }
+
+        fn is_minimal(&self) -> bool {
+            true
+        }
+
+        fn turn_set(&self, num_dims: usize) -> Option<TurnSet> {
+            (num_dims == 2).then(crate::presets::west_first_turns)
+        }
+    }
+
+    #[test]
+    fn healthy_fault_verification_reaches_everything() {
+        let mesh = Mesh::new_2d(5, 5);
+        let faults = FaultSet::new(&mesh);
+        let report = verify_under_faults(&mesh, &WestFirstLike, &faults);
+        assert!(report.all_ok(), "{report}");
+        assert_eq!(report.unreachable_pairs, 0);
+        assert_eq!(report.reachable_pairs, 25 * 24);
+    }
+
+    #[test]
+    fn single_link_fault_stays_deadlock_free_and_connected() {
+        let mesh = Mesh::new_2d(5, 5);
+        let mut faults = FaultSet::new(&mesh);
+        // An eastward link failure: west-first can always route around it.
+        faults.fail_link(&mesh, mesh.node_at_coords(&[2, 2]), Direction::EAST);
+        let report = verify_under_faults(&mesh, &WestFirstLike, &faults);
+        assert!(report.all_ok(), "{report}");
+        assert_eq!(report.failed_links, 1);
+        assert!(report.to_string().contains("deadlock-free: ok"));
+    }
+
+    #[test]
+    fn node_fault_partitions_but_stays_deadlock_free() {
+        let mesh = Mesh::new_2d(4, 4);
+        let mut faults = FaultSet::new(&mesh);
+        faults.fail_node(&mesh, mesh.node_at_coords(&[1, 1]));
+        let report = verify_under_faults(&mesh, &WestFirstLike, &faults);
+        // Pairs touching the dead node are unreachable; the survivors'
+        // dependency graph must still be acyclic.
+        assert!(report.all_ok(), "{report}");
+        assert!(report.unreachable_pairs >= 2 * 15);
+        assert_eq!(
+            report.reachable_pairs + report.unreachable_pairs,
+            16 * 15,
+            "{report}"
+        );
     }
 
     #[test]

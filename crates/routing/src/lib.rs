@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod dimension_order;
+mod fault;
 mod fully_adaptive;
 pub mod hex;
 pub mod hypercube;
@@ -42,6 +43,7 @@ pub mod torus;
 mod two_phase;
 
 pub use dimension_order::DimensionOrder;
+pub use fault::FaultAware;
 pub use fully_adaptive::FullyAdaptive;
 pub use two_phase::TwoPhase;
 

@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use crate::{InputPolicy, OutputPolicy};
+use crate::{FaultPlan, InputPolicy, OutputPolicy};
 
 /// Channel bandwidth of the paper's networks: 20 flits/µs, i.e. one
 /// simulated cycle is 0.05 µs.
@@ -81,6 +81,25 @@ pub struct SimConfig {
     /// Record every packet's node path (costs memory; for analysis and
     /// tests).
     pub record_paths: bool,
+    /// Scheduled link/node failures applied as simulated time passes.
+    /// Empty by default; an empty plan keeps the engine's fault checks
+    /// branch-predictable no-ops.
+    pub fault_plan: FaultPlan,
+    /// Cycles a packet may live (from creation, and again from each retry)
+    /// before it is purged from the network and retried or dropped. Zero
+    /// disables timeouts.
+    ///
+    /// Interaction with [`SimConfig::deadlock_threshold`]: a purge counts
+    /// as progress, so when `packet_timeout < deadlock_threshold` a
+    /// blocked network degrades gracefully — packets drop, counters
+    /// accumulate, and the run completes. When
+    /// `deadlock_threshold <= packet_timeout` (or timeouts are disabled),
+    /// deadlock detection fires first and the run terminates with
+    /// [`crate::RunTermination::Deadlock`].
+    pub packet_timeout: u64,
+    /// Times a timed-out packet is re-queued at its source before it is
+    /// dropped for good. Zero drops on first expiry.
+    pub max_retries: u32,
 }
 
 impl SimConfig {
@@ -133,6 +152,9 @@ impl SimConfigBuilder {
                 buffer_depth: 1,
                 routing_delay: 0,
                 record_paths: false,
+                fault_plan: FaultPlan::default(),
+                packet_timeout: 0,
+                max_retries: 0,
             },
         }
     }
@@ -226,6 +248,24 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Scheduled link/node failures for this run.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Packet lifetime in cycles before purge-and-retry/drop (0 = off).
+    pub fn packet_timeout(mut self, cycles: u64) -> Self {
+        self.cfg.packet_timeout = cycles;
+        self
+    }
+
+    /// Retries granted to a timed-out packet before it is dropped.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> SimConfig {
         self.cfg
@@ -300,6 +340,23 @@ mod tests {
         assert_eq!(cfg.buffer_depth, 1);
         assert_eq!(cfg.routing_delay, 0);
         assert!(!cfg.record_paths);
+        assert!(cfg.fault_plan.is_empty());
+        assert_eq!(cfg.packet_timeout, 0);
+        assert_eq!(cfg.max_retries, 0);
+    }
+
+    #[test]
+    fn fault_and_timeout_builders() {
+        use turnroute_topology::{Direction, NodeId};
+        let plan = FaultPlan::new().permanent_link(NodeId(3), Direction::EAST, 100);
+        let cfg = SimConfig::builder()
+            .fault_plan(plan.clone())
+            .packet_timeout(2_000)
+            .max_retries(2)
+            .build();
+        assert_eq!(cfg.fault_plan, plan);
+        assert_eq!(cfg.packet_timeout, 2_000);
+        assert_eq!(cfg.max_retries, 2);
     }
 
     #[test]

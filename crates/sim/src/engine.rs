@@ -5,9 +5,12 @@ use crate::obs::{
     ChannelLayout, DeadlockSnapshot, NoopObserver, SimObserver, StallReason, StreamingHistogram,
     WaitEdge,
 };
-use crate::{InputPolicy, LengthDist, OutputPolicy, Packet, PacketId, SimConfig, SimReport};
+use crate::{
+    FaultTarget, InputPolicy, LengthDist, OutputPolicy, Packet, PacketId, RunTermination,
+    SimConfig, SimReport,
+};
 use std::collections::VecDeque;
-use turnroute_model::{RoutingFunction, Turn};
+use turnroute_model::{RoutingFunction, Turn, TurnSet};
 use turnroute_rng::rngs::StdRng;
 use turnroute_rng::{Rng, SeedableRng};
 use turnroute_topology::{Direction, NodeId, Topology};
@@ -65,8 +68,43 @@ pub struct Sim<'a, O: SimObserver = NoopObserver> {
     /// Router whose input buffer each channel feeds (ejection channels
     /// feed the local processor and carry their node here).
     input_router: Vec<u32>,
-    /// Broken channels (fault injection).
+    /// Broken channels (fault injection): `faulty[slot]` is
+    /// `fault_depth[slot] > 0`, maintained on every fault transition.
     faulty: Vec<bool>,
+
+    // --- fault injection ---
+    /// Time-sorted transitions compiled from the config's fault plan.
+    fault_events: Vec<crate::FaultEvent>,
+    /// Next unapplied entry of `fault_events`; with an empty plan the
+    /// per-cycle fault check is the single predictable branch
+    /// `fault_cursor < fault_events.len()`.
+    fault_cursor: usize,
+    /// Per-slot failure refcount (overlapping faults compose).
+    fault_depth: Vec<u16>,
+    /// Per-node failure refcount; a down router neither injects nor
+    /// ejects, and all its incident channels are failed.
+    node_down: Vec<u16>,
+    /// Whether any fault source exists (scheduled plan or `set_fault`).
+    /// Gates the turn-legality filter and the misroute-around-fault
+    /// fallback so fault-free arbitration is byte-for-byte the old code
+    /// path.
+    faults_possible: bool,
+    /// The routing function's declared turn set. Under faults, every
+    /// arbitration output — primary or fallback — is filtered through it,
+    /// which keeps the live dependency graph a subgraph of the turn set's
+    /// (acyclic) CDG no matter what fails.
+    turn_filter: Option<TurnSet>,
+
+    // --- graceful degradation ---
+    /// Packet-lifetime deadlines, nondecreasing (every push uses
+    /// `now + packet_timeout` and `now` is monotone), so expiry is an
+    /// amortized O(1) front-pop scan.
+    deadlines: VecDeque<(u64, u32)>,
+    /// Retries consumed per packet.
+    retry_counts: Vec<u32>,
+    dropped_packets: u64,
+    unroutable_packets: u64,
+    total_retries: u64,
 
     // --- dynamic channel state ---
     owner: Vec<u32>,
@@ -167,12 +205,13 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             input_router[ej_base + node] = node as u32;
         }
 
+        let fault_events = cfg.fault_plan.events();
+        let faults_possible = !fault_events.is_empty();
         let mut sim = Sim {
             topo,
             routing,
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
-            cfg,
             obs: observer,
             now: 0,
             num_nodes,
@@ -183,6 +222,18 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             exists,
             input_router,
             faulty: vec![false; num_channels],
+            fault_events,
+            fault_cursor: 0,
+            fault_depth: vec![0; num_channels],
+            node_down: vec![0; num_nodes],
+            faults_possible,
+            turn_filter: routing.turn_set(topo.num_dims()),
+            deadlines: VecDeque::new(),
+            retry_counts: Vec::new(),
+            dropped_packets: 0,
+            unroutable_packets: 0,
+            total_retries: 0,
+            cfg,
             owner: vec![NONE_U32; num_channels],
             buf: vec![VecDeque::new(); num_channels],
             assigned_out: vec![NONE_U32; num_channels],
@@ -282,7 +333,8 @@ impl<'a, O: SimObserver> Sim<'a, O> {
     }
 
     /// Mark the channel leaving `node` in `dir` as faulty; the routing
-    /// arbitration will never assign it.
+    /// arbitration will never assign it. For scheduled or transient
+    /// failures use [`SimConfig::fault_plan`] instead.
     ///
     /// # Panics
     ///
@@ -290,7 +342,8 @@ impl<'a, O: SimObserver> Sim<'a, O> {
     pub fn set_fault(&mut self, node: NodeId, dir: Direction) {
         let slot = self.topo.channel_slot(node, dir);
         assert!(self.exists[slot], "no channel at {node} {dir}");
-        self.faulty[slot] = true;
+        self.faults_possible = true;
+        self.shift_fault(slot, true);
     }
 
     /// Manually queue a packet (useful with `injection_rate == 0`).
@@ -315,9 +368,15 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             created: self.now,
             injected: None,
             delivered: None,
+            dropped: None,
             hops: 0,
             misroutes: 0,
         });
+        if self.cfg.packet_timeout > 0 {
+            self.deadlines
+                .push_back((self.now + self.cfg.packet_timeout, id));
+            self.retry_counts.push(0);
+        }
         self.queues[src.index()].push_back(id);
         if self.cfg.record_paths {
             self.paths.push(vec![src]);
@@ -382,6 +441,8 @@ impl<'a, O: SimObserver> Sim<'a, O> {
 
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
+        self.apply_faults();
+        self.expire_packets();
         self.generate();
         self.assign_outputs();
         self.advance();
@@ -477,12 +538,156 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             total_stall_cycles: self.total_stall_cycles,
             queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
             max_queue_len: self.max_queue_len,
+            dropped_packets: self.dropped_packets,
+            unroutable_packets: self.unroutable_packets,
+            retries: self.total_retries,
             deadlocked: self.deadlocked,
+            termination: if self.deadlocked {
+                RunTermination::Deadlock
+            } else {
+                RunTermination::Completed
+            },
             end_cycle: self.now,
         }
     }
 
     // ---- per-cycle phases -------------------------------------------
+
+    /// Apply every fault transition scheduled at or before `now`. With an
+    /// empty plan this is a single always-false branch.
+    fn apply_faults(&mut self) {
+        while self.fault_cursor < self.fault_events.len()
+            && self.fault_events[self.fault_cursor].at <= self.now
+        {
+            let ev = self.fault_events[self.fault_cursor];
+            self.fault_cursor += 1;
+            match ev.target {
+                FaultTarget::Link { node, dir } => {
+                    let slot = self.topo.channel_slot(node, dir);
+                    assert!(
+                        self.exists[slot],
+                        "fault plan names a missing channel: {node} {dir}"
+                    );
+                    self.shift_fault(slot, ev.down);
+                }
+                FaultTarget::Node(v) => {
+                    let vi = v.index();
+                    if ev.down {
+                        self.node_down[vi] += 1;
+                    } else {
+                        self.node_down[vi] -= 1;
+                    }
+                    for dir in Direction::all(self.topo.num_dims()) {
+                        if self.topo.neighbor(v, dir).is_some() {
+                            self.shift_fault(self.topo.channel_slot(v, dir), ev.down);
+                        }
+                        if let Some(prev) = self.topo.neighbor(v, dir.opposite()) {
+                            self.shift_fault(self.topo.channel_slot(prev, dir), ev.down);
+                        }
+                    }
+                    self.shift_fault(self.inj_slot(vi), ev.down);
+                    self.shift_fault(self.ej_slot(vi), ev.down);
+                }
+            }
+        }
+    }
+
+    /// Adjust one channel's failure refcount and report edge transitions
+    /// to the observer.
+    fn shift_fault(&mut self, slot: usize, down: bool) {
+        let was = self.fault_depth[slot] > 0;
+        if down {
+            self.fault_depth[slot] += 1;
+        } else {
+            self.fault_depth[slot] -= 1;
+        }
+        let is = self.fault_depth[slot] > 0;
+        self.faulty[slot] = is;
+        if O::ENABLED && was != is {
+            self.obs.on_fault(self.now, slot, is);
+        }
+    }
+
+    /// Purge packets whose lifetime expired: retry (re-queue at the
+    /// source) while retries remain and delivery is still possible,
+    /// otherwise drop and account. With `packet_timeout == 0` this is a
+    /// single always-false branch.
+    fn expire_packets(&mut self) {
+        if self.cfg.packet_timeout == 0 {
+            return;
+        }
+        while let Some(&(deadline, pid)) = self.deadlines.front() {
+            if deadline > self.now {
+                break;
+            }
+            self.deadlines.pop_front();
+            let p = self.packets[pid as usize];
+            if p.delivered.is_some() || p.dropped.is_some() {
+                continue; // resolved before its deadline; stale entry
+            }
+            self.purge_packet(pid);
+            let unroutable = self.node_down[p.src.index()] > 0 || self.node_down[p.dst.index()] > 0;
+            let counted = self.created_in_window(&p);
+            if !unroutable && self.retry_counts[pid as usize] < self.cfg.max_retries {
+                self.retry_counts[pid as usize] += 1;
+                if counted {
+                    self.total_retries += 1;
+                }
+                let p = &mut self.packets[pid as usize];
+                p.injected = None;
+                p.hops = 0;
+                p.misroutes = 0;
+                self.queues[p.src.index()].push_back(pid);
+                self.deadlines
+                    .push_back((self.now + self.cfg.packet_timeout, pid));
+            } else {
+                self.packets[pid as usize].dropped = Some(self.now);
+                if counted {
+                    if unroutable {
+                        self.unroutable_packets += 1;
+                    } else {
+                        self.dropped_packets += 1;
+                    }
+                }
+                if O::ENABLED {
+                    self.obs.on_drop(self.now, PacketId(pid), unroutable);
+                }
+            }
+            // A purge is progress: freed channels change the network's
+            // state, so deadlock detection must not trip while timeouts
+            // are draining a blocked network. This is the documented
+            // precedence — `packet_timeout < deadlock_threshold` degrades
+            // gracefully, the reverse declares deadlock first.
+            self.last_move = self.now;
+        }
+    }
+
+    fn created_in_window(&self, p: &Packet) -> bool {
+        p.created >= self.window.0 && p.created < self.window.1
+    }
+
+    /// Remove every trace of `pid` from the network: its source-queue
+    /// entry, its emission stream, and every channel the worm holds
+    /// (a channel's buffer only ever holds flits of its owning packet).
+    fn purge_packet(&mut self, pid: u32) {
+        let src = self.packets[pid as usize].src.index();
+        self.queues[src].retain(|&q| q != pid);
+        if matches!(self.emitting[src], Some(e) if e.packet == pid) {
+            self.emitting[src] = None;
+        }
+        for slot in 0..self.num_channels {
+            if self.owner[slot] != pid {
+                continue;
+            }
+            if !self.buf[slot].is_empty() {
+                debug_assert!(self.buf[slot].iter().all(|f| f.packet == pid));
+                self.buf[slot].clear();
+                self.occupied_buffers -= 1;
+            }
+            self.owner[slot] = NONE_U32;
+            self.assigned_out[slot] = NONE_U32;
+        }
+    }
 
     fn generate(&mut self) {
         if self.cfg.injection_rate <= 0.0 {
@@ -551,7 +756,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         // Destination reached: bind to the ejection channel.
         if v == pkt.dst {
             let ej = self.ej_slot(v.index());
-            if self.owner[ej] == NONE_U32 {
+            if self.owner[ej] == NONE_U32 && !(self.faults_possible && self.faulty[ej]) {
                 self.assigned_out[c] = ej as u32;
                 self.owner[ej] = flit.packet;
             }
@@ -563,18 +768,55 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             Some(self.dir_of_network_slot(c))
         };
         let dirs = self.routing.route(self.topo, v, pkt.dst, arrived);
-        // Candidate output channels: existing, non-faulty, and within the
-        // misroute budget when the routing function is nonminimal.
+        // Under faults every output — primary or fallback — is filtered
+        // through the declared turn set: misrouting around a failure can
+        // leave a packet in arrival states its algorithm never produces,
+        // and the filter is what keeps the live channel-dependency graph
+        // a subgraph of the turn set's acyclic CDG. Fault-free runs skip
+        // this entirely (`faults_possible` is false).
+        let legal_bits = if !self.faults_possible {
+            u32::MAX
+        } else {
+            match (&self.turn_filter, arrived) {
+                (Some(set), Some(a)) => set.allowed_from_bits(a),
+                _ => u32::MAX,
+            }
+        };
+        // Candidate output channels: turn-legal, existing, non-faulty, and
+        // within the misroute budget when the routing function is
+        // nonminimal.
         let here = self.topo.min_hops(v, pkt.dst);
         let mut candidates: Vec<(Direction, usize, bool)> = Vec::with_capacity(4);
         for dir in dirs.iter() {
+            if legal_bits & (1 << dir.index()) == 0 {
+                continue;
+            }
             let slot = self.topo.channel_slot(v, dir);
-            if !self.exists[slot] || self.faulty[slot] {
+            if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
                 continue;
             }
             let next = self.topo.neighbor(v, dir).expect("existing channel");
             let productive = self.topo.min_hops(next, pkt.dst) < here;
             candidates.push((dir, slot, productive));
+        }
+        // Misroute around the fault: when every output the algorithm
+        // offers is broken, take any healthy turn-legal channel instead.
+        // Nonminimal drifting is bounded by the packet lifetime, not the
+        // misroute budget.
+        if candidates.is_empty() && self.faults_possible && self.turn_filter.is_some() {
+            for dir_idx in 0..self.dirs_per_node {
+                if legal_bits & (1 << dir_idx) == 0 {
+                    continue;
+                }
+                let dir = Direction::from_index(dir_idx);
+                let slot = self.topo.channel_slot(v, dir);
+                if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
+                    continue;
+                }
+                let next = self.topo.neighbor(v, dir).expect("existing channel");
+                let productive = self.topo.min_hops(next, pkt.dst) < here;
+                candidates.push((dir, slot, productive));
+            }
         }
         if !self.routing.is_minimal()
             && pkt.misroutes >= self.cfg.misroute_budget
@@ -808,7 +1050,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         let depth = self.cfg.buffer_depth as usize;
         for v in 0..self.num_nodes {
             let inj = self.inj_slot(v);
-            if self.buf[inj].len() >= depth {
+            if (self.faults_possible && self.faulty[inj]) || self.buf[inj].len() >= depth {
                 continue;
             }
             if self.emitting[v].is_none() {
@@ -921,16 +1163,44 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             Some(self.dir_of_network_slot(c))
         };
         let dirs = self.routing.route(self.topo, v, pkt.dst, arrived);
+        // Mirror `try_assign`'s fault handling: turn-legality filter and
+        // misroute-around-fault fallback.
+        let legal_bits = if !self.faults_possible {
+            u32::MAX
+        } else {
+            match (&self.turn_filter, arrived) {
+                (Some(set), Some(a)) => set.allowed_from_bits(a),
+                _ => u32::MAX,
+            }
+        };
         let here = self.topo.min_hops(v, pkt.dst);
         let mut candidates: Vec<(Direction, usize, bool)> = Vec::with_capacity(4);
         for dir in dirs.iter() {
+            if legal_bits & (1 << dir.index()) == 0 {
+                continue;
+            }
             let slot = self.topo.channel_slot(v, dir);
-            if !self.exists[slot] || self.faulty[slot] {
+            if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
                 continue;
             }
             let next = self.topo.neighbor(v, dir).expect("existing channel");
             let productive = self.topo.min_hops(next, pkt.dst) < here;
             candidates.push((dir, slot, productive));
+        }
+        if candidates.is_empty() && self.faults_possible && self.turn_filter.is_some() {
+            for dir_idx in 0..self.dirs_per_node {
+                if legal_bits & (1 << dir_idx) == 0 {
+                    continue;
+                }
+                let dir = Direction::from_index(dir_idx);
+                let slot = self.topo.channel_slot(v, dir);
+                if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
+                    continue;
+                }
+                let next = self.topo.neighbor(v, dir).expect("existing channel");
+                let productive = self.topo.min_hops(next, pkt.dst) < here;
+                candidates.push((dir, slot, productive));
+            }
         }
         if !self.routing.is_minimal()
             && pkt.misroutes >= self.cfg.misroute_budget
@@ -1111,6 +1381,262 @@ mod tests {
         assert_eq!(sim.channel_load(src, Direction::NORTH), 0);
         assert_eq!(sim.max_channel_load(), 10);
         assert_eq!(sim.total_channel_flits(), 30);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let plan = crate::FaultPlan::random_links(&mesh, 0.08, 200, 99).transient_node(
+            NodeId(27),
+            400,
+            300,
+        );
+        let cfg = SimConfig::builder()
+            .injection_rate(0.06)
+            .warmup_cycles(300)
+            .measure_cycles(1_500)
+            .drain_cycles(1_500)
+            .packet_timeout(800)
+            .max_retries(1)
+            .seed(7)
+            .fault_plan(plan)
+            .build();
+        let r1 = Sim::new(&mesh, &routing, &pattern, cfg.clone()).run();
+        let r2 = Sim::new(&mesh, &routing, &pattern, cfg).run();
+        assert_eq!(r1, r2);
+        assert!(r1.delivered_packets > 0);
+    }
+
+    #[test]
+    fn transient_fault_heals_and_packet_gets_through() {
+        // On a 1D line the only output toward the destination is the
+        // failed link and no fallback direction exists, so the packet
+        // waits at the source, the fault heals at cycle 100, and it
+        // delivers.
+        let mesh = Mesh::new(vec![4]);
+        let routing = turnroute_routing::DimensionOrder::new("x", vec![0]);
+        let pattern = Uniform::new();
+        let src = mesh.node_at_coords(&[0]);
+        let dst = mesh.node_at_coords(&[3]);
+        let plan = crate::FaultPlan::new().transient_link(src, Direction::EAST, 0, 100);
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .deadlock_threshold(5_000)
+            .fault_plan(plan)
+            .build();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, cfg);
+        let id = sim.inject_packet(src, dst, 5);
+        assert!(sim.run_until_idle(1_000));
+        let p = sim.packets()[id.index()];
+        assert!(p.delivered.is_some());
+        assert!(p.delivered.unwrap() >= 100, "delivered before the heal");
+    }
+
+    /// Deterministic left-turner that forces the paper's Figure 1
+    /// circular wait on a 2x2 mesh (used by the precedence tests).
+    #[derive(Debug, Clone, Copy)]
+    struct TurnLeft;
+
+    impl RoutingFunction for TurnLeft {
+        fn name(&self) -> &str {
+            "turn-left (deadlocks)"
+        }
+
+        fn route(
+            &self,
+            topo: &dyn Topology,
+            current: NodeId,
+            dest: NodeId,
+            arrived: Option<Direction>,
+        ) -> turnroute_topology::DirSet {
+            let left_of = |d: Direction| match d {
+                Direction::EAST => Direction::NORTH,
+                Direction::NORTH => Direction::WEST,
+                Direction::WEST => Direction::SOUTH,
+                Direction::SOUTH => Direction::EAST,
+                _ => unreachable!("2D directions only"),
+            };
+            let productive = topo.productive_dirs(current, dest);
+            if productive.len() <= 1 {
+                return productive;
+            }
+            if let Some(arr) = arrived {
+                if productive.contains(arr) {
+                    return turnroute_topology::DirSet::single(arr);
+                }
+            }
+            for d in productive.iter() {
+                if productive.contains(left_of(d)) {
+                    return turnroute_topology::DirSet::single(d);
+                }
+            }
+            turnroute_topology::DirSet::single(productive.iter().next().expect("nonempty"))
+        }
+
+        fn is_minimal(&self) -> bool {
+            true
+        }
+    }
+
+    /// Four diagonal packets on a 2x2 mesh under [`TurnLeft`]: a
+    /// guaranteed circular wait.
+    fn square_deadlock_sim<'a>(
+        mesh: &'a Mesh,
+        routing: &'a TurnLeft,
+        pattern: &'a Uniform,
+        cfg: SimConfig,
+    ) -> Sim<'a> {
+        let mut sim = Sim::new(mesh, routing, pattern, cfg);
+        let pairs = [
+            ([0u16, 0], [1u16, 1]),
+            ([1, 0], [0, 1]),
+            ([1, 1], [0, 0]),
+            ([0, 1], [1, 0]),
+        ];
+        for (s, d) in pairs {
+            sim.inject_packet(mesh.node_at_coords(&s), mesh.node_at_coords(&d), 8);
+        }
+        sim
+    }
+
+    #[test]
+    fn partitioned_destination_counts_as_unroutable() {
+        // The destination node goes down permanently; with a lifetime and
+        // no retries the packet is purged as unroutable and the run ends
+        // Completed, not deadlocked.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let dst = mesh.node_at_coords(&[3, 3]);
+        let plan = crate::FaultPlan::new().permanent_node(dst, 0);
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .warmup_cycles(0)
+            .measure_cycles(400)
+            .drain_cycles(400)
+            .packet_timeout(200)
+            .deadlock_threshold(10_000)
+            .fault_plan(plan)
+            .build();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, cfg);
+        sim.inject_packet(mesh.node_at_coords(&[0, 0]), dst, 5);
+        let report = sim.run();
+        assert_eq!(report.termination, crate::RunTermination::Completed);
+        assert!(!report.deadlocked);
+        assert_eq!(report.unroutable_packets, 1);
+        assert_eq!(report.dropped_packets, 0);
+        assert_eq!(report.delivered_packets, 0);
+        assert!(sim.is_idle(), "purge must empty the network");
+    }
+
+    #[test]
+    fn timeout_below_threshold_degrades_instead_of_deadlocking() {
+        // Force a circular wait, with the packet lifetime shorter than the
+        // deadlock threshold: expiries purge the blocked worms and the run
+        // ends Completed with the loss accounted, never tripping the
+        // detector.
+        let mesh = Mesh::new_2d(2, 2);
+        let routing = TurnLeft;
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .warmup_cycles(0)
+            .measure_cycles(300)
+            .drain_cycles(300)
+            .packet_timeout(80)
+            .deadlock_threshold(2_000)
+            .build();
+        let mut sim = square_deadlock_sim(&mesh, &routing, &pattern, cfg);
+        let report = sim.run();
+        assert_eq!(report.termination, crate::RunTermination::Completed);
+        assert!(!report.deadlocked);
+        assert_eq!(
+            report.dropped_packets + report.delivered_packets,
+            4,
+            "{report}"
+        );
+        assert!(report.dropped_packets > 0, "{report}");
+        assert!(sim.is_idle(), "expiries must have drained the network");
+    }
+
+    #[test]
+    fn threshold_below_timeout_still_declares_deadlock() {
+        // Same circular wait, precedence reversed: the deadlock detector
+        // fires before any lifetime expires, and nothing is dropped.
+        let mesh = Mesh::new_2d(2, 2);
+        let routing = TurnLeft;
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .warmup_cycles(0)
+            .measure_cycles(300)
+            .drain_cycles(300)
+            .packet_timeout(2_000)
+            .deadlock_threshold(80)
+            .build();
+        let mut sim = square_deadlock_sim(&mesh, &routing, &pattern, cfg);
+        let report = sim.run();
+        assert_eq!(report.termination, crate::RunTermination::Deadlock);
+        assert!(report.deadlocked);
+        assert_eq!(report.dropped_packets, 0);
+    }
+
+    #[test]
+    fn retries_requeue_and_are_counted() {
+        // Block the packet's only way out long enough to expire its first
+        // lifetime; the retry re-queues it and it delivers after the heal.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let src = mesh.node_at_coords(&[0, 0]);
+        let dst = mesh.node_at_coords(&[3, 0]);
+        let plan = crate::FaultPlan::new().transient_link(src, Direction::EAST, 0, 300);
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .warmup_cycles(0)
+            .measure_cycles(1_000)
+            .drain_cycles(1_000)
+            .packet_timeout(150)
+            .max_retries(5)
+            .deadlock_threshold(5_000)
+            .fault_plan(plan)
+            .build();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, cfg);
+        let id = sim.inject_packet(src, dst, 5);
+        let report = sim.run();
+        let p = sim.packets()[id.index()];
+        assert!(p.delivered.is_some(), "{report}");
+        assert!(report.retries >= 1, "{report}");
+        assert_eq!(report.dropped_packets, 0);
+    }
+
+    #[test]
+    fn down_node_does_not_inject() {
+        // A down source cannot stream packets into the network; its
+        // queued packet expires as unroutable.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let src = mesh.node_at_coords(&[1, 1]);
+        let plan = crate::FaultPlan::new().permanent_node(src, 0);
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .warmup_cycles(0)
+            .measure_cycles(400)
+            .drain_cycles(400)
+            .packet_timeout(100)
+            .deadlock_threshold(10_000)
+            .fault_plan(plan)
+            .build();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, cfg);
+        let id = sim.inject_packet(src, mesh.node_at_coords(&[3, 3]), 5);
+        let report = sim.run();
+        let p = sim.packets()[id.index()];
+        assert!(p.injected.is_none());
+        assert!(p.dropped.is_some());
+        assert_eq!(report.unroutable_packets, 1);
     }
 
     #[test]

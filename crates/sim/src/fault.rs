@@ -1,0 +1,299 @@
+//! Deterministic fault-injection schedules.
+//!
+//! A [`FaultPlan`] is a list of scheduled link/node failures — permanent or
+//! transient — that the engine applies as simulated time passes. Plans are
+//! plain data: cloneable, comparable, and independent of any simulator
+//! instance, so the same plan can drive the base engine and the
+//! virtual-channel simulator and both stay deterministic (identical seed +
+//! identical plan ⇒ identical report).
+//!
+//! The fault model is *fail-stop for new channel acquisitions*: a failed
+//! channel is never assigned to a new worm, but flits already streaming
+//! across it drain normally (the link completes in-flight transfers). A
+//! failed node additionally stops injecting and ejecting. Packets whose
+//! only legal routes are failed simply wait; the engine's packet timeout
+//! ([`crate::SimConfig::packet_timeout`]) then retries or drops them, which
+//! is what turns a partitioned network into a degradation summary instead
+//! of a hang.
+
+use turnroute_rng::rngs::StdRng;
+use turnroute_rng::{Rng, SeedableRng};
+use turnroute_topology::{Direction, NodeId, Topology};
+
+/// The component a fault takes down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The unidirectional channel leaving `node` in `dir`.
+    Link {
+        /// Source router of the channel.
+        node: NodeId,
+        /// Direction the channel points.
+        dir: Direction,
+    },
+    /// A whole router: every channel leaving or entering it, plus its
+    /// injection and ejection service.
+    Node(NodeId),
+}
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// What fails.
+    pub target: FaultTarget,
+    /// Cycle the failure activates.
+    pub start: u64,
+    /// How long it lasts; `None` is permanent. A transient fault is active
+    /// during `[start, start + duration)`.
+    pub duration: Option<u64>,
+}
+
+/// A state transition compiled from a [`FaultPlan`]: at cycle `at`, the
+/// target goes `down` (or comes back up). Overlapping faults on the same
+/// component are reference-counted by the simulators, so transitions can
+/// be applied independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle the transition takes effect.
+    pub at: u64,
+    /// What changes state.
+    pub target: FaultTarget,
+    /// `true` = failure activates, `false` = it heals.
+    pub down: bool,
+}
+
+/// A deterministic schedule of link and node failures.
+///
+/// # Example
+///
+/// ```
+/// use turnroute_sim::{FaultPlan, FaultTarget};
+/// use turnroute_topology::{Direction, NodeId};
+///
+/// let plan = FaultPlan::new()
+///     .permanent_link(NodeId(5), Direction::EAST, 1_000)
+///     .transient_node(NodeId(9), 2_000, 500);
+/// assert_eq!(plan.len(), 2);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the default): no faults, and the engine's fault
+    /// machinery stays a branch-predictable no-op.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add an arbitrary fault.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Fail the channel leaving `node` in `dir` forever, starting at
+    /// `start`.
+    pub fn permanent_link(self, node: NodeId, dir: Direction, start: u64) -> FaultPlan {
+        self.with(Fault {
+            target: FaultTarget::Link { node, dir },
+            start,
+            duration: None,
+        })
+    }
+
+    /// Fail the channel leaving `node` in `dir` for `duration` cycles
+    /// starting at `start`.
+    pub fn transient_link(
+        self,
+        node: NodeId,
+        dir: Direction,
+        start: u64,
+        duration: u64,
+    ) -> FaultPlan {
+        self.with(Fault {
+            target: FaultTarget::Link { node, dir },
+            start,
+            duration: Some(duration),
+        })
+    }
+
+    /// Fail `node` (all incident channels and its local services) forever,
+    /// starting at `start`.
+    pub fn permanent_node(self, node: NodeId, start: u64) -> FaultPlan {
+        self.with(Fault {
+            target: FaultTarget::Node(node),
+            start,
+            duration: None,
+        })
+    }
+
+    /// Fail `node` for `duration` cycles starting at `start`.
+    pub fn transient_node(self, node: NodeId, start: u64, duration: u64) -> FaultPlan {
+        self.with(Fault {
+            target: FaultTarget::Node(node),
+            start,
+            duration: Some(duration),
+        })
+    }
+
+    /// A plan failing `fraction` of `topo`'s channels permanently at
+    /// `start`, chosen uniformly without replacement by a dedicated RNG
+    /// seeded with `seed` — independent of the simulation seed, so the
+    /// same fault pattern can be replayed under different traffic.
+    ///
+    /// The count is `ceil(fraction * channels)`, clamped to the channel
+    /// count; `fraction <= 0` yields an empty plan.
+    pub fn random_links(topo: &dyn Topology, fraction: f64, start: u64, seed: u64) -> FaultPlan {
+        let mut channels = topo.channels();
+        if fraction <= 0.0 || channels.is_empty() {
+            return FaultPlan::new();
+        }
+        let count = ((fraction * channels.len() as f64).ceil() as usize).min(channels.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher–Yates: the first `count` entries are a uniform
+        // sample without replacement, in a deterministic order.
+        for i in 0..count {
+            let j = rng.gen_range(i..channels.len());
+            channels.swap(i, j);
+        }
+        let mut plan = FaultPlan::new();
+        for ch in &channels[..count] {
+            plan = plan.permanent_link(ch.src(), ch.dir(), start);
+        }
+        plan
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Compile the plan into a time-sorted list of down/up transitions for
+    /// a simulator to consume with a single cursor. Transitions at the same
+    /// cycle keep plan order, downs before their own ups.
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events = Vec::with_capacity(2 * self.faults.len());
+        for f in &self.faults {
+            events.push(FaultEvent {
+                at: f.start,
+                target: f.target,
+                down: true,
+            });
+            if let Some(d) = f.duration {
+                events.push(FaultEvent {
+                    at: f.start.saturating_add(d),
+                    target: f.target,
+                    down: false,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.at); // stable: ties keep push order
+        events
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let links = self
+            .faults
+            .iter()
+            .filter(|f| matches!(f.target, FaultTarget::Link { .. }))
+            .count();
+        write!(
+            f,
+            "FaultPlan({} link faults, {} node faults)",
+            links,
+            self.faults.len() - links
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_topology::Mesh;
+
+    #[test]
+    fn empty_plan_has_no_events() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert!(plan.events().is_empty());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn transient_fault_compiles_to_down_then_up() {
+        let plan = FaultPlan::new().transient_link(NodeId(3), Direction::NORTH, 100, 50);
+        let events = plan.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].down && events[0].at == 100);
+        assert!(!events[1].down && events[1].at == 150);
+        assert_eq!(events[0].target, events[1].target);
+    }
+
+    #[test]
+    fn events_are_time_sorted() {
+        let plan = FaultPlan::new()
+            .permanent_link(NodeId(0), Direction::EAST, 500)
+            .transient_node(NodeId(1), 100, 300) // up at 400
+            .permanent_node(NodeId(2), 0);
+        let events = plan.events();
+        let times: Vec<u64> = events.iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![0, 100, 400, 500]);
+    }
+
+    #[test]
+    fn random_links_is_deterministic_and_sized() {
+        let mesh = Mesh::new_2d(8, 8);
+        let total = mesh.channels().len();
+        let a = FaultPlan::random_links(&mesh, 0.1, 0, 7);
+        let b = FaultPlan::random_links(&mesh, 0.1, 0, 7);
+        assert_eq!(a, b, "same seed must give the same pattern");
+        assert_eq!(a.len(), (0.1f64 * total as f64).ceil() as usize);
+        let c = FaultPlan::random_links(&mesh, 0.1, 0, 8);
+        assert_ne!(a, c, "different seeds should differ");
+        // No duplicate links in the sample.
+        let mut targets: Vec<_> = a
+            .faults()
+            .iter()
+            .map(|f| match f.target {
+                FaultTarget::Link { node, dir } => (node.0, dir.index()),
+                FaultTarget::Node(_) => unreachable!("random_links emits links"),
+            })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), a.len());
+    }
+
+    #[test]
+    fn random_links_edge_fractions() {
+        let mesh = Mesh::new_2d(4, 4);
+        assert!(FaultPlan::random_links(&mesh, 0.0, 0, 1).is_empty());
+        let all = FaultPlan::random_links(&mesh, 1.0, 0, 1);
+        assert_eq!(all.len(), mesh.channels().len());
+        let over = FaultPlan::random_links(&mesh, 2.0, 0, 1);
+        assert_eq!(over.len(), mesh.channels().len());
+    }
+
+    #[test]
+    fn display_counts_kinds() {
+        let plan = FaultPlan::new()
+            .permanent_link(NodeId(0), Direction::EAST, 0)
+            .permanent_node(NodeId(1), 0);
+        assert_eq!(plan.to_string(), "FaultPlan(1 link faults, 1 node faults)");
+    }
+}

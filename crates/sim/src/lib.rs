@@ -50,6 +50,7 @@
 
 mod config;
 mod engine;
+mod fault;
 pub mod obs;
 mod packet;
 mod policies;
@@ -57,7 +58,8 @@ mod report;
 
 pub use config::{LengthDist, SimConfig, SimConfigBuilder, CYCLES_PER_MICROSEC};
 pub use engine::Sim;
+pub use fault::{Fault, FaultEvent, FaultPlan, FaultTarget};
 pub use obs::{NoopObserver, SimObserver, Telemetry};
 pub use packet::{Packet, PacketId};
 pub use policies::{InputPolicy, OutputPolicy};
-pub use report::SimReport;
+pub use report::{RunTermination, SimReport};

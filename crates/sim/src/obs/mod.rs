@@ -92,6 +92,18 @@ pub trait SimObserver {
     /// Deadlock detection tripped; `snapshot` holds the frozen waits-for
     /// graph and channel occupancy.
     fn on_deadlock(&mut self, _now: u64, _snapshot: &DeadlockSnapshot) {}
+
+    /// A scheduled fault changed a channel's state: `active` means the
+    /// channel at `slot` just failed, `!active` that it healed. Fired once
+    /// per affected channel slot (a node fault fires for every incident
+    /// channel).
+    fn on_fault(&mut self, _now: u64, _slot: usize, _active: bool) {}
+
+    /// A packet was purged after exhausting its lifetime and retries.
+    /// `unroutable` means delivery was impossible (its source or
+    /// destination router was down); otherwise it timed out while
+    /// routable.
+    fn on_drop(&mut self, _now: u64, _packet: PacketId, _unroutable: bool) {}
 }
 
 /// The default do-nothing observer; `ENABLED = false` removes every hook
@@ -147,6 +159,16 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_deadlock(&mut self, now: u64, snapshot: &DeadlockSnapshot) {
         self.0.on_deadlock(now, snapshot);
         self.1.on_deadlock(now, snapshot);
+    }
+
+    fn on_fault(&mut self, now: u64, slot: usize, active: bool) {
+        self.0.on_fault(now, slot, active);
+        self.1.on_fault(now, slot, active);
+    }
+
+    fn on_drop(&mut self, now: u64, packet: PacketId, unroutable: bool) {
+        self.0.on_drop(now, packet, unroutable);
+        self.1.on_drop(now, packet, unroutable);
     }
 }
 
@@ -405,6 +427,14 @@ impl SimObserver for Telemetry {
 
     fn on_deadlock(&mut self, now: u64, snapshot: &DeadlockSnapshot) {
         self.trace.on_deadlock(now, snapshot);
+    }
+
+    fn on_fault(&mut self, now: u64, slot: usize, active: bool) {
+        self.trace.on_fault(now, slot, active);
+    }
+
+    fn on_drop(&mut self, now: u64, packet: PacketId, unroutable: bool) {
+        self.trace.on_drop(now, packet, unroutable);
     }
 }
 

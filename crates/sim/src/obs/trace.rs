@@ -68,6 +68,24 @@ pub enum TraceEvent {
         /// Network hops taken.
         hops: u32,
     },
+    /// A scheduled fault changed a channel's state.
+    Fault {
+        /// Cycle of the event.
+        now: u64,
+        /// The affected channel slot.
+        slot: usize,
+        /// `true` = failed, `false` = healed.
+        active: bool,
+    },
+    /// A packet was purged after exhausting its lifetime and retries.
+    Drop {
+        /// Cycle of the event.
+        now: u64,
+        /// The packet.
+        packet: u32,
+        /// Whether delivery was impossible (source/destination down).
+        unroutable: bool,
+    },
 }
 
 impl TraceEvent {
@@ -97,6 +115,12 @@ impl TraceEvent {
             ),
             TraceEvent::Deliver { now, packet, latency, hops } => format!(
                 "{{\"event\":\"deliver\",\"cycle\":{now},\"packet\":{packet},\"latency\":{latency},\"hops\":{hops}}}"
+            ),
+            TraceEvent::Fault { now, slot, active } => format!(
+                "{{\"event\":\"fault\",\"cycle\":{now},\"slot\":{slot},\"active\":{active}}}"
+            ),
+            TraceEvent::Drop { now, packet, unroutable } => format!(
+                "{{\"event\":\"drop\",\"cycle\":{now},\"packet\":{packet},\"unroutable\":{unroutable}}}"
             ),
         }
     }
@@ -229,6 +253,18 @@ impl SimObserver for RingTrace {
     fn on_deadlock(&mut self, _now: u64, snapshot: &DeadlockSnapshot) {
         self.snapshot = Some(snapshot.clone());
     }
+
+    fn on_fault(&mut self, now: u64, slot: usize, active: bool) {
+        self.push(TraceEvent::Fault { now, slot, active });
+    }
+
+    fn on_drop(&mut self, now: u64, packet: PacketId, unroutable: bool) {
+        self.push(TraceEvent::Drop {
+            now,
+            packet: packet.0,
+            unroutable,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +284,19 @@ mod tests {
         match first {
             TraceEvent::Deliver { packet, .. } => assert_eq!(*packet, 2),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_and_drop_events_are_json() {
+        let mut t = RingTrace::new(8);
+        t.on_fault(5, 12, true);
+        t.on_fault(9, 12, false);
+        t.on_drop(11, PacketId(4), true);
+        assert_eq!(t.events().count(), 3);
+        for e in t.events() {
+            let j = e.to_json();
+            assert!(crate::obs::json::validate(&j), "bad JSON: {j}");
         }
     }
 

@@ -38,9 +38,12 @@ pub struct Packet {
     pub injected: Option<u64>,
     /// Cycle the tail flit was consumed at the destination, if delivered.
     pub delivered: Option<u64>,
-    /// Network channels traversed by the header.
+    /// Cycle the packet was dropped after exhausting its lifetime and
+    /// retries, if it was.
+    pub dropped: Option<u64>,
+    /// Network channels traversed by the header (reset on retry).
     pub hops: u32,
-    /// Unproductive (nonminimal) hops taken.
+    /// Unproductive (nonminimal) hops taken (reset on retry).
     pub misroutes: u32,
 }
 
@@ -75,6 +78,7 @@ mod tests {
             created: 100,
             injected: None,
             delivered: None,
+            dropped: None,
             hops: 0,
             misroutes: 0,
         };

@@ -2,6 +2,34 @@
 
 use crate::CYCLES_PER_MICROSEC;
 
+/// How a simulation run ended.
+///
+/// Extends the older `deadlocked: bool` (still present on [`SimReport`]
+/// for backward compatibility — the two always agree) with room for
+/// future terminations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunTermination {
+    /// The run executed its full warmup/measure/drain protocol. Packets
+    /// may still have been dropped along the way — see
+    /// [`SimReport::dropped_packets`] — which is the graceful-degradation
+    /// outcome under faults.
+    #[default]
+    Completed,
+    /// Deadlock detection tripped (no flit moved for
+    /// `deadlock_threshold` cycles with flits in flight) and the run was
+    /// cut short.
+    Deadlock,
+}
+
+impl std::fmt::Display for RunTermination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunTermination::Completed => write!(f, "completed"),
+            RunTermination::Deadlock => write!(f, "deadlock"),
+        }
+    }
+}
+
 /// Aggregate results of one simulation run.
 ///
 /// Latency statistics cover packets *created during the measurement
@@ -46,8 +74,20 @@ pub struct SimReport {
     pub queued_at_end: u64,
     /// Largest source queue observed at any node during measurement.
     pub max_queue_len: usize,
-    /// Whether the run was cut short by deadlock detection.
+    /// Window-generated packets dropped after exhausting their lifetime
+    /// and retries while routable (congestion or a blocking fault).
+    pub dropped_packets: u64,
+    /// Window-generated packets dropped because delivery was impossible —
+    /// their source or destination router was down at expiry.
+    pub unroutable_packets: u64,
+    /// Times a window-generated packet was purged from the network and
+    /// re-queued at its source after a timeout.
+    pub retries: u64,
+    /// Whether the run was cut short by deadlock detection. Kept for
+    /// backward compatibility; always agrees with `termination`.
     pub deadlocked: bool,
+    /// How the run ended.
+    pub termination: RunTermination,
     /// Cycle at which the run ended.
     pub end_cycle: u64,
 }
@@ -83,6 +123,11 @@ impl SimReport {
         }
         self.delivered_packets as f64 / self.generated_packets as f64
     }
+
+    /// Window-generated packets lost to lifetime expiry, for any reason.
+    pub fn lost_packets(&self) -> u64 {
+        self.dropped_packets + self.unroutable_packets
+    }
 }
 
 impl std::fmt::Display for SimReport {
@@ -90,7 +135,7 @@ impl std::fmt::Display for SimReport {
         write!(
             f,
             "latency {:.1} us (p99 {:.1}), throughput {:.1} flits/us (offered {:.1}), \
-             {}/{} packets delivered, {:.2} hops avg{}{}",
+             {}/{} packets delivered, {:.2} hops avg{}{}{}",
             self.avg_latency_us(),
             self.p99_latency_cycles / CYCLES_PER_MICROSEC,
             self.throughput_flits_per_us(),
@@ -100,6 +145,16 @@ impl std::fmt::Display for SimReport {
             self.avg_hops,
             if self.queued_at_end > 0 {
                 format!(", {} queued", self.queued_at_end)
+            } else {
+                String::new()
+            },
+            if self.lost_packets() > 0 {
+                format!(
+                    ", {} dropped ({} unroutable, {} retries)",
+                    self.lost_packets(),
+                    self.unroutable_packets,
+                    self.retries
+                )
             } else {
                 String::new()
             },
@@ -129,7 +184,11 @@ mod tests {
             total_stall_cycles: 1_234,
             queued_at_end: 3,
             max_queue_len: 4,
+            dropped_packets: 0,
+            unroutable_packets: 0,
+            retries: 0,
             deadlocked: false,
+            termination: RunTermination::Completed,
             end_cycle: 12_000,
         }
     }
@@ -150,6 +209,28 @@ mod tests {
         assert!(s.contains("latency 10.0 us"), "{s}");
         assert!(s.contains("3 queued"), "{s}");
         assert!(!s.contains("DEADLOCK"), "{s}");
+        assert!(!s.contains("dropped"), "{s}");
+    }
+
+    #[test]
+    fn display_mentions_degradation() {
+        let mut r = sample();
+        r.dropped_packets = 4;
+        r.unroutable_packets = 2;
+        r.retries = 5;
+        assert_eq!(r.lost_packets(), 6);
+        let s = r.to_string();
+        assert!(s.contains("6 dropped (2 unroutable, 5 retries)"), "{s}");
+    }
+
+    #[test]
+    fn termination_enum_agrees_with_bool() {
+        let r = sample();
+        assert_eq!(r.termination, RunTermination::Completed);
+        assert!(!r.deadlocked);
+        assert_eq!(RunTermination::default(), RunTermination::Completed);
+        assert_eq!(RunTermination::Completed.to_string(), "completed");
+        assert_eq!(RunTermination::Deadlock.to_string(), "deadlock");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 mod channel;
 mod coord;
 mod direction;
+mod fault;
 mod hex;
 mod hypercube;
 mod mesh;
@@ -33,6 +34,7 @@ mod torus;
 pub use channel::{Channel, ChannelId};
 pub use coord::Coord;
 pub use direction::{DirSet, Direction, Sign};
+pub use fault::FaultSet;
 pub use hex::HexMesh;
 pub use hypercube::Hypercube;
 pub use mesh::Mesh;

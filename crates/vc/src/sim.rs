@@ -12,8 +12,10 @@ use std::collections::VecDeque;
 use turnroute_rng::rngs::StdRng;
 use turnroute_rng::{Rng, SeedableRng};
 use turnroute_sim::obs::StreamingHistogram;
-use turnroute_sim::{LengthDist, Packet, PacketId, SimConfig, SimReport};
-use turnroute_topology::{Mesh, NodeId, Topology};
+use turnroute_sim::{
+    FaultTarget, LengthDist, Packet, PacketId, RunTermination, SimConfig, SimReport,
+};
+use turnroute_topology::{Direction, Mesh, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
 
 const NONE_U32: u32 = u32::MAX;
@@ -60,6 +62,31 @@ pub struct VcSim<'a> {
     /// Physical link of each slot (per-cycle bandwidth arbiter).
     phys_link: Vec<u32>,
     num_links: usize,
+
+    // --- fault injection (same model as the base engine: fail-stop for
+    // new channel acquisitions, in-flight flits drain) ---
+    /// Time-sorted transitions compiled from the config's fault plan. A
+    /// link fault takes down both virtual channels of the physical link.
+    fault_events: Vec<turnroute_sim::FaultEvent>,
+    fault_cursor: usize,
+    /// Per-slot failure refcount (overlapping faults compose).
+    fault_depth: Vec<u16>,
+    faulty: Vec<bool>,
+    /// Whether the plan has any fault at all; gates every hot-path
+    /// `faulty` lookup so an empty plan costs one predictable branch.
+    faults_possible: bool,
+    /// Per-node failure refcount; a down router neither injects nor
+    /// ejects.
+    node_down: Vec<u16>,
+
+    // --- graceful degradation ---
+    /// Packet-lifetime deadlines, nondecreasing; expiry is an amortized
+    /// O(1) front-pop scan.
+    deadlines: VecDeque<(u64, u32)>,
+    retry_counts: Vec<u32>,
+    dropped_packets: u64,
+    unroutable_packets: u64,
+    total_retries: u64,
 
     owner: Vec<u32>,
     buf: Vec<Option<BufFlit>>,
@@ -120,13 +147,26 @@ impl<'a> VcSim<'a> {
             phys_link[ej_base + node] = (phys_network_links + num_nodes + node) as u32;
         }
 
+        let fault_events = cfg.fault_plan.events();
+        let faults_possible = !fault_events.is_empty();
         let mut sim = VcSim {
             mesh,
             routing,
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
-            cfg,
             now: 0,
+            fault_events,
+            fault_cursor: 0,
+            faults_possible,
+            fault_depth: vec![0; num_channels],
+            faulty: vec![false; num_channels],
+            node_down: vec![0; num_nodes],
+            deadlines: VecDeque::new(),
+            retry_counts: Vec::new(),
+            dropped_packets: 0,
+            unroutable_packets: 0,
+            total_retries: 0,
+            cfg,
             num_nodes,
             inj_base,
             ej_base,
@@ -197,9 +237,15 @@ impl<'a> VcSim<'a> {
             created: self.now,
             injected: None,
             delivered: None,
+            dropped: None,
             hops: 0,
             misroutes: 0,
         });
+        if self.cfg.packet_timeout > 0 {
+            self.deadlines
+                .push_back((self.now + self.cfg.packet_timeout, id));
+            self.retry_counts.push(0);
+        }
         self.queues[src.index()].push_back(id);
         if self.in_window() {
             self.generated_packets += 1;
@@ -236,6 +282,8 @@ impl<'a> VcSim<'a> {
 
     /// Advance one cycle.
     pub fn step(&mut self) {
+        self.apply_faults();
+        self.expire_packets();
         self.generate();
         self.assign_outputs();
         self.advance();
@@ -315,8 +363,150 @@ impl<'a> VcSim<'a> {
             total_stall_cycles: self.total_stall_cycles,
             queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
             max_queue_len: self.max_queue_len,
+            dropped_packets: self.dropped_packets,
+            unroutable_packets: self.unroutable_packets,
+            retries: self.total_retries,
             deadlocked: self.deadlocked,
+            termination: if self.deadlocked {
+                RunTermination::Deadlock
+            } else {
+                RunTermination::Completed
+            },
             end_cycle: self.now,
+        }
+    }
+
+    /// Both virtual-channel slots of the physical link leaving `node` in
+    /// `dir`.
+    fn link_vc_slots(node: NodeId, dir: Direction) -> [usize; 2] {
+        let base = node.index() * 8 + dir.index() * 2;
+        [base, base + 1]
+    }
+
+    /// Apply every fault transition scheduled at or before `now`.
+    fn apply_faults(&mut self) {
+        while self.fault_cursor < self.fault_events.len()
+            && self.fault_events[self.fault_cursor].at <= self.now
+        {
+            let ev = self.fault_events[self.fault_cursor];
+            self.fault_cursor += 1;
+            match ev.target {
+                FaultTarget::Link { node, dir } => {
+                    // In the double-y scheme only the y links carry two
+                    // virtual channels; fail whichever VC slots the
+                    // physical link actually has.
+                    let slots = Self::link_vc_slots(node, dir);
+                    assert!(
+                        slots.iter().any(|&s| self.exists[s]),
+                        "fault plan names a missing channel: {node} {dir}"
+                    );
+                    for slot in slots {
+                        if self.exists[slot] {
+                            self.shift_fault(slot, ev.down);
+                        }
+                    }
+                }
+                FaultTarget::Node(v) => {
+                    let vi = v.index();
+                    if ev.down {
+                        self.node_down[vi] += 1;
+                    } else {
+                        self.node_down[vi] -= 1;
+                    }
+                    for dir in Direction::all(2) {
+                        if self.mesh.neighbor(v, dir).is_some() {
+                            for slot in Self::link_vc_slots(v, dir) {
+                                if self.exists[slot] {
+                                    self.shift_fault(slot, ev.down);
+                                }
+                            }
+                        }
+                        if let Some(prev) = self.mesh.neighbor(v, dir.opposite()) {
+                            for slot in Self::link_vc_slots(prev, dir) {
+                                if self.exists[slot] {
+                                    self.shift_fault(slot, ev.down);
+                                }
+                            }
+                        }
+                    }
+                    self.shift_fault(self.inj_base + vi, ev.down);
+                    self.shift_fault(self.ej_base + vi, ev.down);
+                }
+            }
+        }
+    }
+
+    fn shift_fault(&mut self, slot: usize, down: bool) {
+        if down {
+            self.fault_depth[slot] += 1;
+        } else {
+            self.fault_depth[slot] -= 1;
+        }
+        self.faulty[slot] = self.fault_depth[slot] > 0;
+    }
+
+    /// Purge packets whose lifetime expired: retry while retries remain
+    /// and delivery is still possible, otherwise drop and account. Same
+    /// precedence as the base engine: a purge counts as progress, so
+    /// `packet_timeout < deadlock_threshold` degrades gracefully.
+    fn expire_packets(&mut self) {
+        if self.cfg.packet_timeout == 0 {
+            return;
+        }
+        while let Some(&(deadline, pid)) = self.deadlines.front() {
+            if deadline > self.now {
+                break;
+            }
+            self.deadlines.pop_front();
+            let p = self.packets[pid as usize];
+            if p.delivered.is_some() || p.dropped.is_some() {
+                continue;
+            }
+            self.purge_packet(pid);
+            let unroutable = self.node_down[p.src.index()] > 0 || self.node_down[p.dst.index()] > 0;
+            let counted = p.created >= self.window.0 && p.created < self.window.1;
+            if !unroutable && self.retry_counts[pid as usize] < self.cfg.max_retries {
+                self.retry_counts[pid as usize] += 1;
+                if counted {
+                    self.total_retries += 1;
+                }
+                let p = &mut self.packets[pid as usize];
+                p.injected = None;
+                p.hops = 0;
+                p.misroutes = 0;
+                self.queues[p.src.index()].push_back(pid);
+                self.deadlines
+                    .push_back((self.now + self.cfg.packet_timeout, pid));
+            } else {
+                self.packets[pid as usize].dropped = Some(self.now);
+                if counted {
+                    if unroutable {
+                        self.unroutable_packets += 1;
+                    } else {
+                        self.dropped_packets += 1;
+                    }
+                }
+            }
+            self.last_move = self.now;
+        }
+    }
+
+    /// Remove every trace of `pid` from the network.
+    fn purge_packet(&mut self, pid: u32) {
+        let src = self.packets[pid as usize].src.index();
+        self.queues[src].retain(|&q| q != pid);
+        if matches!(self.emitting[src], Some(e) if e.packet == pid) {
+            self.emitting[src] = None;
+        }
+        for slot in 0..self.num_channels {
+            if self.owner[slot] != pid {
+                continue;
+            }
+            if matches!(self.buf[slot], Some(f) if f.packet == pid) {
+                self.buf[slot] = None;
+            }
+            self.owner[slot] = NONE_U32;
+            self.assigned_out[slot] = NONE_U32;
         }
     }
 
@@ -374,7 +564,7 @@ impl<'a> VcSim<'a> {
         let v = NodeId(self.input_router[c]);
         if v == pkt.dst {
             let ej = self.ej_base + v.index();
-            if self.owner[ej] == NONE_U32 {
+            if self.owner[ej] == NONE_U32 && !(self.faults_possible && self.faulty[ej]) {
                 self.assigned_out[c] = ej as u32;
                 self.owner[ej] = flit.packet;
             }
@@ -385,10 +575,15 @@ impl<'a> VcSim<'a> {
         } else {
             Some(Self::vdir_of_slot(c))
         };
+        // Faulty channels are simply skipped: removing outputs from the
+        // double-y scheme never adds edges to its (acyclic) virtual-channel
+        // dependency graph, so deadlock freedom survives any fault
+        // pattern; packets with every offered channel down wait for the
+        // packet timeout.
         for vd in self.routing.route(self.mesh, v, pkt.dst, arrived) {
             let slot = v.index() * 8 + vd.index();
             debug_assert!(self.exists[slot], "offered channel must exist");
-            if self.owner[slot] == NONE_U32 {
+            if self.owner[slot] == NONE_U32 && !(self.faults_possible && self.faulty[slot]) {
                 self.assigned_out[c] = slot as u32;
                 self.owner[slot] = flit.packet;
                 self.packets[flit.packet as usize].hops += 1;
@@ -537,7 +732,7 @@ impl<'a> VcSim<'a> {
     fn feed_injection(&mut self) {
         for v in 0..self.num_nodes {
             let inj = self.inj_base + v;
-            if self.buf[inj].is_some() {
+            if (self.faults_possible && self.faulty[inj]) || self.buf[inj].is_some() {
                 continue;
             }
             if self.emitting[v].is_none() {
@@ -698,5 +893,79 @@ mod tests {
         let r1 = VcSim::new(&mesh, &alg, &pattern, cfg.clone()).run();
         let r2 = VcSim::new(&mesh, &alg, &pattern, cfg).run();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        let mesh = Mesh::new_2d(8, 8);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let plan = turnroute_sim::FaultPlan::random_links(&mesh, 0.05, 300, 11).transient_node(
+            NodeId(19),
+            500,
+            400,
+        );
+        let cfg = SimConfig::builder()
+            .injection_rate(0.05)
+            .warmup_cycles(200)
+            .measure_cycles(1_500)
+            .drain_cycles(1_500)
+            .packet_timeout(900)
+            .max_retries(1)
+            .seed(21)
+            .fault_plan(plan)
+            .build();
+        let r1 = VcSim::new(&mesh, &alg, &pattern, cfg.clone()).run();
+        let r2 = VcSim::new(&mesh, &alg, &pattern, cfg).run();
+        assert_eq!(r1, r2);
+        assert!(r1.delivered_packets > 0);
+    }
+
+    #[test]
+    fn faulty_link_is_routed_around() {
+        // Double-y is adaptive in x until aligned: with the eastward link
+        // out of the source down, the packet detours via the row above.
+        let mesh = Mesh::new_2d(4, 4);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let src = mesh.node_at_coords(&[0, 0]);
+        let dst = mesh.node_at_coords(&[2, 2]);
+        let plan = turnroute_sim::FaultPlan::new().permanent_link(src, Direction::EAST, 0);
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .deadlock_threshold(500)
+            .fault_plan(plan)
+            .build();
+        let mut sim = VcSim::new(&mesh, &alg, &pattern, cfg);
+        let id = sim.inject_packet(src, dst, 5);
+        assert!(sim.run_until_idle(500));
+        let p = sim.packets()[id.index()];
+        assert!(p.delivered.is_some());
+        assert_eq!(p.hops, 4, "minimal detour north-then-east");
+    }
+
+    #[test]
+    fn down_destination_degrades_to_unroutable_drop() {
+        let mesh = Mesh::new_2d(4, 4);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let dst = mesh.node_at_coords(&[3, 3]);
+        let plan = turnroute_sim::FaultPlan::new().permanent_node(dst, 0);
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .warmup_cycles(0)
+            .measure_cycles(400)
+            .drain_cycles(400)
+            .packet_timeout(200)
+            .deadlock_threshold(10_000)
+            .fault_plan(plan)
+            .build();
+        let mut sim = VcSim::new(&mesh, &alg, &pattern, cfg);
+        sim.inject_packet(mesh.node_at_coords(&[0, 0]), dst, 5);
+        let report = sim.run();
+        assert_eq!(report.termination, RunTermination::Completed);
+        assert_eq!(report.unroutable_packets, 1);
+        assert_eq!(report.delivered_packets, 0);
+        assert!(sim.is_idle(), "purge must empty the network");
     }
 }

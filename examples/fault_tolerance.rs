@@ -5,6 +5,12 @@
 //! cross. This example breaks channels in an 8x8 mesh and compares
 //! minimal and nonminimal west-first.
 //!
+//! The simulator's arbitration also carries a last-resort fault fallback:
+//! when *every* output a routing function offers is broken, it misroutes
+//! along any healthy direction the algorithm's turn set still allows. So
+//! the minimal router is rescued too — it detours exactly like the
+//! nonminimal one, it just never *chose* to.
+//!
 //! ```text
 //! cargo run --release --example fault_tolerance
 //! ```
@@ -58,16 +64,22 @@ fn main() {
                 "{label}: delivered at cycle {cycle} in {} hops ({} misroutes)",
                 p.hops, p.misroutes
             ),
-            None => println!(
-                "{label}: NOT delivered (drained={drained}) — minimal routing cannot avoid the fault"
-            ),
+            None => println!("{label}: NOT delivered (drained={drained})"),
         }
     }
 
     println!();
-    println!("The minimal router is stuck: west-first minimal offers only the");
-    println!("eastward channel on the packet's row, and that channel is broken.");
-    println!("The nonminimal router misroutes north, crosses on row 7, and");
-    println!("returns south — exactly the fault tolerance the paper credits");
-    println!("nonminimal turn-model routing with.");
+    println!("Both deliver by the same detour: north along column 3, east on");
+    println!("the one intact row, then south. The nonminimal router plans the");
+    println!("misroute itself — its offered set includes unproductive turns —");
+    println!("while minimal west-first offers only the broken eastward channel");
+    println!("and is rescued by the arbitration's misroute-around-fault");
+    println!("fallback, which may take any healthy direction west-first's turn");
+    println!("set allows. That turn-set filter is also why the rescue is safe:");
+    println!("the live channel dependency graph stays a subgraph of the acyclic");
+    println!("fault-free one. The paper's point survives in stronger form: the");
+    println!("fault tolerance it credits nonminimal routing with is exactly the");
+    println!("freedom the fallback borrows — without those turn-legal");
+    println!("unproductive hops, the minimal packet would sit on the broken");
+    println!("column until its lifetime expired.");
 }
