@@ -24,6 +24,27 @@ cargo build --workspace --offline
 echo "==> cargo test"
 cargo test --workspace --offline --quiet
 
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --offline --no-deps --quiet
+
+echo "==> turnlint gate"
+# The static-analysis gate: every design-space claim, the algorithm x
+# topology verification matrix, and invariant-sanitized runs of both
+# engines. Then the self-test: injecting a known-bad turn set must make
+# the gate fail (otherwise it is blind and proves nothing).
+lint_tmp="$(mktemp -d)"
+trap 'rm -rf "$lint_tmp"' EXIT
+cargo run --offline --quiet -p turnroute-analysis --bin turnlint -- \
+    --quick --out "$lint_tmp/turnlint.json" > "$lint_tmp/turnlint.log"
+test -s "$lint_tmp/turnlint.json"
+if cargo run --offline --quiet -p turnroute-analysis --bin turnlint -- \
+    --quick --inject-bad --out "$lint_tmp/turnlint_bad.json" \
+    > "$lint_tmp/turnlint_bad.log" 2>&1; then
+    echo "turnlint --inject-bad unexpectedly passed; the gate is blind" >&2
+    exit 1
+fi
+grep -q "witness" "$lint_tmp/turnlint_bad.log"
+
 echo "==> fault-injection group"
 # The fault subsystem's own gates, runnable in isolation: determinism and
 # degradation tests in both simulators, the sweep harness, and the
@@ -38,7 +59,7 @@ if [[ $full -eq 1 ]]; then
     cargo build --workspace --release --offline
     echo "==> exp smoke runs"
     tmp="$(mktemp -d)"
-    trap 'rm -rf "$tmp"' EXIT
+    trap 'rm -rf "$tmp" "$lint_tmp"' EXIT
     cargo run --release --offline -p turnroute-experiments --bin exp -- \
         fig13 --quick --out "$tmp" --metrics-out "$tmp/metrics.json"
     cargo run --release --offline -p turnroute-experiments --bin exp -- \

@@ -1,0 +1,65 @@
+//! `turnlint` — the machine-checkable CI gate over the turn-model
+//! design space.
+//!
+//! Usage:
+//!
+//! ```text
+//! turnlint [--quick] [--out FILE] [--inject-bad]
+//!
+//! --quick        shorten simulation runs and skip the 3D census
+//! --out FILE     write the JSON report here (default results/turnlint.json)
+//! --inject-bad   inject a known-broken turn set; the run must then FAIL
+//!                with a witness cycle (self-test of the gate)
+//! ```
+//!
+//! Exit status is zero exactly when every claim, matrix row, and
+//! sanitized simulation passed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use turnroute_analysis::lint::{run, LintOptions};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: turnlint [--quick] [--out FILE] [--inject-bad]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut opts = LintOptions::default();
+    let mut out = PathBuf::from("results/turnlint.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--inject-bad" => opts.inject_bad = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&opts);
+    print!("{}", report.render());
+
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("turnlint: cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("turnlint: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("turnlint: report written to {}", out.display());
+
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

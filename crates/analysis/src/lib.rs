@@ -1,0 +1,43 @@
+//! `turnlint` — static analysis of the turn-model design space, progress
+//! proofs, and simulator invariant sanitization.
+//!
+//! The rest of the workspace *implements* the turn model; this crate
+//! *audits* it, exhaustively and mechanically:
+//!
+//! * [`enumeration`] — every census the paper states a number for, re-run
+//!   from scratch: the 16-way two-turn census and its three symmetry
+//!   classes, the exhaustive 256-subset sweep behind Theorem 1's
+//!   quarter-of-the-turns bound, the 4096-candidate 3D generalization,
+//!   and the hexagonal triangle cycles of Section 7. Every count is a
+//!   machine-checkable [`Claim`]; every failure carries a witness cycle.
+//! * [`routing`] — [`TurnSetRouting`] turns any turn set into the
+//!   maximally adaptive minimal routing function it permits, so static
+//!   CDG verdicts can be cross-validated against live simulations, and
+//!   [`find_dead_end`] proves the relation never strands a packet.
+//! * [`lint`] — the driver behind the `turnlint` binary: enumeration
+//!   claims, the algorithm × topology verification matrix (including the
+//!   bounded-misroute progress check and fault-masked verification),
+//!   negative controls, and full simulation runs of both wormhole
+//!   engines under the [`turnroute_sim::InvariantObserver`] shadow
+//!   model. One JSON artifact, one exit code: the CI gate.
+//!
+//! # Example
+//!
+//! ```
+//! use turnroute_analysis::lint::{run, LintOptions};
+//!
+//! let report = run(&LintOptions { quick: true, inject_bad: false });
+//! assert!(report.passed(), "{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod claim;
+pub mod enumeration;
+pub mod lint;
+pub mod routing;
+
+pub use claim::{witness_cycle, Claim};
+pub use lint::{LintOptions, LintReport};
+pub use routing::{find_dead_end, TurnSetRouting};

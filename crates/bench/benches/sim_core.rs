@@ -30,6 +30,34 @@ fn engine_cycles(c: &mut Criterion) {
     group.finish();
 }
 
+/// Same heavy-load loop with the invariant sanitizer attached: the price
+/// of the full shadow model (per-flit conservation, buffer accounting,
+/// bandwidth checks), paid only when an observer is explicitly supplied.
+fn engine_cycles_sanitized(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let mut group = c.benchmark_group("sim_core/cycles");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("heavy_load_sanitized", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::builder().injection_rate(0.30).seed(1).build();
+            let obs = turnroute_sim::InvariantObserver::new(
+                turnroute_sim::obs::ChannelLayout::for_topology(&mesh),
+                cfg.buffer_depth,
+            );
+            let mut sim = Sim::with_observer(&mesh, &wf, &pattern, cfg, obs);
+            for _ in 0..CYCLES {
+                sim.step();
+            }
+            assert!(sim.observer().is_clean());
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+}
+
 fn single_packet_flight(c: &mut Criterion) {
     let mesh = Mesh::new_2d(16, 16);
     let wf = mesh2d::west_first(RoutingMode::Minimal);
@@ -70,6 +98,7 @@ fn vc_engine_cycles(c: &mut Criterion) {
 criterion_group!(
     benches,
     engine_cycles,
+    engine_cycles_sanitized,
     single_packet_flight,
     vc_engine_cycles
 );

@@ -4,7 +4,7 @@
 //! a criterion-shaped API so the bench targets build fully offline.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use turnroute_experiments::Scale;
 

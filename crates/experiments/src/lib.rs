@@ -29,7 +29,7 @@
 //! quantiles vs percentage of failed links.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptiveness_exp;
 pub mod buffers;

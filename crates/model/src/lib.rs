@@ -36,11 +36,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adaptiveness;
 mod cdg;
 pub mod cycle;
+pub mod livelock;
 pub mod numbering;
 pub mod presets;
 mod route;

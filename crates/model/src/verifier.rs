@@ -43,6 +43,12 @@ pub struct VerificationReport {
     /// For minimal functions: every offered move reduces the distance to
     /// the destination.
     pub minimal: Check,
+    /// A bounded-misroute potential function exists: the adversarial
+    /// routing state graph is acyclic for every destination (see
+    /// [`crate::livelock`]). This is the livelock-freedom check that
+    /// covers nonminimal functions, for which `minimal` is skipped; the
+    /// failure message contains a witness walk.
+    pub progress: Check,
     /// Every offered direction corresponds to an existing channel.
     pub channels_valid: Check,
     /// Every move is allowed by the function's declared turn set (if it
@@ -56,6 +62,7 @@ impl VerificationReport {
         self.deadlock_free.is_ok()
             && self.connected.is_ok()
             && self.minimal.is_ok()
+            && self.progress.is_ok()
             && self.channels_valid.is_ok()
             && self.turns_consistent.is_ok()
     }
@@ -68,6 +75,7 @@ impl std::fmt::Display for VerificationReport {
             ("deadlock-free", &self.deadlock_free),
             ("connected", &self.connected),
             ("minimal", &self.minimal),
+            ("progress", &self.progress),
             ("channels-valid", &self.channels_valid),
             ("turns-consistent", &self.turns_consistent),
         ] {
@@ -91,6 +99,7 @@ pub fn verify(topo: &dyn Topology, routing: &dyn RoutingFunction) -> Verificatio
         deadlock_free: check_deadlock(topo, routing),
         connected: check_connected(topo, routing),
         minimal: check_minimal(topo, routing),
+        progress: crate::livelock::check_progress(topo, routing).bounded,
         channels_valid: check_channels(topo, routing),
         turns_consistent: check_turns(topo, routing),
     }
@@ -256,6 +265,11 @@ pub struct FaultVerification {
     /// Acyclicity of the CDG induced by the fault-masked routing function
     /// (including its misroute-around-fault fallback moves).
     pub deadlock_free: Check,
+    /// Livelock freedom of the masked relation: even with the misroute
+    /// fallback active, the adversarial routing state graph stays acyclic,
+    /// so every detour around the fault pattern is bounded (see
+    /// [`crate::livelock`]).
+    pub progress: Check,
     /// Ordered pairs a greedy worst-case walk still delivers.
     pub reachable_pairs: usize,
     /// Ordered pairs that dead-end, livelock, or touch a failed node.
@@ -263,9 +277,10 @@ pub struct FaultVerification {
 }
 
 impl FaultVerification {
-    /// Whether the surviving routing relation is deadlock free.
+    /// Whether the surviving routing relation is deadlock free and
+    /// livelock free.
     pub fn all_ok(&self) -> bool {
-        self.deadlock_free.is_ok()
+        self.deadlock_free.is_ok() && self.progress.is_ok()
     }
 }
 
@@ -276,10 +291,15 @@ impl std::fmt::Display for FaultVerification {
             "fault verification of {} ({} links, {} nodes failed):",
             self.algorithm, self.failed_links, self.failed_nodes
         )?;
-        match &self.deadlock_free {
-            Check::Passed => writeln!(f, "  deadlock-free: ok")?,
-            Check::Skipped => writeln!(f, "  deadlock-free: n/a")?,
-            Check::Failed(why) => writeln!(f, "  deadlock-free: FAILED — {why}")?,
+        for (name, check) in [
+            ("deadlock-free", &self.deadlock_free),
+            ("progress", &self.progress),
+        ] {
+            match check {
+                Check::Passed => writeln!(f, "  {name}: ok")?,
+                Check::Skipped => writeln!(f, "  {name}: n/a")?,
+                Check::Failed(why) => writeln!(f, "  {name}: FAILED — {why}")?,
+            }
         }
         writeln!(
             f,
@@ -395,12 +415,14 @@ pub fn verify_under_faults(
 ) -> FaultVerification {
     let masked = FaultMasked::new(topo, routing, faults);
     let deadlock_free = check_deadlock(topo, &masked);
+    let progress = crate::livelock::check_progress(topo, &masked).bounded;
     let (reachable, unreachable) = fault_reachability(topo, &masked, faults);
     FaultVerification {
         algorithm: routing.name().to_string(),
         failed_links: faults.failed_link_count(),
         failed_nodes: faults.failed_node_count(),
         deadlock_free,
+        progress,
         reachable_pairs: reachable,
         unreachable_pairs: unreachable,
     }

@@ -448,6 +448,9 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         self.advance();
         self.feed_injection();
         self.detect_deadlock();
+        if O::ENABLED {
+            self.obs.on_cycle_end(self.now);
+        }
         self.now += 1;
     }
 
@@ -626,6 +629,9 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 continue; // resolved before its deadline; stale entry
             }
             self.purge_packet(pid);
+            if O::ENABLED {
+                self.obs.on_purge(self.now, PacketId(pid));
+            }
             let unroutable = self.node_down[p.src.index()] > 0 || self.node_down[p.dst.index()] > 0;
             let counted = self.created_in_window(&p);
             if !unroutable && self.retry_counts[pid as usize] < self.cfg.max_retries {
@@ -1080,6 +1086,10 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             }
             if self.buf[inj].is_empty() {
                 self.occupied_buffers += 1;
+            }
+            if O::ENABLED {
+                self.obs
+                    .on_flit_source(self.now, inj, PacketId(packet), flit.is_tail);
             }
             self.buf[inj].push_back(flit);
             self.emitting[v] = if sent + 1 == len {

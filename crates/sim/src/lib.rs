@@ -46,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 mod engine;
@@ -59,7 +59,7 @@ mod report;
 pub use config::{LengthDist, SimConfig, SimConfigBuilder, CYCLES_PER_MICROSEC};
 pub use engine::Sim;
 pub use fault::{Fault, FaultEvent, FaultPlan, FaultTarget};
-pub use obs::{NoopObserver, SimObserver, Telemetry};
+pub use obs::{InvariantObserver, InvariantSummary, NoopObserver, SimObserver, Telemetry};
 pub use packet::{Packet, PacketId};
 pub use policies::{InputPolicy, OutputPolicy};
 pub use report::{RunTermination, SimReport};

@@ -1,0 +1,366 @@
+//! Invariant sanitizer: a shadow model of channel occupancy that audits
+//! the engine's every move.
+//!
+//! [`InvariantObserver`] maintains its own copy of every channel buffer,
+//! fed purely by observer hooks, and cross-checks each event against it:
+//!
+//! * **flit conservation** — every flit that enters the network (counted
+//!   per flit by [`SimObserver::on_flit_source`]) is eventually consumed
+//!   at an ejection channel, purged by a timeout, or still buffered; the
+//!   three-way sum is re-audited at every
+//!   [`SimObserver::on_cycle_end`];
+//! * **credit / buffer accounting** — no buffer ever exceeds the
+//!   configured depth, and a buffer only ever holds flits of a single
+//!   packet (the wormhole ownership invariant);
+//! * **no teleport** — a flit can only leave the *front* of the buffer it
+//!   actually occupies, in FIFO order, and each channel moves at most one
+//!   flit per cycle in each direction (the unit-bandwidth invariant).
+//!
+//! The observer never panics; violations accumulate as human-readable
+//! strings so a harness can choose between [`InvariantObserver::is_clean`]
+//! for a boolean gate and [`InvariantObserver::assert_clean`] in tests.
+//! Because it implements [`SimObserver`], it runs against both the
+//! wormhole engine (`Sim::with_observer`) and the virtual-channel engine
+//! (`VcSim::with_observer`), and composes with other collectors via the
+//! tuple impl.
+
+use std::collections::VecDeque;
+
+use super::{ChannelLayout, SimObserver};
+use crate::PacketId;
+
+/// Cap on recorded violation messages; past this, only the count grows.
+const MAX_RECORDED: usize = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShadowFlit {
+    packet: u32,
+    is_tail: bool,
+}
+
+/// Counters summarizing what the sanitizer audited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InvariantSummary {
+    /// Flits that entered the network from a processor.
+    pub sourced_flits: u64,
+    /// Flits consumed at an ejection channel.
+    pub consumed_flits: u64,
+    /// Flits removed by packet purges (timeout retry or drop).
+    pub purged_flits: u64,
+    /// Flits currently buffered somewhere in the shadow network.
+    pub in_flight_flits: u64,
+    /// Cycles whose end-of-cycle conservation audit ran.
+    pub audited_cycles: u64,
+    /// Total violations detected (recorded messages are capped).
+    pub violations: u64,
+}
+
+/// Shadow-state sanitizer for the simulation engines; see the module docs
+/// for the invariants it enforces.
+#[derive(Debug, Clone)]
+pub struct InvariantObserver {
+    layout: ChannelLayout,
+    depth: usize,
+    shadow: Vec<VecDeque<ShadowFlit>>,
+    /// Cycle stamp of the last flit pushed into / popped from each slot
+    /// (`u64::MAX` = never), for the one-flit-per-cycle check.
+    last_push: Vec<u64>,
+    last_pop: Vec<u64>,
+    summary: InvariantSummary,
+    recorded: Vec<String>,
+}
+
+impl InvariantObserver {
+    /// Sanitizer for an engine with `layout`'s slot numbering and
+    /// `buffer_depth`-flit channel buffers.
+    ///
+    /// For the wormhole engine pass [`ChannelLayout::for_topology`]; the
+    /// virtual-channel engine exposes its own numbering via
+    /// `VcSim::channel_layout`.
+    pub fn new(layout: ChannelLayout, buffer_depth: u32) -> InvariantObserver {
+        InvariantObserver {
+            layout,
+            depth: buffer_depth as usize,
+            shadow: vec![VecDeque::new(); layout.num_channels],
+            last_push: vec![u64::MAX; layout.num_channels],
+            last_pop: vec![u64::MAX; layout.num_channels],
+            summary: InvariantSummary::default(),
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Whether any invariant has been violated so far.
+    pub fn is_clean(&self) -> bool {
+        self.summary.violations == 0
+    }
+
+    /// The recorded violation messages (capped at a fixed number; the
+    /// [`InvariantSummary::violations`] counter is exact).
+    pub fn violations(&self) -> &[String] {
+        &self.recorded
+    }
+
+    /// Audit counters so far.
+    pub fn summary(&self) -> InvariantSummary {
+        self.summary
+    }
+
+    /// Panic with every recorded violation if any invariant failed — the
+    /// test-suite form of the gate.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "invariant sanitizer found {} violation(s):\n{}",
+            self.summary.violations,
+            self.recorded.join("\n")
+        );
+    }
+
+    fn record(&mut self, msg: String) {
+        self.summary.violations += 1;
+        if self.recorded.len() < MAX_RECORDED {
+            self.recorded.push(msg);
+        }
+    }
+
+    fn name(&self, slot: usize) -> String {
+        self.layout.describe(slot)
+    }
+
+    /// Push a flit into `slot`'s shadow buffer, checking depth, single
+    /// ownership, and the one-push-per-cycle bandwidth limit.
+    fn shadow_push(&mut self, now: u64, slot: usize, flit: ShadowFlit) {
+        if slot >= self.shadow.len() {
+            self.record(format!("cycle {now}: flit pushed into unknown slot {slot}"));
+            return;
+        }
+        if self.last_push[slot] == now {
+            self.record(format!(
+                "cycle {now}: two flits entered {} in one cycle (unit bandwidth violated)",
+                self.name(slot)
+            ));
+        }
+        self.last_push[slot] = now;
+        if self.shadow[slot].len() >= self.depth {
+            self.record(format!(
+                "cycle {now}: buffer overflow at {}: {} flits buffered, depth {} (credit accounting violated)",
+                self.name(slot),
+                self.shadow[slot].len(),
+                self.depth
+            ));
+        }
+        if let Some(resident) = self.shadow[slot].front() {
+            if resident.packet != flit.packet {
+                self.record(format!(
+                    "cycle {now}: {} holds flits of packet {} but received a flit of packet {} (wormhole ownership violated)",
+                    self.name(slot),
+                    resident.packet,
+                    flit.packet
+                ));
+            }
+        }
+        self.shadow[slot].push_back(flit);
+    }
+
+    /// Pop the flit of `packet` from the front of `slot`'s shadow buffer,
+    /// checking FIFO order and the one-pop-per-cycle bandwidth limit.
+    fn shadow_pop(&mut self, now: u64, slot: usize, packet: u32, is_tail: bool) -> bool {
+        if slot >= self.shadow.len() {
+            self.record(format!("cycle {now}: flit left unknown slot {slot}"));
+            return false;
+        }
+        if self.last_pop[slot] == now {
+            self.record(format!(
+                "cycle {now}: two flits left {} in one cycle (unit bandwidth violated)",
+                self.name(slot)
+            ));
+        }
+        self.last_pop[slot] = now;
+        match self.shadow[slot].front().copied() {
+            None => {
+                self.record(format!(
+                    "cycle {now}: flit of packet {packet} left empty buffer {} (teleport)",
+                    self.name(slot)
+                ));
+                false
+            }
+            Some(front) if front.packet != packet || front.is_tail != is_tail => {
+                self.record(format!(
+                    "cycle {now}: {} advanced packet {packet} (tail={is_tail}) but its front flit is packet {} (tail={}) (FIFO order violated)",
+                    self.name(slot),
+                    front.packet,
+                    front.is_tail
+                ));
+                false
+            }
+            Some(_) => {
+                self.shadow[slot].pop_front();
+                true
+            }
+        }
+    }
+}
+
+impl SimObserver for InvariantObserver {
+    fn on_flit_source(&mut self, now: u64, slot: usize, packet: PacketId, is_tail: bool) {
+        if slot < self.shadow.len() && !self.layout.is_injection(slot) {
+            self.record(format!(
+                "cycle {now}: packet {} sourced a flit into non-injection slot {}",
+                packet.0,
+                self.name(slot)
+            ));
+        }
+        self.shadow_push(
+            now,
+            slot,
+            ShadowFlit {
+                packet: packet.0,
+                is_tail,
+            },
+        );
+        self.summary.sourced_flits += 1;
+        self.summary.in_flight_flits += 1;
+    }
+
+    fn on_flit_advance(&mut self, now: u64, from: usize, to: Option<usize>, p: PacketId, t: bool) {
+        let popped = self.shadow_pop(now, from, p.0, t);
+        match to {
+            Some(o) => self.shadow_push(
+                now,
+                o,
+                ShadowFlit {
+                    packet: p.0,
+                    is_tail: t,
+                },
+            ),
+            None => {
+                if from < self.shadow.len() && !self.layout.is_ejection(from) {
+                    self.record(format!(
+                        "cycle {now}: packet {} consumed from non-ejection slot {}",
+                        p.0,
+                        self.name(from)
+                    ));
+                }
+                self.summary.consumed_flits += 1;
+                if popped {
+                    self.summary.in_flight_flits -= 1;
+                }
+            }
+        }
+    }
+
+    fn on_purge(&mut self, now: u64, packet: PacketId) {
+        let _ = now;
+        let mut removed = 0u64;
+        for buf in &mut self.shadow {
+            let before = buf.len();
+            buf.retain(|f| f.packet != packet.0);
+            removed += (before - buf.len()) as u64;
+        }
+        self.summary.purged_flits += removed;
+        self.summary.in_flight_flits -= removed.min(self.summary.in_flight_flits);
+    }
+
+    fn on_cycle_end(&mut self, now: u64) {
+        self.summary.audited_cycles += 1;
+        let buffered: u64 = self.shadow.iter().map(|b| b.len() as u64).sum();
+        if buffered != self.summary.in_flight_flits {
+            self.record(format!(
+                "cycle {now}: in-flight counter {} disagrees with {} buffered shadow flits",
+                self.summary.in_flight_flits, buffered
+            ));
+            self.summary.in_flight_flits = buffered;
+        }
+        let s = self.summary;
+        let accounted = s.consumed_flits + s.purged_flits + s.in_flight_flits;
+        if s.sourced_flits != accounted {
+            self.record(format!(
+                "cycle {now}: flit conservation violated: {} sourced but {} accounted \
+                 ({} consumed + {} purged + {} in flight)",
+                s.sourced_flits, accounted, s.consumed_flits, s.purged_flits, s.in_flight_flits
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs() -> InvariantObserver {
+        InvariantObserver::new(ChannelLayout::new(4, 2), 1)
+    }
+
+    #[test]
+    fn clean_stream_stays_clean() {
+        let mut o = obs();
+        let l = ChannelLayout::new(4, 2);
+        let (inj, ej) = (l.inj_base, l.ej_base);
+        // A 2-flit packet: source both flits, advance them to ejection,
+        // consume them.
+        o.on_flit_source(0, inj, PacketId(7), false);
+        o.on_flit_advance(1, inj, Some(ej), PacketId(7), false);
+        o.on_flit_source(1, inj, PacketId(7), true);
+        o.on_flit_advance(2, ej, None, PacketId(7), false);
+        o.on_flit_advance(2, inj, Some(ej), PacketId(7), true);
+        o.on_flit_advance(3, ej, None, PacketId(7), true);
+        o.on_cycle_end(3);
+        o.assert_clean();
+        let s = o.summary();
+        assert_eq!(s.sourced_flits, 2);
+        assert_eq!(s.consumed_flits, 2);
+        assert_eq!(s.in_flight_flits, 0);
+    }
+
+    #[test]
+    fn teleport_is_flagged() {
+        let mut o = obs();
+        // Flit leaves a buffer it never entered.
+        o.on_flit_advance(5, 0, Some(1), PacketId(3), false);
+        assert!(!o.is_clean());
+        assert!(
+            o.violations()[0].contains("teleport"),
+            "{:?}",
+            o.violations()
+        );
+    }
+
+    #[test]
+    fn overflow_and_double_move_are_flagged() {
+        let mut o = obs();
+        let inj = ChannelLayout::new(4, 2).inj_base;
+        o.on_flit_source(0, inj, PacketId(1), false);
+        // Depth is 1: a second resident flit overflows.
+        o.on_flit_source(1, inj, PacketId(1), false);
+        assert_eq!(o.summary().violations, 1);
+        assert!(o.violations()[0].contains("overflow"));
+        // Two pops from one slot in the same cycle violate unit bandwidth.
+        o.on_flit_advance(2, inj, Some(0), PacketId(1), false);
+        o.on_flit_advance(2, inj, Some(1), PacketId(1), false);
+        assert!(o.violations().iter().any(|v| v.contains("unit bandwidth")));
+    }
+
+    #[test]
+    fn conservation_audit_catches_lost_flits() {
+        let mut o = obs();
+        let inj = ChannelLayout::new(4, 2).inj_base;
+        o.on_flit_source(0, inj, PacketId(1), true);
+        // Tamper with the shadow state to simulate an unobserved loss.
+        o.shadow[inj].clear();
+        o.on_cycle_end(0);
+        assert!(!o.is_clean());
+        assert!(o.violations().iter().any(|v| v.contains("conservation")));
+    }
+
+    #[test]
+    fn purge_reconciles_shadow_state() {
+        let mut o = obs();
+        let inj = ChannelLayout::new(4, 2).inj_base;
+        o.on_flit_source(0, inj, PacketId(9), false);
+        o.on_purge(1, PacketId(9));
+        o.on_cycle_end(1);
+        o.assert_clean();
+        assert_eq!(o.summary().purged_flits, 1);
+        assert_eq!(o.summary().in_flight_flits, 0);
+    }
+}

@@ -29,12 +29,14 @@
 mod census;
 mod heatmap;
 mod hist;
+mod invariant;
 pub mod json;
 mod trace;
 
 pub use census::TurnCensus;
 pub use heatmap::ChannelHeatmap;
 pub use hist::StreamingHistogram;
+pub use invariant::{InvariantObserver, InvariantSummary};
 pub use trace::{RingTrace, TraceEvent};
 
 use crate::PacketId;
@@ -104,6 +106,23 @@ pub trait SimObserver {
     /// destination router was down); otherwise it timed out while
     /// routable.
     fn on_drop(&mut self, _now: u64, _packet: PacketId, _unroutable: bool) {}
+
+    /// A flit entered the network from the processor side: it was pushed
+    /// into injection buffer `slot`. Fired once per flit (unlike
+    /// [`SimObserver::on_inject`], which fires once per packet), so a
+    /// collector that counts these sees every flit the engine ever owns.
+    fn on_flit_source(&mut self, _now: u64, _slot: usize, _packet: PacketId, _is_tail: bool) {}
+
+    /// Every flit of `packet` was just removed from the network (lifetime
+    /// expiry). Fired for both retried and dropped packets, *before* the
+    /// corresponding [`SimObserver::on_drop`] if the packet is dropped —
+    /// conservation-checking collectors reconcile their shadow state here.
+    fn on_purge(&mut self, _now: u64, _packet: PacketId) {}
+
+    /// The engine finished every phase of cycle `now`. Collectors that
+    /// maintain per-cycle invariants (conservation, occupancy) audit them
+    /// here, when the network state is quiescent.
+    fn on_cycle_end(&mut self, _now: u64) {}
 }
 
 /// The default do-nothing observer; `ENABLED = false` removes every hook
@@ -169,6 +188,21 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_drop(&mut self, now: u64, packet: PacketId, unroutable: bool) {
         self.0.on_drop(now, packet, unroutable);
         self.1.on_drop(now, packet, unroutable);
+    }
+
+    fn on_flit_source(&mut self, now: u64, slot: usize, packet: PacketId, is_tail: bool) {
+        self.0.on_flit_source(now, slot, packet, is_tail);
+        self.1.on_flit_source(now, slot, packet, is_tail);
+    }
+
+    fn on_purge(&mut self, now: u64, packet: PacketId) {
+        self.0.on_purge(now, packet);
+        self.1.on_purge(now, packet);
+    }
+
+    fn on_cycle_end(&mut self, now: u64) {
+        self.0.on_cycle_end(now);
+        self.1.on_cycle_end(now);
     }
 }
 

@@ -1,0 +1,116 @@
+//! End-to-end invariant sanitizer runs: the shadow model must stay clean
+//! through loaded traffic, misrouting, faults with timeouts/retries, and
+//! even a genuine deadlock (stuck flits are conserved flits).
+
+use turnroute_routing::{mesh2d, RoutingMode};
+use turnroute_sim::obs::ChannelLayout;
+use turnroute_sim::{FaultPlan, InvariantObserver, RunTermination, Sim, SimConfig};
+use turnroute_topology::{Direction, Mesh, Topology};
+use turnroute_traffic::{MeshTranspose, Uniform};
+
+fn sanitizer(mesh: &Mesh, cfg: &SimConfig) -> InvariantObserver {
+    InvariantObserver::new(ChannelLayout::for_topology(mesh), cfg.buffer_depth)
+}
+
+#[test]
+fn loaded_uniform_run_is_clean() {
+    let mesh = Mesh::new_2d(6, 6);
+    let routing = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.3)
+        .warmup_cycles(300)
+        .measure_cycles(1_500)
+        .drain_cycles(1_000)
+        .seed(11)
+        .build();
+    let obs = sanitizer(&mesh, &cfg);
+    let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, obs);
+    let report = sim.run();
+    assert!(!report.deadlocked);
+    let obs = sim.observer();
+    obs.assert_clean();
+    let s = obs.summary();
+    assert!(s.sourced_flits > 0, "traffic must actually flow");
+    assert!(s.consumed_flits > 0);
+    assert!(s.audited_cycles > 0);
+}
+
+#[test]
+fn nonminimal_misrouting_run_is_clean() {
+    let mesh = Mesh::new_2d(5, 5);
+    let routing = mesh2d::north_last(RoutingMode::Nonminimal);
+    let pattern = MeshTranspose::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.25)
+        .warmup_cycles(200)
+        .measure_cycles(1_000)
+        .drain_cycles(1_000)
+        .misroute_budget(4)
+        .seed(23)
+        .build();
+    let obs = sanitizer(&mesh, &cfg);
+    let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, obs);
+    let report = sim.run();
+    assert!(!report.deadlocked);
+    sim.observer().assert_clean();
+}
+
+#[test]
+fn faults_timeouts_and_retries_stay_clean() {
+    let mesh = Mesh::new_2d(5, 5);
+    let routing = mesh2d::negative_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let center = mesh.node_at_coords(&[2, 2]);
+    let plan = FaultPlan::new()
+        .transient_link(center, Direction::EAST, 100, 300)
+        .transient_node(center, 400, 200);
+    let cfg = SimConfig::builder()
+        .injection_rate(0.2)
+        .warmup_cycles(0)
+        .measure_cycles(1_200)
+        .drain_cycles(800)
+        .packet_timeout(150)
+        .max_retries(1)
+        .deadlock_threshold(5_000)
+        .fault_plan(plan)
+        .seed(5)
+        .build();
+    let obs = sanitizer(&mesh, &cfg);
+    let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, obs);
+    let report = sim.run();
+    assert_eq!(report.termination, RunTermination::Completed);
+    let obs = sim.observer();
+    obs.assert_clean();
+    assert!(
+        obs.summary().purged_flits > 0,
+        "the node fault must strand at least one packet into a purge"
+    );
+}
+
+/// Even when the network deadlocks, no flit may be created or destroyed:
+/// everything sourced is still buffered (or was consumed first).
+#[test]
+fn deadlocked_network_still_conserves_flits() {
+    let mesh = Mesh::new_2d(4, 4);
+    // Fully adaptive minimal routing with no turn restrictions deadlocks
+    // under enough load; that is the paper's motivating hazard.
+    let routing = turnroute_routing::FullyAdaptive::new();
+    let pattern = Uniform::new();
+    let cfg = SimConfig::builder()
+        .injection_rate(0.9)
+        .warmup_cycles(0)
+        .measure_cycles(30_000)
+        .drain_cycles(0)
+        .deadlock_threshold(200)
+        .seed(3)
+        .build();
+    let obs = sanitizer(&mesh, &cfg);
+    let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, obs);
+    let report = sim.run();
+    let obs = sim.observer();
+    obs.assert_clean();
+    if report.deadlocked {
+        assert!(obs.summary().in_flight_flits > 0);
+    }
+}

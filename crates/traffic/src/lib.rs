@@ -11,7 +11,7 @@
 //! diagonal of a matrix transpose, for example).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use turnroute_rng::Rng;
 use turnroute_rng::RngCore;

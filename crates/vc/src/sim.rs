@@ -11,9 +11,10 @@ use crate::{VcRoutingFunction, VirtualDirection};
 use std::collections::VecDeque;
 use turnroute_rng::rngs::StdRng;
 use turnroute_rng::{Rng, SeedableRng};
-use turnroute_sim::obs::StreamingHistogram;
+use turnroute_sim::obs::{ChannelLayout, StreamingHistogram};
 use turnroute_sim::{
-    FaultTarget, LengthDist, Packet, PacketId, RunTermination, SimConfig, SimReport,
+    FaultTarget, LengthDist, NoopObserver, Packet, PacketId, RunTermination, SimConfig,
+    SimObserver, SimReport,
 };
 use turnroute_topology::{Direction, Mesh, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
@@ -43,12 +44,22 @@ struct Emitting {
 /// local FCFS and output selection takes the routing function's first
 /// offered virtual channel that is free (the `input_policy` /
 /// `output_policy` fields are ignored).
-pub struct VcSim<'a> {
+///
+/// Like the base engine, the simulation is generic over a
+/// [`SimObserver`]; the default [`NoopObserver`] compiles every hook call
+/// away. The virtual-channel engine fires the per-flit hooks
+/// (`on_inject`, `on_flit_source`, `on_flit_advance`, `on_deliver`,
+/// `on_fault`, `on_purge`, `on_drop`, `on_cycle_end`) using the slot
+/// numbering of [`VcSim::channel_layout`]; the turn-level hooks
+/// (`on_turn`, `on_misroute`) are specific to the base engine's physical
+/// directions and are not fired here.
+pub struct VcSim<'a, O: SimObserver = NoopObserver> {
     mesh: &'a Mesh,
     routing: &'a dyn VcRoutingFunction,
     pattern: &'a dyn TrafficPattern,
     cfg: SimConfig,
     rng: StdRng,
+    obs: O,
     now: u64,
 
     num_nodes: usize,
@@ -111,13 +122,26 @@ pub struct VcSim<'a> {
 }
 
 impl<'a> VcSim<'a> {
-    /// Create a virtual-channel simulation.
+    /// Create a virtual-channel simulation with no instrumentation.
     pub fn new(
         mesh: &'a Mesh,
         routing: &'a dyn VcRoutingFunction,
         pattern: &'a dyn TrafficPattern,
         cfg: SimConfig,
     ) -> VcSim<'a> {
+        VcSim::with_observer(mesh, routing, pattern, cfg, NoopObserver)
+    }
+}
+
+impl<'a, O: SimObserver> VcSim<'a, O> {
+    /// Create a virtual-channel simulation that reports events to `obs`.
+    pub fn with_observer(
+        mesh: &'a Mesh,
+        routing: &'a dyn VcRoutingFunction,
+        pattern: &'a dyn TrafficPattern,
+        cfg: SimConfig,
+        obs: O,
+    ) -> VcSim<'a, O> {
         assert_eq!(mesh.num_dims(), 2, "double-y scheme is for 2D meshes");
         let num_nodes = mesh.num_nodes();
         let inj_base = num_nodes * 8;
@@ -154,6 +178,7 @@ impl<'a> VcSim<'a> {
             routing,
             pattern,
             rng: StdRng::seed_from_u64(cfg.seed),
+            obs,
             now: 0,
             fault_events,
             fault_cursor: 0,
@@ -204,6 +229,31 @@ impl<'a> VcSim<'a> {
     /// The current cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// The attached observer.
+    pub fn observer(&self) -> &O {
+        &self.obs
+    }
+
+    /// The attached observer, mutably.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.obs
+    }
+
+    /// Consume the simulation, returning the observer.
+    pub fn into_observer(self) -> O {
+        self.obs
+    }
+
+    /// The engine's slot numbering, for decoding observer events: eight
+    /// virtual-direction slots per node (`node * 8 + vdir.index()`, i.e.
+    /// the shape of a 4-dimension layout), then one injection and one
+    /// ejection slot per node. [`ChannelLayout::dir_of`] is meaningless
+    /// here — slot index pairs are (direction, VC class) — but the
+    /// injection/ejection predicates and `node_of` decode correctly.
+    pub fn channel_layout(&self) -> ChannelLayout {
+        ChannelLayout::new(self.num_nodes, 4)
     }
 
     /// Whether deadlock was detected.
@@ -292,6 +342,9 @@ impl<'a> VcSim<'a> {
             && self.buf.iter().any(Option::is_some)
         {
             self.deadlocked = true;
+        }
+        if O::ENABLED {
+            self.obs.on_cycle_end(self.now);
         }
         self.now += 1;
     }
@@ -437,12 +490,17 @@ impl<'a> VcSim<'a> {
     }
 
     fn shift_fault(&mut self, slot: usize, down: bool) {
+        let was = self.faulty[slot];
         if down {
             self.fault_depth[slot] += 1;
         } else {
             self.fault_depth[slot] -= 1;
         }
-        self.faulty[slot] = self.fault_depth[slot] > 0;
+        let is = self.fault_depth[slot] > 0;
+        self.faulty[slot] = is;
+        if O::ENABLED && was != is {
+            self.obs.on_fault(self.now, slot, is);
+        }
     }
 
     /// Purge packets whose lifetime expired: retry while retries remain
@@ -463,6 +521,9 @@ impl<'a> VcSim<'a> {
                 continue;
             }
             self.purge_packet(pid);
+            if O::ENABLED {
+                self.obs.on_purge(self.now, PacketId(pid));
+            }
             let unroutable = self.node_down[p.src.index()] > 0 || self.node_down[p.dst.index()] > 0;
             let counted = p.created >= self.window.0 && p.created < self.window.1;
             if !unroutable && self.retry_counts[pid as usize] < self.cfg.max_retries {
@@ -485,6 +546,9 @@ impl<'a> VcSim<'a> {
                     } else {
                         self.dropped_packets += 1;
                     }
+                }
+                if O::ENABLED {
+                    self.obs.on_drop(self.now, PacketId(pid), unroutable);
                 }
             }
             self.last_move = self.now;
@@ -696,9 +760,23 @@ impl<'a> VcSim<'a> {
                 if in_window {
                     self.delivered_flits_in_window += 1;
                 }
+                if O::ENABLED {
+                    self.obs.on_flit_advance(
+                        self.now,
+                        c,
+                        None,
+                        PacketId(flit.packet),
+                        flit.is_tail,
+                    );
+                }
                 if flit.is_tail {
                     self.owner[c] = NONE_U32;
-                    self.packets[flit.packet as usize].delivered = Some(self.now);
+                    let p = &mut self.packets[flit.packet as usize];
+                    p.delivered = Some(self.now);
+                    if O::ENABLED {
+                        let (id, created, hops) = (p.id, p.created, p.hops);
+                        self.obs.on_deliver(self.now, id, self.now - created, hops);
+                    }
                 }
                 continue;
             }
@@ -715,6 +793,10 @@ impl<'a> VcSim<'a> {
             self.buf[o] = Some(flit);
             self.last_move = self.now;
             moved += 1;
+            if O::ENABLED {
+                self.obs
+                    .on_flit_advance(self.now, c, Some(o), PacketId(flit.packet), flit.is_tail);
+            }
             if flit.is_head {
                 self.head_since[o] = self.now;
             }
@@ -744,6 +826,10 @@ impl<'a> VcSim<'a> {
                     packet: pid,
                     sent: 0,
                 });
+                if O::ENABLED {
+                    let p = self.packets[pid as usize];
+                    self.obs.on_inject(self.now, p.id, p.src, p.dst, p.len);
+                }
             }
             let Emitting { packet, sent } = self.emitting[v].expect("set above");
             let len = self.packets[packet as usize].len;
@@ -752,6 +838,10 @@ impl<'a> VcSim<'a> {
                 is_head: sent == 0,
                 is_tail: sent + 1 == len,
             };
+            if O::ENABLED {
+                self.obs
+                    .on_flit_source(self.now, inj, PacketId(packet), flit.is_tail);
+            }
             self.buf[inj] = Some(flit);
             if flit.is_head {
                 self.head_since[inj] = self.now;
@@ -769,7 +859,7 @@ impl<'a> VcSim<'a> {
     }
 }
 
-impl std::fmt::Debug for VcSim<'_> {
+impl<O: SimObserver> std::fmt::Debug for VcSim<'_, O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VcSim")
             .field("now", &self.now)
@@ -942,6 +1032,37 @@ mod tests {
         let p = sim.packets()[id.index()];
         assert!(p.delivered.is_some());
         assert_eq!(p.hops, 4, "minimal detour north-then-east");
+    }
+
+    #[test]
+    fn invariant_sanitizer_stays_clean_under_load_faults_and_retries() {
+        use turnroute_sim::InvariantObserver;
+        let mesh = Mesh::new_2d(6, 6);
+        let alg = DoubleYAdaptive::new();
+        let pattern = MeshTranspose::new();
+        let plan = turnroute_sim::FaultPlan::new()
+            .transient_link(NodeId(10), Direction::NORTH, 200, 300)
+            .transient_node(NodeId(21), 500, 200);
+        let cfg = SimConfig::builder()
+            .injection_rate(0.3)
+            .warmup_cycles(200)
+            .measure_cycles(1_500)
+            .drain_cycles(1_000)
+            .packet_timeout(600)
+            .max_retries(1)
+            .deadlock_threshold(5_000)
+            .seed(9)
+            .fault_plan(plan)
+            .build();
+        // VC buffers hold a single flit regardless of cfg.buffer_depth.
+        let obs = InvariantObserver::new(ChannelLayout::new(mesh.num_nodes(), 4), 1);
+        let mut sim = VcSim::with_observer(&mesh, &alg, &pattern, cfg, obs);
+        let report = sim.run();
+        assert!(!report.deadlocked);
+        let obs = sim.observer();
+        obs.assert_clean();
+        let s = obs.summary();
+        assert!(s.sourced_flits > 0 && s.consumed_flits > 0);
     }
 
     #[test]

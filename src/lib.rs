@@ -23,6 +23,9 @@
 //! * [`vc`] — the virtual-channel extension: fully adaptive double-y
 //!   routing (the paper's "forthcoming paper" direction).
 //! * [`experiments`] — load sweeps and the per-figure experiment drivers.
+//! * [`analysis`] — `turnlint`: exhaustive design-space censuses,
+//!   livelock/progress proofs, and the invariant-sanitized simulation
+//!   gate.
 //!
 //! # Quickstart
 //!
@@ -38,7 +41,9 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
+pub use turnroute_analysis as analysis;
 pub use turnroute_experiments as experiments;
 pub use turnroute_model as model;
 pub use turnroute_routing as routing;
