@@ -45,6 +45,25 @@ if cargo run --offline --quiet -p turnroute-analysis --bin turnlint -- \
 fi
 grep -q "witness" "$lint_tmp/turnlint_bad.log"
 
+echo "==> turnprove gate"
+# The proof-certificate gate: every configuration of the matrix (turn
+# sets, 3D sets, hypercube/torus algorithms, double-y virtual channels,
+# every sweep fault plan) must produce a certificate the independent
+# checker accepts, and the simulator cross-validations must agree with
+# the static verdicts. Then the self-test: planting a cyclic VC
+# assignment declared deadlock free must make the gate fail with a
+# checker-validated witness cycle.
+cargo run --offline --quiet -p turnroute-analysis --bin turnprove -- \
+    --quick --out "$lint_tmp/turnprove.json" > "$lint_tmp/turnprove.log"
+test -s "$lint_tmp/turnprove.json"
+if cargo run --offline --quiet -p turnroute-analysis --bin turnprove -- \
+    --quick --inject-bad --out "$lint_tmp/turnprove_bad.json" \
+    > "$lint_tmp/turnprove_bad.log" 2>&1; then
+    echo "turnprove --inject-bad unexpectedly passed; the gate is blind" >&2
+    exit 1
+fi
+grep -q "witness" "$lint_tmp/turnprove_bad.log"
+
 echo "==> fault-injection group"
 # The fault subsystem's own gates, runnable in isolation: determinism and
 # degradation tests in both simulators, the sweep harness, and the

@@ -51,7 +51,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    if let Err(e) = std::fs::write(&out, report.to_json()) {
+    let mut json = report.to_json();
+    json.push('\n');
+    if let Err(e) = std::fs::write(&out, json) {
         eprintln!("turnlint: cannot write {}: {e}", out.display());
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,69 @@
+//! `turnprove` — machine-checkable proof certificates for every
+//! configuration of the turn-model workspace.
+//!
+//! Usage:
+//!
+//! ```text
+//! turnprove [--quick] [--out FILE] [--inject-bad]
+//!
+//! --quick        shrink the sweep mesh and the cross-validation runs
+//! --out FILE     write the JSON report here (default results/turnprove.json)
+//! --inject-bad   declare a planted cyclic VC assignment deadlock free;
+//!                the run must then FAIL with a checker-validated witness
+//!                cycle (self-test of the gate)
+//! ```
+//!
+//! Exit status is zero exactly when every certificate was accepted by the
+//! independent checker, every verdict matched its expectation, and every
+//! simulator cross-validation agreed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use turnroute_analysis::prove::{run, ProveOptions};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: turnprove [--quick] [--out FILE] [--inject-bad]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut opts = ProveOptions::default();
+    let mut out = PathBuf::from("results/turnprove.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--inject-bad" => opts.inject_bad = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&opts);
+    print!("{}", report.render());
+
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("turnprove: cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut json = report.to_json();
+    json.push('\n');
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("turnprove: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("turnprove: report written to {}", out.display());
+
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

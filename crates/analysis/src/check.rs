@@ -1,0 +1,314 @@
+//! The independent certificate checker.
+//!
+//! This module is the small, auditable end of the `turnprove` trust
+//! boundary: it validates a [`Certificate`] against its [`GraphSpec`]
+//! using nothing but set membership and single-pass scans — no graph
+//! search, no routing logic, no dependency on the prover
+//! ([`crate::prove`]) whatsoever. CI trusts *this* code plus the
+//! mechanical extraction; the prover can be arbitrarily clever (or
+//! arbitrarily wrong) and a bad proof still cannot get through.
+//!
+//! What is checked:
+//!
+//! 1. **Spec well-formedness** — channel endpoints and route targets in
+//!    range, route tables fully sized.
+//! 2. **Route/dependency consistency** — every move the routing relation
+//!    offers from a channel state appears in `deps`, so the deadlock
+//!    verdict covers every move real traffic can make.
+//! 3. **Acyclicity proofs** — the numbering has one entry per channel and
+//!    every dependency edge strictly increases it.
+//! 4. **Cycle witnesses** — the cycle is nonempty and every consecutive
+//!    pair (wrapping around) is a real dependency edge.
+//! 5. **Connectivity certificates** — every ordered pair is either
+//!    certified or claimed unreachable, exactly once; every certified path
+//!    starts at an injection-legal channel at `src`, chains contiguously
+//!    through route-legal moves, ends in `dst`, and is no longer than the
+//!    channel count (so it cannot smuggle a loop).
+
+use crate::certificate::{Certificate, GraphSpec, Verdict};
+use std::collections::{HashMap, HashSet};
+
+/// Validate `cert` against `spec`.
+///
+/// # Errors
+///
+/// Returns a description of the first defect found — in the spec, the
+/// proof object, or the connectivity coverage.
+pub fn check(spec: &GraphSpec, cert: &Certificate) -> Result<(), String> {
+    check_spec(spec)?;
+    let deps: HashSet<(u32, u32)> = spec.deps.iter().copied().collect();
+    check_routes_covered_by_deps(spec, &deps)?;
+    match &cert.verdict {
+        Verdict::Acyclic { numbering } => check_numbering(spec, numbering)?,
+        Verdict::Cyclic { cycle } => check_cycle(spec, &deps, cycle)?,
+    }
+    check_connectivity(spec, cert)
+}
+
+/// Structural sanity of the spec itself.
+fn check_spec(spec: &GraphSpec) -> Result<(), String> {
+    let n = spec.num_nodes;
+    let c = spec.channels.len() as u32;
+    for (i, ch) in spec.channels.iter().enumerate() {
+        if ch.src >= n || ch.dst >= n {
+            return Err(format!("channel {i} endpoint out of range"));
+        }
+    }
+    if spec.routes.len() != n as usize {
+        return Err(format!(
+            "routes has {} destinations, expected {n}",
+            spec.routes.len()
+        ));
+    }
+    for (dest, table) in spec.routes.iter().enumerate() {
+        if table.len() != spec.num_states() {
+            return Err(format!(
+                "routes[{dest}] has {} states, expected {}",
+                table.len(),
+                spec.num_states()
+            ));
+        }
+        for outs in table {
+            if let Some(&bad) = outs.iter().find(|&&o| o >= c) {
+                return Err(format!("routes[{dest}] offers nonexistent channel {bad}"));
+            }
+        }
+    }
+    for &(a, b) in &spec.deps {
+        if a >= c || b >= c {
+            return Err(format!("dependency edge ({a}, {b}) out of range"));
+        }
+    }
+    Ok(())
+}
+
+/// Every routing move from a channel state must be a dependency edge —
+/// otherwise the deadlock verdict would not cover real traffic.
+fn check_routes_covered_by_deps(
+    spec: &GraphSpec,
+    deps: &HashSet<(u32, u32)>,
+) -> Result<(), String> {
+    for (dest, table) in spec.routes.iter().enumerate() {
+        for (held, outs) in table.iter().enumerate().skip(spec.num_nodes as usize) {
+            let held = (held - spec.num_nodes as usize) as u32;
+            for &next in outs {
+                if !deps.contains(&(held, next)) {
+                    return Err(format!(
+                        "route to {dest} moves {held} -> {next} but deps has no such edge"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An acyclicity proof: one number per channel, strictly increasing along
+/// every dependency edge.
+fn check_numbering(spec: &GraphSpec, numbering: &[u64]) -> Result<(), String> {
+    if numbering.len() != spec.channels.len() {
+        return Err(format!(
+            "numbering has {} entries for {} channels",
+            numbering.len(),
+            spec.channels.len()
+        ));
+    }
+    for &(a, b) in &spec.deps {
+        if numbering[a as usize] >= numbering[b as usize] {
+            return Err(format!(
+                "edge ({a}, {b}) does not increase the numbering ({} >= {})",
+                numbering[a as usize], numbering[b as usize]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A cycle witness: nonempty, and every consecutive pair (including the
+/// wrap-around) is a genuine dependency edge.
+fn check_cycle(spec: &GraphSpec, deps: &HashSet<(u32, u32)>, cycle: &[u32]) -> Result<(), String> {
+    if cycle.is_empty() {
+        return Err("empty witness cycle".into());
+    }
+    let c = spec.channels.len() as u32;
+    for (k, &v) in cycle.iter().enumerate() {
+        if v >= c {
+            return Err(format!("witness cycle names nonexistent channel {v}"));
+        }
+        let w = cycle[(k + 1) % cycle.len()];
+        if !deps.contains(&(v, w)) {
+            return Err(format!("witness step {v} -> {w} is not a dependency edge"));
+        }
+    }
+    Ok(())
+}
+
+/// Connectivity: complete, non-overlapping coverage of all ordered pairs,
+/// and each certified path replayed move by move against `routes`.
+fn check_connectivity(spec: &GraphSpec, cert: &Certificate) -> Result<(), String> {
+    let n = spec.num_nodes;
+    let mut covered: HashMap<(u32, u32), bool> = HashMap::new(); // true = certified
+    for p in &cert.paths {
+        if covered.insert((p.src, p.dst), true).is_some() {
+            return Err(format!("pair ({}, {}) covered twice", p.src, p.dst));
+        }
+    }
+    for &(s, d) in &cert.unreachable {
+        if covered.insert((s, d), false).is_some() {
+            return Err(format!("pair ({s}, {d}) covered twice"));
+        }
+    }
+    for s in 0..n {
+        for d in 0..n {
+            if s != d && !covered.contains_key(&(s, d)) {
+                return Err(format!("pair ({s}, {d}) has neither path nor claim"));
+            }
+        }
+    }
+    if covered.len() != (n as usize) * (n as usize - 1) {
+        return Err("connectivity coverage names an invalid pair".into());
+    }
+    for p in &cert.paths {
+        if p.src >= n || p.dst >= n || p.src == p.dst {
+            return Err(format!("invalid certified pair ({}, {})", p.src, p.dst));
+        }
+        if p.path.is_empty() || p.path.len() > spec.channels.len() {
+            return Err(format!(
+                "path for ({}, {}) has illegal length {}",
+                p.src,
+                p.dst,
+                p.path.len()
+            ));
+        }
+        let table = &spec.routes[p.dst as usize];
+        let mut state = p.src as usize; // injection state
+        let mut at = p.src;
+        for &c in &p.path {
+            if !table[state].contains(&c) {
+                return Err(format!(
+                    "path for ({}, {}) takes channel {c} not offered in its state",
+                    p.src, p.dst
+                ));
+            }
+            let ch = &spec.channels[c as usize];
+            if ch.src != at {
+                return Err(format!(
+                    "path for ({}, {}) teleports: channel {c} leaves {} not {at}",
+                    p.src, p.dst, ch.src
+                ));
+            }
+            at = ch.dst;
+            state = spec.channel_state(c);
+        }
+        if at != p.dst {
+            return Err(format!(
+                "path for ({}, {}) ends at {at}, not its destination",
+                p.src, p.dst
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::{ChannelVertex, PathCert};
+
+    /// Two nodes, one channel each way, straight-line routing.
+    fn spec() -> GraphSpec {
+        GraphSpec {
+            name: "pair".into(),
+            num_nodes: 2,
+            channels: vec![
+                ChannelVertex {
+                    src: 0,
+                    dst: 1,
+                    label: "c0".into(),
+                },
+                ChannelVertex {
+                    src: 1,
+                    dst: 0,
+                    label: "c1".into(),
+                },
+            ],
+            deps: vec![],
+            routes: vec![
+                vec![vec![], vec![1], vec![], vec![]],
+                vec![vec![0], vec![], vec![], vec![]],
+            ],
+        }
+    }
+
+    fn cert() -> Certificate {
+        Certificate {
+            verdict: Verdict::Acyclic {
+                numbering: vec![0, 1],
+            },
+            paths: vec![
+                PathCert {
+                    src: 0,
+                    dst: 1,
+                    path: vec![0],
+                },
+                PathCert {
+                    src: 1,
+                    dst: 0,
+                    path: vec![1],
+                },
+            ],
+            unreachable: vec![],
+        }
+    }
+
+    #[test]
+    fn valid_certificate_is_accepted() {
+        check(&spec(), &cert()).expect("valid certificate");
+    }
+
+    #[test]
+    fn tampered_numbering_is_rejected() {
+        let mut s = spec();
+        s.deps = vec![(0, 1)];
+        s.routes[0][3] = vec![]; // keep routes consistent
+        let mut c = cert();
+        c.verdict = Verdict::Acyclic {
+            numbering: vec![1, 0], // reversed: edge (0,1) now decreases
+        };
+        let err = check(&s, &c).unwrap_err();
+        assert!(err.contains("does not increase"), "{err}");
+    }
+
+    #[test]
+    fn fake_cycle_is_rejected() {
+        let mut c = cert();
+        c.verdict = Verdict::Cyclic { cycle: vec![0, 1] };
+        let err = check(&spec(), &c).unwrap_err();
+        assert!(err.contains("not a dependency edge"), "{err}");
+    }
+
+    #[test]
+    fn missing_pair_is_rejected() {
+        let mut c = cert();
+        c.paths.pop();
+        let err = check(&spec(), &c).unwrap_err();
+        assert!(err.contains("neither path nor claim"), "{err}");
+    }
+
+    #[test]
+    fn illegal_path_step_is_rejected() {
+        let mut c = cert();
+        c.paths[0].path = vec![1]; // c1 is not offered at injection of node 0
+        let err = check(&spec(), &c).unwrap_err();
+        assert!(err.contains("not offered"), "{err}");
+    }
+
+    #[test]
+    fn uncovered_route_move_is_rejected() {
+        let mut s = spec();
+        // Routing offers a move out of a channel state with no dep edge.
+        s.routes[0][3] = vec![1];
+        let err = check(&s, &cert()).unwrap_err();
+        assert!(err.contains("no such edge"), "{err}");
+    }
+}

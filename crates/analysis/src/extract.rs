@@ -1,0 +1,327 @@
+//! Mechanical extraction of explicit channel graphs.
+//!
+//! Everything `turnprove` verifies is first lowered to a
+//! [`GraphSpec`] by one of the functions here — from a bare [`TurnSet`]
+//! (potential dependencies), a concrete [`RoutingFunction`] (induced
+//! dependencies, optionally masked by a [`FaultSet`] through the
+//! verifier's own [`FaultMasked`] view), or a [`VcRoutingFunction`] over
+//! the virtual channels of the double-y mesh. The extraction reuses the
+//! workspace's existing graph builders ([`Cdg`], [`VcCdg`]) for the
+//! dependency edges, so the prover and the simulator argue about the
+//! *same* relation rather than two hand-derived copies.
+//!
+//! Extraction is the trusted computing base of the prover/checker split:
+//! the checker validates certificates against these specs, so a bug here
+//! is a bug in the *question*, not in the *proof* (see `DESIGN.md` §9).
+
+use crate::certificate::{ChannelVertex, GraphSpec};
+use crate::routing::TurnSetRouting;
+use turnroute_model::{Cdg, FaultMasked, RoutingFunction, TurnSet};
+use turnroute_topology::{FaultSet, Mesh, NodeId, Topology};
+use turnroute_vc::{VcCdg, VcClass, VcRoutingFunction, VirtualDirection};
+
+/// Lower a bare turn set: dependency edges are the *potential* CDG (any
+/// allowed turn, regardless of destination — the strongest claim), and the
+/// routing relation is the maximal coherent minimal function the set
+/// permits ([`TurnSetRouting`]).
+pub fn from_turn_set(name: impl Into<String>, topo: &dyn Topology, set: &TurnSet) -> GraphSpec {
+    let name = name.into();
+    let cdg = Cdg::from_turn_set(topo, set);
+    let routing = TurnSetRouting::new(name.clone(), set.clone(), topo);
+    physical_spec(name, topo, &cdg, &routing)
+}
+
+/// Lower a concrete routing function: dependency edges are the induced
+/// CDG (only moves some destination actually provokes), and the routing
+/// relation is the function itself.
+pub fn from_routing(
+    name: impl Into<String>,
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+) -> GraphSpec {
+    let cdg = Cdg::from_routing(topo, routing);
+    physical_spec(name.into(), topo, &cdg, routing)
+}
+
+/// Lower a routing function under a fault pattern, through the *same*
+/// [`FaultMasked`] view `verify_under_faults` checks: primary routes and
+/// turn-legal misroute fallbacks filtered by the fault set, failed-input
+/// arrival states excluded as vacuous.
+pub fn from_faulted_routing(
+    name: impl Into<String>,
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    faults: &FaultSet,
+) -> GraphSpec {
+    let masked = FaultMasked::new(topo, routing, faults);
+    from_routing(name, topo, &masked)
+}
+
+/// Shared physical-channel lowering: vertices and state indexing from
+/// `topo`, dependency edges from `cdg`, routes from `routing` (with the
+/// same reachable-state pruning the CDG builder applies to minimal
+/// functions, so the route relation never exceeds the proven edges).
+fn physical_spec(
+    name: String,
+    topo: &dyn Topology,
+    cdg: &Cdg,
+    routing: &dyn RoutingFunction,
+) -> GraphSpec {
+    let channels = topo.channels();
+    let num_nodes = topo.num_nodes();
+    let mut slot_to_channel = vec![u32::MAX; topo.channel_slot_count()];
+    for ch in &channels {
+        slot_to_channel[topo.channel_slot(ch.src(), ch.dir())] = ch.id().0;
+    }
+    let verts: Vec<ChannelVertex> = channels
+        .iter()
+        .map(|ch| ChannelVertex {
+            src: ch.src().0,
+            dst: ch.dst().0,
+            label: ch.to_string(),
+        })
+        .collect();
+    let mut deps = Vec::with_capacity(cdg.num_edges());
+    for ch in cdg.channels() {
+        for &succ in cdg.successors(ch.id()) {
+            deps.push((ch.id().0, succ));
+        }
+    }
+
+    let minimal = routing.is_minimal();
+    let num_states = num_nodes + channels.len();
+    let mut routes = Vec::with_capacity(num_nodes);
+    for dest in 0..num_nodes {
+        let dest = NodeId(dest as u32);
+        let mut table = vec![Vec::new(); num_states];
+        for node in 0..num_nodes {
+            let node = NodeId(node as u32);
+            if node == dest {
+                continue;
+            }
+            table[node.index()] = resolve(topo, &slot_to_channel, node, {
+                routing.route(topo, node, dest, None)
+            });
+        }
+        for ch in &channels {
+            let mid = ch.dst();
+            if mid == dest {
+                continue;
+            }
+            if minimal && topo.min_hops(mid, dest) >= topo.min_hops(ch.src(), dest) {
+                continue; // unreachable state for a minimal function
+            }
+            table[num_nodes + ch.id().index()] = resolve(topo, &slot_to_channel, mid, {
+                routing.route(topo, mid, dest, Some(ch.dir()))
+            });
+        }
+        routes.push(table);
+    }
+    GraphSpec {
+        name,
+        num_nodes: num_nodes as u32,
+        channels: verts,
+        deps,
+        routes,
+    }
+}
+
+/// Map offered directions at `node` to channel ids, dropping directions
+/// with no channel (mesh boundaries), exactly as the CDG builder does.
+fn resolve(
+    topo: &dyn Topology,
+    slot_to_channel: &[u32],
+    node: NodeId,
+    dirs: turnroute_topology::DirSet,
+) -> Vec<u32> {
+    dirs.iter()
+        .filter(|&d| topo.neighbor(node, d).is_some())
+        .map(|d| {
+            let id = slot_to_channel[topo.channel_slot(node, d)];
+            debug_assert_ne!(id, u32::MAX);
+            id
+        })
+        .collect()
+}
+
+/// Lower a virtual-channel routing function over the double-y channel set
+/// of `mesh`: vertices are *virtual* channels, dependency edges come from
+/// [`VcCdg`], and the route relation is extracted with the same
+/// reachable-state pruning.
+pub fn from_vc_routing(
+    name: impl Into<String>,
+    mesh: &Mesh,
+    routing: &dyn VcRoutingFunction,
+) -> GraphSpec {
+    let cdg = VcCdg::from_routing(mesh, routing);
+    let chans = cdg.channels();
+    let slots_per_node = 2 * 2 * mesh.num_dims();
+    let mut slot_to_id = vec![u32::MAX; mesh.num_nodes() * slots_per_node];
+    for ch in chans {
+        slot_to_id[ch.src.index() * slots_per_node + ch.vdir.index()] = ch.id;
+    }
+    let verts: Vec<ChannelVertex> = chans
+        .iter()
+        .map(|ch| ChannelVertex {
+            src: ch.src.0,
+            dst: ch.dst.0,
+            label: format!("c{} {} -> {} ({})", ch.id, ch.src, ch.dst, ch.vdir),
+        })
+        .collect();
+    let mut deps = Vec::with_capacity(cdg.num_edges());
+    for ch in chans {
+        for &succ in cdg.successors(ch.id) {
+            deps.push((ch.id, succ));
+        }
+    }
+
+    let num_nodes = mesh.num_nodes();
+    let minimal = routing.is_minimal();
+    let num_states = num_nodes + chans.len();
+    let resolve_vc = |node: NodeId, vdirs: Vec<VirtualDirection>| -> Vec<u32> {
+        vdirs
+            .into_iter()
+            .filter_map(|vd| {
+                let id = slot_to_id[node.index() * slots_per_node + vd.index()];
+                (id != u32::MAX).then_some(id)
+            })
+            .collect()
+    };
+    let mut routes = Vec::with_capacity(num_nodes);
+    for dest in 0..num_nodes {
+        let dest = NodeId(dest as u32);
+        let mut table = vec![Vec::new(); num_states];
+        for node in 0..num_nodes {
+            let node = NodeId(node as u32);
+            if node == dest {
+                continue;
+            }
+            table[node.index()] = resolve_vc(node, routing.route(mesh, node, dest, None));
+        }
+        for ch in chans {
+            let mid = ch.dst;
+            if mid == dest {
+                continue;
+            }
+            if minimal && mesh.min_hops(mid, dest) >= mesh.min_hops(ch.src, dest) {
+                continue; // unreachable state for a minimal function
+            }
+            table[num_nodes + ch.id as usize] =
+                resolve_vc(mid, routing.route(mesh, mid, dest, Some(ch.vdir)));
+        }
+        routes.push(table);
+    }
+    GraphSpec {
+        name: name.into(),
+        num_nodes: num_nodes as u32,
+        channels: verts,
+        deps,
+        routes,
+    }
+}
+
+/// A deliberately broken virtual-channel assignment: fully adaptive on
+/// *both* y classes with no side discipline, which reintroduces the
+/// dependency cycles the double-y rules exist to break. This is the
+/// planted defect behind `turnprove --inject-bad` and the standing
+/// negative control — the prover must emit a witness cycle for it, and
+/// the checker must accept that witness.
+pub struct PlantedCyclicVc;
+
+impl VcRoutingFunction for PlantedCyclicVc {
+    fn name(&self) -> &str {
+        "planted-cyclic-vc"
+    }
+
+    fn route(
+        &self,
+        mesh: &Mesh,
+        current: NodeId,
+        dest: NodeId,
+        _arrived: Option<VirtualDirection>,
+    ) -> Vec<VirtualDirection> {
+        use turnroute_topology::{Direction, Sign};
+        let (c, d) = (mesh.coord_of(current), mesh.coord_of(dest));
+        let mut out = Vec::new();
+        if d.get(0) != c.get(0) {
+            let sign = if d.get(0) > c.get(0) {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            };
+            out.push(VirtualDirection::new(Direction::new(0, sign), VcClass::One));
+        }
+        if d.get(1) != c.get(1) {
+            let sign = if d.get(1) > c.get(1) {
+                Sign::Plus
+            } else {
+                Sign::Minus
+            };
+            out.push(VirtualDirection::new(Direction::new(1, sign), VcClass::One));
+            out.push(VirtualDirection::new(Direction::new(1, sign), VcClass::Two));
+        }
+        out
+    }
+
+    fn is_minimal(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnroute_model::presets;
+    use turnroute_vc::DoubleYAdaptive;
+
+    #[test]
+    fn turn_set_spec_is_well_formed_and_checkable() {
+        let mesh = Mesh::new_2d(4, 4);
+        let spec = from_turn_set("wf", &mesh, &presets::west_first_turns());
+        assert_eq!(spec.num_nodes, 16);
+        assert_eq!(spec.channels.len(), 48);
+        let cert = crate::prove::prove(&spec);
+        crate::check::check(&spec, &cert).expect("west-first certificate");
+        assert!(cert.verdict.is_acyclic());
+    }
+
+    #[test]
+    fn faulted_spec_excludes_dead_routes() {
+        use turnroute_topology::Direction;
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = TurnSetRouting::new("wf", presets::west_first_turns(), &mesh);
+        let mut faults = FaultSet::new(&mesh);
+        let victim = mesh.node_at_coords(&[1, 1]);
+        faults.fail_link(&mesh, victim, Direction::EAST);
+        let spec = from_faulted_routing("wf+f", &mesh, &routing, &faults);
+        // The failed channel must never appear as a route target.
+        let dead = mesh
+            .channels()
+            .iter()
+            .find(|ch| ch.src() == victim && ch.dir() == Direction::EAST)
+            .map(|ch| ch.id().0)
+            .expect("channel exists");
+        for table in &spec.routes {
+            for outs in table {
+                assert!(!outs.contains(&dead), "failed channel offered");
+            }
+        }
+    }
+
+    #[test]
+    fn double_y_spec_has_virtual_vertices() {
+        let mesh = Mesh::new_2d(4, 4);
+        let spec = from_vc_routing("dy", &mesh, &DoubleYAdaptive::new());
+        // 24 x channels + 48 doubled y channels.
+        assert_eq!(spec.channels.len(), 72);
+        assert!(spec.channels.iter().any(|v| v.label.contains("north2")));
+    }
+
+    #[test]
+    fn planted_cyclic_vc_is_cyclic() {
+        let mesh = Mesh::new_2d(4, 4);
+        assert!(VcCdg::from_routing(&mesh, &PlantedCyclicVc)
+            .find_cycle()
+            .is_some());
+    }
+}

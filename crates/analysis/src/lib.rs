@@ -20,6 +20,14 @@
 //!   negative controls, and full simulation runs of both wormhole
 //!   engines under the [`turnroute_sim::InvariantObserver`] shadow
 //!   model. One JSON artifact, one exit code: the CI gate.
+//! * [`certificate`], [`extract`], [`prove`], [`check`] — `turnprove`,
+//!   the generalized channel-graph verifier: every configuration
+//!   (topology × routing × virtual channels × faults) is lowered to an
+//!   explicit [`certificate::GraphSpec`], proven deadlock free by a
+//!   total channel numbering (or refuted by a minimal witness cycle),
+//!   certified connected path by path, and the whole proof object is
+//!   re-validated by the deliberately tiny independent checker before
+//!   CI believes a word of it.
 //!
 //! # Example
 //!
@@ -33,11 +41,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod certificate;
+pub mod check;
 pub mod claim;
 pub mod enumeration;
+pub mod extract;
 pub mod lint;
+pub mod prove;
 pub mod routing;
 
+pub use certificate::{Certificate, ChannelVertex, GraphSpec, PathCert, Verdict};
 pub use claim::{witness_cycle, Claim};
 pub use lint::{LintOptions, LintReport};
+pub use prove::{ProveOptions, ProveReport};
 pub use routing::{find_dead_end, TurnSetRouting};

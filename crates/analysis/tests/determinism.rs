@@ -1,0 +1,18 @@
+//! The `results/turnprove.json` artifact must be byte-identical across
+//! reruns: the matrix order is fixed, every name is derived (never
+//! iteration-order dependent), and the JSON renderer emits fields in a
+//! stable order. A rerun diff is therefore always a real change.
+
+use turnroute_analysis::prove::{run, ProveOptions};
+
+#[test]
+fn quick_prove_report_is_byte_identical_across_reruns() {
+    let opts = ProveOptions {
+        quick: true,
+        inject_bad: false,
+    };
+    let a = run(&opts).to_json();
+    let b = run(&opts).to_json();
+    assert_eq!(a, b, "turnprove report must be deterministic");
+    assert!(turnroute_sim::obs::json::validate(&a), "{a}");
+}

@@ -207,7 +207,12 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
 
-    for (name, content) in outputs {
+    for (name, mut content) in outputs {
+        // Every artifact ends in exactly one newline, so reruns are
+        // byte-identical and the files are diff- and POSIX-tool-friendly.
+        if !content.ends_with('\n') {
+            content.push('\n');
+        }
         match &opts.out {
             Some(dir) => {
                 if let Err(e) = fs::create_dir_all(dir) {
@@ -229,11 +234,14 @@ fn main() -> ExitCode {
             eprintln!("--metrics-out applies to sweep subcommands (fig13..fig16, all)");
             return ExitCode::FAILURE;
         }
-        let doc = if metrics_docs.len() == 1 {
+        let mut doc = if metrics_docs.len() == 1 {
             metrics_docs.remove(0)
         } else {
             format!("[{}]", metrics_docs.join(","))
         };
+        if !doc.ends_with('\n') {
+            doc.push('\n');
+        }
         if let Err(e) = fs::write(path, doc) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;

@@ -271,4 +271,33 @@ mod tests {
         assert!(turnroute_sim::obs::json::validate(&json), "{json}");
         assert!(json.contains("\"delivered_fraction\""));
     }
+
+    #[test]
+    fn sweep_grid_matches_the_turnprove_matrix() {
+        // turnprove reproves exactly the fault plans these degradation
+        // curves run; the two fraction grids must never drift apart.
+        assert_eq!(
+            default_fractions(),
+            turnroute_analysis::prove::SWEEP_FRACTIONS.to_vec()
+        );
+    }
+
+    #[test]
+    fn sweep_artifacts_are_byte_identical_across_reruns() {
+        let mesh = Mesh::new_2d(4, 4);
+        let wf = mesh2d::west_first(RoutingMode::Minimal);
+        let uniform = Uniform::new();
+        let artifacts = || {
+            let curve = fault_sweep(&mesh, &wf, &uniform, &[0.0, 0.05], Scale::Quick, 1);
+            (
+                to_csv(std::slice::from_ref(&curve)),
+                to_json(std::slice::from_ref(&curve), "t"),
+            )
+        };
+        assert_eq!(
+            artifacts(),
+            artifacts(),
+            "results/ artifacts must rerun clean"
+        );
+    }
 }

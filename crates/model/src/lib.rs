@@ -54,3 +54,4 @@ pub use cdg::Cdg;
 pub use route::RoutingFunction;
 pub use turn::{Turn, TurnKind};
 pub use turnset::TurnSet;
+pub use verifier::FaultMasked;

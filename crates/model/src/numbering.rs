@@ -118,6 +118,41 @@ pub fn numbering_from_cdg(cdg: &Cdg) -> Option<Vec<i64>> {
     Some(numbers)
 }
 
+/// Extract a numbering for an *arbitrary* dependency relation — the
+/// generalization of [`numbering_from_cdg`] to graphs whose vertices are
+/// not the physical channels of a [`Topology`]: virtual channels of the
+/// double-y scheme, fault-degraded channel graphs, or anything else with
+/// dense `u32` vertex ids. `edges` are `(from, to)` pairs; the result
+/// assigns every vertex a number such that every edge strictly increases
+/// it, or `None` if the relation is cyclic (no numbering exists).
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is `>= num_vertices`.
+pub fn numbering_from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Option<Vec<i64>> {
+    // Kahn's algorithm; the topological position is the number.
+    let mut indegree = vec![0usize; num_vertices];
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_vertices];
+    for &(a, b) in edges {
+        adj[a as usize].push(b);
+        indegree[b as usize] += 1;
+    }
+    let mut queue: Vec<usize> = (0..num_vertices).filter(|&v| indegree[v] == 0).collect();
+    let mut numbers = vec![0i64; num_vertices];
+    let mut seen = 0usize;
+    while let Some(v) = queue.pop() {
+        numbers[v] = seen as i64;
+        seen += 1;
+        for &w in &adj[v] {
+            indegree[w as usize] -= 1;
+            if indegree[w as usize] == 0 {
+                queue.push(w as usize);
+            }
+        }
+    }
+    (seen == num_vertices).then_some(numbers)
+}
+
 /// Verify that `routing` moves packets along strictly monotonic channel
 /// numbers: for every channel `c1` into a node, every destination, and
 /// every output channel `c2` the routing function offers, `numbers[c2]`
@@ -186,6 +221,37 @@ mod tests {
     use super::*;
     use crate::TurnSet;
     use turnroute_topology::{DirSet, Direction};
+
+    #[test]
+    fn numbering_from_edges_matches_cdg_semantics() {
+        // A small DAG: every edge must strictly increase the number.
+        let edges = [(0u32, 1u32), (1, 2), (0, 2), (3, 1)];
+        let numbers = numbering_from_edges(4, &edges).expect("acyclic");
+        for (a, b) in edges {
+            assert!(numbers[a as usize] < numbers[b as usize], "{a} -> {b}");
+        }
+        // A cycle admits no numbering.
+        assert!(numbering_from_edges(3, &[(0, 1), (1, 2), (2, 0)]).is_none());
+        // The empty graph trivially does.
+        assert_eq!(numbering_from_edges(0, &[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn numbering_from_edges_agrees_with_cdg_on_a_real_turn_set() {
+        let mesh = Mesh::new_2d(4, 3);
+        let cdg = Cdg::from_turn_set(&mesh, &crate::presets::west_first_turns());
+        let mut edges = Vec::new();
+        for ch in cdg.channels() {
+            for &succ in cdg.successors(ch.id()) {
+                edges.push((ch.id().0, succ));
+            }
+        }
+        let generic = numbering_from_edges(cdg.channels().len(), &edges).expect("acyclic");
+        assert!(numbering_from_cdg(&cdg).is_some());
+        for (a, b) in edges {
+            assert!(generic[a as usize] < generic[b as usize]);
+        }
+    }
 
     /// Minimal negative-first routing, inlined for witness tests.
     struct MinimalNegativeFirst;

@@ -319,7 +319,12 @@ impl std::fmt::Display for FaultVerification {
 /// All outputs — primary and fallback — are filtered through the declared
 /// turn set, so the induced CDG is a subgraph of the turn set's CDG and
 /// inherits its acyclicity.
-struct FaultMasked<'a> {
+///
+/// The struct is public so external analyses (notably the `turnprove`
+/// channel-graph extraction in the analysis crate) can reason about
+/// *exactly* the relation the verifier checks, instead of re-deriving a
+/// slightly different fault masking of their own.
+pub struct FaultMasked<'a> {
     inner: &'a dyn RoutingFunction,
     faults: &'a FaultSet,
     turns: Option<TurnSet>,
@@ -327,7 +332,9 @@ struct FaultMasked<'a> {
 }
 
 impl<'a> FaultMasked<'a> {
-    fn new(topo: &dyn Topology, inner: &'a dyn RoutingFunction, faults: &'a FaultSet) -> Self {
+    /// Mask `inner` by `faults` on `topo`. The turn set is resolved once,
+    /// against `topo.num_dims()`.
+    pub fn new(topo: &dyn Topology, inner: &'a dyn RoutingFunction, faults: &'a FaultSet) -> Self {
         FaultMasked {
             turns: inner.turn_set(topo.num_dims()),
             name: format!("{}+faults", inner.name()),

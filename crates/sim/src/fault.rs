@@ -18,7 +18,7 @@
 
 use turnroute_rng::rngs::StdRng;
 use turnroute_rng::{Rng, SeedableRng};
-use turnroute_topology::{Direction, NodeId, Topology};
+use turnroute_topology::{Direction, FaultSet, NodeId, Topology};
 
 /// The component a fault takes down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -180,6 +180,28 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
+    /// The static [`FaultSet`] this plan induces at `cycle`: every fault
+    /// whose active window `[start, start + duration)` covers the cycle is
+    /// applied. This is the bridge from the simulator's *scheduled* fault
+    /// model to the static channel-graph analyses — `turnprove` snapshots a
+    /// sweep plan at a cycle of interest and verifies the degraded graph
+    /// the simulator actually routes on.
+    pub fn fault_set_at(&self, cycle: u64, topo: &dyn Topology) -> FaultSet {
+        let mut set = FaultSet::new(topo);
+        for f in &self.faults {
+            let active =
+                f.start <= cycle && f.duration.is_none_or(|d| cycle < f.start.saturating_add(d));
+            if !active {
+                continue;
+            }
+            match f.target {
+                FaultTarget::Link { node, dir } => set.fail_link(topo, node, dir),
+                FaultTarget::Node(node) => set.fail_node(topo, node),
+            }
+        }
+        set
+    }
+
     /// Compile the plan into a time-sorted list of down/up transitions for
     /// a simulator to consume with a single cursor. Transitions at the same
     /// cycle keep plan order, downs before their own ups.
@@ -287,6 +309,34 @@ mod tests {
         assert_eq!(all.len(), mesh.channels().len());
         let over = FaultPlan::random_links(&mesh, 2.0, 0, 1);
         assert_eq!(over.len(), mesh.channels().len());
+    }
+
+    #[test]
+    fn fault_set_at_snapshots_active_windows() {
+        let mesh = Mesh::new_2d(4, 4);
+        let plan = FaultPlan::new()
+            .permanent_link(NodeId(0), Direction::EAST, 100)
+            .transient_link(NodeId(5), Direction::NORTH, 200, 50)
+            .permanent_node(NodeId(9), 300);
+        let at = |cycle| plan.fault_set_at(cycle, &mesh);
+        assert!(at(0).is_empty());
+        assert_eq!(at(100).failed_link_count(), 1);
+        // Transient active during [200, 250).
+        assert_eq!(at(225).failed_link_count(), 2);
+        assert_eq!(at(250).failed_link_count(), 1);
+        let late = at(1_000);
+        assert!(late.node_failed(NodeId(9)));
+        assert_eq!(late.failed_node_count(), 1);
+        // The snapshot agrees with the surviving-channel view.
+        assert!(late.surviving_channels(&mesh).len() < mesh.channels().len());
+    }
+
+    #[test]
+    fn random_links_snapshot_matches_plan_size() {
+        let mesh = Mesh::new_2d(8, 8);
+        let plan = FaultPlan::random_links(&mesh, 0.05, 0, 42);
+        let set = plan.fault_set_at(0, &mesh);
+        assert_eq!(set.failed_link_count(), plan.len());
     }
 
     #[test]

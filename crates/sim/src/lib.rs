@@ -51,6 +51,7 @@
 mod config;
 mod engine;
 mod fault;
+pub mod harness;
 pub mod obs;
 mod packet;
 mod policies;

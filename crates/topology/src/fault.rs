@@ -122,6 +122,20 @@ impl FaultSet {
             .enumerate()
             .filter_map(|(slot, &f)| f.then_some(slot))
     }
+
+    /// The channels of `topo` that survive this fault pattern — the
+    /// vertices of the fault-degraded channel graph. A channel survives if
+    /// its own slot is healthy and neither endpoint node is failed.
+    pub fn surviving_channels(&self, topo: &dyn Topology) -> Vec<crate::Channel> {
+        topo.channels()
+            .into_iter()
+            .filter(|ch| {
+                !self.link_failed(topo.channel_slot(ch.src(), ch.dir()))
+                    && !self.node_failed(ch.src())
+                    && !self.node_failed(ch.dst())
+            })
+            .collect()
+    }
 }
 
 impl std::fmt::Display for FaultSet {

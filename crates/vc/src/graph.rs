@@ -87,6 +87,13 @@ impl VcCdg {
         self.adj.iter().map(Vec::len).sum()
     }
 
+    /// The successor channel ids of the virtual channel `id` — the
+    /// adjacency view external verifiers (the analysis crate's channel-graph
+    /// extraction) need to lift this graph into their own representation.
+    pub fn successors(&self, id: u32) -> &[u32] {
+        &self.adj[id as usize]
+    }
+
     /// Find a dependency cycle, or `None` if the graph is acyclic.
     pub fn find_cycle(&self) -> Option<Vec<u32>> {
         const WHITE: u8 = 0;
