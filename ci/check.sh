@@ -35,10 +35,11 @@ echo "==> turnlint gate"
 lint_tmp="$(mktemp -d)"
 trap 'rm -rf "$lint_tmp"' EXIT
 cargo run --offline --quiet -p turnroute-analysis --bin turnlint -- \
-    --quick --out "$lint_tmp/turnlint.json" > "$lint_tmp/turnlint.log"
+    --quick --min-witness --out "$lint_tmp/turnlint.json" > "$lint_tmp/turnlint.log"
 test -s "$lint_tmp/turnlint.json"
+grep -q "min-witness-girth" "$lint_tmp/turnlint.log"
 if cargo run --offline --quiet -p turnroute-analysis --bin turnlint -- \
-    --quick --inject-bad --out "$lint_tmp/turnlint_bad.json" \
+    --quick --inject-bad --min-witness --out "$lint_tmp/turnlint_bad.json" \
     > "$lint_tmp/turnlint_bad.log" 2>&1; then
     echo "turnlint --inject-bad unexpectedly passed; the gate is blind" >&2
     exit 1
@@ -63,6 +64,34 @@ if cargo run --offline --quiet -p turnroute-analysis --bin turnprove -- \
     exit 1
 fi
 grep -q "witness" "$lint_tmp/turnprove_bad.log"
+
+echo "==> turntrace gate"
+# The observability gate: recording the canonical scenario twice with
+# the same seed must produce byte-identical logs and aggregates,
+# replaying a log (no re-simulation) must reproduce the live aggregates
+# byte for byte, and the verifier self-test must reject every injected
+# corruption (truncations and bit flips).
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    record --quick --seed 7 --out "$lint_tmp/trace_a" 2> /dev/null
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    record --quick --seed 7 --out "$lint_tmp/trace_b" 2> /dev/null
+cmp "$lint_tmp/trace_a/run.ttr" "$lint_tmp/trace_b/run.ttr"
+cmp "$lint_tmp/trace_a/aggregates.json" "$lint_tmp/trace_b/aggregates.json"
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    replay "$lint_tmp/trace_a/run.ttr" --out "$lint_tmp/replayed.json" 2> /dev/null
+cmp "$lint_tmp/trace_a/aggregates.json" "$lint_tmp/replayed.json"
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    verify "$lint_tmp/trace_a/run.ttr" --against "$lint_tmp/trace_a/aggregates.json" \
+    > "$lint_tmp/turnstat.log"
+grep -q "byte-identical" "$lint_tmp/turnstat.log"
+if cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    verify "$lint_tmp/trace_a/run.ttr" --inject-bad \
+    > "$lint_tmp/turnstat_bad.log" 2>&1; then
+    echo "turnstat --inject-bad unexpectedly passed; the verifier is blind" >&2
+    exit 1
+fi
+grep -q "rejected" "$lint_tmp/turnstat_bad.log"
+grep -q "self-test ok" "$lint_tmp/turnstat_bad.log"
 
 echo "==> fault-injection group"
 # The fault subsystem's own gates, runnable in isolation: determinism and

@@ -4,12 +4,14 @@
 //! Usage:
 //!
 //! ```text
-//! turnlint [--quick] [--out FILE] [--inject-bad]
+//! turnlint [--quick] [--out FILE] [--inject-bad] [--min-witness]
 //!
 //! --quick        shorten simulation runs and skip the 3D census
 //! --out FILE     write the JSON report here (default results/turnlint.json)
 //! --inject-bad   inject a known-broken turn set; the run must then FAIL
 //!                with a witness cycle (self-test of the gate)
+//! --min-witness  report globally-minimal witness cycles (BFS girth
+//!                search) and pin the unrestricted mesh CDG girth
 //! ```
 //!
 //! Exit status is zero exactly when every claim, matrix row, and
@@ -20,7 +22,7 @@ use std::process::ExitCode;
 use turnroute_analysis::lint::{run, LintOptions};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: turnlint [--quick] [--out FILE] [--inject-bad]");
+    eprintln!("usage: turnlint [--quick] [--out FILE] [--inject-bad] [--min-witness]");
     ExitCode::FAILURE
 }
 
@@ -32,6 +34,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--inject-bad" => opts.inject_bad = true,
+            "--min-witness" => opts.min_witness = true,
             "--out" => match args.next() {
                 Some(path) => out = PathBuf::from(path),
                 None => return usage(),
@@ -43,17 +46,7 @@ fn main() -> ExitCode {
     let report = run(&opts);
     print!("{}", report.render());
 
-    if let Some(parent) = out.parent() {
-        if !parent.as_os_str().is_empty() {
-            if let Err(e) = std::fs::create_dir_all(parent) {
-                eprintln!("turnlint: cannot create {}: {e}", parent.display());
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let mut json = report.to_json();
-    json.push('\n');
-    if let Err(e) = std::fs::write(&out, json) {
+    if let Err(e) = turnroute_obslog::artifact::write_artifact(&out, &report.to_json()) {
         eprintln!("turnlint: cannot write {}: {e}", out.display());
         return ExitCode::FAILURE;
     }

@@ -45,17 +45,7 @@ fn main() -> ExitCode {
     let report = run(&opts);
     print!("{}", report.render());
 
-    if let Some(parent) = out.parent() {
-        if !parent.as_os_str().is_empty() {
-            if let Err(e) = std::fs::create_dir_all(parent) {
-                eprintln!("turnprove: cannot create {}: {e}", parent.display());
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-    let mut json = report.to_json();
-    json.push('\n');
-    if let Err(e) = std::fs::write(&out, json) {
+    if let Err(e) = turnroute_obslog::artifact::write_artifact(&out, &report.to_json()) {
         eprintln!("turnprove: cannot write {}: {e}", out.display());
         return ExitCode::FAILURE;
     }

@@ -34,7 +34,7 @@
 //! ```
 //! use turnroute_analysis::lint::{run, LintOptions};
 //!
-//! let report = run(&LintOptions { quick: true, inject_bad: false });
+//! let report = run(&LintOptions { quick: true, ..LintOptions::default() });
 //! assert!(report.passed(), "{}", report.render());
 //! ```
 

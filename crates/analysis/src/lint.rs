@@ -43,6 +43,10 @@ pub struct LintOptions {
     /// Inject a deliberately broken turn set; the run must then fail
     /// with a witness cycle (self-test of the gate itself).
     pub inject_bad: bool,
+    /// Report globally-minimal witness cycles (BFS girth search) instead
+    /// of the first cycle depth-first search happens to hit, and add a
+    /// claim pinning the unrestricted mesh CDG girth.
+    pub min_witness: bool,
 }
 
 /// One row of the algorithm × topology verification matrix.
@@ -266,8 +270,11 @@ pub fn run(opts: &LintOptions) -> LintReport {
     // Layer 3: invariant-sanitized simulation runs.
     let sanitizer = sanitizer_runs(opts.quick);
 
+    if opts.min_witness {
+        claims.push(min_witness_girth_claim(&Mesh::new_2d(4, 4)));
+    }
     if opts.inject_bad {
-        claims.push(injected_bad_claim(&Mesh::new_2d(4, 4)));
+        claims.push(injected_bad_claim(&Mesh::new_2d(4, 4), opts.min_witness));
     }
 
     LintReport {
@@ -438,7 +445,7 @@ fn negative_control_claims() -> Vec<Claim> {
 /// The `--inject-bad` self-test: a turn set prohibiting a single turn
 /// cannot be deadlock free (Theorem 1), and the gate must fail on it
 /// with a concrete witness cycle.
-fn injected_bad_claim(mesh: &Mesh) -> Claim {
+fn injected_bad_claim(mesh: &Mesh, min_witness: bool) -> Claim {
     let mut set = TurnSet::all_ninety(2);
     set.prohibit(Turn::new(Direction::NORTH, Direction::WEST));
     let cdg = Cdg::from_turn_set(mesh, &set);
@@ -453,7 +460,34 @@ fn injected_bad_claim(mesh: &Mesh) -> Claim {
             "cyclic"
         },
     );
-    if let Some(cycle) = cdg.find_cycle() {
+    let cycle = if min_witness {
+        cdg.find_shortest_cycle()
+    } else {
+        cdg.find_cycle()
+    };
+    if let Some(cycle) = cycle {
+        c = c.with_witness(witness_cycle(&cdg, &cycle));
+    }
+    c
+}
+
+/// The `--min-witness` girth claim: on the unrestricted mesh CDG the
+/// globally shortest dependency cycle is the four channels around one
+/// unit square, so the BFS girth search must report exactly 4.
+fn min_witness_girth_claim(mesh: &Mesh) -> Claim {
+    let cdg = Cdg::from_turn_set(mesh, &TurnSet::all_ninety(2));
+    let cycle = cdg.find_shortest_cycle();
+    let actual = cycle
+        .as_ref()
+        .map_or_else(|| "acyclic".to_string(), |c| c.len().to_string());
+    let mut c = Claim::check(
+        "min-witness-girth",
+        "shortest dependency cycle of the unrestricted 4x4 mesh CDG has \
+         exactly 4 channels (one unit square)",
+        "4",
+        &actual,
+    );
+    if let Some(cycle) = cycle {
         c = c.with_witness(witness_cycle(&cdg, &cycle));
     }
     c
@@ -694,7 +728,7 @@ mod tests {
     fn quick_lint_passes_end_to_end() {
         let report = run(&LintOptions {
             quick: true,
-            inject_bad: false,
+            ..LintOptions::default()
         });
         assert!(report.passed(), "\n{}", report.render());
         assert!(json::validate(&report.to_json()), "{}", report.to_json());
@@ -710,6 +744,7 @@ mod tests {
         let report = run(&LintOptions {
             quick: true,
             inject_bad: true,
+            ..LintOptions::default()
         });
         assert!(!report.passed());
         let bad = report
@@ -721,5 +756,27 @@ mod tests {
         let w = bad.witness.as_deref().expect("must carry a witness");
         assert!(w.contains("channel cycle"), "{w}");
         assert!(w.contains("turns:"), "{w}");
+    }
+
+    #[test]
+    fn min_witness_produces_minimal_cycles_and_girth_claim() {
+        // Both the injected-bad witness and the girth claim come from the
+        // BFS girth search, so both cycles must be girth-length: 4
+        // channels each. (cdg.rs proves minimality of the search itself
+        // by exhaustive bounded-depth enumeration.)
+        let girth = min_witness_girth_claim(&Mesh::new_2d(4, 4));
+        assert!(girth.passed, "{}", girth.actual);
+        let gw = girth.witness.as_deref().expect("girth claim witness");
+        assert_eq!(gw.matches(" -> ").count(), 4, "{gw}");
+
+        let bad = injected_bad_claim(&Mesh::new_2d(4, 4), true);
+        assert!(!bad.passed);
+        let bw = bad.witness.as_deref().expect("injected-bad witness");
+        // "a -> b -> c -> d -> back to a" has exactly 4 arrows for a
+        // 4-channel cycle; the DFS default finds longer ones.
+        assert_eq!(bw.matches(" -> ").count(), 4, "{bw}");
+        let dfs = injected_bad_claim(&Mesh::new_2d(4, 4), false);
+        let dw = dfs.witness.as_deref().expect("DFS witness");
+        assert!(dw.matches(" -> ").count() >= 4, "{dw}");
     }
 }

@@ -26,7 +26,6 @@
 //!   all              everything above, written to --out
 //! ```
 
-use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use turnroute_experiments::{
@@ -34,6 +33,7 @@ use turnroute_experiments::{
     nonminimal_exp, numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
 };
 use turnroute_model::RoutingFunction;
+use turnroute_obslog::artifact;
 use turnroute_routing::{mesh2d, RoutingMode};
 use turnroute_traffic::MeshTranspose;
 
@@ -207,26 +207,20 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
 
-    for (name, mut content) in outputs {
-        // Every artifact ends in exactly one newline, so reruns are
-        // byte-identical and the files are diff- and POSIX-tool-friendly.
-        if !content.ends_with('\n') {
-            content.push('\n');
-        }
+    for (name, content) in outputs {
         match &opts.out {
             Some(dir) => {
-                if let Err(e) = fs::create_dir_all(dir) {
-                    eprintln!("cannot create {}: {e}", dir.display());
-                    return ExitCode::FAILURE;
-                }
+                // The shared artifact writer normalizes every file to
+                // exactly one trailing newline, so reruns are
+                // byte-identical and diff- and POSIX-tool-friendly.
                 let path = dir.join(name);
-                if let Err(e) = fs::write(&path, &content) {
+                if let Err(e) = artifact::write_artifact(&path, &content) {
                     eprintln!("cannot write {}: {e}", path.display());
                     return ExitCode::FAILURE;
                 }
                 eprintln!("wrote {}", path.display());
             }
-            None => println!("{content}"),
+            None => println!("{}", artifact::normalized(content)),
         }
     }
     if let Some(path) = &opts.metrics_out {
@@ -234,15 +228,12 @@ fn main() -> ExitCode {
             eprintln!("--metrics-out applies to sweep subcommands (fig13..fig16, all)");
             return ExitCode::FAILURE;
         }
-        let mut doc = if metrics_docs.len() == 1 {
+        let doc = if metrics_docs.len() == 1 {
             metrics_docs.remove(0)
         } else {
             format!("[{}]", metrics_docs.join(","))
         };
-        if !doc.ends_with('\n') {
-            doc.push('\n');
-        }
-        if let Err(e) = fs::write(path, doc) {
+        if let Err(e) = artifact::write_artifact(path, &doc) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }

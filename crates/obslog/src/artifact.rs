@@ -1,0 +1,133 @@
+//! The one shared results-artifact writer.
+//!
+//! Every text artifact the workspace's binaries emit (`exp`, `turnlint`,
+//! `turnprove`, `turnstat`) goes through [`write_artifact`], which is the
+//! single place byte-stability is enforced: parent directories are
+//! created, and the file always ends with exactly one trailing newline.
+//! [`JsonObject`] complements it for hand-rolled JSON: fields render in
+//! sorted key order regardless of insertion order, so an artifact's bytes
+//! never depend on code motion in its producer.
+
+use std::io;
+use std::path::Path;
+
+/// `content` with exactly one trailing newline.
+pub fn normalized(mut content: String) -> String {
+    while content.ends_with('\n') {
+        content.pop();
+    }
+    content.push('\n');
+    content
+}
+
+/// Write a text artifact: create parent directories, normalize to exactly
+/// one trailing newline, write atomically-enough for CI (single write).
+pub fn write_artifact(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, normalized(content.to_string()))
+}
+
+/// A JSON object builder that renders its fields in sorted key order.
+///
+/// Values are raw JSON fragments (use [`string`] for string values), so
+/// nested objects compose: build the inner object first and pass its
+/// rendering as the value.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+/// Escape a string as a JSON string literal (shared with the simulator's
+/// emitters — one escaping implementation in the workspace).
+pub fn string(s: &str) -> String {
+    turnroute_sim::obs::json::string(s)
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    /// Add a field with a raw JSON fragment as its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was already set — duplicate keys in an artifact are
+    /// always a producer bug.
+    pub fn set(&mut self, key: &str, raw_value: impl Into<String>) -> &mut JsonObject {
+        assert!(
+            self.fields.iter().all(|(k, _)| k != key),
+            "duplicate artifact key {key:?}"
+        );
+        self.fields.push((key.to_string(), raw_value.into()));
+        self
+    }
+
+    /// Add a string-valued field (escaped).
+    pub fn set_str(&mut self, key: &str, value: &str) -> &mut JsonObject {
+        self.set(key, string(value))
+    }
+
+    /// Render the object with keys in sorted order.
+    pub fn render(&self) -> String {
+        let mut fields: Vec<&(String, String)> = self.fields.iter().collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&string(k));
+            out.push(':');
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_enforces_exactly_one_newline() {
+        assert_eq!(normalized("x".into()), "x\n");
+        assert_eq!(normalized("x\n".into()), "x\n");
+        assert_eq!(normalized("x\n\n\n".into()), "x\n");
+        assert_eq!(normalized(String::new()), "\n");
+    }
+
+    #[test]
+    fn json_object_sorts_keys_and_escapes() {
+        let mut o = JsonObject::new();
+        o.set("zeta", "1")
+            .set_str("alpha", "a\"b")
+            .set("mid", "[2]");
+        assert_eq!(o.render(), "{\"alpha\":\"a\\\"b\",\"mid\":[2],\"zeta\":1}");
+        assert!(turnroute_sim::obs::json::validate(&o.render()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate artifact key")]
+    fn json_object_rejects_duplicate_keys() {
+        let mut o = JsonObject::new();
+        o.set("k", "1").set("k", "2");
+    }
+
+    #[test]
+    fn write_artifact_creates_dirs_and_normalizes() {
+        let dir = std::env::temp_dir().join("turntrace-artifact-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/out.json");
+        write_artifact(&path, "{\"a\":1}\n\n").expect("writes");
+        let back = std::fs::read_to_string(&path).expect("reads");
+        assert_eq!(back, "{\"a\":1}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

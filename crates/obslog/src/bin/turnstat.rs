@@ -1,0 +1,349 @@
+//! `turnstat` — record, summarize, replay, diff, and verify turntrace
+//! event logs.
+//!
+//! Usage:
+//!
+//! ```text
+//! turnstat record --out DIR [--seed N] [--quick]
+//!     run the canonical scenario, writing DIR/run.ttr (binary log),
+//!     DIR/aggregates.json (replayable aggregate artifact), and
+//!     DIR/metrics.prom (Prometheus text exposition)
+//!
+//! turnstat summarize FILE
+//!     print a log's header and per-event-kind counts
+//!
+//! turnstat replay FILE --out FILE
+//!     re-drive the aggregate stack from the log (no simulation) and
+//!     write its aggregates.json
+//!
+//! turnstat diff A B
+//!     compare two logs; exit zero iff they are byte-identical
+//!
+//! turnstat verify FILE [--against AGG.json] [--inject-bad]
+//!     full integrity walk (framing, checksum, every event); with
+//!     --against, additionally require the replayed aggregates to be
+//!     byte-identical to a live-recorded artifact; with --inject-bad,
+//!     corrupt the log in memory (truncation + bit flips) and require
+//!     every corruption to be rejected (self-test: exits nonzero)
+//!
+//! turnstat profile [--seed N] [--quick]
+//!     run the canonical scenario with the engine phase profiler and
+//!     print the per-phase wall-clock table
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use turnroute_obslog::{artifact, replay, scenario, verify_bytes, ReplayableAggregates};
+use turnroute_sim::obs::ChannelLayout;
+use turnroute_sim::{PhaseProfiler, Sim};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: turnstat record --out DIR [--seed N] [--quick]\n\
+         \x20      turnstat summarize FILE\n\
+         \x20      turnstat replay FILE --out FILE\n\
+         \x20      turnstat diff A B\n\
+         \x20      turnstat verify FILE [--against AGG.json] [--inject-bad]\n\
+         \x20      turnstat profile [--seed N] [--quick]"
+    );
+    ExitCode::FAILURE
+}
+
+fn read_log(path: &Path) -> Result<Vec<u8>, ExitCode> {
+    std::fs::read(path).map_err(|e| {
+        eprintln!("turnstat: cannot read {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+fn write_text(path: &Path, content: &str) -> Result<(), ExitCode> {
+    artifact::write_artifact(path, content).map_err(|e| {
+        eprintln!("turnstat: cannot write {}: {e}", path.display());
+        ExitCode::FAILURE
+    })
+}
+
+struct Common {
+    seed: u64,
+    quick: bool,
+    out: Option<PathBuf>,
+    against: Option<PathBuf>,
+    inject_bad: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse(mut args: std::env::Args) -> Option<Common> {
+    let mut c = Common {
+        seed: 7,
+        quick: false,
+        out: None,
+        against: None,
+        inject_bad: false,
+        files: Vec::new(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => c.quick = true,
+            "--inject-bad" => c.inject_bad = true,
+            "--seed" => c.seed = args.next()?.parse().ok()?,
+            "--out" => c.out = Some(PathBuf::from(args.next()?)),
+            "--against" => c.against = Some(PathBuf::from(args.next()?)),
+            _ if arg.starts_with("--") => return None,
+            _ => c.files.push(PathBuf::from(arg)),
+        }
+    }
+    Some(c)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let Some(c) = parse(args) else {
+        return usage();
+    };
+    match (cmd.as_str(), c.files.len()) {
+        ("record", 0) => record(&c),
+        ("summarize", 1) => summarize(&c),
+        ("replay", 1) => replay_cmd(&c),
+        ("diff", 2) => diff(&c),
+        ("verify", 1) => verify(&c),
+        ("profile", 0) => profile(&c),
+        _ => usage(),
+    }
+}
+
+fn record(c: &Common) -> ExitCode {
+    let Some(dir) = &c.out else {
+        eprintln!("turnstat record: --out DIR is required");
+        return ExitCode::FAILURE;
+    };
+    let rec = scenario::record(c.seed, c.quick);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("turnstat: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    // The log is binary: raw bytes, no newline normalization.
+    let log_path = dir.join("run.ttr");
+    if let Err(e) = std::fs::write(&log_path, &rec.bytes) {
+        eprintln!("turnstat: cannot write {}: {e}", log_path.display());
+        return ExitCode::FAILURE;
+    }
+    if write_text(
+        &dir.join("aggregates.json"),
+        &rec.aggregates.snapshot_json(),
+    )
+    .is_err()
+        || write_text(
+            &dir.join("metrics.prom"),
+            &rec.aggregates.to_registry().prometheus_text(),
+        )
+        .is_err()
+    {
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "turnstat: recorded seed {} ({} bytes, {} packets delivered) into {}",
+        c.seed,
+        rec.bytes.len(),
+        rec.report.delivered_packets,
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn summarize(c: &Common) -> ExitCode {
+    let bytes = match read_log(&c.files[0]) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    match turnroute_obslog::summarize(&bytes) {
+        Ok(s) => {
+            print!("{}", s.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("turnstat: rejected: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn replay_into_aggregates(bytes: &[u8]) -> Result<ReplayableAggregates, ExitCode> {
+    let header = match turnroute_obslog::summarize(bytes) {
+        Ok(s) => s.header,
+        Err(e) => {
+            eprintln!("turnstat: rejected: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    let layout = ChannelLayout::new(header.nodes as usize, header.dims as usize);
+    let mut agg = ReplayableAggregates::new(layout);
+    match replay(bytes, &mut agg) {
+        Ok(_) => Ok(agg),
+        Err(e) => {
+            eprintln!("turnstat: rejected: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn replay_cmd(c: &Common) -> ExitCode {
+    let Some(out) = &c.out else {
+        eprintln!("turnstat replay: --out FILE is required");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match read_log(&c.files[0]) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    let agg = match replay_into_aggregates(&bytes) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    if write_text(out, &agg.snapshot_json()).is_err() {
+        return ExitCode::FAILURE;
+    }
+    eprintln!("turnstat: replayed aggregates written to {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn diff(c: &Common) -> ExitCode {
+    let (a, b) = match (read_log(&c.files[0]), read_log(&c.files[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    if a == b {
+        println!("identical ({} bytes)", a.len());
+        return ExitCode::SUCCESS;
+    }
+    println!("logs differ: {} vs {} bytes", a.len(), b.len());
+    if let Some(at) = a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+        println!("first differing byte at offset {at}");
+    }
+    // Field-level context when both parse.
+    if let (Ok(sa), Ok(sb)) = (
+        turnroute_obslog::summarize(&a),
+        turnroute_obslog::summarize(&b),
+    ) {
+        for key in ["seed", "config_hash"] {
+            let (va, vb) = match key {
+                "seed" => (sa.header.seed, sb.header.seed),
+                _ => (sa.header.config_hash, sb.header.config_hash),
+            };
+            if va != vb {
+                println!("header {key}: {va:#x} vs {vb:#x}");
+            }
+        }
+        for (kind, na) in &sa.counts {
+            let nb = sb.count(kind);
+            if *na != nb {
+                println!("events {kind}: {na} vs {nb}");
+            }
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn verify(c: &Common) -> ExitCode {
+    let bytes = match read_log(&c.files[0]) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    if c.inject_bad {
+        return verify_inject_bad(&bytes);
+    }
+    let summary = match verify_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("turnstat: rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "verified: {} events over {} cycles, checksum ok",
+        summary.events, summary.cycles
+    );
+    if let Some(against) = &c.against {
+        let expected = match std::fs::read_to_string(against) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("turnstat: cannot read {}: {e}", against.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let agg = match replay_into_aggregates(&bytes) {
+            Ok(a) => a,
+            Err(code) => return code,
+        };
+        let replayed = artifact::normalized(agg.snapshot_json());
+        if replayed == artifact::normalized(expected) {
+            println!(
+                "verified: replayed aggregates byte-identical to {}",
+                against.display()
+            );
+        } else {
+            eprintln!(
+                "turnstat: replayed aggregates DIFFER from {} — log and artifact disagree",
+                against.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Self-test: corrupt the (valid) log several ways in memory; every
+/// corruption must be rejected. Mirrors `turnlint --inject-bad`: the
+/// command exits nonzero so CI can assert the detector actually detects.
+fn verify_inject_bad(bytes: &[u8]) -> ExitCode {
+    if let Err(e) = verify_bytes(bytes) {
+        eprintln!("turnstat: input log is itself invalid ({e}); nothing to self-test");
+        return ExitCode::FAILURE;
+    }
+    fn caught(name: &str, corrupted: &[u8]) -> bool {
+        match verify_bytes(corrupted) {
+            Err(e) => {
+                eprintln!("turnstat: {name}: rejected: {e}");
+                true
+            }
+            Ok(_) => {
+                eprintln!("turnstat: {name}: ACCEPTED — corruption went undetected");
+                false
+            }
+        }
+    }
+    let mut all_caught = true;
+    all_caught &= caught("truncated-75%", &bytes[..bytes.len() * 3 / 4]);
+    all_caught &= caught("truncated-mid-trailer", &bytes[..bytes.len() - 4]);
+    for (name, at) in [
+        ("bit-flip-header", 16usize),
+        ("bit-flip-body", bytes.len() / 2),
+        ("bit-flip-checksum", bytes.len() - 2),
+    ] {
+        let mut bad = bytes.to_vec();
+        bad[at] ^= 0x20;
+        all_caught &= caught(name, &bad);
+    }
+    if all_caught {
+        eprintln!("turnstat: self-test ok: every injected corruption was rejected");
+        ExitCode::FAILURE // inject-bad runs report failure by design
+    } else {
+        ExitCode::SUCCESS // detector is blind: let CI's inversion catch it
+    }
+}
+
+fn profile(c: &Common) -> ExitCode {
+    let s = scenario::canonical(c.seed, c.quick);
+    let mut prof = PhaseProfiler::new();
+    let mut sim = Sim::new(&s.mesh, &*s.routing, &s.pattern, s.cfg);
+    let report = sim.run_profiled(&mut prof);
+    print!("{}", prof.render());
+    println!(
+        "delivered {} packets, avg latency {:.1} cycles",
+        report.delivered_packets, report.avg_latency_cycles
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,104 @@
+//! The canonical seeded recording scenario `turnstat`, the tests, and the
+//! CI gate all share.
+//!
+//! One fixed shape — a 2D mesh under west-first minimal routing and
+//! uniform traffic, with one scheduled transient link fault so fault
+//! transitions appear in the log — parameterized only by seed and a
+//! quick/full size switch. Keeping the scenario in one place is what lets
+//! the CI gate assert byte-identity between independently recorded runs.
+
+use crate::aggregates::ReplayableAggregates;
+use crate::log::LogObserver;
+use turnroute_model::RoutingFunction;
+use turnroute_routing::{mesh2d, RoutingMode};
+use turnroute_sim::obs::ChannelLayout;
+use turnroute_sim::{FaultPlan, Sim, SimConfig, SimReport};
+use turnroute_topology::{Direction, Mesh, NodeId};
+use turnroute_traffic::Uniform;
+
+/// The canonical scenario's inputs, ready to hand to the engine.
+pub struct Scenario {
+    /// The mesh.
+    pub mesh: Mesh,
+    /// West-first minimal routing.
+    pub routing: Box<dyn RoutingFunction>,
+    /// Uniform traffic.
+    pub pattern: Uniform,
+    /// Full configuration (seed, sizes, fault plan).
+    pub cfg: SimConfig,
+}
+
+/// Build the canonical scenario for `seed`. `quick` shrinks the mesh and
+/// the cycle counts for tests and CI; both sizes schedule one transient
+/// link fault so the log exercises fault events.
+pub fn canonical(seed: u64, quick: bool) -> Scenario {
+    let (side, warmup, measure, drain, fault_node, fault_start, fault_len) = if quick {
+        (6u16, 100u64, 400u64, 400u64, 14u32, 150u64, 100u64)
+    } else {
+        (8, 200, 1_000, 800, 27, 300, 200)
+    };
+    Scenario {
+        mesh: Mesh::new_2d(side, side),
+        routing: Box::new(mesh2d::west_first(RoutingMode::Minimal)),
+        pattern: Uniform::new(),
+        cfg: SimConfig::builder()
+            .injection_rate(0.08)
+            .seed(seed)
+            .warmup_cycles(warmup)
+            .measure_cycles(measure)
+            .drain_cycles(drain)
+            .fault_plan(FaultPlan::new().transient_link(
+                NodeId(fault_node),
+                Direction::EAST,
+                fault_start,
+                fault_len,
+            ))
+            .build(),
+    }
+}
+
+/// Everything one recorded run produces.
+pub struct Recording {
+    /// The sealed binary log.
+    pub bytes: Vec<u8>,
+    /// The aggregate stack that rode the run live.
+    pub aggregates: ReplayableAggregates,
+    /// The engine's own report.
+    pub report: SimReport,
+}
+
+/// Run the canonical scenario and record it: live aggregates plus the
+/// sealed log.
+pub fn record(seed: u64, quick: bool) -> Recording {
+    let s = canonical(seed, quick);
+    let layout = ChannelLayout::for_topology(&s.mesh);
+    let log = LogObserver::start(&s.mesh, &*s.routing, &s.pattern, &s.cfg, "sim");
+    let live = ReplayableAggregates::new(layout);
+    let mut sim = Sim::with_observer(&s.mesh, &*s.routing, &s.pattern, s.cfg, (log, live));
+    let report = sim.run();
+    let (log, aggregates) = sim.into_observer();
+    Recording {
+        bytes: log.finish(),
+        aggregates,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::verify_bytes;
+
+    #[test]
+    fn canonical_recording_is_reproducible_and_valid() {
+        let a = record(7, true);
+        let b = record(7, true);
+        assert_eq!(a.bytes, b.bytes, "same (config, seed) => identical logs");
+        assert_eq!(a.aggregates.snapshot_json(), b.aggregates.snapshot_json());
+        let summary = verify_bytes(&a.bytes).expect("valid");
+        assert_eq!(summary.header.seed, 7);
+        assert_eq!(summary.header.fault_events, 2);
+        assert!(summary.count("fault") >= 2);
+        assert!(a.report.delivered_packets > 0);
+    }
+}

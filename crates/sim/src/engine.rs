@@ -5,6 +5,7 @@ use crate::obs::{
     ChannelLayout, DeadlockSnapshot, NoopObserver, SimObserver, StallReason, StreamingHistogram,
     WaitEdge,
 };
+use crate::profile::{Phase, PhaseProfiler};
 use crate::{
     FaultTarget, InputPolicy, LengthDist, OutputPolicy, Packet, PacketId, RunTermination,
     SimConfig, SimReport,
@@ -454,6 +455,64 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         self.now += 1;
     }
 
+    /// Advance one cycle with each engine phase timed onto `prof`.
+    ///
+    /// Byte-identical in simulation behavior to [`Sim::step`] — the
+    /// phases run in the same order on the same state — it only adds
+    /// wall-clock spans around them. Kept separate so the unprofiled
+    /// stepper's hot path carries no timing overhead.
+    pub fn step_profiled(&mut self, prof: &mut PhaseProfiler) {
+        {
+            let _s = prof.span(Phase::Drain);
+            self.apply_faults();
+            self.expire_packets();
+        }
+        {
+            let _s = prof.span(Phase::Injection);
+            self.generate();
+        }
+        let heads = {
+            let _s = prof.span(Phase::Routing);
+            self.collect_route_heads()
+        };
+        {
+            let _s = prof.span(Phase::Arbitration);
+            self.arbitrate_heads(heads);
+        }
+        {
+            let _s = prof.span(Phase::Traversal);
+            self.advance();
+        }
+        {
+            let _s = prof.span(Phase::Injection);
+            self.feed_injection();
+        }
+        {
+            let _s = prof.span(Phase::Drain);
+            self.detect_deadlock();
+        }
+        if O::ENABLED {
+            self.obs.on_cycle_end(self.now);
+        }
+        self.now += 1;
+        prof.add_cycle();
+    }
+
+    /// [`Sim::run`] with every cycle stepped through
+    /// [`Sim::step_profiled`]; same protocol, same report, plus a phase
+    /// profile accumulated onto `prof`.
+    pub fn run_profiled(&mut self, prof: &mut PhaseProfiler) -> SimReport {
+        let start = self.now;
+        let measure_start = start + self.cfg.warmup_cycles;
+        let measure_end = measure_start + self.cfg.measure_cycles;
+        let total_end = measure_end + self.cfg.drain_cycles;
+        self.window = (measure_start, measure_end);
+        while self.now < total_end && !self.deadlocked {
+            self.step_profiled(prof);
+        }
+        self.report()
+    }
+
     /// Run the full warmup → measure → drain protocol from the current
     /// state and summarize.
     pub fn run(&mut self) -> SimReport {
@@ -721,7 +780,15 @@ impl<'a, O: SimObserver> Sim<'a, O> {
 
     /// Phase A: route waiting header flits and arbitrate output channels.
     fn assign_outputs(&mut self) {
-        // Collect input channels whose buffered flit is an unassigned head.
+        let heads = self.collect_route_heads();
+        self.arbitrate_heads(heads);
+    }
+
+    /// First half of phase A: collect input channels whose buffered flit
+    /// is an unassigned head and order them under the input policy. The
+    /// returned vec is the engine's scratch buffer; hand it back via
+    /// [`Sim::arbitrate_heads`].
+    fn collect_route_heads(&mut self) -> Vec<u32> {
         let mut heads = std::mem::take(&mut self.scratch_heads);
         heads.clear();
         for slot in 0..self.ej_base {
@@ -749,6 +816,12 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 }
             }
         }
+        heads
+    }
+
+    /// Second half of phase A: compute routes and grant output channels
+    /// to the selected heads, in order.
+    fn arbitrate_heads(&mut self, heads: Vec<u32>) {
         for &c in &heads {
             self.try_assign(c as usize);
         }
@@ -1294,6 +1367,31 @@ mod tests {
         let r1 = Sim::new(&mesh, &routing, &pattern, cfg.clone()).run();
         let r2 = Sim::new(&mesh, &routing, &pattern, cfg).run();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_exactly() {
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.08)
+            .warmup_cycles(200)
+            .measure_cycles(500)
+            .drain_cycles(500)
+            .seed(17)
+            .build();
+        let plain = Sim::new(&mesh, &routing, &pattern, cfg.clone()).run();
+        let mut prof = PhaseProfiler::new();
+        let profiled = Sim::new(&mesh, &routing, &pattern, cfg).run_profiled(&mut prof);
+        assert_eq!(plain, profiled, "profiling must not perturb simulation");
+        assert_eq!(prof.cycles(), 1_200);
+        assert!(prof.total_nanos() > 0);
+        // Every phase ran (traversal and arbitration dominate, but even
+        // drain does fault/expiry checks each cycle).
+        for phase in Phase::ALL {
+            assert!(prof.nanos(phase) > 0, "{} never timed", phase.name());
+        }
     }
 
     #[test]

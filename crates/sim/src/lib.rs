@@ -55,6 +55,7 @@ pub mod harness;
 pub mod obs;
 mod packet;
 mod policies;
+pub mod profile;
 mod report;
 
 pub use config::{LengthDist, SimConfig, SimConfigBuilder, CYCLES_PER_MICROSEC};
@@ -63,4 +64,5 @@ pub use fault::{Fault, FaultEvent, FaultPlan, FaultTarget};
 pub use obs::{InvariantObserver, InvariantSummary, NoopObserver, SimObserver, Telemetry};
 pub use packet::{Packet, PacketId};
 pub use policies::{InputPolicy, OutputPolicy};
+pub use profile::{Phase, PhaseProfiler};
 pub use report::{RunTermination, SimReport};

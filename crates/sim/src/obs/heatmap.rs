@@ -187,6 +187,53 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_1xn_line_mesh_heatmap_still_works() {
+        use crate::{LengthDist, Sim, SimConfig};
+        use turnroute_routing::DimensionOrder;
+        use turnroute_topology::Mesh;
+        use turnroute_traffic::Uniform;
+
+        // The degenerate 1xN case: a one-dimensional line of 8 routers.
+        // Every turn is impossible, the layout has only dim-0 channels,
+        // and the grid collapses to a single row.
+        let mesh = Mesh::new(vec![8]);
+        let routing = DimensionOrder::new("line", vec![0]);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.1)
+            .lengths(LengthDist::Fixed(4))
+            .seed(3)
+            .warmup_cycles(50)
+            .measure_cycles(200)
+            .drain_cycles(200)
+            .build();
+        let layout = ChannelLayout::for_topology(&mesh);
+        assert_eq!(layout.inj_base, 8 * 2); // two network slots per node
+        let obs = ChannelHeatmap::new(layout);
+        let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, obs);
+        let report = sim.run();
+        assert!(report.delivered_packets > 0);
+        let h = sim.observer();
+        assert!(h.total_load() > 0);
+        // Interior nodes carry load in both directions under uniform
+        // traffic; the hottest channel must be a genuine network slot.
+        let hot = h.hottest_channels(1);
+        assert!(
+            hot[0].0 < 16,
+            "hot slot {} is not a network channel",
+            hot[0].0
+        );
+        // The grid still renders: one row, eight columns, and at least
+        // one cell is non-blank.
+        let grid = h.render_grid(8, 1, |x, _| NodeId(u32::from(x)));
+        let rows: Vec<&str> = grid.lines().collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].len(), 8);
+        assert!(grid.chars().any(|c| c != ' ' && c != '\n'));
+        assert!(crate::obs::json::validate(&h.to_json()));
+    }
+
+    #[test]
     fn grid_renders_rows() {
         let layout = ChannelLayout::new(4, 2);
         let mut h = ChannelHeatmap::new(layout);

@@ -223,6 +223,33 @@ mod tests {
     }
 
     #[test]
+    fn zero_latency_sits_on_the_first_bucket_boundary() {
+        // A zero-cycle delivery (value 0) is a legal sample and must land
+        // in the very first bucket, not underflow or vanish.
+        let mut h = StreamingHistogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        let buckets: Vec<(u64, u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.len(), 1);
+        let (lower, upper, count) = buckets[0];
+        assert_eq!((lower, count), (0, 10));
+        assert!(upper >= lower);
+        // One non-zero sample shifts only the top quantile.
+        h.record(1);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.quantile(1.0), 1);
+        assert_eq!(h.max(), 1);
+        assert!(crate::obs::json::validate(&h.to_json()));
+    }
+
+    #[test]
     fn quantiles_match_exact_within_bucket_error() {
         // Streaming quantiles vs exact sorted order statistics across
         // several random distributions: relative error bounded by the

@@ -288,6 +288,37 @@ mod tests {
     }
 
     #[test]
+    fn ring_at_exactly_capacity_drops_nothing() {
+        let mut t = RingTrace::new(4);
+        for i in 0..4u64 {
+            t.on_deliver(i, PacketId(i as u32), i, 1);
+        }
+        // Full to the brim: nothing dropped yet, all four retained in order.
+        assert_eq!(t.events().count(), 4);
+        assert_eq!(t.dropped(), 0);
+        let packets: Vec<u32> = t
+            .events()
+            .map(|e| match e {
+                TraceEvent::Deliver { packet, .. } => *packet,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(packets, [0, 1, 2, 3]);
+        // One past capacity evicts exactly the oldest.
+        t.on_deliver(4, PacketId(4), 4, 1);
+        assert_eq!(t.events().count(), 4);
+        assert_eq!(t.dropped(), 1);
+        match t.events().next().unwrap() {
+            TraceEvent::Deliver { packet, .. } => assert_eq!(*packet, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The postmortem header reflects the boundary crossing.
+        assert!(t
+            .postmortem_jsonl()
+            .starts_with("{\"event\":\"trace_header\",\"events\":4,\"dropped\":1,"));
+    }
+
+    #[test]
     fn fault_and_drop_events_are_json() {
         let mut t = RingTrace::new(8);
         t.on_fault(5, 12, true);
