@@ -93,6 +93,28 @@ fi
 grep -q "rejected" "$lint_tmp/turnstat_bad.log"
 grep -q "self-test ok" "$lint_tmp/turnstat_bad.log"
 
+echo "==> turnheal gate"
+# The online-reconfiguration gate: a short seeded chaos storm must soak
+# clean in both engines (sanitizer, delivered floor, a checker-validated
+# certificate for every epoch), two same-seed runs must produce
+# byte-identical healing logs, the log must replay through turnstat, and
+# the self-test (--inject-bad swaps in a stale certificate) must be
+# caught by the independent checker.
+cargo run --offline --quiet -p turnroute-experiments --bin exp -- \
+    chaos --quick --seed 7 --out "$lint_tmp/heal_a" 2> /dev/null
+cargo run --offline --quiet -p turnroute-experiments --bin exp -- \
+    chaos --quick --seed 7 --out "$lint_tmp/heal_b" 2> /dev/null
+cmp "$lint_tmp/heal_a/chaos_heal.ttr" "$lint_tmp/heal_b/chaos_heal.ttr"
+cmp "$lint_tmp/heal_a/chaos.md" "$lint_tmp/heal_b/chaos.md"
+# The healing log is a sealed TTRL stream: turnstat must replay it.
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    replay "$lint_tmp/heal_a/chaos_heal.ttr" --out "$lint_tmp/heal_replay.json" 2> /dev/null
+test -s "$lint_tmp/heal_replay.json"
+grep -q "every epoch certified: yes" "$lint_tmp/heal_a/chaos.md"
+cargo run --offline --quiet -p turnroute-experiments --bin exp -- \
+    chaos --quick --seed 7 --inject-bad --out "$lint_tmp/heal_bad" 2> /dev/null
+grep -q "self-test ok" "$lint_tmp/heal_bad/chaos.md"
+
 echo "==> fault-injection group"
 # The fault subsystem's own gates, runnable in isolation: determinism and
 # degradation tests in both simulators, the sweep harness, and the

@@ -20,6 +20,13 @@
 //!   negative controls, and full simulation runs of both wormhole
 //!   engines under the [`turnroute_sim::InvariantObserver`] shadow
 //!   model. One JSON artifact, one exit code: the CI gate.
+//! * [`heal`] — `turnheal`, certificate-gated online reconfiguration:
+//!   a healing driver that, on every live fault transition, pauses
+//!   arbitration around the changed region, incrementally re-proves the
+//!   fault-masked channel graph (numbering repair with a full-prove
+//!   fallback), and swaps routing tables only once the independent
+//!   checker has validated the epoch's certificate — quarantining
+//!   witness channels when the degraded relation turns cyclic.
 //! * [`certificate`], [`extract`], [`prove`], [`check`] — `turnprove`,
 //!   the generalized channel-graph verifier: every configuration
 //!   (topology × routing × virtual channels × faults) is lowered to an
@@ -46,12 +53,14 @@ pub mod check;
 pub mod claim;
 pub mod enumeration;
 pub mod extract;
+pub mod heal;
 pub mod lint;
 pub mod prove;
 pub mod routing;
 
 pub use certificate::{Certificate, ChannelVertex, GraphSpec, PathCert, Verdict};
 pub use claim::{witness_cycle, Claim};
+pub use heal::{run_healing, run_healing_sim, EpochRecord, HealOptions, HealReport};
 pub use lint::{LintOptions, LintReport};
 pub use prove::{ProveOptions, ProveReport};
 pub use routing::{find_dead_end, TurnSetRouting};

@@ -24,10 +24,10 @@ use crate::routing::TurnSetRouting;
 use turnroute_model::numbering::numbering_from_edges;
 use turnroute_model::{presets, Cdg, Turn, TurnSet};
 use turnroute_routing::torus::{NegativeFirstTorus, WrapOnFirstHop};
-use turnroute_routing::{hypercube, mesh2d, RoutingFunction, RoutingMode};
+use turnroute_routing::{hex, hypercube, mesh2d, RoutingFunction, RoutingMode};
 use turnroute_sim::obs::json;
 use turnroute_sim::{harness, FaultPlan, Sim, SimConfig};
-use turnroute_topology::{Hypercube, Mesh, Topology, Torus};
+use turnroute_topology::{FaultSet, HexMesh, Hypercube, Mesh, Topology, Torus};
 use turnroute_traffic::Uniform;
 use turnroute_vc::{DoubleYAdaptive, VcSim};
 
@@ -247,19 +247,27 @@ impl ProveReport {
 /// Prove one extracted channel graph: deadlock verdict with proof object,
 /// plus connectivity certificates for every deliverable ordered pair.
 pub fn prove(spec: &GraphSpec) -> Certificate {
-    let verdict = match numbering_from_edges(spec.channels.len(), &spec.deps) {
+    let verdict = verdict_of(spec);
+    let (paths, unreachable) = connectivity(spec);
+    Certificate {
+        verdict,
+        paths,
+        unreachable,
+    }
+}
+
+/// The deadlock verdict alone: a total channel numbering from scratch, or
+/// a minimal witness cycle. Shared with the incremental healer
+/// ([`crate::heal`]), whose full-reprove fallback needs the verdict
+/// without paying for connectivity twice.
+pub(crate) fn verdict_of(spec: &GraphSpec) -> Verdict {
+    match numbering_from_edges(spec.channels.len(), &spec.deps) {
         Some(numbers) => Verdict::Acyclic {
             numbering: numbers.into_iter().map(|x| x as u64).collect(),
         },
         None => Verdict::Cyclic {
             cycle: minimal_cycle(spec),
         },
-    };
-    let (paths, unreachable) = connectivity(spec);
-    Certificate {
-        verdict,
-        paths,
-        unreachable,
     }
 }
 
@@ -367,7 +375,7 @@ fn shortest_cycle_through(adj: &[Vec<u32>], v: usize) -> Option<Vec<u32>> {
 /// breadth-first search computes the residual distance of every channel
 /// state, then each source's path greedily descends the distance. Pairs
 /// with no finite-distance injection channel are claimed unreachable.
-fn connectivity(spec: &GraphSpec) -> (Vec<PathCert>, Vec<(u32, u32)>) {
+pub(crate) fn connectivity(spec: &GraphSpec) -> (Vec<PathCert>, Vec<(u32, u32)>) {
     let n = spec.num_nodes as usize;
     let n_ch = spec.channels.len();
     let mut paths = Vec::new();
@@ -532,6 +540,27 @@ pub fn run(opts: &ProveOptions) -> ProveReport {
     let wrapped = WrapOnFirstHop::new(mesh2d::west_first(RoutingMode::Minimal), &torus);
     let spec = extract::from_routing(format!("4-ary 2-cube/{}", wrapped.name()), &torus, &wrapped);
     entries.push(entry("routing", true, true, &spec));
+
+    // The hexagonal mesh of Section 7: negative-first over six directions,
+    // proven intact and under a single failed diagonal link (the degraded
+    // relation keeps its acyclicity but may lose pairs to the mask).
+    let hexm = HexMesh::new(4, 4);
+    let nf_hex = hex::negative_first_hex(RoutingMode::Minimal);
+    let spec = extract::from_routing(format!("hex4x4/{}", nf_hex.name()), &hexm, &nf_hex);
+    entries.push(entry("routing", true, true, &spec));
+    let mut hex_faults = FaultSet::new(&hexm);
+    let victim = hexm.node_at_axial(1, 1);
+    let dir = turnroute_topology::Direction::all(3)
+        .find(|&d| hexm.neighbor(victim, d).is_some())
+        .expect("interior hex node has neighbors");
+    hex_faults.fail_link(&hexm, victim, dir);
+    let spec = extract::from_faulted_routing(
+        format!("hex4x4/{}+fault (1 link down)", nf_hex.name()),
+        &hexm,
+        &nf_hex,
+        &hex_faults,
+    );
+    entries.push(entry("routing+faults", true, false, &spec));
 
     // The double-y virtual-channel scheme: fully adaptive, minimal, and
     // certified deadlock free over *virtual* channels.

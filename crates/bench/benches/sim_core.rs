@@ -58,6 +58,40 @@ fn engine_cycles_sanitized(c: &mut Criterion) {
     group.finish();
 }
 
+/// Same heavy-load window driven through the online healing engine with
+/// an *empty* storm: the price of having turnheal attached when nothing
+/// fails — the baseline epoch-0 proof plus the per-step transition scan.
+fn engine_cycles_healing(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let mut group = c.benchmark_group("sim_core/cycles");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("heavy_load_healing_idle", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::builder()
+                .injection_rate(0.30)
+                .seed(1)
+                .warmup_cycles(0)
+                .measure_cycles(CYCLES)
+                .drain_cycles(0)
+                .build();
+            let (heal, _) = turnroute_analysis::heal::run_healing(
+                &mesh,
+                &wf,
+                &pattern,
+                cfg,
+                turnroute_sim::NoopObserver,
+                &turnroute_analysis::heal::HealOptions::default(),
+            );
+            assert!(heal.certified());
+            black_box(heal.epochs.len())
+        })
+    });
+    group.finish();
+}
+
 fn single_packet_flight(c: &mut Criterion) {
     let mesh = Mesh::new_2d(16, 16);
     let wf = mesh2d::west_first(RoutingMode::Minimal);
@@ -99,6 +133,7 @@ criterion_group!(
     benches,
     engine_cycles,
     engine_cycles_sanitized,
+    engine_cycles_healing,
     single_packet_flight,
     vc_engine_cycles
 );

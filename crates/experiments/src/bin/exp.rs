@@ -29,7 +29,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use turnroute_experiments::{
-    adaptiveness_exp, buffers, census, claims, faults, fig1, figures, linkload, node_delay,
+    adaptiveness_exp, buffers, census, chaos, claims, faults, fig1, figures, linkload, node_delay,
     nonminimal_exp, numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
 };
 use turnroute_model::RoutingFunction;
@@ -47,13 +47,16 @@ struct Options {
     /// Emit the flit-level event trace / deadlock postmortem (JSONL) for
     /// subcommands that support it (`fig1`).
     trace: bool,
+    /// `chaos` only: submit a deliberately stale certificate to the
+    /// checker gate; the run passes only if the checker rejects it.
+    inject_bad: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: exp <fig1|turn-census|example-paths|numbering|theorems|adaptiveness-2d|\
-         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|buffer-depth|node-delay|all> \
-         [--quick] [--seed N] [--out DIR] [--metrics-out FILE] [--trace]"
+         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|chaos|buffer-depth|node-delay|all> \
+         [--quick] [--seed N] [--out DIR] [--metrics-out FILE] [--trace] [--inject-bad]"
     );
     ExitCode::FAILURE
 }
@@ -69,11 +72,13 @@ fn main() -> ExitCode {
         out: None,
         metrics_out: None,
         trace: false,
+        inject_bad: false,
     };
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => opts.scale = Scale::Quick,
             "--trace" => opts.trace = true,
+            "--inject-bad" => opts.inject_bad = true,
             "--seed" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     return usage();
@@ -153,6 +158,7 @@ fn main() -> ExitCode {
                 ("faults.json", json),
             ]
         }
+        "chaos" => return run_chaos(&opts),
         "buffer-depth" => vec![("buffer_depth.md", buffers::render(opts.scale, opts.seed))],
         "node-delay" => vec![("node_delay.md", node_delay::render(opts.scale, opts.seed))],
         "all" => {
@@ -240,6 +246,38 @@ fn main() -> ExitCode {
         eprintln!("wrote {}", path.display());
     }
     ExitCode::SUCCESS
+}
+
+/// Run the chaos-storm soak: both engines under a seeded MTTF/MTTR fault
+/// storm with the healing engine and invariant sanitizer attached. Writes
+/// `chaos.md` plus the sealed binary healing log `chaos_heal.ttr`
+/// (replayable and byte-comparable via `turnstat`), and fails the process
+/// unless the soak passed.
+fn run_chaos(opts: &Options) -> ExitCode {
+    let report = chaos::soak(opts.scale, opts.seed, opts.inject_bad);
+    let md = report.render();
+    match &opts.out {
+        Some(dir) => {
+            if let Err(e) = artifact::write_artifact(&dir.join("chaos.md"), &md) {
+                eprintln!("cannot write chaos.md: {e}");
+                return ExitCode::FAILURE;
+            }
+            let ttr = dir.join("chaos_heal.ttr");
+            if let Err(e) = std::fs::write(&ttr, &report.log) {
+                eprintln!("cannot write {}: {e}", ttr.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", dir.join("chaos.md").display());
+            eprintln!("wrote {}", ttr.display());
+        }
+        None => println!("{}", artifact::normalized(md)),
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos soak FAILED:\n{}", report.render());
+        ExitCode::FAILURE
+    }
 }
 
 /// Run the graceful-degradation sweep: every turn-model algorithm over

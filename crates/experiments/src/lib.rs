@@ -26,7 +26,9 @@
 //! algorithms against the fully adaptive double-y virtual-channel scheme.
 //! [`faults`] (`faults`) sweeps random link-failure fractions and plots
 //! each algorithm's graceful degradation: delivered fraction and latency
-//! quantiles vs percentage of failed links.
+//! quantiles vs percentage of failed links. [`chaos`] (`chaos`) soaks
+//! both engines under seeded MTTF/MTTR fault storms with the
+//! certificate-gated healing engine and the invariant sanitizer attached.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -34,6 +36,7 @@
 pub mod adaptiveness_exp;
 pub mod buffers;
 pub mod census;
+pub mod chaos;
 pub mod claims;
 pub mod faults;
 pub mod fig1;

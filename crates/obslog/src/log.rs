@@ -29,7 +29,7 @@
 
 use turnroute_model::{RoutingFunction, Turn};
 use turnroute_sim::obs::{DeadlockSnapshot, StallReason};
-use turnroute_sim::{FaultTarget, LengthDist, PacketId, SimConfig};
+use turnroute_sim::{FaultTarget, HealEvent, LengthDist, PacketId, SimConfig};
 use turnroute_topology::{Direction, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
 
@@ -69,6 +69,16 @@ pub mod tag {
     pub const CYCLE_END: u8 = 12;
     /// Deadlock detection tripped; carries the frozen waits-for graph.
     pub const DEADLOCK: u8 = 13;
+    /// A fault transition opened (or extended) a reconfiguration epoch.
+    pub const HEAL_EPOCH: u8 = 14;
+    /// An epoch's re-proof finished (latency, incremental, verdict).
+    pub const HEAL_PROOF: u8 = 15;
+    /// The checker validated an epoch's certificate; carries its hash.
+    pub const HEAL_CERT: u8 = 16;
+    /// Routing swapped to an epoch's newly certified masked relation.
+    pub const HEAL_SWAP: u8 = 17;
+    /// A channel entered or left quarantine (escape-path-only mode).
+    pub const HEAL_QUARANTINE: u8 = 18;
 }
 
 /// Append `v` as an LEB128 varint.
@@ -495,6 +505,42 @@ impl turnroute_sim::SimObserver for LogObserver {
 
     fn on_cycle_end(&mut self, now: u64) {
         self.event(now, tag::CYCLE_END, &[]);
+    }
+
+    fn on_heal(&mut self, now: u64, ev: HealEvent) {
+        match ev {
+            HealEvent::EpochOpen { epoch, transitions } => self.event(
+                now,
+                tag::HEAL_EPOCH,
+                &[u64::from(epoch), u64::from(transitions)],
+            ),
+            HealEvent::Proof {
+                epoch,
+                latency,
+                incremental,
+                acyclic,
+            } => self.event(
+                now,
+                tag::HEAL_PROOF,
+                &[
+                    u64::from(epoch),
+                    latency,
+                    u64::from(incremental),
+                    u64::from(acyclic),
+                ],
+            ),
+            HealEvent::Certificate { epoch, hash } => {
+                self.event(now, tag::HEAL_CERT, &[u64::from(epoch), hash]);
+            }
+            HealEvent::TableSwap { epoch } => {
+                self.event(now, tag::HEAL_SWAP, &[u64::from(epoch)]);
+            }
+            HealEvent::Quarantine { epoch, slot, on } => self.event(
+                now,
+                tag::HEAL_QUARANTINE,
+                &[u64::from(epoch), u64::from(slot), u64::from(on)],
+            ),
+        }
     }
 }
 

@@ -21,7 +21,7 @@
 use crate::log::{fnv1a64, tag, LogHeader, MAGIC, VERSION};
 use turnroute_model::Turn;
 use turnroute_sim::obs::{ChannelLayout, DeadlockSnapshot, StallReason, WaitEdge};
-use turnroute_sim::{NoopObserver, PacketId, SimObserver};
+use turnroute_sim::{HealEvent, NoopObserver, PacketId, SimObserver};
 use turnroute_topology::{Direction, NodeId};
 
 /// Why a byte stream was rejected as a log.
@@ -226,7 +226,7 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
     };
     let mut now = 0u64;
     let mut events = 0u64;
-    let mut counts = [0u64; 14];
+    let mut counts = [0u64; 19];
     loop {
         let at = cur.pos;
         let t = cur.u8()?;
@@ -244,7 +244,7 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
             break;
         }
         events += 1;
-        counts[usize::from(t.min(13))] += 1;
+        counts[usize::from(t.min(18))] += 1;
         match t {
             tag::CYCLE_ADVANCE => now += cur.varint()?,
             tag::INJECT => {
@@ -326,6 +326,59 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
                 let snapshot = DeadlockSnapshot { now, layout, edges };
                 obs.on_deadlock(now, &snapshot);
             }
+            tag::HEAL_EPOCH => {
+                let (epoch, transitions) = (cur.varint()?, cur.varint()?);
+                obs.on_heal(
+                    now,
+                    HealEvent::EpochOpen {
+                        epoch: epoch as u32,
+                        transitions: transitions as u32,
+                    },
+                );
+            }
+            tag::HEAL_PROOF => {
+                let (epoch, latency, incremental, acyclic) =
+                    (cur.varint()?, cur.varint()?, cur.varint()?, cur.varint()?);
+                obs.on_heal(
+                    now,
+                    HealEvent::Proof {
+                        epoch: epoch as u32,
+                        latency,
+                        incremental: incremental != 0,
+                        acyclic: acyclic != 0,
+                    },
+                );
+            }
+            tag::HEAL_CERT => {
+                let (epoch, hash) = (cur.varint()?, cur.varint()?);
+                obs.on_heal(
+                    now,
+                    HealEvent::Certificate {
+                        epoch: epoch as u32,
+                        hash,
+                    },
+                );
+            }
+            tag::HEAL_SWAP => {
+                let epoch = cur.varint()?;
+                obs.on_heal(
+                    now,
+                    HealEvent::TableSwap {
+                        epoch: epoch as u32,
+                    },
+                );
+            }
+            tag::HEAL_QUARANTINE => {
+                let (epoch, slot, on) = (cur.varint()?, cur.varint()?, cur.varint()?);
+                obs.on_heal(
+                    now,
+                    HealEvent::Quarantine {
+                        epoch: epoch as u32,
+                        slot: slot as u32,
+                        on: on != 0,
+                    },
+                );
+            }
             _ => return Err(LogError::BadTag { offset: at, tag: t }),
         }
     }
@@ -348,6 +401,11 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
             ("purge", counts[11]),
             ("cycle_end", counts[12]),
             ("deadlock", counts[13]),
+            ("heal_epoch", counts[14]),
+            ("heal_proof", counts[15]),
+            ("heal_cert", counts[16]),
+            ("heal_swap", counts[17]),
+            ("heal_quarantine", counts[18]),
         ],
     })
 }
@@ -481,6 +539,97 @@ mod tests {
             verify_bytes(&bad),
             Err(LogError::EventCountMismatch { declared: 1, .. })
         ));
+    }
+
+    #[test]
+    fn heal_events_round_trip_through_the_log() {
+        use crate::log::LogHeader;
+        use turnroute_sim::HealEvent;
+
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let cfg = SimConfig::builder().seed(1).build();
+        let header = LogHeader::describe(&mesh, &routing, &Uniform::new(), &cfg, "sim");
+        let fired = vec![
+            (
+                0u64,
+                HealEvent::EpochOpen {
+                    epoch: 0,
+                    transitions: 0,
+                },
+            ),
+            (
+                0,
+                HealEvent::Proof {
+                    epoch: 0,
+                    latency: 3,
+                    incremental: false,
+                    acyclic: true,
+                },
+            ),
+            (
+                0,
+                HealEvent::Certificate {
+                    epoch: 0,
+                    hash: 0xdead_beef_cafe_f00d,
+                },
+            ),
+            (0, HealEvent::TableSwap { epoch: 0 }),
+            (
+                500,
+                HealEvent::EpochOpen {
+                    epoch: 1,
+                    transitions: 2,
+                },
+            ),
+            (
+                517,
+                HealEvent::Proof {
+                    epoch: 1,
+                    latency: 17,
+                    incremental: true,
+                    acyclic: false,
+                },
+            ),
+            (
+                517,
+                HealEvent::Quarantine {
+                    epoch: 1,
+                    slot: 42,
+                    on: true,
+                },
+            ),
+            (
+                900,
+                HealEvent::Quarantine {
+                    epoch: 2,
+                    slot: 42,
+                    on: false,
+                },
+            ),
+        ];
+        let mut log = LogObserver::with_header(&header);
+        for &(now, ev) in &fired {
+            log.on_heal(now, ev);
+        }
+        let bytes = log.finish();
+
+        struct Collect(Vec<(u64, HealEvent)>);
+        impl SimObserver for Collect {
+            fn on_heal(&mut self, now: u64, ev: HealEvent) {
+                self.0.push((now, ev));
+            }
+        }
+        let mut got = Collect(Vec::new());
+        let s = replay(&bytes, &mut got).expect("valid log");
+        assert_eq!(got.0, fired, "replay must reconstruct every heal event");
+        assert_eq!(s.count("heal_epoch"), 2);
+        assert_eq!(s.count("heal_proof"), 2);
+        assert_eq!(s.count("heal_cert"), 1);
+        assert_eq!(s.count("heal_swap"), 1);
+        assert_eq!(s.count("heal_quarantine"), 2);
+        assert_eq!(s.cycles, 900);
+        assert!(s.render().contains("heal_cert"));
     }
 
     #[test]

@@ -96,6 +96,19 @@ pub struct Sim<'a, O: SimObserver = NoopObserver> {
     /// (acyclic) CDG no matter what fails.
     turn_filter: Option<TurnSet>,
 
+    // --- online reconfiguration (turnheal) ---
+    /// Routers whose output arbitration is paused while the healing
+    /// driver re-proves a region (ejection continues; in-flight worms
+    /// drain).
+    held: Vec<bool>,
+    /// Channels excluded from new acquisitions by a `Cyclic` verdict
+    /// (escape-path-only mode); composes with `faulty`.
+    quarantined: Vec<bool>,
+    /// Whether any hold or quarantine was ever set; gates the hot-path
+    /// lookups exactly like `faults_possible`, so runs without a healing
+    /// driver pay one predictable branch.
+    healing_possible: bool,
+
     // --- graceful degradation ---
     /// Packet-lifetime deadlines, nondecreasing (every push uses
     /// `now + packet_timeout` and `now` is monotone), so expiry is an
@@ -229,6 +242,9 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             node_down: vec![0; num_nodes],
             faults_possible,
             turn_filter: routing.turn_set(topo.num_dims()),
+            held: vec![false; num_nodes],
+            quarantined: vec![false; num_channels],
+            healing_possible: false,
             deadlines: VecDeque::new(),
             retry_counts: Vec::new(),
             dropped_packets: 0,
@@ -345,6 +361,53 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         assert!(self.exists[slot], "no channel at {node} {dir}");
         self.faults_possible = true;
         self.shift_fault(slot, true);
+    }
+
+    /// Pause (`on`) or resume output arbitration at `node`. A held router
+    /// grants no new output channels: heads wait in place while the
+    /// healing driver re-proves the region. Ejection still binds, and
+    /// worms already granted outputs keep draining, so a hold never
+    /// strands in-flight traffic.
+    pub fn set_hold(&mut self, node: NodeId, on: bool) {
+        self.healing_possible = true;
+        self.held[node.index()] = on;
+    }
+
+    /// Quarantine (`on`) or release the channel leaving `node` in `dir`:
+    /// a quarantined channel is never assigned to a new worm, exactly
+    /// like a faulty one, but its failure refcount is untouched — this is
+    /// the healing driver's escape-path-only mode for channels implicated
+    /// in a `Cyclic` verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel does not exist.
+    pub fn set_quarantine(&mut self, node: NodeId, dir: Direction, on: bool) {
+        let slot = self.topo.channel_slot(node, dir);
+        assert!(self.exists[slot], "no channel at {node} {dir}");
+        self.healing_possible = true;
+        self.quarantined[slot] = on;
+    }
+
+    /// Whether the channel leaving `node` in `dir` is quarantined.
+    pub fn is_quarantined(&self, node: NodeId, dir: Direction) -> bool {
+        self.quarantined[self.topo.channel_slot(node, dir)]
+    }
+
+    /// How many entries of the compiled fault-event stream have been
+    /// applied so far. A healing driver polls this after each step to
+    /// detect that a fault transition (and hence a new masked channel
+    /// graph) just took effect.
+    pub fn applied_fault_events(&self) -> usize {
+        self.fault_cursor
+    }
+
+    /// Set the measurement window `[start, end)` explicitly. [`Sim::run`]
+    /// derives the window from the configuration; an external driver that
+    /// steps the engine cycle by cycle (the healing driver) sets it once
+    /// up front so [`Sim::report`] summarizes the same window `run` would.
+    pub fn set_measure_window(&mut self, start: u64, end: u64) {
+        self.window = (start, end);
     }
 
     /// Manually queue a packet (useful with `injection_rate == 0`).
@@ -828,6 +891,15 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         self.scratch_heads = heads;
     }
 
+    /// Whether `slot` may be granted to a new worm: faulty and
+    /// quarantined channels are excluded, each behind its own
+    /// possible-flag so undisturbed runs never load the tables.
+    #[inline]
+    fn unusable(&self, slot: usize) -> bool {
+        (self.faults_possible && self.faulty[slot])
+            || (self.healing_possible && self.quarantined[slot])
+    }
+
     fn try_assign(&mut self, c: usize) {
         let flit = *self.buf[c].front().expect("head present");
         let pkt = self.packets[flit.packet as usize];
@@ -835,10 +907,15 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         // Destination reached: bind to the ejection channel.
         if v == pkt.dst {
             let ej = self.ej_slot(v.index());
-            if self.owner[ej] == NONE_U32 && !(self.faults_possible && self.faulty[ej]) {
+            if self.owner[ej] == NONE_U32 && !self.unusable(ej) {
                 self.assigned_out[c] = ej as u32;
                 self.owner[ej] = flit.packet;
             }
+            return;
+        }
+        // A held router grants nothing while its region re-proves;
+        // ejection (above) still drains delivered traffic.
+        if self.healing_possible && self.held[v.index()] {
             return;
         }
         let arrived = if self.is_injection(c) {
@@ -871,7 +948,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 continue;
             }
             let slot = self.topo.channel_slot(v, dir);
-            if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
+            if !self.exists[slot] || self.unusable(slot) {
                 continue;
             }
             let next = self.topo.neighbor(v, dir).expect("existing channel");
@@ -889,7 +966,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 }
                 let dir = Direction::from_index(dir_idx);
                 let slot = self.topo.channel_slot(v, dir);
-                if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
+                if !self.exists[slot] || self.unusable(slot) {
                     continue;
                 }
                 let next = self.topo.neighbor(v, dir).expect("existing channel");
@@ -1129,7 +1206,10 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         let depth = self.cfg.buffer_depth as usize;
         for v in 0..self.num_nodes {
             let inj = self.inj_slot(v);
-            if (self.faults_possible && self.faulty[inj]) || self.buf[inj].len() >= depth {
+            if (self.faults_possible && self.faulty[inj])
+                || (self.healing_possible && self.held[v])
+                || self.buf[inj].len() >= depth
+            {
                 continue;
             }
             if self.emitting[v].is_none() {
@@ -1240,6 +1320,9 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         if v == pkt.dst {
             return Some(self.ej_slot(v.index()));
         }
+        if self.healing_possible && self.held[v.index()] {
+            return None; // arbitration paused: the head waits on the hold
+        }
         let arrived = if self.is_injection(c) {
             None
         } else {
@@ -1263,7 +1346,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 continue;
             }
             let slot = self.topo.channel_slot(v, dir);
-            if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
+            if !self.exists[slot] || self.unusable(slot) {
                 continue;
             }
             let next = self.topo.neighbor(v, dir).expect("existing channel");
@@ -1277,7 +1360,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 }
                 let dir = Direction::from_index(dir_idx);
                 let slot = self.topo.channel_slot(v, dir);
-                if !self.exists[slot] || (self.faults_possible && self.faulty[slot]) {
+                if !self.exists[slot] || self.unusable(slot) {
                     continue;
                 }
                 let next = self.topo.neighbor(v, dir).expect("existing channel");
@@ -1455,6 +1538,70 @@ mod tests {
         let p = sim.packets()[id.index()];
         assert_eq!(p.hops, 4);
         assert!(p.delivered.is_some());
+    }
+
+    #[test]
+    fn held_router_pauses_and_resumes_arbitration() {
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let src = mesh.node_at_coords(&[0, 0]);
+        let mid = mesh.node_at_coords(&[1, 0]);
+        let dst = mesh.node_at_coords(&[3, 0]);
+        sim.set_hold(mid, true);
+        let id = sim.inject_packet(src, dst, 3);
+        // The head reaches the held router and waits there; nothing is
+        // granted past it, so the network never goes idle.
+        assert!(!sim.run_until_idle(100));
+        assert!(sim.packets()[id.index()].delivered.is_none());
+        sim.set_hold(mid, false);
+        assert!(sim.run_until_idle(200));
+        assert!(sim.packets()[id.index()].delivered.is_some());
+    }
+
+    #[test]
+    fn held_source_does_not_inject() {
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let src = mesh.node_at_coords(&[0, 0]);
+        let dst = mesh.node_at_coords(&[2, 0]);
+        sim.set_hold(src, true);
+        let id = sim.inject_packet(src, dst, 2);
+        assert!(!sim.run_until_idle(100), "queued packet never enters");
+        assert!(sim.packets()[id.index()].injected.is_none());
+        sim.set_hold(src, false);
+        assert!(sim.run_until_idle(100));
+        assert!(sim.packets()[id.index()].delivered.is_some());
+    }
+
+    #[test]
+    fn quarantined_channel_is_avoided_like_a_fault_and_releases() {
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+        let src = mesh.node_at_coords(&[0, 0]);
+        let dst = mesh.node_at_coords(&[2, 2]);
+        sim.set_quarantine(src, Direction::EAST, true);
+        assert!(sim.is_quarantined(src, Direction::EAST));
+        let id = sim.inject_packet(src, dst, 5);
+        assert!(sim.run_until_idle(500));
+        // Same detour as the faulty-channel test: west-first goes north
+        // and the quarantined channel carries nothing.
+        let p = sim.packets()[id.index()];
+        assert_eq!(p.hops, 4);
+        assert!(p.delivered.is_some());
+        assert_eq!(sim.channel_load(src, Direction::EAST), 0);
+        // Released, the channel is grantable again.
+        sim.set_quarantine(src, Direction::EAST, false);
+        assert!(!sim.is_quarantined(src, Direction::EAST));
+        let id2 = sim.inject_packet(src, mesh.node_at_coords(&[2, 0]), 5);
+        assert!(sim.run_until_idle(500));
+        assert!(sim.packets()[id2.index()].delivered.is_some());
+        assert!(sim.channel_load(src, Direction::EAST) > 0);
     }
 
     #[test]

@@ -203,11 +203,18 @@ impl FaultPlan {
     }
 
     /// Compile the plan into a time-sorted list of down/up transitions for
-    /// a simulator to consume with a single cursor. Transitions at the same
-    /// cycle keep plan order, downs before their own ups.
+    /// a simulator to consume with a single cursor. At the same cycle all
+    /// downs apply before all ups (each group in plan order): a component
+    /// healing and re-failing on the boundary cycle keeps its refcount
+    /// positive throughout — the same continuous-failure view
+    /// [`FaultPlan::fault_set_at`] reports for that cycle — instead of
+    /// dipping through a spurious up/down edge pair mid-cycle.
     pub fn events(&self) -> Vec<FaultEvent> {
         let mut events = Vec::with_capacity(2 * self.faults.len());
         for f in &self.faults {
+            if f.duration == Some(0) {
+                continue; // active during [start, start): never active
+            }
             events.push(FaultEvent {
                 at: f.start,
                 target: f.target,
@@ -221,7 +228,7 @@ impl FaultPlan {
                 });
             }
         }
-        events.sort_by_key(|e| e.at); // stable: ties keep push order
+        events.sort_by_key(|e| (e.at, !e.down)); // stable: ties keep plan order
         events
     }
 }
@@ -337,6 +344,133 @@ mod tests {
         let plan = FaultPlan::random_links(&mesh, 0.05, 0, 42);
         let set = plan.fault_set_at(0, &mesh);
         assert_eq!(set.failed_link_count(), plan.len());
+    }
+
+    /// Stable key for a fault target (FaultTarget has no Hash impl).
+    fn target_key(t: FaultTarget) -> (u8, u32, u32) {
+        match t {
+            FaultTarget::Link { node, dir } => (0, node.0, dir.index() as u32),
+            FaultTarget::Node(v) => (1, v.0, 0),
+        }
+    }
+
+    /// Whether `plan` has any fault on `t` whose window covers `cycle`.
+    fn active_at(plan: &FaultPlan, t: FaultTarget, cycle: u64) -> bool {
+        plan.faults().iter().any(|f| {
+            f.target == t
+                && f.start <= cycle
+                && f.duration.is_none_or(|d| cycle < f.start.saturating_add(d))
+        })
+    }
+
+    #[test]
+    fn same_cycle_heal_and_refail_never_dips_through_up() {
+        // Fault A heals at 150 exactly when fault B fails. Plan order
+        // pushes A's up before B's down; the compiled stream must still
+        // apply the down first so the refcount stays positive across the
+        // boundary — matching fault_set_at(150), which reports the link
+        // continuously failed.
+        let plan = FaultPlan::new()
+            .transient_link(NodeId(1), Direction::EAST, 100, 50)
+            .transient_link(NodeId(1), Direction::EAST, 150, 30);
+        let events = plan.events();
+        let boundary: Vec<&FaultEvent> = events.iter().filter(|e| e.at == 150).collect();
+        assert_eq!(boundary.len(), 2);
+        assert!(boundary[0].down, "down must precede up at the boundary");
+        assert!(!boundary[1].down);
+        // Walking the stream, the depth never touches zero until 180.
+        let mut depth = 0i64;
+        for e in &events {
+            depth += if e.down { 1 } else { -1 };
+            if e.at < 180 {
+                assert!(depth > 0, "spurious heal at cycle {}", e.at);
+            }
+        }
+        assert_eq!(depth, 0);
+        let mesh = Mesh::new_2d(4, 4);
+        assert_eq!(plan.fault_set_at(150, &mesh).failed_link_count(), 1);
+    }
+
+    #[test]
+    fn zero_duration_fault_compiles_to_nothing() {
+        // Active during [start, start) — never active — so it must not
+        // leave a down/up blip in the event stream either.
+        let plan = FaultPlan::new().transient_link(NodeId(1), Direction::NORTH, 40, 0);
+        assert!(plan.events().is_empty());
+        let mesh = Mesh::new_2d(4, 4);
+        assert!(plan.fault_set_at(40, &mesh).is_empty());
+    }
+
+    #[test]
+    fn random_plans_refcounts_match_snapshots_with_one_edge_per_cycle() {
+        // Regression property for the same-cycle heal/re-fail ordering:
+        // over random plans, walk the compiled event stream keeping a
+        // refcount per component. Per component and cycle there is at
+        // most one observable up/down edge, the count never underflows,
+        // and the post-cycle state equals the plan's declared window
+        // coverage (what fault_set_at snapshots).
+        use std::collections::HashMap;
+        use turnroute_rng::rngs::StdRng;
+        use turnroute_rng::{Rng, SeedableRng};
+        for seed in 0..24u64 {
+            let mut rng = StdRng::seed_from_u64(0xFA_417 ^ seed);
+            let mut plan = FaultPlan::new();
+            for _ in 0..40 {
+                let target = if rng.gen_bool(0.3) {
+                    FaultTarget::Node(NodeId(rng.gen_range(0..16u32)))
+                } else {
+                    FaultTarget::Link {
+                        node: NodeId(rng.gen_range(0..16u32)),
+                        dir: Direction::from_index(rng.gen_range(0..4usize)),
+                    }
+                };
+                let start = rng.gen_range(0..40u64);
+                let duration = if rng.gen_bool(0.1) {
+                    None
+                } else {
+                    Some(rng.gen_range(1..20u64))
+                };
+                plan = plan.with(Fault {
+                    target,
+                    start,
+                    duration,
+                });
+            }
+            let events = plan.events();
+            assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+            let mut depth: HashMap<(u8, u32, u32), i64> = HashMap::new();
+            let mut i = 0;
+            while i < events.len() {
+                let cycle = events[i].at;
+                let mut edges: HashMap<(u8, u32, u32), u32> = HashMap::new();
+                let mut touched: Vec<FaultTarget> = Vec::new();
+                while i < events.len() && events[i].at == cycle {
+                    let e = events[i];
+                    let k = target_key(e.target);
+                    let d = depth.entry(k).or_insert(0);
+                    let was = *d > 0;
+                    *d += if e.down { 1 } else { -1 };
+                    assert!(*d >= 0, "seed {seed}: refcount underflow at {cycle}");
+                    if was != (*d > 0) {
+                        *edges.entry(k).or_insert(0) += 1;
+                    }
+                    touched.push(e.target);
+                    i += 1;
+                }
+                for t in touched {
+                    let k = target_key(t);
+                    assert!(
+                        edges.get(&k).copied().unwrap_or(0) <= 1,
+                        "seed {seed}: component toggled twice within cycle {cycle}"
+                    );
+                    assert_eq!(
+                        depth[&k] > 0,
+                        active_at(&plan, t, cycle),
+                        "seed {seed}: post-cycle state disagrees with the window at {cycle}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

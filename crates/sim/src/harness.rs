@@ -10,8 +10,10 @@
 //! functions of the seed, so a probe is exactly reproducible from the
 //! `(topology, routing, pattern, seed)` tuple a report names.
 
-use crate::{Sim, SimConfig, SimReport};
+use crate::{FaultPlan, Sim, SimConfig, SimReport};
 use turnroute_model::RoutingFunction;
+use turnroute_rng::rngs::StdRng;
+use turnroute_rng::{Rng, SeedableRng};
 use turnroute_topology::Topology;
 use turnroute_traffic::TrafficPattern;
 
@@ -46,6 +48,102 @@ pub fn saturating_probe(
 ) -> SimReport {
     let cfg = saturating_config(seed, measure_cycles, deadlock_threshold);
     Sim::new(topo, routing, pattern, cfg).run()
+}
+
+/// Parameters of a seeded MTTF/MTTR chaos storm: Poisson fault arrivals
+/// with exponential repair times, compiled to a deterministic
+/// [`FaultPlan`] by [`chaos_plan`]. Mean times between failures are
+/// *network-wide* (one arrival clock for all links, one for all nodes),
+/// so storms overlap freely — the refcounted fault machinery is exactly
+/// what absorbs a link failing again before its previous repair lands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormSpec {
+    /// Cycles the storm covers; no fault *starts* past the horizon
+    /// (repairs may land later).
+    pub horizon: u64,
+    /// Mean cycles between link-fault arrivals across the whole network.
+    pub link_mttf: u64,
+    /// Mean cycles a transient link fault lasts (MTTR).
+    pub mean_repair: u64,
+    /// Probability a link fault is permanent (never repaired).
+    pub permanent_fraction: f64,
+    /// Mean cycles between node-fault arrivals; `0` disables node
+    /// faults. Node faults are always transient.
+    pub node_mttf: u64,
+    /// Mean cycles a node fault lasts.
+    pub node_mean_repair: u64,
+    /// Storm seed: same seed, same storm, independent of traffic.
+    pub seed: u64,
+}
+
+impl StormSpec {
+    /// The storm's *severity*: the expected fraction of network channels
+    /// concurrently failed, averaged over the horizon (Little's law on
+    /// the transient arrivals, plus half the permanents accumulated by
+    /// the end, plus the node-fault share of routers down).
+    pub fn severity(&self, topo: &dyn Topology) -> f64 {
+        let channels = topo.channels().len() as f64;
+        let transient =
+            (self.mean_repair as f64 / self.link_mttf as f64) * (1.0 - self.permanent_fraction);
+        let permanent =
+            0.5 * self.permanent_fraction * (self.horizon as f64 / self.link_mttf as f64);
+        let mut s = (transient + permanent) / channels;
+        if self.node_mttf > 0 {
+            s += (self.node_mean_repair as f64 / self.node_mttf as f64) / topo.num_nodes() as f64;
+        }
+        s
+    }
+
+    /// The delivered-fraction floor the chaos soak asserts for this
+    /// storm: a linear severity curve, saturating at a loose lower bound
+    /// so even violent storms keep a meaningful acceptance bar. Fault
+    /// loss is graceful degradation (timeouts, unroutable destinations),
+    /// so delivery falls roughly linearly in the failed-channel fraction
+    /// at the fractions the soak exercises.
+    pub fn delivered_floor(&self, topo: &dyn Topology) -> f64 {
+        (0.90 - 4.0 * self.severity(topo)).clamp(0.25, 0.90)
+    }
+}
+
+/// Compile `spec` into a deterministic [`FaultPlan`] on `topo`:
+/// exponential inter-arrival gaps on a dedicated RNG, each arrival
+/// failing a uniformly random channel (or node), with exponentially
+/// distributed repair times of at least one cycle. The plan depends only
+/// on `(topo, spec)` — replaying the same storm under different traffic
+/// seeds is exactly the experiment the soak harness runs twice.
+pub fn chaos_plan(topo: &dyn Topology, spec: &StormSpec) -> FaultPlan {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let exp = |mean: f64, rng: &mut StdRng| -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    };
+    let channels = topo.channels();
+    let mut plan = FaultPlan::new();
+    if !channels.is_empty() && spec.link_mttf > 0 {
+        let mut t = exp(spec.link_mttf as f64, &mut rng);
+        while (t as u64) < spec.horizon {
+            let ch = &channels[rng.gen_range(0..channels.len())];
+            let start = t as u64;
+            if rng.gen_bool(spec.permanent_fraction) {
+                plan = plan.permanent_link(ch.src(), ch.dir(), start);
+            } else {
+                let d = (exp(spec.mean_repair as f64, &mut rng) as u64).max(1);
+                plan = plan.transient_link(ch.src(), ch.dir(), start, d);
+            }
+            t += exp(spec.link_mttf as f64, &mut rng);
+        }
+    }
+    if spec.node_mttf > 0 {
+        let n = topo.num_nodes() as u32;
+        let mut t = exp(spec.node_mttf as f64, &mut rng);
+        while (t as u64) < spec.horizon {
+            let node = turnroute_topology::NodeId(rng.gen_range(0..n));
+            let d = (exp(spec.node_mean_repair as f64, &mut rng) as u64).max(1);
+            plan = plan.transient_node(node, t as u64, d);
+            t += exp(spec.node_mttf as f64, &mut rng);
+        }
+    }
+    plan
 }
 
 #[cfg(test)]
@@ -86,6 +184,70 @@ mod tests {
         fn is_minimal(&self) -> bool {
             true
         }
+    }
+
+    fn storm() -> StormSpec {
+        StormSpec {
+            horizon: 20_000,
+            link_mttf: 400,
+            mean_repair: 600,
+            permanent_fraction: 0.05,
+            node_mttf: 5_000,
+            node_mean_repair: 400,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_overlaps() {
+        let mesh = Mesh::new_2d(8, 8);
+        let spec = storm();
+        let a = chaos_plan(&mesh, &spec);
+        let b = chaos_plan(&mesh, &spec);
+        assert_eq!(a, b, "same spec must give the same storm");
+        assert!(
+            a.len() > 20,
+            "a 20k-cycle storm has many faults: {}",
+            a.len()
+        );
+        let mut other = spec;
+        other.seed = 12;
+        assert_ne!(a, chaos_plan(&mesh, &other));
+        // With MTTR > MTTF the storm overlaps by construction: some cycle
+        // has at least two faults concurrently active.
+        let overlapping = (0..spec.horizon).step_by(97).any(|t| {
+            a.faults()
+                .iter()
+                .filter(|f| {
+                    f.start <= t && f.duration.is_none_or(|d| t < f.start.saturating_add(d))
+                })
+                .count()
+                >= 2
+        });
+        assert!(overlapping, "storm must produce overlapping faults");
+        // Both permanent and transient faults appear.
+        assert!(a.faults().iter().any(|f| f.duration.is_none()));
+        assert!(a.faults().iter().any(|f| f.duration.is_some()));
+        // Compiled events are consumable by the engines (sorted, balanced).
+        let events = a.events();
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn severity_and_floor_scale_with_the_storm() {
+        let mesh = Mesh::new_2d(8, 8);
+        let calm = StormSpec {
+            link_mttf: 4_000,
+            mean_repair: 200,
+            permanent_fraction: 0.0,
+            node_mttf: 0,
+            ..storm()
+        };
+        let wild = storm();
+        let (s_calm, s_wild) = (calm.severity(&mesh), wild.severity(&mesh));
+        assert!(s_calm > 0.0 && s_calm < s_wild, "{s_calm} vs {s_wild}");
+        assert!(calm.delivered_floor(&mesh) > wild.delivered_floor(&mesh));
+        assert!(wild.delivered_floor(&mesh) >= 0.25);
     }
 
     #[test]

@@ -61,7 +61,9 @@ mod report;
 pub use config::{LengthDist, SimConfig, SimConfigBuilder, CYCLES_PER_MICROSEC};
 pub use engine::Sim;
 pub use fault::{Fault, FaultEvent, FaultPlan, FaultTarget};
-pub use obs::{InvariantObserver, InvariantSummary, NoopObserver, SimObserver, Telemetry};
+pub use obs::{
+    HealEvent, InvariantObserver, InvariantSummary, NoopObserver, SimObserver, Telemetry,
+};
 pub use packet::{Packet, PacketId};
 pub use policies::{InputPolicy, OutputPolicy};
 pub use profile::{Phase, PhaseProfiler};

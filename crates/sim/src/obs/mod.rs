@@ -54,6 +54,59 @@ pub enum StallReason {
     Backpressure,
 }
 
+/// One transition of the online reconfiguration protocol (`turnheal`).
+///
+/// The engine itself never emits these — the healing driver
+/// (`turnroute-analysis`'s `heal` module) fires them through
+/// [`SimObserver::on_heal`] on the simulation's observer so every
+/// reconfiguration decision lands in the same event stream as the flit
+/// traffic it reacts to, in deterministic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealEvent {
+    /// A fault transition opened reconfiguration epoch `epoch`;
+    /// `transitions` counts the channel up/down edges folded into it.
+    EpochOpen {
+        /// Epoch index (0 is the initial fault-free epoch).
+        epoch: u32,
+        /// Fault transitions that triggered the epoch.
+        transitions: u32,
+    },
+    /// The re-proof of the epoch's masked channel graph finished.
+    Proof {
+        /// Epoch the proof belongs to.
+        epoch: u32,
+        /// Simulated proof latency in cycles (a deterministic function
+        /// of the proof work, so same-seed logs stay byte-identical).
+        latency: u64,
+        /// Whether the incremental numbering repair sufficed (`false`
+        /// means the full prover ran).
+        incremental: bool,
+        /// The verdict: acyclic (safe to swap) or cyclic (quarantine).
+        acyclic: bool,
+    },
+    /// The independent checker validated the epoch's certificate.
+    Certificate {
+        /// Epoch the certificate covers.
+        epoch: u32,
+        /// FNV-1a-64 hash of the canonical certificate rendering.
+        hash: u64,
+    },
+    /// Routing switched to the epoch's newly certified masked relation.
+    TableSwap {
+        /// Epoch whose relation is now live.
+        epoch: u32,
+    },
+    /// A channel entered or left quarantine (escape-path-only mode).
+    Quarantine {
+        /// Epoch that changed the channel's status.
+        epoch: u32,
+        /// The quarantined channel slot.
+        slot: u32,
+        /// `true` = quarantined, `false` = released.
+        on: bool,
+    },
+}
+
 /// Hooks the engine fires at each interesting simulation event.
 ///
 /// Every method has an empty default body, so collectors implement only
@@ -123,6 +176,11 @@ pub trait SimObserver {
     /// maintain per-cycle invariants (conservation, occupancy) audit them
     /// here, when the network state is quiescent.
     fn on_cycle_end(&mut self, _now: u64) {}
+
+    /// The online reconfiguration engine made a protocol transition
+    /// (epoch open, proof, certificate, table swap, quarantine). Fired by
+    /// the healing driver, not the engine itself — see [`HealEvent`].
+    fn on_heal(&mut self, _now: u64, _ev: HealEvent) {}
 }
 
 /// The default do-nothing observer; `ENABLED = false` removes every hook
@@ -203,6 +261,11 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_cycle_end(&mut self, now: u64) {
         self.0.on_cycle_end(now);
         self.1.on_cycle_end(now);
+    }
+
+    fn on_heal(&mut self, now: u64, ev: HealEvent) {
+        self.0.on_heal(now, ev);
+        self.1.on_heal(now, ev);
     }
 }
 
