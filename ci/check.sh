@@ -115,6 +115,37 @@ cargo run --offline --quiet -p turnroute-experiments --bin exp -- \
     chaos --quick --seed 7 --inject-bad --out "$lint_tmp/heal_bad" 2> /dev/null
 grep -q "self-test ok" "$lint_tmp/heal_bad/chaos.md"
 
+echo "==> turnscope gate"
+# The streaming-telemetry gate: the canonical recorded run seals
+# telemetry frames into the log, so exporting them twice must be
+# byte-identical and re-deriving frames + alerts from the raw event
+# stream must reproduce the sealed ones exactly. The self-test must
+# reject tampered frame payloads (length and version) and see a planted
+# saturation ramp trip the blocked-mass detector; the scope study must
+# call its planted collapse ahead of time while staying silent on the
+# clean heavy-load baseline.
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    frames "$lint_tmp/trace_a/run.ttr" --out "$lint_tmp/frames_a.jsonl" 2> /dev/null
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    frames "$lint_tmp/trace_a/run.ttr" --out "$lint_tmp/frames_b.jsonl" 2> /dev/null
+cmp "$lint_tmp/frames_a.jsonl" "$lint_tmp/frames_b.jsonl"
+test -s "$lint_tmp/frames_a.jsonl"
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    frames "$lint_tmp/trace_a/run.ttr" --check > "$lint_tmp/frames_check.log"
+grep -q "frames match" "$lint_tmp/frames_check.log"
+if cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    frames "$lint_tmp/trace_a/run.ttr" --inject-bad \
+    > "$lint_tmp/frames_bad.log" 2>&1; then
+    echo "turnstat frames --inject-bad unexpectedly passed; the decoder is blind" >&2
+    exit 1
+fi
+grep -q "rejected" "$lint_tmp/frames_bad.log"
+grep -q "planted-saturation" "$lint_tmp/frames_bad.log"
+grep -q "self-test ok" "$lint_tmp/frames_bad.log"
+cargo run --offline --quiet -p turnroute-experiments --bin exp -- \
+    scope --quick --seed 7 --out "$lint_tmp/scope" 2> /dev/null
+grep -q '\*\*PASS\*\*' "$lint_tmp/scope/scope.md"
+
 echo "==> fault-injection group"
 # The fault subsystem's own gates, runnable in isolation: determinism and
 # degradation tests in both simulators, the sweep harness, and the

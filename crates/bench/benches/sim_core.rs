@@ -30,6 +30,66 @@ fn engine_cycles(c: &mut Criterion) {
     group.finish();
 }
 
+/// An enabled observer with every hook left as the trait's empty
+/// default: the price of *attaching anything* — hook dispatch plus the
+/// argument plumbing the `NoopObserver` path compiles away — with zero
+/// collector work on top. This is the floor the `heavy_load_frames`
+/// delta is measured against.
+struct ArmedNoop;
+
+impl turnroute_sim::SimObserver for ArmedNoop {}
+
+/// Same heavy-load loop with the armed-but-empty observer attached.
+fn engine_cycles_armed_noop(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let mut group = c.benchmark_group("sim_core/cycles");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("heavy_load_armed_noop", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::builder().injection_rate(0.30).seed(1).build();
+            let mut sim = Sim::with_observer(&mesh, &wf, &pattern, cfg, ArmedNoop);
+            for _ in 0..CYCLES {
+                sim.step();
+            }
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+}
+
+/// Same heavy-load loop with a [`turnroute_sim::FrameCollector`] sealing
+/// telemetry frames at a 1k-cycle cadence: the streaming-observability
+/// overhead `turnscope` adds when frames are on. The windowed counters
+/// are O(1) per hook and seals are rare, so the delta over
+/// `heavy_load_armed_noop` — the collector's own work — is the number to
+/// watch (see `ci/bench_note.md`); the armed floor itself is the
+/// pre-existing price of attaching any observer.
+fn engine_cycles_frames(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(16, 16);
+    let wf = mesh2d::west_first(RoutingMode::Minimal);
+    let pattern = Uniform::new();
+    let mut group = c.benchmark_group("sim_core/cycles");
+    const CYCLES: u64 = 2_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    group.bench_function("heavy_load_frames", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::builder().injection_rate(0.30).seed(1).build();
+            let layout = turnroute_sim::obs::ChannelLayout::for_topology(&mesh);
+            let obs = turnroute_sim::FrameCollector::new(layout.num_channels, 1_000);
+            let mut sim = Sim::with_observer(&mesh, &wf, &pattern, cfg, obs);
+            for _ in 0..CYCLES {
+                sim.step();
+            }
+            assert_eq!(sim.observer().frames().len(), 2);
+            black_box(sim.now())
+        })
+    });
+    group.finish();
+}
+
 /// Same heavy-load loop with the invariant sanitizer attached: the price
 /// of the full shadow model (per-flit conservation, buffer accounting,
 /// bandwidth checks), paid only when an observer is explicitly supplied.
@@ -132,6 +192,8 @@ fn vc_engine_cycles(c: &mut Criterion) {
 criterion_group!(
     benches,
     engine_cycles,
+    engine_cycles_armed_noop,
+    engine_cycles_frames,
     engine_cycles_sanitized,
     engine_cycles_healing,
     single_packet_flight,

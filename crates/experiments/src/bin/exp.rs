@@ -21,6 +21,7 @@
 //!   nonminimal       minimal vs nonminimal, healthy and faulty
 //!   vc-ablation      no-extra-channel adaptivity vs double-y VCs
 //!   faults           graceful degradation vs failed-link fraction
+//!   scope            turnscope saturation-approach study
 //!   buffer-depth     input-buffer depth sensitivity
 //!   node-delay       Section 7's route-selection delay trade-off
 //!   all              everything above, written to --out
@@ -30,7 +31,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use turnroute_experiments::{
     adaptiveness_exp, buffers, census, chaos, claims, faults, fig1, figures, linkload, node_delay,
-    nonminimal_exp, numbering_exp, paths, pcube_table, policies, theorems, vc_ablation, Scale,
+    nonminimal_exp, numbering_exp, paths, pcube_table, policies, scope, theorems, vc_ablation,
+    Scale,
 };
 use turnroute_model::RoutingFunction;
 use turnroute_obslog::artifact;
@@ -55,7 +57,7 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: exp <fig1|turn-census|example-paths|numbering|theorems|adaptiveness-2d|\
-         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|chaos|buffer-depth|node-delay|all> \
+         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|chaos|scope|buffer-depth|node-delay|all> \
          [--quick] [--seed N] [--out DIR] [--metrics-out FILE] [--trace] [--inject-bad]"
     );
     ExitCode::FAILURE
@@ -159,6 +161,7 @@ fn main() -> ExitCode {
             ]
         }
         "chaos" => return run_chaos(&opts),
+        "scope" => return run_scope(&opts),
         "buffer-depth" => vec![("buffer_depth.md", buffers::render(opts.scale, opts.seed))],
         "node-delay" => vec![("node_delay.md", node_delay::render(opts.scale, opts.seed))],
         "all" => {
@@ -276,6 +279,32 @@ fn run_chaos(opts: &Options) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("chaos soak FAILED:\n{}", report.render());
+        ExitCode::FAILURE
+    }
+}
+
+/// Run the turnscope saturation-approach study: load ramp with blame
+/// decomposition, planted collapse with early-warning lead time, clean
+/// heavy-load baseline, and chaos-storm telemetry determinism. Writes
+/// `scope.md` and fails the process unless the early-warning contract
+/// held.
+fn run_scope(opts: &Options) -> ExitCode {
+    let report = scope::study(opts.scale, opts.seed);
+    let md = report.render();
+    match &opts.out {
+        Some(dir) => {
+            if let Err(e) = artifact::write_artifact(&dir.join("scope.md"), &md) {
+                eprintln!("cannot write scope.md: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", dir.join("scope.md").display());
+        }
+        None => println!("{}", artifact::normalized(md)),
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("scope study FAILED:\n{}", report.render());
         ExitCode::FAILURE
     }
 }

@@ -29,6 +29,10 @@
 //! quantiles vs percentage of failed links. [`chaos`] (`chaos`) soaks
 //! both engines under seeded MTTF/MTTR fault storms with the
 //! certificate-gated healing engine and the invariant sanitizer attached.
+//! [`scope`] (`scope`) is the turnscope saturation-approach study: a load
+//! ramp with blame decomposition, a planted collapse the early-warning
+//! detectors must call ahead of time, a clean baseline they must stay
+//! silent on, and a chaos-storm telemetry determinism check.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -49,6 +53,7 @@ pub mod paths;
 pub mod pcube_table;
 pub mod plot;
 pub mod policies;
+pub mod scope;
 pub mod sweep;
 pub mod theorems;
 pub mod vc_ablation;

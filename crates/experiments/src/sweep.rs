@@ -77,26 +77,39 @@ impl SweepResult {
     }
 
     /// Render the curve as CSV (`rate,offered,throughput,latency_us,...`).
+    /// The latency quantile ladder is complete (p50/p90/p99) and the
+    /// final four columns carry the turnscope blame decomposition as
+    /// mean cycles per delivered packet.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "algorithm,pattern,injection_rate,offered_flits_per_us,throughput_flits_per_us,\
-             avg_latency_us,p99_latency_us,avg_hops,delivered_fraction,max_queue,sustainable\n",
+             avg_latency_us,p50_latency_us,p90_latency_us,p99_latency_us,avg_hops,\
+             delivered_fraction,max_queue,sustainable,blame_queue_cycles,blame_blocked_cycles,\
+             blame_service_cycles,blame_misroute_cycles\n",
         );
         for p in &self.points {
             let r = &p.report;
+            let us = turnroute_sim::CYCLES_PER_MICROSEC;
             out.push_str(&format!(
-                "{},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.3},{:.4},{},{}\n",
+                "{},{},{:.4},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2},{:.3},{:.4},{},{},\
+                 {:.2},{:.2},{:.2},{:.2}\n",
                 self.algorithm,
                 self.pattern,
                 p.injection_rate,
                 r.offered_flits_per_us(),
                 r.throughput_flits_per_us(),
                 r.avg_latency_us(),
-                r.p99_latency_cycles / turnroute_sim::CYCLES_PER_MICROSEC,
+                r.p50_latency_cycles / us,
+                r.p90_latency_cycles / us,
+                r.p99_latency_cycles / us,
                 r.avg_hops,
                 r.delivered_fraction(),
                 r.max_queue_len,
                 p.is_sustainable(),
+                r.blame.avg_queue_cycles(r.delivered_packets),
+                r.blame.avg_blocked_cycles(r.delivered_packets),
+                r.blame.avg_service_cycles(r.delivered_packets),
+                r.blame.avg_misroute_cycles(r.delivered_packets),
             ));
         }
         out
@@ -243,15 +256,22 @@ pub fn metrics_json(sweeps: &[SweepResult], title: &str) -> String {
             out.push_str(&format!(
                 "{{\"injection_rate\":{},\"throughput_flits_per_us\":{:.3},\
                  \"avg_latency_cycles\":{:.3},\"p50_latency_cycles\":{},\
-                 \"p99_latency_cycles\":{},\"max_latency_cycles\":{},\
-                 \"total_stall_cycles\":{},\"deadlocked\":{}",
+                 \"p90_latency_cycles\":{},\"p99_latency_cycles\":{},\
+                 \"max_latency_cycles\":{},\"total_stall_cycles\":{},\
+                 \"blame\":{{\"queue_cycles\":{},\"blocked_cycles\":{},\
+                 \"service_cycles\":{},\"misroute_cycles\":{}}},\"deadlocked\":{}",
                 p.injection_rate,
                 r.throughput_flits_per_us(),
                 r.avg_latency_cycles,
                 r.p50_latency_cycles,
+                r.p90_latency_cycles,
                 r.p99_latency_cycles,
                 r.max_latency_cycles,
                 r.total_stall_cycles,
+                r.blame.queue_cycles,
+                r.blame.blocked_cycles,
+                r.blame.service_cycles,
+                r.blame.misroute_cycles,
                 r.deadlocked,
             ));
             if let Some(m) = &p.metrics {
@@ -344,6 +364,8 @@ mod tests {
         assert!(turnroute_sim::obs::json::validate(&json), "{json}");
         assert!(json.contains("\"channels\""));
         assert!(json.contains("\"latency_hist\""));
+        assert!(json.contains("\"p90_latency_cycles\""));
+        assert!(json.contains("\"blame\":{\"queue_cycles\":"));
     }
 
     #[test]
@@ -355,6 +377,18 @@ mod tests {
         let csv = result.to_csv();
         assert!(csv.lines().count() == 2, "{csv}");
         assert!(csv.starts_with("algorithm,"));
+        let header = csv.lines().next().unwrap();
+        // The full quantile ladder and the blame decomposition ride
+        // every sweep CSV.
+        assert!(header.contains(",p50_latency_us,p90_latency_us,p99_latency_us,"));
+        assert!(header.ends_with(
+            ",blame_queue_cycles,blame_blocked_cycles,blame_service_cycles,blame_misroute_cycles"
+        ));
+        assert_eq!(
+            header.split(',').count(),
+            csv.lines().nth(1).unwrap().split(',').count(),
+            "every row carries every column"
+        );
         let md = to_markdown(&[result], "Test");
         assert!(md.contains("## Test"));
         assert!(md.contains("| offered"));

@@ -13,7 +13,7 @@ use turnroute_model::Turn;
 use turnroute_sim::obs::{
     ChannelHeatmap, ChannelLayout, DeadlockSnapshot, StallReason, StreamingHistogram, TurnCensus,
 };
-use turnroute_sim::{PacketId, SimObserver};
+use turnroute_sim::{Alert, BlameTotals, PacketBlame, PacketId, SimObserver, TelemetryFrame};
 use turnroute_topology::{Direction, NodeId};
 
 /// Hook-derived aggregates that replay bit-identically from a log.
@@ -27,6 +27,8 @@ pub struct ReplayableAggregates {
     pub latency: StreamingHistogram,
     /// Hops of every delivered packet.
     pub hops: StreamingHistogram,
+    /// Latency blame summed over every blamed delivery.
+    pub blame: BlameTotals,
     injected_packets: u64,
     injected_flits: u64,
     sourced_flits: u64,
@@ -37,6 +39,9 @@ pub struct ReplayableAggregates {
     drops: u64,
     unroutable_drops: u64,
     purges: u64,
+    blamed_packets: u64,
+    frames: u64,
+    alerts: u64,
     deadlocked: bool,
     last_cycle: u64,
 }
@@ -49,6 +54,7 @@ impl ReplayableAggregates {
             census: TurnCensus::new(layout.num_dims),
             latency: StreamingHistogram::new(),
             hops: StreamingHistogram::new(),
+            blame: BlameTotals::default(),
             injected_packets: 0,
             injected_flits: 0,
             sourced_flits: 0,
@@ -59,6 +65,9 @@ impl ReplayableAggregates {
             drops: 0,
             unroutable_drops: 0,
             purges: 0,
+            blamed_packets: 0,
+            frames: 0,
+            alerts: 0,
             deadlocked: false,
             last_cycle: 0,
         }
@@ -84,24 +93,50 @@ impl ReplayableAggregates {
         self.last_cycle
     }
 
+    /// Deliveries that carried a latency-blame decomposition.
+    pub fn blamed_packets(&self) -> u64 {
+        self.blamed_packets
+    }
+
+    /// Telemetry frames observed (decoded from a replayed log, or fired
+    /// live by a frame-enabled recorder sharing the run).
+    pub fn frames_seen(&self) -> u64 {
+        self.frames
+    }
+
+    /// Early-warning alerts observed.
+    pub fn alerts_seen(&self) -> u64 {
+        self.alerts
+    }
+
     /// The whole stack as one canonical, key-ordered JSON artifact — the
     /// byte string `turnstat verify` compares between live and replayed
     /// runs.
     pub fn snapshot_json(&self) -> String {
         let mut counters = JsonObject::new();
         counters
+            .set("alerts", self.alerts.to_string())
+            .set("blamed_packets", self.blamed_packets.to_string())
             .set("consumed_flits", self.consumed_flits.to_string())
             .set("delivered_packets", self.delivered_packets.to_string())
             .set("drops", self.drops.to_string())
             .set("faults", self.faults.to_string())
+            .set("frames", self.frames.to_string())
             .set("injected_flits", self.injected_flits.to_string())
             .set("injected_packets", self.injected_packets.to_string())
             .set("misroutes", self.misroutes.to_string())
             .set("purges", self.purges.to_string())
             .set("sourced_flits", self.sourced_flits.to_string())
             .set("unroutable_drops", self.unroutable_drops.to_string());
+        let mut blame = JsonObject::new();
+        blame
+            .set("blocked_cycles", self.blame.blocked_cycles.to_string())
+            .set("misroute_cycles", self.blame.misroute_cycles.to_string())
+            .set("queue_cycles", self.blame.queue_cycles.to_string())
+            .set("service_cycles", self.blame.service_cycles.to_string());
         let mut root = JsonObject::new();
-        root.set("census", self.census.to_json())
+        root.set("blame", blame.render())
+            .set("census", self.census.to_json())
             .set("counters", counters.render())
             .set("deadlocked", self.deadlocked.to_string())
             .set("heatmap", self.heatmap.to_json())
@@ -148,8 +183,31 @@ impl ReplayableAggregates {
                 "Packets purged from the network",
                 self.purges,
             ),
+            (
+                "turnroute_frames_total",
+                "Telemetry frames observed",
+                self.frames,
+            ),
+            (
+                "turnroute_alerts_total",
+                "Early-warning alerts observed",
+                self.alerts,
+            ),
         ] {
             reg.counter_add(name, help, &[], v);
+        }
+        for (component, v) in [
+            ("queue", self.blame.queue_cycles),
+            ("blocked", self.blame.blocked_cycles),
+            ("service", self.blame.service_cycles),
+            ("misroute", self.blame.misroute_cycles),
+        ] {
+            reg.counter_add(
+                "turnroute_blame_cycles_total",
+                "Latency blame attributed to delivered packets, by component",
+                &[("component", component)],
+                v,
+            );
         }
         reg.gauge_set(
             "turnroute_deadlocked",
@@ -226,6 +284,22 @@ impl SimObserver for ReplayableAggregates {
 
     fn on_purge(&mut self, _now: u64, _packet: PacketId) {
         self.purges += 1;
+    }
+
+    fn on_blame(&mut self, _now: u64, _packet: PacketId, blame: PacketBlame) {
+        self.blamed_packets += 1;
+        self.blame.queue_cycles += blame.queue_cycles;
+        self.blame.blocked_cycles += blame.blocked_cycles;
+        self.blame.service_cycles += blame.service_cycles;
+        self.blame.misroute_cycles += blame.misroute_cycles;
+    }
+
+    fn on_frame(&mut self, _now: u64, _frame: &TelemetryFrame) {
+        self.frames += 1;
+    }
+
+    fn on_alert(&mut self, _now: u64, _alert: &Alert) {
+        self.alerts += 1;
     }
 
     fn on_cycle_end(&mut self, now: u64) {

@@ -5,12 +5,24 @@
 //!
 //! ```text
 //! turnstat record --out DIR [--seed N] [--quick]
-//!     run the canonical scenario, writing DIR/run.ttr (binary log),
-//!     DIR/aggregates.json (replayable aggregate artifact), and
-//!     DIR/metrics.prom (Prometheus text exposition)
+//!     run the canonical scenario, writing DIR/run.ttr (binary log,
+//!     telemetry frames included), DIR/aggregates.json (replayable
+//!     aggregate artifact), and DIR/metrics.prom (Prometheus text)
 //!
-//! turnstat summarize FILE
-//!     print a log's header and per-event-kind counts
+//! turnstat summarize FILE [--from N] [--to N]
+//!     print a log's header and per-event-kind counts; with --from/--to,
+//!     count only events inside the cycle window (integrity is still
+//!     checked over the whole stream)
+//!
+//! turnstat frames FILE [--out FILE] [--prom FILE] [--check] [--inject-bad]
+//!     export the log's telemetry frames and alerts as JSON-lines (to
+//!     --out, else stdout) and optionally as windowed Prometheus text
+//!     (--prom); with --check, re-derive the frames and alerts from the
+//!     raw hook stream and require them to match the logged ones exactly;
+//!     with --inject-bad, tamper with frame framing in memory and plant a
+//!     synthetic saturation ramp, requiring every corruption to be
+//!     rejected and the blocked-mass detector to fire (self-test: exits
+//!     nonzero)
 //!
 //! turnstat replay FILE --out FILE
 //!     re-drive the aggregate stack from the log (no simulation) and
@@ -33,14 +45,23 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use turnroute_obslog::{artifact, replay, scenario, verify_bytes, ReplayableAggregates};
-use turnroute_sim::obs::ChannelLayout;
-use turnroute_sim::{PhaseProfiler, Sim};
+use turnroute_obslog::log::fnv1a64;
+use turnroute_obslog::{
+    artifact, frame_offsets, metrics, replay, scenario, verify_bytes, Registry,
+    ReplayableAggregates,
+};
+use turnroute_sim::obs::{ChannelLayout, ChannelWindow, StallReason, StreamingHistogram};
+use turnroute_sim::{
+    Alert, AlertKind, DetectorBank, FrameCollector, HealEvent, NoopObserver, PacketId,
+    PhaseProfiler, Sim, SimObserver, TelemetryFrame,
+};
+use turnroute_topology::NodeId;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: turnstat record --out DIR [--seed N] [--quick]\n\
-         \x20      turnstat summarize FILE\n\
+         \x20      turnstat summarize FILE [--from N] [--to N]\n\
+         \x20      turnstat frames FILE [--out FILE] [--prom FILE] [--check] [--inject-bad]\n\
          \x20      turnstat replay FILE --out FILE\n\
          \x20      turnstat diff A B\n\
          \x20      turnstat verify FILE [--against AGG.json] [--inject-bad]\n\
@@ -68,6 +89,10 @@ struct Common {
     quick: bool,
     out: Option<PathBuf>,
     against: Option<PathBuf>,
+    prom: Option<PathBuf>,
+    from: Option<u64>,
+    to: Option<u64>,
+    check: bool,
     inject_bad: bool,
     files: Vec<PathBuf>,
 }
@@ -78,16 +103,24 @@ fn parse(mut args: std::env::Args) -> Option<Common> {
         quick: false,
         out: None,
         against: None,
+        prom: None,
+        from: None,
+        to: None,
+        check: false,
         inject_bad: false,
         files: Vec::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => c.quick = true,
+            "--check" => c.check = true,
             "--inject-bad" => c.inject_bad = true,
             "--seed" => c.seed = args.next()?.parse().ok()?,
+            "--from" => c.from = Some(args.next()?.parse().ok()?),
+            "--to" => c.to = Some(args.next()?.parse().ok()?),
             "--out" => c.out = Some(PathBuf::from(args.next()?)),
             "--against" => c.against = Some(PathBuf::from(args.next()?)),
+            "--prom" => c.prom = Some(PathBuf::from(args.next()?)),
             _ if arg.starts_with("--") => return None,
             _ => c.files.push(PathBuf::from(arg)),
         }
@@ -107,6 +140,7 @@ fn main() -> ExitCode {
     match (cmd.as_str(), c.files.len()) {
         ("record", 0) => record(&c),
         ("summarize", 1) => summarize(&c),
+        ("frames", 1) => frames_cmd(&c),
         ("replay", 1) => replay_cmd(&c),
         ("diff", 2) => diff(&c),
         ("verify", 1) => verify(&c),
@@ -145,10 +179,11 @@ fn record(c: &Common) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "turnstat: recorded seed {} ({} bytes, {} packets delivered) into {}",
+        "turnstat: recorded seed {} ({} bytes, {} packets delivered, {} frames) into {}",
         c.seed,
         rec.bytes.len(),
         rec.report.delivered_packets,
+        rec.frames.len(),
         dir.display()
     );
     ExitCode::SUCCESS
@@ -159,8 +194,25 @@ fn summarize(c: &Common) -> ExitCode {
         Ok(b) => b,
         Err(code) => return code,
     };
-    match turnroute_obslog::summarize(&bytes) {
+    let windowed = c.from.is_some() || c.to.is_some();
+    let (from, to) = (c.from.unwrap_or(0), c.to.unwrap_or(u64::MAX));
+    let result = if windowed {
+        turnroute_obslog::replay_bounded(&bytes, &mut NoopObserver, from, to)
+    } else {
+        turnroute_obslog::summarize(&bytes)
+    };
+    match result {
         Ok(s) => {
+            if windowed {
+                println!(
+                    "window: cycles {from}..{} (integrity checked over the whole stream)",
+                    if to == u64::MAX {
+                        "end".to_string()
+                    } else {
+                        to.to_string()
+                    }
+                );
+            }
             print!("{}", s.render());
             ExitCode::SUCCESS
         }
@@ -168,6 +220,279 @@ fn summarize(c: &Common) -> ExitCode {
             eprintln!("turnstat: rejected: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Collects the frame and alert events a log carries, as decoded by the
+/// replayer.
+#[derive(Default)]
+struct FrameStream {
+    frames: Vec<TelemetryFrame>,
+    alerts: Vec<Alert>,
+}
+
+impl SimObserver for FrameStream {
+    fn on_frame(&mut self, _now: u64, frame: &TelemetryFrame) {
+        self.frames.push(frame.clone());
+    }
+    fn on_alert(&mut self, _now: u64, alert: &Alert) {
+        self.alerts.push(*alert);
+    }
+}
+
+/// Re-derives frames and alerts from the raw hook stream, ignoring the
+/// logged frame/alert events entirely. Starts deliberately undersized
+/// (one channel slot) — the collector and bank grow themselves from the
+/// slots the stream actually touches, so a matching result really is
+/// re-derived, not copied.
+struct Rederive {
+    collector: FrameCollector,
+    bank: DetectorBank,
+    frames: Vec<TelemetryFrame>,
+    alerts: Vec<Alert>,
+}
+
+impl SimObserver for Rederive {
+    fn on_inject(&mut self, now: u64, packet: PacketId, src: NodeId, dst: NodeId, len: u32) {
+        self.collector.on_inject(now, packet, src, dst, len);
+    }
+    fn on_flit_advance(
+        &mut self,
+        now: u64,
+        from: usize,
+        to: Option<usize>,
+        packet: PacketId,
+        is_tail: bool,
+    ) {
+        self.collector
+            .on_flit_advance(now, from, to, packet, is_tail);
+    }
+    fn on_stall(&mut self, now: u64, slot: usize, packet: PacketId, reason: StallReason) {
+        self.collector.on_stall(now, slot, packet, reason);
+    }
+    fn on_deliver(&mut self, now: u64, packet: PacketId, latency: u64, hops: u32) {
+        self.collector.on_deliver(now, packet, latency, hops);
+    }
+    fn on_drop(&mut self, now: u64, packet: PacketId, unroutable: bool) {
+        self.collector.on_drop(now, packet, unroutable);
+    }
+    fn on_purge(&mut self, now: u64, packet: PacketId) {
+        self.collector.on_purge(now, packet);
+    }
+    fn on_heal(&mut self, now: u64, ev: HealEvent) {
+        self.collector.on_heal(now, ev);
+    }
+    fn on_cycle_end(&mut self, now: u64) {
+        self.collector.on_cycle_end(now);
+        for frame in self.collector.take_frames() {
+            self.alerts.extend(self.bank.push(&frame));
+            self.frames.push(frame);
+        }
+    }
+}
+
+fn frames_cmd(c: &Common) -> ExitCode {
+    let bytes = match read_log(&c.files[0]) {
+        Ok(b) => b,
+        Err(code) => return code,
+    };
+    if c.inject_bad {
+        return frames_inject_bad(&bytes);
+    }
+    let mut stream = FrameStream::default();
+    if let Err(e) = replay(&bytes, &mut stream) {
+        eprintln!("turnstat: rejected: {e}");
+        return ExitCode::FAILURE;
+    }
+    if stream.frames.is_empty() {
+        eprintln!("turnstat frames: log carries no telemetry frames (record without frames?)");
+        return ExitCode::FAILURE;
+    }
+    let mut jsonl = String::new();
+    for f in &stream.frames {
+        jsonl.push_str(&f.to_json());
+        jsonl.push('\n');
+    }
+    for a in &stream.alerts {
+        jsonl.push_str(&a.to_json());
+        jsonl.push('\n');
+    }
+    match &c.out {
+        Some(out) => {
+            if write_text(out, &jsonl).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{jsonl}"),
+    }
+    if let Some(prom) = &c.prom {
+        let mut reg = Registry::new();
+        metrics::export_frames(&mut reg, &stream.frames, &stream.alerts);
+        if write_text(prom, &reg.prometheus_text()).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    if c.check {
+        // Frame 0 opens at cycle 0, so its window length *is* the cadence
+        // — no out-of-band configuration needed to re-derive.
+        let cadence = stream.frames[0].window_len();
+        let mut re = Rederive {
+            collector: FrameCollector::new(1, cadence),
+            bank: DetectorBank::new(1),
+            frames: Vec::new(),
+            alerts: Vec::new(),
+        };
+        if let Err(e) = replay(&bytes, &mut re) {
+            eprintln!("turnstat: rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+        if re.frames != stream.frames {
+            eprintln!(
+                "turnstat frames: re-derived frames DIFFER from logged frames ({} vs {})",
+                re.frames.len(),
+                stream.frames.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        if re.alerts != stream.alerts {
+            eprintln!(
+                "turnstat frames: re-derived alerts DIFFER from logged alerts ({} vs {})",
+                re.alerts.len(),
+                stream.alerts.len()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "frames match: {} frames, {} alerts re-derived identically",
+            stream.frames.len(),
+            stream.alerts.len()
+        );
+    }
+    eprintln!(
+        "turnstat: {} frames, {} alerts",
+        stream.frames.len(),
+        stream.alerts.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Re-seal a checksum-stripped body so only content-level validation can
+/// catch the tampering.
+fn reseal(mut body: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a64(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    body
+}
+
+/// First byte index after the varint starting at `at`.
+fn varint_end(bytes: &[u8], mut at: usize) -> usize {
+    while bytes[at] & 0x80 != 0 {
+        at += 1;
+    }
+    at + 1
+}
+
+/// Self-test for the turnscope layer: tamper with frame framing behind a
+/// freshly re-sealed checksum (the checksum cannot save us — only strict
+/// frame decoding can), and plant a synthetic saturation ramp that the
+/// blocked-mass growth detector must flag. Mirrors `turnstat verify
+/// --inject-bad`: exits nonzero when every check passes so CI can invert.
+fn frames_inject_bad(bytes: &[u8]) -> ExitCode {
+    if let Err(e) = verify_bytes(bytes) {
+        eprintln!("turnstat: input log is itself invalid ({e}); nothing to self-test");
+        return ExitCode::FAILURE;
+    }
+    let offsets = match frame_offsets(bytes) {
+        Ok(o) if !o.is_empty() => o,
+        Ok(_) => {
+            eprintln!("turnstat frames: log carries no telemetry frames; nothing to self-test");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("turnstat: rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    fn caught(name: &str, corrupted: &[u8]) -> bool {
+        match verify_bytes(corrupted) {
+            Err(e) => {
+                eprintln!("turnstat: {name}: rejected: {e}");
+                true
+            }
+            Ok(_) => {
+                eprintln!("turnstat: {name}: ACCEPTED — corruption went undetected");
+                false
+            }
+        }
+    }
+    let mut all_caught = true;
+    // 1. Shrink/grow the first frame's declared payload length by one and
+    //    re-seal: the payload no longer decodes to exactly its length.
+    let mut bad = bytes[..bytes.len() - 8].to_vec();
+    let len_at = offsets[0] + 1;
+    if bad[len_at] & 0x7f != 0 {
+        bad[len_at] -= 1;
+    } else {
+        bad[len_at] += 1;
+    }
+    all_caught &= caught("frame-length-tamper", &reseal(bad));
+    // 2. Flip the frame's schema version byte (first payload byte) and
+    //    re-seal: strict decoding refuses unknown versions.
+    let mut bad = bytes[..bytes.len() - 8].to_vec();
+    let payload_at = varint_end(&bad, offsets[0] + 1);
+    bad[payload_at] ^= 0x7f;
+    all_caught &= caught("frame-version-tamper", &reseal(bad));
+    // 3. Plant a saturation ramp — blocked-cycle mass strictly rising
+    //    across windows, well past the slope floor — and require the
+    //    blocked-mass growth detector to fire before the ramp tops out.
+    let mut bank = DetectorBank::new(2);
+    let mut fired = None;
+    for (seq, mass) in [100u64, 220, 380, 560, 900].into_iter().enumerate() {
+        let seq = seq as u64;
+        let frame = TelemetryFrame {
+            seq,
+            window_start: seq * 1_000,
+            window_end: seq * 1_000 + 999,
+            injected_packets: 40,
+            delivered_packets: 35,
+            dropped_packets: 0,
+            in_flight_packets: 5,
+            open_heal_epochs: 0,
+            latency: StreamingHistogram::new(),
+            channels: vec![
+                ChannelWindow {
+                    slot: 0,
+                    util: 400,
+                    blocked: mass / 2,
+                },
+                ChannelWindow {
+                    slot: 1,
+                    util: 400,
+                    blocked: mass - mass / 2,
+                },
+            ],
+        };
+        for alert in bank.push(&frame) {
+            if alert.kind == AlertKind::BlockedMassGrowth && fired.is_none() {
+                fired = Some(alert);
+            }
+        }
+    }
+    match fired {
+        Some(a) => eprintln!(
+            "turnstat: planted-saturation: blocked-mass detector fired at seq {} (mass {} >= floor {})",
+            a.seq, a.value, a.threshold
+        ),
+        None => {
+            eprintln!("turnstat: planted-saturation: detector STAYED SILENT through the ramp");
+            all_caught = false;
+        }
+    }
+    if all_caught {
+        eprintln!("turnstat: self-test ok: every injected corruption was rejected");
+        ExitCode::FAILURE // inject-bad runs report failure by design
+    } else {
+        ExitCode::SUCCESS // detector is blind: let CI's inversion catch it
     }
 }
 

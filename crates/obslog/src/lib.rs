@@ -15,6 +15,13 @@
 //!   [`ReplayableAggregates`] reproduces the live run's aggregate
 //!   artifacts byte for byte — the determinism contract `turnstat
 //!   verify` enforces.
+//! * [`frame_codec`] — the strict binary codec for the `turnscope`
+//!   streaming telemetry frames a frame-enabled recorder
+//!   ([`LogObserver::with_frames`]) seals into the stream, alongside
+//!   per-packet latency-blame events and early-warning detector alerts.
+//!   `turnstat frames` exports the stream as JSON-lines or windowed
+//!   Prometheus text and cross-checks logged frames against re-derived
+//!   ones.
 //! * [`metrics`] — a labeled metrics registry (counters, gauges,
 //!   streaming histograms) with Prometheus-style text exposition and
 //!   key-ordered JSON snapshots; the PR 1 collectors (latency histogram,
@@ -62,6 +69,7 @@
 
 pub mod aggregates;
 pub mod artifact;
+pub mod frame_codec;
 pub mod log;
 pub mod metrics;
 pub mod replay;
@@ -70,4 +78,6 @@ pub mod scenario;
 pub use aggregates::ReplayableAggregates;
 pub use log::{LogHeader, LogObserver};
 pub use metrics::Registry;
-pub use replay::{replay, summarize, verify_bytes, LogError, LogSummary};
+pub use replay::{
+    frame_offsets, replay, replay_bounded, summarize, verify_bytes, LogError, LogSummary,
+};

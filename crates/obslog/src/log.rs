@@ -26,10 +26,26 @@
 //! Arbitration outcomes are captured by the existing hook vocabulary:
 //! winners appear as `Turn` events (the grant names the turn taken) and
 //! losers as `Stall` events with the `NotRouted` reason.
+//!
+//! # Telemetry frames
+//!
+//! A recorder built with [`LogObserver::with_frames`] additionally rides
+//! a [`FrameCollector`] and a [`DetectorBank`]: every `cadence` cycles it
+//! seals a telemetry frame and writes it into the stream as a `Frame`
+//! event (length-prefixed, see [`crate::frame_codec`]), followed by any
+//! early-warning `Alert` events the detectors raise on that frame. Frames
+//! are derived purely from the same hooks the log records, so replaying
+//! the log through a fresh collector re-seals byte-identical frames —
+//! `turnstat frames --check` enforces exactly that. Per-packet latency
+//! blame decompositions arrive through the `on_blame` hook and serialize
+//! as `Blame` events whether or not frames are enabled.
 
 use turnroute_model::{RoutingFunction, Turn};
-use turnroute_sim::obs::{DeadlockSnapshot, StallReason};
-use turnroute_sim::{FaultTarget, HealEvent, LengthDist, PacketId, SimConfig};
+use turnroute_sim::obs::{ChannelLayout, DeadlockSnapshot, StallReason};
+use turnroute_sim::{
+    Alert, DetectorBank, FaultTarget, FrameCollector, HealEvent, LengthDist, PacketBlame, PacketId,
+    SimConfig, TelemetryFrame,
+};
 use turnroute_topology::{Direction, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
 
@@ -79,6 +95,12 @@ pub mod tag {
     pub const HEAL_SWAP: u8 = 17;
     /// A channel entered or left quarantine (escape-path-only mode).
     pub const HEAL_QUARANTINE: u8 = 18;
+    /// A delivered packet's latency blame decomposition.
+    pub const BLAME: u8 = 19;
+    /// A sealed telemetry frame; length-prefixed versioned payload.
+    pub const FRAME: u8 = 20;
+    /// An early-warning detector fired on the frame stream.
+    pub const ALERT: u8 = 21;
 }
 
 /// Append `v` as an LEB128 varint.
@@ -316,6 +338,19 @@ pub struct LogObserver {
     buf: Vec<u8>,
     cycle: u64,
     events: u64,
+    frames: Option<FrameScope>,
+}
+
+/// The streaming-telemetry attachment of a frame-enabled recorder: the
+/// collector that seals windows, the detector bank that watches them, and
+/// copies of everything emitted (for in-process consumers like the CI
+/// live-vs-replayed comparison).
+#[derive(Debug, Clone)]
+struct FrameScope {
+    collector: FrameCollector,
+    bank: DetectorBank,
+    sealed: Vec<TelemetryFrame>,
+    alerts: Vec<Alert>,
 }
 
 impl LogObserver {
@@ -343,12 +378,63 @@ impl LogObserver {
             buf,
             cycle: 0,
             events: 0,
+            frames: None,
         }
+    }
+
+    /// Start a frame-enabled log: in addition to raw events, seal a
+    /// telemetry frame every `cadence` cycles, run the early-warning
+    /// detectors on it, and write both into the stream as `Frame` and
+    /// `Alert` events.
+    ///
+    /// The embedded collector is pre-sized from the header's layout and
+    /// grows on demand, so engines that number extra virtual-channel
+    /// slots (the `vc` engine) record correctly too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cadence` is zero.
+    pub fn with_frames(header: &LogHeader, cadence: u64) -> LogObserver {
+        let mut log = LogObserver::with_header(header);
+        let layout = ChannelLayout::new(header.nodes as usize, header.dims as usize);
+        log.frames = Some(FrameScope {
+            collector: FrameCollector::new(layout.num_channels, cadence),
+            bank: DetectorBank::new(layout.num_channels),
+            sealed: Vec::new(),
+            alerts: Vec::new(),
+        });
+        log
+    }
+
+    /// [`LogObserver::with_frames`] with the header derived from the
+    /// run's inputs, like [`LogObserver::start`].
+    pub fn start_with_frames(
+        topo: &dyn Topology,
+        routing: &dyn RoutingFunction,
+        pattern: &dyn TrafficPattern,
+        cfg: &SimConfig,
+        engine: &str,
+        cadence: u64,
+    ) -> LogObserver {
+        LogObserver::with_frames(
+            &LogHeader::describe(topo, routing, pattern, cfg, engine),
+            cadence,
+        )
     }
 
     /// Events recorded so far (cycle advances included).
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Telemetry frames sealed so far (empty unless frame-enabled).
+    pub fn frames(&self) -> &[TelemetryFrame] {
+        self.frames.as_ref().map_or(&[], |s| &s.sealed)
+    }
+
+    /// Early-warning alerts raised so far (empty unless frame-enabled).
+    pub fn alerts(&self) -> &[Alert] {
+        self.frames.as_ref().map_or(&[], |s| &s.alerts)
     }
 
     /// Bytes buffered so far (header included, trailer not).
@@ -406,6 +492,9 @@ impl turnroute_sim::SimObserver for LogObserver {
                 u64::from(len),
             ],
         );
+        if let Some(s) = &mut self.frames {
+            s.collector.on_inject(now, packet, src, dst, len);
+        }
     }
 
     fn on_flit_advance(
@@ -426,6 +515,9 @@ impl turnroute_sim::SimObserver for LogObserver {
                 u64::from(is_tail),
             ],
         );
+        if let Some(s) = &mut self.frames {
+            s.collector.on_flit_advance(now, from, to, packet, is_tail);
+        }
     }
 
     fn on_turn(&mut self, now: u64, packet: PacketId, at: NodeId, turn: Turn) {
@@ -450,11 +542,14 @@ impl turnroute_sim::SimObserver for LogObserver {
     }
 
     fn on_stall(&mut self, now: u64, slot: usize, packet: PacketId, reason: StallReason) {
-        let reason = match reason {
+        let code = match reason {
             StallReason::NotRouted => 0,
             StallReason::Backpressure => 1,
         };
-        self.event(now, tag::STALL, &[slot as u64, u64::from(packet.0), reason]);
+        self.event(now, tag::STALL, &[slot as u64, u64::from(packet.0), code]);
+        if let Some(s) = &mut self.frames {
+            s.collector.on_stall(now, slot, packet, reason);
+        }
     }
 
     fn on_deliver(&mut self, now: u64, packet: PacketId, latency: u64, hops: u32) {
@@ -462,6 +557,23 @@ impl turnroute_sim::SimObserver for LogObserver {
             now,
             tag::DELIVER,
             &[u64::from(packet.0), latency, u64::from(hops)],
+        );
+        if let Some(s) = &mut self.frames {
+            s.collector.on_deliver(now, packet, latency, hops);
+        }
+    }
+
+    fn on_blame(&mut self, now: u64, packet: PacketId, blame: PacketBlame) {
+        self.event(
+            now,
+            tag::BLAME,
+            &[
+                u64::from(packet.0),
+                blame.queue_cycles,
+                blame.blocked_cycles,
+                blame.service_cycles,
+                blame.misroute_cycles,
+            ],
         );
     }
 
@@ -489,6 +601,9 @@ impl turnroute_sim::SimObserver for LogObserver {
             tag::DROP,
             &[u64::from(packet.0), u64::from(unroutable)],
         );
+        if let Some(s) = &mut self.frames {
+            s.collector.on_drop(now, packet, unroutable);
+        }
     }
 
     fn on_flit_source(&mut self, now: u64, slot: usize, packet: PacketId, is_tail: bool) {
@@ -501,13 +616,51 @@ impl turnroute_sim::SimObserver for LogObserver {
 
     fn on_purge(&mut self, now: u64, packet: PacketId) {
         self.event(now, tag::PURGE, &[u64::from(packet.0)]);
+        if let Some(s) = &mut self.frames {
+            s.collector.on_purge(now, packet);
+        }
     }
 
     fn on_cycle_end(&mut self, now: u64) {
         self.event(now, tag::CYCLE_END, &[]);
+        // Drive the frame collector after the cycle-end event so sealed
+        // frames (and the alerts they trip) land right behind it in the
+        // stream, at the same cycle.
+        let Some(mut scope) = self.frames.take() else {
+            return;
+        };
+        scope.collector.on_cycle_end(now);
+        for frame in scope.collector.take_frames() {
+            let payload = crate::frame_codec::encode_frame_payload(&frame);
+            self.sync_cycle(now);
+            self.buf.push(tag::FRAME);
+            write_varint(&mut self.buf, payload.len() as u64);
+            self.buf.extend_from_slice(&payload);
+            self.events += 1;
+            for alert in scope.bank.push(&frame) {
+                self.event(
+                    now,
+                    tag::ALERT,
+                    &[
+                        alert.kind.code(),
+                        alert.seq,
+                        alert.cycle,
+                        opt_slot(alert.slot),
+                        alert.value,
+                        alert.threshold,
+                    ],
+                );
+                scope.alerts.push(alert);
+            }
+            scope.sealed.push(frame);
+        }
+        self.frames = Some(scope);
     }
 
     fn on_heal(&mut self, now: u64, ev: HealEvent) {
+        if let Some(s) = &mut self.frames {
+            s.collector.on_heal(now, ev);
+        }
         match ev {
             HealEvent::EpochOpen { epoch, transitions } => self.event(
                 now,
@@ -609,6 +762,55 @@ mod tests {
         assert_ne!(h.turns, "-");
         let parsed = LogHeader::parse(&h.to_text()).expect("parses");
         assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn frame_enabled_recording_is_deterministic_and_seals_frames() {
+        use turnroute_routing::{mesh2d, RoutingMode};
+        use turnroute_sim::Sim;
+        use turnroute_topology::Mesh;
+        use turnroute_traffic::Uniform;
+        let record = || {
+            let mesh = Mesh::new_2d(4, 4);
+            let routing = mesh2d::west_first(RoutingMode::Minimal);
+            let pattern = Uniform::new();
+            let cfg = SimConfig::builder()
+                .injection_rate(0.05)
+                .seed(11)
+                .warmup_cycles(50)
+                .measure_cycles(200)
+                .drain_cycles(200)
+                .build();
+            let log = LogObserver::start_with_frames(&mesh, &routing, &pattern, &cfg, "sim", 64);
+            let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, log);
+            sim.run();
+            let log = sim.into_observer();
+            let frames = log.frames().to_vec();
+            (log.finish(), frames)
+        };
+        let (a, frames) = record();
+        let (b, _) = record();
+        assert_eq!(a, b, "frame-enabled recording is deterministic");
+        assert!(frames.len() >= 4, "sealed {} frames", frames.len());
+        assert_eq!(frames[0].window_end - frames[0].window_start + 1, 64);
+        assert!(frames.iter().any(|f| f.delivered_packets > 0));
+        // The frame-enabled log strictly contains the plain log's bytes
+        // plus frame events: same run without frames must be shorter.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.05)
+            .seed(11)
+            .warmup_cycles(50)
+            .measure_cycles(200)
+            .drain_cycles(200)
+            .build();
+        let log = LogObserver::start(&mesh, &routing, &pattern, &cfg, "sim");
+        let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, log);
+        sim.run();
+        let plain = sim.into_observer().finish();
+        assert!(plain.len() < a.len());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::artifact;
 use std::collections::BTreeMap;
 use turnroute_sim::obs::{ChannelHeatmap, StreamingHistogram, TurnCensus};
-use turnroute_sim::SimReport;
+use turnroute_sim::{Alert, SimReport, TelemetryFrame};
 
 /// One recorded value.
 #[derive(Debug, Clone, PartialEq)]
@@ -373,6 +373,79 @@ pub fn export_latency(reg: &mut Registry, hist: &StreamingHistogram) {
     );
 }
 
+/// Export a telemetry frame stream onto `reg` as *windowed* series:
+/// per-frame gauges and latency histograms labeled by frame `seq`, plus
+/// alert counters by detector kind. This is the `turnstat frames --prom`
+/// exposition — one sample per window, so a scraper (or a human with
+/// grep) can see the congestion trajectory, not just run totals.
+pub fn export_frames(reg: &mut Registry, frames: &[TelemetryFrame], alerts: &[Alert]) {
+    for f in frames {
+        let seq = f.seq.to_string();
+        let labels: [(&str, &str); 1] = [("seq", seq.as_str())];
+        for (name, help, v) in [
+            (
+                "turnroute_frame_injected_packets",
+                "Packets injected during the frame window",
+                f.injected_packets,
+            ),
+            (
+                "turnroute_frame_delivered_packets",
+                "Packets delivered during the frame window",
+                f.delivered_packets,
+            ),
+            (
+                "turnroute_frame_dropped_packets",
+                "Packets dropped during the frame window",
+                f.dropped_packets,
+            ),
+            (
+                "turnroute_frame_in_flight_packets",
+                "Packets in flight at frame seal time",
+                f.in_flight_packets,
+            ),
+            (
+                "turnroute_frame_open_heal_epochs",
+                "Healing epochs open at frame seal time",
+                f.open_heal_epochs,
+            ),
+            (
+                "turnroute_frame_blocked_mass",
+                "Blocked-cycle mass across all channels in the window",
+                f.blocked_mass(),
+            ),
+            (
+                "turnroute_frame_window_end",
+                "Last cycle the frame window covers",
+                f.window_end,
+            ),
+        ] {
+            reg.gauge_set(name, help, &labels, v as f64);
+        }
+        if f.latency.count() > 0 {
+            reg.histogram_merge(
+                "turnroute_frame_latency_cycles",
+                "Latency of deliveries inside the frame window, in cycles",
+                &labels,
+                &f.latency,
+            );
+        }
+    }
+    reg.counter_add(
+        "turnroute_frames_exported_total",
+        "Telemetry frames in this exposition",
+        &[],
+        frames.len() as u64,
+    );
+    for a in alerts {
+        reg.counter_add(
+            "turnroute_alerts_by_kind_total",
+            "Early-warning alerts, by detector kind",
+            &[("kind", a.kind.name())],
+            1,
+        );
+    }
+}
+
 /// Export a [`SimReport`]'s headline numbers onto `reg` as gauges.
 pub fn export_report(reg: &mut Registry, report: &SimReport) {
     let g = [
@@ -497,5 +570,109 @@ mod tests {
         assert!(text.contains("turnroute_flits_total 1"));
         assert!(text.contains("turnroute_turns_total{kind=\"ninety\"} 1"));
         assert!(text.contains("turnroute_latency_cycles_count 1"));
+    }
+
+    #[test]
+    fn empty_registry_exposes_empty_but_valid_documents() {
+        let r = Registry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.prometheus_text(), "");
+        assert_eq!(r.json_snapshot(), "{\"metrics\":{}}");
+        assert!(turnroute_sim::obs::json::validate(&r.json_snapshot()));
+    }
+
+    #[test]
+    fn every_escapable_label_character_is_escaped() {
+        // Backslash, double quote, and newline each have a dedicated
+        // escape in the Prometheus exposition; all three must survive a
+        // round trip through one label value without colliding.
+        let mut r = Registry::new();
+        r.counter_add("esc_total", "e", &[("v", "back\\slash")], 1);
+        r.counter_add("esc_total", "e", &[("v", "quo\"te")], 2);
+        r.counter_add("esc_total", "e", &[("v", "new\nline")], 3);
+        let text = r.prometheus_text();
+        assert!(text.contains("esc_total{v=\"back\\\\slash\"} 1\n"));
+        assert!(text.contains("esc_total{v=\"quo\\\"te\"} 2\n"));
+        assert!(text.contains("esc_total{v=\"new\\nline\"} 3\n"));
+        // The raw newline must NOT appear inside any sample line.
+        for line in text.lines() {
+            assert!(!line.contains("new\nline"));
+        }
+        assert!(turnroute_sim::obs::json::validate(&r.json_snapshot()));
+    }
+
+    #[test]
+    fn zero_observation_histogram_exposes_consistent_zeros() {
+        let mut r = Registry::new();
+        r.histogram_merge("lat", "latency", &[], &StreamingHistogram::new());
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("lat_sum 0\n"));
+        assert!(text.contains("lat_count 0\n"));
+        // No finite bucket may claim observations.
+        for line in text.lines() {
+            if line.starts_with("lat_bucket") {
+                assert!(line.ends_with(" 0"), "nonzero bucket in {line}");
+            }
+        }
+        assert!(turnroute_sim::obs::json::validate(&r.json_snapshot()));
+    }
+
+    #[test]
+    fn frame_stream_exports_windowed_series() {
+        use turnroute_sim::obs::ChannelWindow;
+        use turnroute_sim::{Alert, AlertKind};
+        let mut latency = StreamingHistogram::new();
+        latency.record(12);
+        let frames = [
+            TelemetryFrame {
+                seq: 0,
+                window_start: 0,
+                window_end: 99,
+                injected_packets: 4,
+                delivered_packets: 3,
+                dropped_packets: 0,
+                in_flight_packets: 1,
+                open_heal_epochs: 0,
+                latency,
+                channels: vec![ChannelWindow {
+                    slot: 2,
+                    util: 7,
+                    blocked: 40,
+                }],
+            },
+            TelemetryFrame {
+                seq: 1,
+                window_start: 100,
+                window_end: 199,
+                injected_packets: 0,
+                delivered_packets: 0,
+                dropped_packets: 0,
+                in_flight_packets: 1,
+                open_heal_epochs: 0,
+                latency: StreamingHistogram::new(),
+                channels: Vec::new(),
+            },
+        ];
+        let alerts = [Alert {
+            kind: AlertKind::BlockedMassGrowth,
+            seq: 1,
+            cycle: 199,
+            slot: None,
+            value: 999,
+            threshold: 512,
+        }];
+        let mut reg = Registry::new();
+        export_frames(&mut reg, &frames, &alerts);
+        let text = reg.prometheus_text();
+        assert!(text.contains("turnroute_frame_blocked_mass{seq=\"0\"} 40\n"));
+        assert!(text.contains("turnroute_frame_blocked_mass{seq=\"1\"} 0\n"));
+        assert!(text.contains("turnroute_frame_delivered_packets{seq=\"0\"} 3\n"));
+        assert!(text.contains("turnroute_frame_latency_cycles_count{seq=\"0\"} 1\n"));
+        assert!(text.contains("turnroute_frames_exported_total 2\n"));
+        assert!(text.contains("turnroute_alerts_by_kind_total{kind=\"blocked_mass_growth\"} 1\n"));
+        assert!(turnroute_sim::obs::json::validate(&reg.json_snapshot()));
     }
 }

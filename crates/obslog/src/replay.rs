@@ -21,7 +21,9 @@
 use crate::log::{fnv1a64, tag, LogHeader, MAGIC, VERSION};
 use turnroute_model::Turn;
 use turnroute_sim::obs::{ChannelLayout, DeadlockSnapshot, StallReason, WaitEdge};
-use turnroute_sim::{HealEvent, NoopObserver, PacketId, SimObserver};
+use turnroute_sim::{
+    Alert, AlertKind, HealEvent, NoopObserver, PacketBlame, PacketId, SimObserver,
+};
 use turnroute_topology::{Direction, NodeId};
 
 /// Why a byte stream was rejected as a log.
@@ -53,6 +55,15 @@ pub enum LogError {
     },
     /// Bytes remain after the checksum.
     TrailingData,
+    /// An embedded telemetry frame failed strict decoding (its declared
+    /// payload length disagrees with its content, or its schema version
+    /// is unknown).
+    BadFrame {
+        /// Byte offset of the frame event's tag.
+        offset: usize,
+        /// What the frame decoder objected to.
+        why: String,
+    },
 }
 
 impl std::fmt::Display for LogError {
@@ -71,6 +82,9 @@ impl std::fmt::Display for LogError {
                 "event count mismatch: trailer declares {declared}, found {actual}"
             ),
             LogError::TrailingData => write!(f, "trailing bytes after checksum"),
+            LogError::BadFrame { offset, why } => {
+                write!(f, "bad telemetry frame at byte {offset}: {why}")
+            }
         }
     }
 }
@@ -218,6 +232,41 @@ fn parse_frame(bytes: &[u8]) -> Result<(LogHeader, usize), LogError> {
 /// [`crate::ReplayableAggregates`] stack, a heatmap, a census…) ends up in
 /// the same state it would have reached riding the live run.
 pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, LogError> {
+    walk(bytes, obs, 0, u64::MAX, None)
+}
+
+/// [`replay`] restricted to the cycle window `[from, to]` (inclusive).
+///
+/// The *whole* stream is still parsed and validated — framing, checksum,
+/// every tag, the trailer count — but hooks are dispatched, and events
+/// counted in the summary, only for cycles inside the window. This backs
+/// `turnstat summarize --from/--to`: integrity is never windowed, only
+/// attention.
+pub fn replay_bounded<O: SimObserver>(
+    bytes: &[u8],
+    obs: &mut O,
+    from: u64,
+    to: u64,
+) -> Result<LogSummary, LogError> {
+    walk(bytes, obs, from, to, None)
+}
+
+/// Byte offsets of every `Frame` event's tag in a valid log, in stream
+/// order. Used by the `turnstat frames --inject-bad` self-test to tamper
+/// with a frame's declared payload length precisely.
+pub fn frame_offsets(bytes: &[u8]) -> Result<Vec<usize>, LogError> {
+    let mut offsets = Vec::new();
+    walk(bytes, &mut NoopObserver, 0, u64::MAX, Some(&mut offsets))?;
+    Ok(offsets)
+}
+
+fn walk<O: SimObserver>(
+    bytes: &[u8],
+    obs: &mut O,
+    from: u64,
+    to: u64,
+    mut frame_tags: Option<&mut Vec<usize>>,
+) -> Result<LogSummary, LogError> {
     let (header, events_at) = parse_frame(bytes)?;
     let layout = ChannelLayout::new(header.nodes as usize, header.dims as usize);
     let mut cur = Cursor {
@@ -225,17 +274,18 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
         pos: events_at,
     };
     let mut now = 0u64;
+    let mut total = 0u64;
     let mut events = 0u64;
-    let mut counts = [0u64; 19];
+    let mut counts = [0u64; 22];
     loop {
         let at = cur.pos;
         let t = cur.u8()?;
         if t == tag::END {
             let declared = cur.varint()?;
-            if declared != events {
+            if declared != total {
                 return Err(LogError::EventCountMismatch {
                     declared,
-                    actual: events,
+                    actual: total,
                 });
             }
             if cur.pos != cur.bytes.len() {
@@ -243,47 +293,68 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
             }
             break;
         }
-        events += 1;
-        counts[usize::from(t.min(18))] += 1;
+        total += 1;
+        if t == tag::CYCLE_ADVANCE {
+            now += cur.varint()?;
+            if now >= from && now <= to {
+                events += 1;
+                counts[usize::from(tag::CYCLE_ADVANCE)] += 1;
+            }
+            continue;
+        }
+        let in_bounds = now >= from && now <= to;
+        if in_bounds {
+            events += 1;
+            counts[usize::from(t.min(21))] += 1;
+        }
         match t {
-            tag::CYCLE_ADVANCE => now += cur.varint()?,
             tag::INJECT => {
                 let (p, src, dst, len) =
                     (cur.varint()?, cur.varint()?, cur.varint()?, cur.varint()?);
-                obs.on_inject(
-                    now,
-                    PacketId(p as u32),
-                    NodeId(src as u32),
-                    NodeId(dst as u32),
-                    len as u32,
-                );
+                if in_bounds {
+                    obs.on_inject(
+                        now,
+                        PacketId(p as u32),
+                        NodeId(src as u32),
+                        NodeId(dst as u32),
+                        len as u32,
+                    );
+                }
             }
             tag::FLIT_SOURCE => {
                 let (slot, p, tail) = (cur.slot()?, cur.varint()?, cur.varint()?);
-                obs.on_flit_source(now, slot, PacketId(p as u32), tail != 0);
+                if in_bounds {
+                    obs.on_flit_source(now, slot, PacketId(p as u32), tail != 0);
+                }
             }
             tag::ADVANCE => {
                 let (from, to, p, tail) =
                     (cur.slot()?, cur.opt_slot()?, cur.varint()?, cur.varint()?);
-                obs.on_flit_advance(now, from, to, PacketId(p as u32), tail != 0);
+                if in_bounds {
+                    obs.on_flit_advance(now, from, to, PacketId(p as u32), tail != 0);
+                }
             }
             tag::TURN => {
                 let (p, node, from, to) = (cur.varint()?, cur.varint()?, cur.slot()?, cur.slot()?);
-                obs.on_turn(
-                    now,
-                    PacketId(p as u32),
-                    NodeId(node as u32),
-                    Turn::new(Direction::from_index(from), Direction::from_index(to)),
-                );
+                if in_bounds {
+                    obs.on_turn(
+                        now,
+                        PacketId(p as u32),
+                        NodeId(node as u32),
+                        Turn::new(Direction::from_index(from), Direction::from_index(to)),
+                    );
+                }
             }
             tag::MISROUTE => {
                 let (p, node, dir) = (cur.varint()?, cur.varint()?, cur.slot()?);
-                obs.on_misroute(
-                    now,
-                    PacketId(p as u32),
-                    NodeId(node as u32),
-                    Direction::from_index(dir),
-                );
+                if in_bounds {
+                    obs.on_misroute(
+                        now,
+                        PacketId(p as u32),
+                        NodeId(node as u32),
+                        Direction::from_index(dir),
+                    );
+                }
             }
             tag::STALL => {
                 let (slot, p, reason) = (cur.slot()?, cur.varint()?, cur.varint()?);
@@ -292,25 +363,104 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
                     1 => StallReason::Backpressure,
                     _ => return Err(LogError::BadTag { offset: at, tag: t }),
                 };
-                obs.on_stall(now, slot, PacketId(p as u32), reason);
+                if in_bounds {
+                    obs.on_stall(now, slot, PacketId(p as u32), reason);
+                }
             }
             tag::DELIVER => {
                 let (p, latency, hops) = (cur.varint()?, cur.varint()?, cur.varint()?);
-                obs.on_deliver(now, PacketId(p as u32), latency, hops as u32);
+                if in_bounds {
+                    obs.on_deliver(now, PacketId(p as u32), latency, hops as u32);
+                }
+            }
+            tag::BLAME => {
+                let (p, queue, blocked, service, misroute) = (
+                    cur.varint()?,
+                    cur.varint()?,
+                    cur.varint()?,
+                    cur.varint()?,
+                    cur.varint()?,
+                );
+                if in_bounds {
+                    obs.on_blame(
+                        now,
+                        PacketId(p as u32),
+                        PacketBlame {
+                            queue_cycles: queue,
+                            blocked_cycles: blocked,
+                            service_cycles: service,
+                            misroute_cycles: misroute,
+                        },
+                    );
+                }
+            }
+            tag::FRAME => {
+                if let Some(offsets) = frame_tags.as_deref_mut() {
+                    offsets.push(at);
+                }
+                let len = cur.varint()? as usize;
+                let start = cur.pos;
+                let end = start.checked_add(len).ok_or(LogError::Truncated)?;
+                if end > cur.bytes.len() {
+                    return Err(LogError::Truncated);
+                }
+                let frame = crate::frame_codec::decode_frame_payload(&cur.bytes[start..end])
+                    .map_err(|why| LogError::BadFrame { offset: at, why })?;
+                cur.pos = end;
+                if in_bounds {
+                    obs.on_frame(now, &frame);
+                }
+            }
+            tag::ALERT => {
+                let (code, seq, cycle, slot, value, threshold) = (
+                    cur.varint()?,
+                    cur.varint()?,
+                    cur.varint()?,
+                    cur.opt_slot()?,
+                    cur.varint()?,
+                    cur.varint()?,
+                );
+                let kind = AlertKind::from_code(code).ok_or_else(|| LogError::BadFrame {
+                    offset: at,
+                    why: format!("unknown alert kind {code}"),
+                })?;
+                if in_bounds {
+                    obs.on_alert(
+                        now,
+                        &Alert {
+                            kind,
+                            seq,
+                            cycle,
+                            slot,
+                            value,
+                            threshold,
+                        },
+                    );
+                }
             }
             tag::FAULT => {
                 let (slot, active) = (cur.slot()?, cur.varint()?);
-                obs.on_fault(now, slot, active != 0);
+                if in_bounds {
+                    obs.on_fault(now, slot, active != 0);
+                }
             }
             tag::DROP => {
                 let (p, unroutable) = (cur.varint()?, cur.varint()?);
-                obs.on_drop(now, PacketId(p as u32), unroutable != 0);
+                if in_bounds {
+                    obs.on_drop(now, PacketId(p as u32), unroutable != 0);
+                }
             }
             tag::PURGE => {
                 let p = cur.varint()?;
-                obs.on_purge(now, PacketId(p as u32));
+                if in_bounds {
+                    obs.on_purge(now, PacketId(p as u32));
+                }
             }
-            tag::CYCLE_END => obs.on_cycle_end(now),
+            tag::CYCLE_END => {
+                if in_bounds {
+                    obs.on_cycle_end(now);
+                }
+            }
             tag::DEADLOCK => {
                 let n = cur.varint()? as usize;
                 let mut edges = Vec::with_capacity(n.min(4096));
@@ -323,61 +473,73 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
                         waits_for: cur.opt_slot()?,
                     });
                 }
-                let snapshot = DeadlockSnapshot { now, layout, edges };
-                obs.on_deadlock(now, &snapshot);
+                if in_bounds {
+                    let snapshot = DeadlockSnapshot { now, layout, edges };
+                    obs.on_deadlock(now, &snapshot);
+                }
             }
             tag::HEAL_EPOCH => {
                 let (epoch, transitions) = (cur.varint()?, cur.varint()?);
-                obs.on_heal(
-                    now,
-                    HealEvent::EpochOpen {
-                        epoch: epoch as u32,
-                        transitions: transitions as u32,
-                    },
-                );
+                if in_bounds {
+                    obs.on_heal(
+                        now,
+                        HealEvent::EpochOpen {
+                            epoch: epoch as u32,
+                            transitions: transitions as u32,
+                        },
+                    );
+                }
             }
             tag::HEAL_PROOF => {
                 let (epoch, latency, incremental, acyclic) =
                     (cur.varint()?, cur.varint()?, cur.varint()?, cur.varint()?);
-                obs.on_heal(
-                    now,
-                    HealEvent::Proof {
-                        epoch: epoch as u32,
-                        latency,
-                        incremental: incremental != 0,
-                        acyclic: acyclic != 0,
-                    },
-                );
+                if in_bounds {
+                    obs.on_heal(
+                        now,
+                        HealEvent::Proof {
+                            epoch: epoch as u32,
+                            latency,
+                            incremental: incremental != 0,
+                            acyclic: acyclic != 0,
+                        },
+                    );
+                }
             }
             tag::HEAL_CERT => {
                 let (epoch, hash) = (cur.varint()?, cur.varint()?);
-                obs.on_heal(
-                    now,
-                    HealEvent::Certificate {
-                        epoch: epoch as u32,
-                        hash,
-                    },
-                );
+                if in_bounds {
+                    obs.on_heal(
+                        now,
+                        HealEvent::Certificate {
+                            epoch: epoch as u32,
+                            hash,
+                        },
+                    );
+                }
             }
             tag::HEAL_SWAP => {
                 let epoch = cur.varint()?;
-                obs.on_heal(
-                    now,
-                    HealEvent::TableSwap {
-                        epoch: epoch as u32,
-                    },
-                );
+                if in_bounds {
+                    obs.on_heal(
+                        now,
+                        HealEvent::TableSwap {
+                            epoch: epoch as u32,
+                        },
+                    );
+                }
             }
             tag::HEAL_QUARANTINE => {
                 let (epoch, slot, on) = (cur.varint()?, cur.varint()?, cur.varint()?);
-                obs.on_heal(
-                    now,
-                    HealEvent::Quarantine {
-                        epoch: epoch as u32,
-                        slot: slot as u32,
-                        on: on != 0,
-                    },
-                );
+                if in_bounds {
+                    obs.on_heal(
+                        now,
+                        HealEvent::Quarantine {
+                            epoch: epoch as u32,
+                            slot: slot as u32,
+                            on: on != 0,
+                        },
+                    );
+                }
             }
             _ => return Err(LogError::BadTag { offset: at, tag: t }),
         }
@@ -406,6 +568,9 @@ pub fn replay<O: SimObserver>(bytes: &[u8], obs: &mut O) -> Result<LogSummary, L
             ("heal_cert", counts[16]),
             ("heal_swap", counts[17]),
             ("heal_quarantine", counts[18]),
+            ("blame", counts[19]),
+            ("frame", counts[20]),
+            ("alert", counts[21]),
         ],
     })
 }
@@ -637,5 +802,164 @@ mod tests {
         assert!(LogError::BadMagic.to_string().contains("magic"));
         assert!(LogError::ChecksumMismatch.to_string().contains("corrupt"));
         assert!(LogError::BadVersion(9).to_string().contains('9'));
+        assert!(LogError::BadFrame {
+            offset: 7,
+            why: "nope".to_string()
+        }
+        .to_string()
+        .contains("byte 7"));
+    }
+
+    /// Record the standard small run with frames at cadence 64 and return
+    /// (bytes, live frames, live alerts).
+    fn record_with_frames(
+        seed: u64,
+    ) -> (
+        Vec<u8>,
+        Vec<turnroute_sim::TelemetryFrame>,
+        Vec<turnroute_sim::Alert>,
+    ) {
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.05)
+            .seed(seed)
+            .warmup_cycles(50)
+            .measure_cycles(200)
+            .drain_cycles(200)
+            .build();
+        let log = LogObserver::start_with_frames(&mesh, &routing, &pattern, &cfg, "sim", 64);
+        let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, log);
+        sim.run();
+        let log = sim.into_observer();
+        let frames = log.frames().to_vec();
+        let alerts = log.alerts().to_vec();
+        (log.finish(), frames, alerts)
+    }
+
+    /// Collects decoded frame/alert events and re-derives frames from the
+    /// raw hook stream at the same time.
+    struct FrameCompare {
+        logged: Vec<turnroute_sim::TelemetryFrame>,
+        logged_alerts: Vec<turnroute_sim::Alert>,
+        rederived: turnroute_sim::FrameCollector,
+        blames: u64,
+    }
+
+    impl SimObserver for FrameCompare {
+        fn on_inject(&mut self, now: u64, packet: PacketId, src: NodeId, dst: NodeId, len: u32) {
+            self.rederived.on_inject(now, packet, src, dst, len);
+        }
+        fn on_flit_advance(
+            &mut self,
+            now: u64,
+            from: usize,
+            to: Option<usize>,
+            packet: PacketId,
+            is_tail: bool,
+        ) {
+            self.rederived
+                .on_flit_advance(now, from, to, packet, is_tail);
+        }
+        fn on_stall(&mut self, now: u64, slot: usize, packet: PacketId, reason: StallReason) {
+            self.rederived.on_stall(now, slot, packet, reason);
+        }
+        fn on_deliver(&mut self, now: u64, packet: PacketId, latency: u64, hops: u32) {
+            self.rederived.on_deliver(now, packet, latency, hops);
+        }
+        fn on_drop(&mut self, now: u64, packet: PacketId, unroutable: bool) {
+            self.rederived.on_drop(now, packet, unroutable);
+        }
+        fn on_purge(&mut self, now: u64, packet: PacketId) {
+            self.rederived.on_purge(now, packet);
+        }
+        fn on_heal(&mut self, now: u64, ev: HealEvent) {
+            self.rederived.on_heal(now, ev);
+        }
+        fn on_cycle_end(&mut self, now: u64) {
+            self.rederived.on_cycle_end(now);
+        }
+        fn on_blame(&mut self, _now: u64, _packet: PacketId, blame: PacketBlame) {
+            self.blames += 1;
+            assert!(blame.total() > 0);
+        }
+        fn on_frame(&mut self, _now: u64, frame: &turnroute_sim::TelemetryFrame) {
+            self.logged.push(frame.clone());
+        }
+        fn on_alert(&mut self, _now: u64, alert: &turnroute_sim::Alert) {
+            self.logged_alerts.push(*alert);
+        }
+    }
+
+    #[test]
+    fn replayed_frames_match_live_frames_exactly() {
+        let (bytes, live_frames, live_alerts) = record_with_frames(11);
+        assert!(!live_frames.is_empty());
+        let mut cmp = FrameCompare {
+            logged: Vec::new(),
+            logged_alerts: Vec::new(),
+            // Deliberately undersized: the collector must grow itself
+            // from the hook stream.
+            rederived: turnroute_sim::FrameCollector::new(1, 64),
+            blames: 0,
+        };
+        let s = replay(&bytes, &mut cmp).expect("valid log");
+        assert_eq!(cmp.logged, live_frames, "decoded frames == live frames");
+        assert_eq!(cmp.logged_alerts, live_alerts);
+        assert_eq!(
+            cmp.rederived.frames(),
+            &live_frames[..],
+            "hook-rederived frames == live frames"
+        );
+        assert_eq!(s.count("frame"), live_frames.len() as u64);
+        assert_eq!(s.count("blame"), s.count("deliver"));
+        assert_eq!(cmp.blames, s.count("deliver"));
+    }
+
+    #[test]
+    fn bounded_replay_windows_attention_not_integrity() {
+        let (bytes, _, _) = record_with_frames(11);
+        let full = summarize(&bytes).expect("valid");
+        let s = replay_bounded(&bytes, &mut NoopObserver, 100, 199).expect("valid");
+        assert_eq!(s.count("cycle_end"), 100);
+        assert!(s.events < full.events);
+        assert!(s.count("deliver") < full.count("deliver"));
+        assert_eq!(s.cycles, full.cycles, "final clock is not windowed");
+        // An empty window still validates the whole stream.
+        let empty = replay_bounded(&bytes, &mut NoopObserver, 10_000, 20_000).expect("valid");
+        assert_eq!(empty.events, 0);
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(replay_bounded(&bad, &mut NoopObserver, 10_000, 20_000).is_err());
+    }
+
+    #[test]
+    fn tampered_frame_length_is_rejected_even_behind_a_fresh_checksum() {
+        let (bytes, live_frames, _) = record_with_frames(11);
+        let offsets = frame_offsets(&bytes).expect("valid log");
+        assert_eq!(offsets.len(), live_frames.len());
+        // Shrink the first frame's declared payload length by one and
+        // re-seal the checksum: only strict frame decoding can catch it.
+        let mut bad = bytes[..bytes.len() - 8].to_vec();
+        // Nudge the declared length by one (the low bits of the first
+        // varint byte), whatever the varint's width.
+        let len_at = offsets[0] + 1;
+        if bad[len_at] & 0x7f != 0 {
+            bad[len_at] -= 1;
+        } else {
+            bad[len_at] += 1;
+        }
+        let sum = fnv1a64(&bad);
+        bad.extend_from_slice(&sum.to_le_bytes());
+        let err = verify_bytes(&bad).expect_err("tampered frame length must be rejected");
+        assert!(
+            matches!(
+                err,
+                LogError::BadFrame { .. } | LogError::BadTag { .. } | LogError::Truncated
+            ),
+            "unexpected rejection {err:?}"
+        );
     }
 }

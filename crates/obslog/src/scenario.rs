@@ -57,27 +57,59 @@ pub fn canonical(seed: u64, quick: bool) -> Scenario {
     }
 }
 
+/// The frame cadence the canonical scenario records at, by size.
+pub fn frame_cadence(quick: bool) -> u64 {
+    if quick {
+        100
+    } else {
+        250
+    }
+}
+
 /// Everything one recorded run produces.
 pub struct Recording {
-    /// The sealed binary log.
+    /// The sealed binary log (telemetry frames included).
     pub bytes: Vec<u8>,
     /// The aggregate stack that rode the run live.
     pub aggregates: ReplayableAggregates,
+    /// Telemetry frames sealed live during the run.
+    pub frames: Vec<turnroute_sim::TelemetryFrame>,
+    /// Early-warning alerts raised live during the run.
+    pub alerts: Vec<turnroute_sim::Alert>,
     /// The engine's own report.
     pub report: SimReport,
 }
 
 /// Run the canonical scenario and record it: live aggregates plus the
-/// sealed log.
+/// sealed log, with telemetry frames at the canonical cadence.
 pub fn record(seed: u64, quick: bool) -> Recording {
     let s = canonical(seed, quick);
     let layout = ChannelLayout::for_topology(&s.mesh);
-    let log = LogObserver::start(&s.mesh, &*s.routing, &s.pattern, &s.cfg, "sim");
+    let log = LogObserver::start_with_frames(
+        &s.mesh,
+        &*s.routing,
+        &s.pattern,
+        &s.cfg,
+        "sim",
+        frame_cadence(quick),
+    );
     let live = ReplayableAggregates::new(layout);
     let mut sim = Sim::with_observer(&s.mesh, &*s.routing, &s.pattern, s.cfg, (log, live));
     let report = sim.run();
-    let (log, aggregates) = sim.into_observer();
+    let (log, mut aggregates) = sim.into_observer();
+    // Frames and alerts are sealed inside the recorder, not fired through
+    // the engine's hook chain — feed them to the live aggregates so its
+    // counters match what a replay of the log reproduces.
+    use turnroute_sim::SimObserver;
+    for f in log.frames() {
+        aggregates.on_frame(f.window_end, f);
+    }
+    for a in log.alerts() {
+        aggregates.on_alert(a.cycle, a);
+    }
     Recording {
+        frames: log.frames().to_vec(),
+        alerts: log.alerts().to_vec(),
         bytes: log.finish(),
         aggregates,
         report,
@@ -100,5 +132,19 @@ mod tests {
         assert_eq!(summary.header.fault_events, 2);
         assert!(summary.count("fault") >= 2);
         assert!(a.report.delivered_packets > 0);
+        // Telemetry frames ride the canonical log: one per cadence window,
+        // and the live aggregates agree with the stream's event counts.
+        assert_eq!(summary.count("frame"), a.frames.len() as u64);
+        assert!(!a.frames.is_empty());
+        assert_eq!(summary.count("blame"), summary.count("deliver"));
+        assert_eq!(a.aggregates.frames_seen(), a.frames.len() as u64);
+        // A replayed aggregate stack matches the live one exactly, frames
+        // and blame included.
+        let s = canonical(7, true);
+        let mut replayed = ReplayableAggregates::new(ChannelLayout::for_topology(&s.mesh));
+        crate::replay::replay(&a.bytes, &mut replayed).expect("replays");
+        assert_eq!(a.aggregates.snapshot_json(), replayed.snapshot_json());
+        assert!(replayed.blamed_packets() > 0);
+        assert_eq!(replayed.blame.total(), replayed.latency.sum());
     }
 }

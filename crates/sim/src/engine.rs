@@ -2,10 +2,11 @@
 //! measurement protocol.
 
 use crate::obs::{
-    ChannelLayout, DeadlockSnapshot, NoopObserver, SimObserver, StallReason, StreamingHistogram,
-    WaitEdge,
+    ChannelLayout, DeadlockSnapshot, NoopObserver, PacketBlame, SimObserver, StallReason,
+    StreamingHistogram, WaitEdge,
 };
 use crate::profile::{Phase, PhaseProfiler};
+use crate::report::BlameTotals;
 use crate::{
     FaultTarget, InputPolicy, LengthDist, OutputPolicy, Packet, PacketId, RunTermination,
     SimConfig, SimReport,
@@ -139,6 +140,23 @@ pub struct Sim<'a, O: SimObserver = NoopObserver> {
     emitting: Vec<Option<Emitting>>,
     next_arrival: Vec<f64>,
 
+    // --- latency blame attribution (turnscope) ---
+    /// Per-packet count of in-network cycles with at least one flit
+    /// movement, current injection attempt only (reset on retry).
+    progress_cycles: Vec<u64>,
+    /// Cycle stamp deduplicating `progress_cycles` increments when
+    /// several flits of one packet move in the same cycle
+    /// (`u64::MAX` = no movement yet).
+    last_progress: Vec<u64>,
+    /// Per-packet count of progress cycles spent on non-productive
+    /// (misrouted) header moves, current injection attempt only.
+    misroute_progress: Vec<u64>,
+    /// Whether each input channel's current output binding was granted
+    /// non-productively; checked when the header leaves the channel.
+    misroute_assigned: Vec<bool>,
+    /// Blame totals accumulated over delivered window packets.
+    blame: BlameTotals,
+
     // --- measurement ---
     window: (u64, u64),
     generated_packets: u64,
@@ -260,6 +278,11 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             queues: vec![VecDeque::new(); num_nodes],
             emitting: vec![None; num_nodes],
             next_arrival: vec![0.0; num_nodes],
+            progress_cycles: Vec::new(),
+            last_progress: Vec::new(),
+            misroute_progress: Vec::new(),
+            misroute_assigned: vec![false; num_channels],
+            blame: BlameTotals::default(),
             window: (0, u64::MAX),
             generated_packets: 0,
             generated_flits: 0,
@@ -441,6 +464,9 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 .push_back((self.now + self.cfg.packet_timeout, id));
             self.retry_counts.push(0);
         }
+        self.progress_cycles.push(0);
+        self.last_progress.push(u64::MAX);
+        self.misroute_progress.push(0);
         self.queues[src.index()].push_back(id);
         if self.cfg.record_paths {
             self.paths.push(vec![src]);
@@ -655,11 +681,13 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             measure_cycles: me.saturating_sub(ms),
             avg_latency_cycles: hist.mean(),
             p50_latency_cycles: hist.p50() as f64,
+            p90_latency_cycles: hist.p90() as f64,
             p99_latency_cycles: hist.p99() as f64,
             max_latency_cycles: hist.max(),
             avg_network_latency_cycles: avg(network_sum, delivered),
             avg_hops: avg(hops_sum, delivered),
             avg_misroutes: avg(misroute_sum, delivered),
+            blame: self.blame,
             total_stall_cycles: self.total_stall_cycles,
             queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
             max_queue_len: self.max_queue_len,
@@ -669,6 +697,16 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             deadlocked: self.deadlocked,
             termination: if self.deadlocked {
                 RunTermination::Deadlock
+            } else if self.generated_packets
+                > delivered + self.dropped_packets + self.unroutable_packets
+            {
+                // Part of the measured cohort was still queued or in
+                // flight at the horizon: the network never drained the
+                // measured load (saturation collapse), which is what the
+                // turnscope detectors are meant to call ahead of time.
+                // (Packets generated *after* the window — the drain phase
+                // keeps injecting — do not count against completion.)
+                RunTermination::Timeout
             } else {
                 RunTermination::Completed
             },
@@ -765,6 +803,12 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 p.injected = None;
                 p.hops = 0;
                 p.misroutes = 0;
+                // Blame restarts with the attempt: queue wait absorbs the
+                // failed attempt's time (queue = injected − created uses
+                // the *final* injection cycle).
+                self.progress_cycles[pid as usize] = 0;
+                self.last_progress[pid as usize] = u64::MAX;
+                self.misroute_progress[pid as usize] = 0;
                 self.queues[p.src.index()].push_back(pid);
                 self.deadlines
                     .push_back((self.now + self.cfg.packet_timeout, pid));
@@ -910,6 +954,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             if self.owner[ej] == NONE_U32 && !self.unusable(ej) {
                 self.assigned_out[c] = ej as u32;
                 self.owner[ej] = flit.packet;
+                self.misroute_assigned[c] = false;
             }
             return;
         }
@@ -1003,6 +1048,7 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         let (dir, slot, productive) = pick;
         self.assigned_out[c] = slot as u32;
         self.owner[slot] = flit.packet;
+        self.misroute_assigned[c] = !productive;
         if O::ENABLED {
             if let Some(arr) = arrived {
                 self.obs
@@ -1144,6 +1190,14 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 self.occupied_buffers -= 1;
             }
             self.last_move = self.now;
+            // Blame: this cycle made forward progress for the flit's
+            // packet (stamp deduplicates several flits of one worm
+            // moving in the same cycle).
+            let pidx = flit.packet as usize;
+            if self.last_progress[pidx] != self.now {
+                self.last_progress[pidx] = self.now;
+                self.progress_cycles[pidx] += 1;
+            }
             if self.is_ejection(c) {
                 if in_window {
                     self.delivered_flits_in_window += 1;
@@ -1159,11 +1213,30 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 }
                 if flit.is_tail {
                     self.owner[c] = NONE_U32;
-                    let p = &mut self.packets[flit.packet as usize];
+                    let p = &mut self.packets[pidx];
                     p.delivered = Some(self.now);
                     let (id, created, hops) = (p.id, p.created, p.hops);
+                    let injected = p.injected.expect("delivered packet was injected");
+                    let latency = self.now - created;
+                    let in_network = self.now - injected;
+                    let progress = self.progress_cycles[pidx];
+                    let misroute = self.misroute_progress[pidx];
+                    let blame = PacketBlame {
+                        queue_cycles: injected - created,
+                        blocked_cycles: in_network - progress,
+                        service_cycles: progress - misroute,
+                        misroute_cycles: misroute,
+                    };
+                    debug_assert_eq!(blame.total(), latency);
+                    if created >= self.window.0 && created < self.window.1 {
+                        self.blame.queue_cycles += blame.queue_cycles;
+                        self.blame.blocked_cycles += blame.blocked_cycles;
+                        self.blame.service_cycles += blame.service_cycles;
+                        self.blame.misroute_cycles += blame.misroute_cycles;
+                    }
                     if O::ENABLED {
-                        self.obs.on_deliver(self.now, id, self.now - created, hops);
+                        self.obs.on_deliver(self.now, id, latency, hops);
+                        self.obs.on_blame(self.now, id, blame);
                     }
                 }
             } else {
@@ -1174,6 +1247,13 @@ impl<'a, O: SimObserver> Sim<'a, O> {
                 }
                 if flit.is_head {
                     self.head_since[o] = self.now;
+                    // The header crossing a non-productively granted
+                    // channel marks this progress cycle as misroute
+                    // penalty (the head moves at most once per cycle, so
+                    // misroute progress never exceeds total progress).
+                    if self.misroute_assigned[c] {
+                        self.misroute_progress[pidx] += 1;
+                    }
                 }
                 if self.buf[o].is_empty() {
                     self.occupied_buffers += 1;
@@ -1892,6 +1972,60 @@ mod tests {
         assert!(p.injected.is_none());
         assert!(p.dropped.is_some());
         assert_eq!(report.unroutable_packets, 1);
+    }
+
+    #[test]
+    fn blame_identity_and_report_totals_match_latencies() {
+        struct Blames(Vec<(PacketId, PacketBlame)>);
+        impl SimObserver for Blames {
+            fn on_blame(&mut self, _now: u64, packet: PacketId, blame: PacketBlame) {
+                self.0.push((packet, blame));
+            }
+        }
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.20)
+            .warmup_cycles(100)
+            .measure_cycles(800)
+            .drain_cycles(2_000)
+            .seed(11)
+            .build();
+        let mut sim = Sim::with_observer(&mesh, &routing, &pattern, cfg, Blames(Vec::new()));
+        let report = sim.run();
+        assert!(report.delivered_packets > 50, "{report}");
+        let blames = std::mem::take(&mut sim.observer_mut().0);
+        assert!(!blames.is_empty());
+        let mut window_total = 0u64;
+        for &(id, blame) in &blames {
+            let p = sim.packets()[id.index()];
+            assert_eq!(
+                blame.total(),
+                p.latency().expect("blamed packets were delivered"),
+                "blame identity broken for {id:?}"
+            );
+            if p.created >= 100 && p.created < 900 {
+                window_total += blame.total();
+            }
+        }
+        // The report's blame totals cover exactly the delivered window
+        // packets, so they sum to that cohort's total latency mass.
+        assert_eq!(report.blame.total(), window_total);
+        assert!(report.blame.queue_cycles > 0, "{report}");
+        assert!(report.blame.service_cycles > 0, "{report}");
+    }
+
+    #[test]
+    fn saturated_run_times_out_instead_of_completing() {
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = crate::harness::saturating_config(5, 400, 10_000);
+        let report = Sim::new(&mesh, &routing, &pattern, cfg).run();
+        assert_eq!(report.termination, crate::RunTermination::Timeout);
+        assert!(!report.deadlocked);
+        assert!(report.queued_at_end > 0, "{report}");
     }
 
     #[test]

@@ -62,9 +62,10 @@ pub use config::{LengthDist, SimConfig, SimConfigBuilder, CYCLES_PER_MICROSEC};
 pub use engine::Sim;
 pub use fault::{Fault, FaultEvent, FaultPlan, FaultTarget};
 pub use obs::{
-    HealEvent, InvariantObserver, InvariantSummary, NoopObserver, SimObserver, Telemetry,
+    Alert, AlertKind, DetectorBank, DetectorConfig, FrameCollector, HealEvent, InvariantObserver,
+    InvariantSummary, NoopObserver, PacketBlame, SimObserver, Telemetry, TelemetryFrame,
 };
 pub use packet::{Packet, PacketId};
 pub use policies::{InputPolicy, OutputPolicy};
 pub use profile::{Phase, PhaseProfiler};
-pub use report::{RunTermination, SimReport};
+pub use report::{BlameTotals, RunTermination, SimReport};

@@ -1,0 +1,446 @@
+//! Early-warning watermark detectors over the telemetry frame stream.
+//!
+//! A [`DetectorBank`] consumes sealed [`TelemetryFrame`]s in order and
+//! emits [`Alert`]s when congestion signatures persist across consecutive
+//! windows — *ahead* of the terminal symptoms (deadlock detection,
+//! lifetime timeouts) those signatures precede. Three detectors:
+//!
+//! * **credit starvation** — one channel blocked for ≥ a fraction of the
+//!   window, for several consecutive windows: a worm is pinned and
+//!   everything behind it is accumulating.
+//! * **blocked-mass growth** — the total blocked-cycle mass strictly
+//!   rising across consecutive windows above a floor: the congestion
+//!   tree is expanding instead of draining.
+//! * **delivered-fraction sag** — deliveries per window falling under a
+//!   fraction of injections while injection pressure persists: the
+//!   network has stopped keeping up with offered load.
+//!
+//! Detectors are pure functions of the frame stream, so they replay
+//! deterministically: the alerts a recorded run logged are exactly the
+//! alerts a fresh bank re-derives from the replayed frames.
+//!
+//! # Trust boundary
+//!
+//! Like every replay-derived statistic, alerts are evidence about the
+//! *hook stream*, not the engine: a bank re-driven from a log can only
+//! be as honest as the recorder. Thresholds are tuned to stay silent on
+//! clean sustainable-load runs and to fire during the approach to
+//! saturation collapse; they are watermarks, not proofs — a silent bank
+//! does not certify liveness (the certificate machinery does that).
+
+use super::frame::TelemetryFrame;
+
+/// Which detector tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertKind {
+    /// One channel spent ≥ the threshold fraction of the window blocked,
+    /// for the configured number of consecutive windows.
+    CreditStarvation,
+    /// Total blocked-cycle mass rose strictly across the configured
+    /// number of consecutive windows, ending above the floor.
+    BlockedMassGrowth,
+    /// Deliveries fell under the threshold fraction of injections for
+    /// the configured number of consecutive windows.
+    DeliveredSag,
+}
+
+impl AlertKind {
+    /// Stable lowercase name (used in JSON exports and log rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertKind::CreditStarvation => "credit_starvation",
+            AlertKind::BlockedMassGrowth => "blocked_mass_growth",
+            AlertKind::DeliveredSag => "delivered_sag",
+        }
+    }
+
+    /// Stable wire code for the log codec.
+    pub fn code(self) -> u64 {
+        match self {
+            AlertKind::CreditStarvation => 0,
+            AlertKind::BlockedMassGrowth => 1,
+            AlertKind::DeliveredSag => 2,
+        }
+    }
+
+    /// Inverse of [`AlertKind::code`].
+    pub fn from_code(code: u64) -> Option<AlertKind> {
+        match code {
+            0 => Some(AlertKind::CreditStarvation),
+            1 => Some(AlertKind::BlockedMassGrowth),
+            2 => Some(AlertKind::DeliveredSag),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One early-warning event, anchored to the frame that tripped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alert {
+    /// The detector that fired.
+    pub kind: AlertKind,
+    /// Sequence number of the tripping frame.
+    pub seq: u64,
+    /// Last cycle of the tripping frame's window.
+    pub cycle: u64,
+    /// The implicated channel slot (starvation only).
+    pub slot: Option<usize>,
+    /// The observed metric: blocked fraction in ppm (starvation),
+    /// blocked-cycle mass (growth), delivered fraction in ppm (sag).
+    pub value: u64,
+    /// The configured threshold the metric crossed.
+    pub threshold: u64,
+}
+
+impl Alert {
+    /// The alert as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"{}\",\"seq\":{},\"cycle\":{},\"slot\":{},\"value\":{},\"threshold\":{}}}",
+            self.kind.name(),
+            self.seq,
+            self.cycle,
+            match self.slot {
+                Some(s) => s.to_string(),
+                None => "null".into(),
+            },
+            self.value,
+            self.threshold
+        )
+    }
+}
+
+/// Detector thresholds. The defaults are tuned to stay silent on clean
+/// sustainable-load runs (delivered fraction ≈ 1) and to fire during the
+/// approach to saturation collapse, well before timeout/deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Starvation: blocked fraction of the window, in ppm.
+    pub starvation_ppm: u64,
+    /// Starvation: consecutive qualifying windows required.
+    pub starvation_windows: u32,
+    /// Growth: consecutive strict increases of blocked mass required.
+    pub slope_windows: u32,
+    /// Growth: the final mass must also be at least this many
+    /// blocked cycles (suppresses trivial 1→2→3 ramps in light runs).
+    pub slope_floor: u64,
+    /// Sag: delivered/injected floor, in ppm.
+    pub sag_ppm: u64,
+    /// Sag: consecutive qualifying windows required.
+    pub sag_windows: u32,
+    /// Sag: windows with fewer injections than this are ignored (drain
+    /// phases and trickle loads cannot sag).
+    pub sag_min_injected: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> DetectorConfig {
+        DetectorConfig {
+            starvation_ppm: 900_000,
+            starvation_windows: 3,
+            slope_windows: 3,
+            slope_floor: 512,
+            sag_ppm: 500_000,
+            sag_windows: 3,
+            sag_min_injected: 16,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Thresholds scaled to a network and frame cadence.
+    ///
+    /// The defaults suit the small canonical CI scenario. On larger
+    /// meshes with long wormhole packets, healthy runs show *bursty*
+    /// per-window blocked mass — one stalled multi-flit packet can hold
+    /// a channel for most of a window — so the growth floor scales with
+    /// total channel-cycles per window (one-eighth of them blocked) and
+    /// both persistence streaks lengthen. Saturation collapse blows past
+    /// these within a few windows; transient congestion does not.
+    pub fn for_network(num_channels: usize, cadence: u64) -> DetectorConfig {
+        DetectorConfig {
+            starvation_windows: 5,
+            slope_windows: 4,
+            slope_floor: ((num_channels as u64) * cadence / 8).max(512),
+            ..DetectorConfig::default()
+        }
+    }
+}
+
+/// Watermark detectors over a frame stream. Feed frames in sequence
+/// order with [`DetectorBank::push`]; each call returns the alerts that
+/// frame tripped (usually none). A detector that fires re-arms — its
+/// streak restarts — so a long collapse produces a bounded alert train,
+/// not one alert per frame.
+#[derive(Debug, Clone)]
+pub struct DetectorBank {
+    cfg: DetectorConfig,
+    starve_streak: Vec<u32>,
+    blocked_scratch: Vec<u64>,
+    slope_streak: u32,
+    last_mass: Option<u64>,
+    sag_streak: u32,
+    alerts_emitted: u64,
+}
+
+impl DetectorBank {
+    /// A bank with default thresholds over `num_channels` slots.
+    pub fn new(num_channels: usize) -> DetectorBank {
+        DetectorBank::with_config(num_channels, DetectorConfig::default())
+    }
+
+    /// A bank with explicit thresholds.
+    pub fn with_config(num_channels: usize, cfg: DetectorConfig) -> DetectorBank {
+        DetectorBank {
+            cfg,
+            starve_streak: vec![0; num_channels],
+            blocked_scratch: vec![0; num_channels],
+            slope_streak: 0,
+            last_mass: None,
+            sag_streak: 0,
+            alerts_emitted: 0,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Total alerts emitted so far.
+    pub fn alerts_emitted(&self) -> u64 {
+        self.alerts_emitted
+    }
+
+    /// Consume one frame; returns the alerts it tripped, starvation
+    /// (slot-ascending) first, then growth, then sag — a deterministic
+    /// order, so recorded and replayed alert streams compare bytewise.
+    pub fn push(&mut self, frame: &TelemetryFrame) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let window = frame.window_len();
+
+        // Credit starvation: per-channel persistence. Growth is driven by
+        // the frame content itself, so a bank re-driven from a replayed
+        // frame stream sizes (and therefore fires) identically.
+        if let Some(max_slot) = frame.channels.iter().map(|c| c.slot).max() {
+            if max_slot >= self.starve_streak.len() {
+                self.starve_streak.resize(max_slot + 1, 0);
+                self.blocked_scratch.resize(max_slot + 1, 0);
+            }
+        }
+        for c in &frame.channels {
+            self.blocked_scratch[c.slot] = c.blocked;
+        }
+        for slot in 0..self.starve_streak.len() {
+            let blocked = self.blocked_scratch[slot];
+            let ppm = blocked * 1_000_000 / window.max(1);
+            if ppm >= self.cfg.starvation_ppm {
+                self.starve_streak[slot] += 1;
+                if self.starve_streak[slot] >= self.cfg.starvation_windows {
+                    alerts.push(Alert {
+                        kind: AlertKind::CreditStarvation,
+                        seq: frame.seq,
+                        cycle: frame.window_end,
+                        slot: Some(slot),
+                        value: ppm,
+                        threshold: self.cfg.starvation_ppm,
+                    });
+                    self.starve_streak[slot] = 0;
+                }
+            } else {
+                self.starve_streak[slot] = 0;
+            }
+        }
+        for c in &frame.channels {
+            self.blocked_scratch[c.slot] = 0;
+        }
+
+        // Blocked-mass growth slope.
+        let mass = frame.blocked_mass();
+        if let Some(last) = self.last_mass {
+            if mass > last {
+                self.slope_streak += 1;
+                if self.slope_streak >= self.cfg.slope_windows && mass >= self.cfg.slope_floor {
+                    alerts.push(Alert {
+                        kind: AlertKind::BlockedMassGrowth,
+                        seq: frame.seq,
+                        cycle: frame.window_end,
+                        slot: None,
+                        value: mass,
+                        threshold: self.cfg.slope_floor,
+                    });
+                    self.slope_streak = 0;
+                }
+            } else {
+                self.slope_streak = 0;
+            }
+        }
+        self.last_mass = Some(mass);
+
+        // Delivered-fraction sag.
+        if frame.injected_packets >= self.cfg.sag_min_injected {
+            let ppm = frame.delivered_packets * 1_000_000 / frame.injected_packets;
+            if ppm < self.cfg.sag_ppm {
+                self.sag_streak += 1;
+                if self.sag_streak >= self.cfg.sag_windows {
+                    alerts.push(Alert {
+                        kind: AlertKind::DeliveredSag,
+                        seq: frame.seq,
+                        cycle: frame.window_end,
+                        slot: None,
+                        value: ppm,
+                        threshold: self.cfg.sag_ppm,
+                    });
+                    self.sag_streak = 0;
+                }
+            } else {
+                self.sag_streak = 0;
+            }
+        } else {
+            self.sag_streak = 0;
+        }
+
+        self.alerts_emitted += alerts.len() as u64;
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::frame::ChannelWindow;
+    use crate::obs::StreamingHistogram;
+
+    fn frame(seq: u64, window: u64, channels: Vec<ChannelWindow>) -> TelemetryFrame {
+        TelemetryFrame {
+            seq,
+            window_start: seq * window,
+            window_end: (seq + 1) * window - 1,
+            injected_packets: 0,
+            delivered_packets: 0,
+            dropped_packets: 0,
+            in_flight_packets: 0,
+            open_heal_epochs: 0,
+            latency: StreamingHistogram::new(),
+            channels,
+        }
+    }
+
+    #[test]
+    fn starvation_requires_persistence_and_rearms() {
+        let mut bank = DetectorBank::new(8);
+        let stuck = |seq| {
+            frame(
+                seq,
+                100,
+                vec![ChannelWindow {
+                    slot: 2,
+                    util: 0,
+                    blocked: 95,
+                }],
+            )
+        };
+        assert!(bank.push(&stuck(0)).is_empty());
+        assert!(bank.push(&stuck(1)).is_empty());
+        let alerts = bank.push(&stuck(2));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::CreditStarvation);
+        assert_eq!(alerts[0].slot, Some(2));
+        assert_eq!(alerts[0].value, 950_000);
+        // Re-armed: the next two windows are silent again.
+        assert!(bank.push(&stuck(3)).is_empty());
+        assert!(bank.push(&stuck(4)).is_empty());
+        assert_eq!(bank.push(&stuck(5)).len(), 1);
+        // A clean window breaks the streak.
+        assert!(bank.push(&frame(6, 100, vec![])).is_empty());
+        assert!(bank.push(&stuck(7)).is_empty());
+        assert_eq!(bank.alerts_emitted(), 2);
+    }
+
+    #[test]
+    fn blocked_mass_growth_needs_slope_and_floor() {
+        // 1000-cycle windows keep every per-channel blocked fraction
+        // under the starvation watermark, isolating the slope detector.
+        let mut bank = DetectorBank::new(8);
+        let massy = |seq, blocked| {
+            frame(
+                seq,
+                1_000,
+                vec![ChannelWindow {
+                    slot: 0,
+                    util: 0,
+                    blocked,
+                }],
+            )
+        };
+        // Strictly growing but tiny: floor suppresses it.
+        for (i, m) in [1u64, 2, 3, 4, 5, 6].iter().enumerate() {
+            assert!(bank.push(&massy(i as u64, *m)).is_empty(), "window {i}");
+        }
+        // Reset the slope, then grow past the floor.
+        bank.push(&massy(6, 1));
+        assert!(bank.push(&massy(7, 300)).is_empty());
+        assert!(bank.push(&massy(8, 500)).is_empty());
+        let alerts = bank.push(&massy(9, 800));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::BlockedMassGrowth);
+        assert_eq!(alerts[0].value, 800);
+    }
+
+    #[test]
+    fn sag_ignores_trickle_and_drain_windows() {
+        let mut bank = DetectorBank::new(4);
+        let sagging = |seq, injected, delivered| {
+            let mut f = frame(seq, 100, vec![]);
+            f.injected_packets = injected;
+            f.delivered_packets = delivered;
+            f
+        };
+        // Below min_injected: never counts.
+        for i in 0..6 {
+            assert!(bank.push(&sagging(i, 5, 0)).is_empty());
+        }
+        // Real pressure, real sag: fires after the streak.
+        assert!(bank.push(&sagging(6, 40, 10)).is_empty());
+        assert!(bank.push(&sagging(7, 40, 12)).is_empty());
+        let alerts = bank.push(&sagging(8, 40, 11));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::DeliveredSag);
+        assert_eq!(alerts[0].value, 275_000);
+        // Healthy windows keep it silent.
+        for i in 9..15 {
+            assert!(bank.push(&sagging(i, 40, 40)).is_empty());
+        }
+    }
+
+    #[test]
+    fn alert_json_and_codes_round_trip() {
+        for kind in [
+            AlertKind::CreditStarvation,
+            AlertKind::BlockedMassGrowth,
+            AlertKind::DeliveredSag,
+        ] {
+            assert_eq!(AlertKind::from_code(kind.code()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(AlertKind::from_code(9), None);
+        let a = Alert {
+            kind: AlertKind::DeliveredSag,
+            seq: 4,
+            cycle: 499,
+            slot: None,
+            value: 100_000,
+            threshold: 500_000,
+        };
+        assert!(crate::obs::json::validate(&a.to_json()), "{}", a.to_json());
+        let b = Alert { slot: Some(7), ..a };
+        assert!(crate::obs::json::validate(&b.to_json()), "{}", b.to_json());
+        assert!(b.to_json().contains("\"slot\":7"));
+    }
+}

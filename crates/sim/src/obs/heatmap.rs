@@ -74,6 +74,23 @@ impl ChannelHeatmap {
         v
     }
 
+    /// The `k` channels carrying the most *blocked-cycle mass* — cycles
+    /// an occupied buffer failed to advance a flit — as
+    /// `(slot, stall_cycles, load)`, heaviest first. Unlike
+    /// [`ChannelHeatmap::hottest_channels`] this ranks every slot
+    /// (injection backpressure counts as blocked mass too) and orders by
+    /// stall time rather than load: it answers *where latency blame
+    /// accumulates*, not where traffic flows.
+    pub fn blocked_mass_ranking(&self, k: usize) -> Vec<(usize, u64, u64)> {
+        let mut v: Vec<(usize, u64, u64)> = (0..self.layout.num_channels)
+            .filter(|&s| self.stall_cycles(s) > 0)
+            .map(|s| (s, self.stall_cycles(s), self.load[s]))
+            .collect();
+        v.sort_by_key(|&(s, stall, load)| (std::cmp::Reverse((stall, load)), s));
+        v.truncate(k);
+        v
+    }
+
     /// Total network-channel load leaving each node's router.
     fn node_loads(&self) -> Vec<u64> {
         let mut per_node = vec![0u64; self.layout.num_nodes];
@@ -184,6 +201,29 @@ mod tests {
         let hot = h.hottest_channels(10);
         assert_eq!(hot[0].0, 5);
         assert!(crate::obs::json::validate(&h.to_json()));
+    }
+
+    #[test]
+    fn blocked_mass_ranks_by_stall_time() {
+        let layout = ChannelLayout::new(4, 2);
+        let mut h = ChannelHeatmap::new(layout);
+        // Slot 9 carries the most traffic but slot 5 blocks the longest;
+        // the blame ranking must put 5 first, the load ranking 9.
+        for _ in 0..5 {
+            h.on_flit_advance(0, 0, Some(9), PacketId(0), false);
+        }
+        for c in 0..3 {
+            h.on_stall(c, 5, PacketId(1), StallReason::Backpressure);
+        }
+        h.on_stall(0, 9, PacketId(0), StallReason::NotRouted);
+        // Injection slots participate: stalled sources are blame too.
+        h.on_stall(0, layout.inj_base, PacketId(2), StallReason::Backpressure);
+        let ranked = h.blocked_mass_ranking(10);
+        assert_eq!(ranked[0], (5, 3, 0));
+        assert_eq!(ranked[1], (9, 1, 5));
+        assert_eq!(ranked[2], (layout.inj_base, 1, 0));
+        assert_eq!(h.blocked_mass_ranking(1).len(), 1);
+        assert_eq!(h.hottest_channels(1)[0].0, 9);
     }
 
     #[test]

@@ -138,6 +138,11 @@ impl StreamingHistogram {
         self.quantile(0.50)
     }
 
+    /// 90th percentile (see [`StreamingHistogram::quantile`]).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
     /// 99th percentile (see [`StreamingHistogram::quantile`]).
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
@@ -155,6 +160,41 @@ impl StreamingHistogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as raw `(bucket index, count)` pairs — the exact
+    /// internal representation, for codecs that must round-trip the
+    /// histogram bit-identically (see [`StreamingHistogram::from_raw`]).
+    pub fn raw_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(b, &c)| (b as u64, c))
+    }
+
+    /// Rebuild a histogram from its exact parts: `sum`, `min`, `max`, and
+    /// the non-empty raw `(bucket index, count)` pairs, as produced by
+    /// [`StreamingHistogram::sum`]/[`StreamingHistogram::min`]/
+    /// [`StreamingHistogram::max`]/[`StreamingHistogram::raw_buckets`].
+    /// The result compares equal to the original. Empty pairs rebuild the
+    /// empty histogram regardless of the scalar arguments.
+    pub fn from_raw(sum: u64, min: u64, max: u64, pairs: &[(u64, u64)]) -> StreamingHistogram {
+        let mut h = StreamingHistogram::new();
+        for &(b, c) in pairs {
+            let b = b as usize;
+            if b >= h.counts.len() {
+                h.counts.resize(b + 1, 0);
+            }
+            h.counts[b] += c;
+            h.count += c;
+        }
+        if h.count > 0 {
+            h.sum = sum;
+            h.min = min;
+            h.max = max;
+        }
+        h
     }
 
     /// Non-empty buckets as `(lower, upper, count)` triples.
@@ -304,6 +344,35 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn raw_buckets_round_trip_exactly() {
+        let mut h = StreamingHistogram::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            h.record(rng.gen_range(0u64..1_000_000));
+        }
+        let pairs: Vec<(u64, u64)> = h.raw_buckets().collect();
+        let back = StreamingHistogram::from_raw(h.sum(), h.min(), h.max(), &pairs);
+        assert_eq!(back, h);
+        assert_eq!(back.p90(), h.p90());
+        // Empty round trip: no pairs rebuilds the pristine empty state.
+        let empty = StreamingHistogram::from_raw(0, 0, 0, &[]);
+        assert_eq!(empty, StreamingHistogram::new());
+    }
+
+    #[test]
+    fn p90_sits_between_p50_and_p99() {
+        let mut h = StreamingHistogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p90());
+        assert!(h.p90() <= h.p99());
+        // Nearest-rank p90 of 1..=1000 is 900; bucketed answer is the
+        // holding bucket's upper bound, within ~3%.
+        assert!(h.p90() >= 900 && h.p90() <= 930, "p90={}", h.p90());
     }
 
     #[test]

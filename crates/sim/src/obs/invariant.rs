@@ -14,7 +14,13 @@
 //!   packet (the wormhole ownership invariant);
 //! * **no teleport** — a flit can only leave the *front* of the buffer it
 //!   actually occupies, in FIFO order, and each channel moves at most one
-//!   flit per cycle in each direction (the unit-bandwidth invariant).
+//!   flit per cycle in each direction (the unit-bandwidth invariant);
+//! * **latency blame identity** — every [`SimObserver::on_blame`]
+//!   decomposition must sum exactly to the delivery's latency, and each
+//!   component is re-derived from the raw hook stream: the queue share
+//!   from the injection stamp, the service + misroute share from distinct
+//!   cycles with flit movement, the blocked share as the in-network
+//!   remainder.
 //!
 //! The observer never panics; violations accumulate as human-readable
 //! strings so a harness can choose between [`InvariantObserver::is_clean`]
@@ -24,10 +30,11 @@
 //! (`VcSim::with_observer`), and composes with other collectors via the
 //! tuple impl.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-use super::{ChannelLayout, SimObserver};
+use super::{ChannelLayout, PacketBlame, SimObserver};
 use crate::PacketId;
+use turnroute_topology::NodeId;
 
 /// Cap on recorded violation messages; past this, only the count grows.
 const MAX_RECORDED: usize = 64;
@@ -36,6 +43,16 @@ const MAX_RECORDED: usize = 64;
 struct ShadowFlit {
     packet: u32,
     is_tail: bool,
+}
+
+/// Per-packet state for re-deriving the blame decomposition from raw
+/// hooks: when the packet (last) started injecting, the last cycle any of
+/// its flits moved, and how many distinct movement cycles it has seen.
+#[derive(Debug, Clone, Copy)]
+struct BlameShadow {
+    injected: u64,
+    last_move: u64,
+    progress: u64,
 }
 
 /// Counters summarizing what the sanitizer audited.
@@ -51,6 +68,9 @@ pub struct InvariantSummary {
     pub in_flight_flits: u64,
     /// Cycles whose end-of-cycle conservation audit ran.
     pub audited_cycles: u64,
+    /// Delivered-packet blame decompositions audited against the raw
+    /// hook stream.
+    pub blamed_packets: u64,
     /// Total violations detected (recorded messages are capped).
     pub violations: u64,
 }
@@ -66,6 +86,12 @@ pub struct InvariantObserver {
     /// (`u64::MAX` = never), for the one-flit-per-cycle check.
     last_push: Vec<u64>,
     last_pop: Vec<u64>,
+    /// In-flight packets' blame shadows, keyed by packet id; entries are
+    /// created at injection and retired at blame audit or purge.
+    blame_shadow: HashMap<u32, BlameShadow>,
+    /// The most recent delivery `(packet, cycle, latency)`, held for the
+    /// immediately following blame decomposition.
+    last_deliver: Option<(u32, u64, u64)>,
     summary: InvariantSummary,
     recorded: Vec<String>,
 }
@@ -84,6 +110,8 @@ impl InvariantObserver {
             shadow: vec![VecDeque::new(); layout.num_channels],
             last_push: vec![u64::MAX; layout.num_channels],
             last_pop: vec![u64::MAX; layout.num_channels],
+            blame_shadow: HashMap::new(),
+            last_deliver: None,
             summary: InvariantSummary::default(),
             recorded: Vec::new(),
         }
@@ -202,6 +230,20 @@ impl InvariantObserver {
 }
 
 impl SimObserver for InvariantObserver {
+    fn on_inject(&mut self, now: u64, packet: PacketId, _src: NodeId, _dst: NodeId, _len: u32) {
+        // A retry re-fires this hook; overwriting restarts the in-network
+        // clock, matching the engine's own counter reset (the failed
+        // attempt folds into the queue share).
+        self.blame_shadow.insert(
+            packet.0,
+            BlameShadow {
+                injected: now,
+                last_move: u64::MAX,
+                progress: 0,
+            },
+        );
+    }
+
     fn on_flit_source(&mut self, now: u64, slot: usize, packet: PacketId, is_tail: bool) {
         if slot < self.shadow.len() && !self.layout.is_injection(slot) {
             self.record(format!(
@@ -223,6 +265,12 @@ impl SimObserver for InvariantObserver {
     }
 
     fn on_flit_advance(&mut self, now: u64, from: usize, to: Option<usize>, p: PacketId, t: bool) {
+        if let Some(b) = self.blame_shadow.get_mut(&p.0) {
+            if b.last_move != now {
+                b.last_move = now;
+                b.progress += 1;
+            }
+        }
         let popped = self.shadow_pop(now, from, p.0, t);
         match to {
             Some(o) => self.shadow_push(
@@ -249,8 +297,80 @@ impl SimObserver for InvariantObserver {
         }
     }
 
+    fn on_deliver(&mut self, now: u64, packet: PacketId, latency: u64, _hops: u32) {
+        self.last_deliver = Some((packet.0, now, latency));
+    }
+
+    fn on_blame(&mut self, now: u64, packet: PacketId, blame: PacketBlame) {
+        self.summary.blamed_packets += 1;
+        let Some((pid, dnow, latency)) = self.last_deliver.take() else {
+            self.record(format!(
+                "cycle {now}: blame for packet {} without a preceding delivery",
+                packet.0
+            ));
+            return;
+        };
+        if pid != packet.0 || dnow != now {
+            self.record(format!(
+                "cycle {now}: blame for packet {} does not match the last delivery \
+                 (packet {pid} at cycle {dnow})",
+                packet.0
+            ));
+            return;
+        }
+        if blame.total() != latency {
+            self.record(format!(
+                "cycle {now}: blame identity violated for packet {}: components sum to {} \
+                 but latency is {latency}",
+                packet.0,
+                blame.total()
+            ));
+        }
+        // Re-derive each component from the raw hook stream. All checks
+        // are phrased as additions so a corrupt decomposition cannot
+        // underflow the audit itself.
+        let Some(shadow) = self.blame_shadow.remove(&packet.0) else {
+            self.record(format!(
+                "cycle {now}: blame for packet {} which was never injected",
+                packet.0
+            ));
+            return;
+        };
+        let network = now.saturating_sub(shadow.injected);
+        if blame.queue_cycles + network != latency {
+            self.record(format!(
+                "cycle {now}: packet {}'s queue share is {} but latency {latency} minus \
+                 {network} in-network cycles leaves {}",
+                packet.0,
+                blame.queue_cycles,
+                latency.saturating_sub(network)
+            ));
+        }
+        if blame.service_cycles + blame.misroute_cycles != shadow.progress {
+            self.record(format!(
+                "cycle {now}: packet {} moved flits on {} distinct cycles but blame claims \
+                 {} service + {} misroute",
+                packet.0, shadow.progress, blame.service_cycles, blame.misroute_cycles
+            ));
+        }
+        if blame.blocked_cycles + shadow.progress != network {
+            self.record(format!(
+                "cycle {now}: packet {}'s blocked share is {} but {network} in-network cycles \
+                 minus {} movement cycles leaves {}",
+                packet.0,
+                blame.blocked_cycles,
+                shadow.progress,
+                network.saturating_sub(shadow.progress)
+            ));
+        }
+    }
+
     fn on_purge(&mut self, now: u64, packet: PacketId) {
         let _ = now;
+        // The engine resets its per-packet blame counters on retry and
+        // re-fires `on_inject` if the packet re-enters; dropping the
+        // shadow here mirrors both the retry and the drop path.
+        self.blame_shadow.remove(&packet.0);
         let mut removed = 0u64;
         for buf in &mut self.shadow {
             let before = buf.len();
@@ -350,6 +470,73 @@ mod tests {
         o.on_cycle_end(0);
         assert!(!o.is_clean());
         assert!(o.violations().iter().any(|v| v.contains("conservation")));
+    }
+
+    #[test]
+    fn consistent_blame_stream_stays_clean() {
+        let mut o = obs();
+        let l = ChannelLayout::new(4, 2);
+        let (inj, ej) = (l.inj_base, l.ej_base);
+        // Packet 7, created cycle 0, injected cycle 2, single flit.
+        // Moves on cycles 3 (inj -> ej) and 5 (consumed): progress 2,
+        // network 3, blocked 1, queue 2, latency 5.
+        o.on_inject(2, PacketId(7), NodeId(0), NodeId(1), 1);
+        o.on_flit_source(2, inj, PacketId(7), true);
+        o.on_flit_advance(3, inj, Some(ej), PacketId(7), true);
+        o.on_flit_advance(5, ej, None, PacketId(7), true);
+        o.on_deliver(5, PacketId(7), 5, 1);
+        o.on_blame(
+            5,
+            PacketId(7),
+            PacketBlame {
+                queue_cycles: 2,
+                blocked_cycles: 1,
+                service_cycles: 2,
+                misroute_cycles: 0,
+            },
+        );
+        o.on_cycle_end(5);
+        o.assert_clean();
+        assert_eq!(o.summary().blamed_packets, 1);
+    }
+
+    #[test]
+    fn inconsistent_blame_is_flagged() {
+        let mut o = obs();
+        let l = ChannelLayout::new(4, 2);
+        let (inj, ej) = (l.inj_base, l.ej_base);
+        o.on_inject(2, PacketId(7), NodeId(0), NodeId(1), 1);
+        o.on_flit_source(2, inj, PacketId(7), true);
+        o.on_flit_advance(3, inj, Some(ej), PacketId(7), true);
+        o.on_flit_advance(5, ej, None, PacketId(7), true);
+        o.on_deliver(5, PacketId(7), 5, 1);
+        // Same totals, but a cycle of blocked time misattributed to
+        // service: the movement-derived check must catch it.
+        o.on_blame(
+            5,
+            PacketId(7),
+            PacketBlame {
+                queue_cycles: 2,
+                blocked_cycles: 0,
+                service_cycles: 3,
+                misroute_cycles: 0,
+            },
+        );
+        assert!(!o.is_clean());
+        assert!(
+            o.violations().iter().any(|v| v.contains("moved flits")),
+            "{:?}",
+            o.violations()
+        );
+        // And a decomposition that does not even sum to the latency.
+        let mut o = obs();
+        o.on_inject(0, PacketId(1), NodeId(0), NodeId(1), 1);
+        o.on_deliver(4, PacketId(1), 4, 1);
+        o.on_blame(4, PacketId(1), PacketBlame::default());
+        assert!(o
+            .violations()
+            .iter()
+            .any(|v| v.contains("blame identity violated")));
     }
 
     #[test]

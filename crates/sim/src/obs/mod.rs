@@ -27,6 +27,8 @@
 //! ```
 
 mod census;
+mod detect;
+mod frame;
 mod heatmap;
 mod hist;
 mod invariant;
@@ -34,6 +36,8 @@ pub mod json;
 mod trace;
 
 pub use census::TurnCensus;
+pub use detect::{Alert, AlertKind, DetectorBank, DetectorConfig};
+pub use frame::{ChannelWindow, FrameCollector, TelemetryFrame};
 pub use heatmap::ChannelHeatmap;
 pub use hist::StreamingHistogram;
 pub use invariant::{InvariantObserver, InvariantSummary};
@@ -105,6 +109,44 @@ pub enum HealEvent {
         /// `true` = quarantined, `false` = released.
         on: bool,
     },
+}
+
+/// Where one delivered packet's latency went, cycle by cycle.
+///
+/// The engine maintains the decomposition so the four components sum to
+/// the packet's total latency *exactly* — an identity the sanitizer
+/// ([`InvariantObserver`]) re-derives from the raw hook stream and
+/// asserts on every delivery:
+///
+/// * `queue_cycles` — creation to injection start: time spent waiting in
+///   the source processor's queue (retried attempts fold in here, since a
+///   retry re-queues the packet).
+/// * `blocked_cycles` — network cycles in which *no* flit of the packet
+///   moved: the worm was stalled behind busy channels or credit
+///   starvation.
+/// * `service_cycles` — network cycles in which at least one flit moved
+///   along a productive reservation: the useful pipeline transfer time.
+/// * `misroute_cycles` — network cycles in which the header advanced
+///   through a channel granted *non-productively* (a misroute): the
+///   detour penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketBlame {
+    /// Creation to injection start (source-queue wait).
+    pub queue_cycles: u64,
+    /// In-network cycles where no flit of the packet moved.
+    pub blocked_cycles: u64,
+    /// In-network cycles with productive flit movement.
+    pub service_cycles: u64,
+    /// In-network cycles whose header movement was a misroute detour.
+    pub misroute_cycles: u64,
+}
+
+impl PacketBlame {
+    /// The components' sum — by the blame identity, the packet's total
+    /// latency (creation to tail consumption) in cycles.
+    pub fn total(&self) -> u64 {
+        self.queue_cycles + self.blocked_cycles + self.service_cycles + self.misroute_cycles
+    }
 }
 
 /// Hooks the engine fires at each interesting simulation event.
@@ -181,6 +223,21 @@ pub trait SimObserver {
     /// (epoch open, proof, certificate, table swap, quarantine). Fired by
     /// the healing driver, not the engine itself — see [`HealEvent`].
     fn on_heal(&mut self, _now: u64, _ev: HealEvent) {}
+
+    /// A delivered packet's latency decomposition. Fired immediately
+    /// after the packet's [`SimObserver::on_deliver`], with the same
+    /// `now`; `blame.total()` equals that delivery's latency.
+    fn on_blame(&mut self, _now: u64, _packet: PacketId, _blame: PacketBlame) {}
+
+    /// A windowed telemetry frame was sealed. Fired by frame-aware
+    /// drivers (the obslog recorder's embedded [`FrameCollector`], or
+    /// replay re-dispatching recorded frames) — the engine itself never
+    /// fires it.
+    fn on_frame(&mut self, _now: u64, _frame: &TelemetryFrame) {}
+
+    /// An early-warning detector tripped over the frame stream. Fired by
+    /// the same drivers as [`SimObserver::on_frame`].
+    fn on_alert(&mut self, _now: u64, _alert: &Alert) {}
 }
 
 /// The default do-nothing observer; `ENABLED = false` removes every hook
@@ -266,6 +323,21 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_heal(&mut self, now: u64, ev: HealEvent) {
         self.0.on_heal(now, ev);
         self.1.on_heal(now, ev);
+    }
+
+    fn on_blame(&mut self, now: u64, packet: PacketId, blame: PacketBlame) {
+        self.0.on_blame(now, packet, blame);
+        self.1.on_blame(now, packet, blame);
+    }
+
+    fn on_frame(&mut self, now: u64, frame: &TelemetryFrame) {
+        self.0.on_frame(now, frame);
+        self.1.on_frame(now, frame);
+    }
+
+    fn on_alert(&mut self, now: u64, alert: &Alert) {
+        self.0.on_alert(now, alert);
+        self.1.on_alert(now, alert);
     }
 }
 

@@ -19,6 +19,12 @@ pub enum RunTermination {
     /// `deadlock_threshold` cycles with flits in flight) and the run was
     /// cut short.
     Deadlock,
+    /// The run reached its cycle horizon with measurement-window packets
+    /// still unresolved — neither delivered nor dropped — so the network
+    /// never drained the measured load. This is the saturation-collapse
+    /// outcome the turnscope early-warning detectors are meant to call
+    /// ahead of time.
+    Timeout,
 }
 
 impl std::fmt::Display for RunTermination {
@@ -26,7 +32,65 @@ impl std::fmt::Display for RunTermination {
         match self {
             RunTermination::Completed => write!(f, "completed"),
             RunTermination::Deadlock => write!(f, "deadlock"),
+            RunTermination::Timeout => write!(f, "timeout"),
         }
+    }
+}
+
+/// Where the latency of delivered window packets went, summed across
+/// packets: the turnscope blame decomposition.
+///
+/// For every delivered packet the identity
+/// `queue + blocked + service + misroute == total latency` holds exactly
+/// (asserted by the sanitizer), so these totals sum to the total latency
+/// mass of the window's delivered packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlameTotals {
+    /// Cycles spent waiting in the source queue before injection.
+    pub queue_cycles: u64,
+    /// In-network cycles in which no flit of the packet moved.
+    pub blocked_cycles: u64,
+    /// In-network cycles with productive forward progress.
+    pub service_cycles: u64,
+    /// In-network progress cycles spent on non-productive (misrouted)
+    /// header moves.
+    pub misroute_cycles: u64,
+}
+
+impl BlameTotals {
+    /// Total attributed cycles — equals the summed latency of the packets
+    /// these totals cover.
+    pub fn total(&self) -> u64 {
+        self.queue_cycles + self.blocked_cycles + self.service_cycles + self.misroute_cycles
+    }
+
+    /// Mean of one component per delivered packet.
+    fn per_packet(component: u64, packets: u64) -> f64 {
+        if packets == 0 {
+            0.0
+        } else {
+            component as f64 / packets as f64
+        }
+    }
+
+    /// Mean queue wait per delivered packet, in cycles.
+    pub fn avg_queue_cycles(&self, delivered_packets: u64) -> f64 {
+        BlameTotals::per_packet(self.queue_cycles, delivered_packets)
+    }
+
+    /// Mean blocked time per delivered packet, in cycles.
+    pub fn avg_blocked_cycles(&self, delivered_packets: u64) -> f64 {
+        BlameTotals::per_packet(self.blocked_cycles, delivered_packets)
+    }
+
+    /// Mean service time per delivered packet, in cycles.
+    pub fn avg_service_cycles(&self, delivered_packets: u64) -> f64 {
+        BlameTotals::per_packet(self.service_cycles, delivered_packets)
+    }
+
+    /// Mean misroute penalty per delivered packet, in cycles.
+    pub fn avg_misroute_cycles(&self, delivered_packets: u64) -> f64 {
+        BlameTotals::per_packet(self.misroute_cycles, delivered_packets)
     }
 }
 
@@ -55,6 +119,8 @@ pub struct SimReport {
     pub avg_latency_cycles: f64,
     /// Median total latency in cycles.
     pub p50_latency_cycles: f64,
+    /// 90th-percentile total latency in cycles.
+    pub p90_latency_cycles: f64,
     /// 99th-percentile total latency in cycles.
     pub p99_latency_cycles: f64,
     /// Largest total latency of any delivered window packet, in cycles.
@@ -66,6 +132,9 @@ pub struct SimReport {
     pub avg_hops: f64,
     /// Mean misroutes per delivered packet.
     pub avg_misroutes: f64,
+    /// Latency blame totals over delivered window packets (queue wait,
+    /// blocked, service, misroute penalty — sums to their total latency).
+    pub blame: BlameTotals,
     /// Occupied-channel cycles that advanced no flit during the
     /// measurement window, summed over channels (a network-wide
     /// contention measure: 0 when every buffered flit moves every cycle).
@@ -176,11 +245,18 @@ mod tests {
             measure_cycles: 2_000,
             avg_latency_cycles: 200.0,
             p50_latency_cycles: 180.0,
+            p90_latency_cycles: 450.0,
             p99_latency_cycles: 700.0,
             max_latency_cycles: 900,
             avg_network_latency_cycles: 150.0,
             avg_hops: 5.5,
             avg_misroutes: 0.0,
+            blame: BlameTotals {
+                queue_cycles: 5_000,
+                blocked_cycles: 4_000,
+                service_cycles: 10_500,
+                misroute_cycles: 500,
+            },
             total_stall_cycles: 1_234,
             queued_at_end: 3,
             max_queue_len: 4,
@@ -231,6 +307,17 @@ mod tests {
         assert_eq!(RunTermination::default(), RunTermination::Completed);
         assert_eq!(RunTermination::Completed.to_string(), "completed");
         assert_eq!(RunTermination::Deadlock.to_string(), "deadlock");
+        assert_eq!(RunTermination::Timeout.to_string(), "timeout");
+    }
+
+    #[test]
+    fn blame_totals_average_per_delivered_packet() {
+        let r = sample();
+        assert_eq!(r.blame.total(), 20_000);
+        assert!((r.blame.avg_queue_cycles(r.delivered_packets) - 5_000.0 / 95.0).abs() < 1e-9);
+        assert!((r.blame.avg_misroute_cycles(r.delivered_packets) - 500.0 / 95.0).abs() < 1e-9);
+        assert_eq!(BlameTotals::default().avg_blocked_cycles(0), 0.0);
+        assert_eq!(BlameTotals::default().total(), 0);
     }
 
     #[test]

@@ -11,10 +11,10 @@ use crate::{VcRoutingFunction, VirtualDirection};
 use std::collections::VecDeque;
 use turnroute_rng::rngs::StdRng;
 use turnroute_rng::{Rng, SeedableRng};
-use turnroute_sim::obs::{ChannelLayout, StreamingHistogram};
+use turnroute_sim::obs::{ChannelLayout, PacketBlame, StallReason, StreamingHistogram};
 use turnroute_sim::{
-    FaultTarget, LengthDist, NoopObserver, Packet, PacketId, RunTermination, SimConfig,
-    SimObserver, SimReport,
+    BlameTotals, FaultTarget, LengthDist, NoopObserver, Packet, PacketId, RunTermination,
+    SimConfig, SimObserver, SimReport,
 };
 use turnroute_topology::{Direction, Mesh, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
@@ -108,6 +108,17 @@ pub struct VcSim<'a, O: SimObserver = NoopObserver> {
     queues: Vec<VecDeque<u32>>,
     emitting: Vec<Option<Emitting>>,
     next_arrival: Vec<f64>,
+
+    // --- latency blame attribution (turnscope; misroute is always zero
+    // here — the double-y scheme only offers productive channels) ---
+    /// Per-packet in-network cycles with at least one flit movement,
+    /// current injection attempt only.
+    progress_cycles: Vec<u64>,
+    /// Cycle stamp deduplicating progress increments (`u64::MAX` = no
+    /// movement yet).
+    last_progress: Vec<u64>,
+    /// Blame totals accumulated over delivered window packets.
+    blame: BlameTotals,
 
     window: (u64, u64),
     generated_packets: u64,
@@ -208,6 +219,9 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
             queues: vec![VecDeque::new(); num_nodes],
             emitting: vec![None; num_nodes],
             next_arrival: vec![0.0; num_nodes],
+            progress_cycles: Vec::new(),
+            last_progress: Vec::new(),
+            blame: BlameTotals::default(),
             window: (0, u64::MAX),
             generated_packets: 0,
             generated_flits: 0,
@@ -296,6 +310,8 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
                 .push_back((self.now + self.cfg.packet_timeout, id));
             self.retry_counts.push(0);
         }
+        self.progress_cycles.push(0);
+        self.last_progress.push(u64::MAX);
         self.queues[src.index()].push_back(id);
         if self.in_window() {
             self.generated_packets += 1;
@@ -408,11 +424,13 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
             measure_cycles: me.saturating_sub(ms),
             avg_latency_cycles: hist.mean(),
             p50_latency_cycles: hist.p50() as f64,
+            p90_latency_cycles: hist.p90() as f64,
             p99_latency_cycles: hist.p99() as f64,
             max_latency_cycles: hist.max(),
             avg_network_latency_cycles: avg(network_sum, delivered),
             avg_hops: avg(hops_sum, delivered),
             avg_misroutes: 0.0,
+            blame: self.blame,
             total_stall_cycles: self.total_stall_cycles,
             queued_at_end: self.queues.iter().map(|q| q.len() as u64).sum(),
             max_queue_len: self.max_queue_len,
@@ -422,6 +440,13 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
             deadlocked: self.deadlocked,
             termination: if self.deadlocked {
                 RunTermination::Deadlock
+            } else if self.generated_packets
+                > delivered + self.dropped_packets + self.unroutable_packets
+            {
+                // Same cohort rule as the base engine: window packets
+                // unresolved at the horizon mean the measured load never
+                // drained.
+                RunTermination::Timeout
             } else {
                 RunTermination::Completed
             },
@@ -535,6 +560,8 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
                 p.injected = None;
                 p.hops = 0;
                 p.misroutes = 0;
+                self.progress_cycles[pid as usize] = 0;
+                self.last_progress[pid as usize] = u64::MAX;
                 self.queues[p.src.index()].push_back(pid);
                 self.deadlines
                     .push_back((self.now + self.cfg.packet_timeout, pid));
@@ -665,12 +692,22 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         let mut order: Vec<u32> = Vec::new();
         let mut stack: Vec<u32> = Vec::new();
 
+        // Per-channel stall candidates (occupied at cycle start); cleared
+        // as moves land so the survivors fire `on_stall`.
+        let mut stalled: Vec<bool> = if O::ENABLED {
+            vec![false; self.num_channels]
+        } else {
+            Vec::new()
+        };
         let mut occupied = 0usize;
         for start in 0..self.num_channels {
             if self.buf[start].is_none() {
                 continue;
             }
             occupied += 1;
+            if O::ENABLED {
+                stalled[start] = true;
+            }
             if state[start] != UNKNOWN {
                 continue;
             }
@@ -751,16 +788,22 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         for &c in &order {
             let c = c as usize;
             let Some(flit) = self.buf[c] else { continue };
+            let pidx = flit.packet as usize;
             if c >= self.ej_base {
                 // Consume from the ejection buffer (the processor side of
                 // the ejection link was already paid when entering it).
                 self.buf[c] = None;
                 self.last_move = self.now;
                 moved += 1;
+                if self.last_progress[pidx] != self.now {
+                    self.last_progress[pidx] = self.now;
+                    self.progress_cycles[pidx] += 1;
+                }
                 if in_window {
                     self.delivered_flits_in_window += 1;
                 }
                 if O::ENABLED {
+                    stalled[c] = false;
                     self.obs.on_flit_advance(
                         self.now,
                         c,
@@ -771,11 +814,27 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
                 }
                 if flit.is_tail {
                     self.owner[c] = NONE_U32;
-                    let p = &mut self.packets[flit.packet as usize];
+                    let p = &mut self.packets[pidx];
                     p.delivered = Some(self.now);
+                    let (id, created, hops) = (p.id, p.created, p.hops);
+                    let injected = p.injected.expect("delivered packet was injected");
+                    let latency = self.now - created;
+                    let progress = self.progress_cycles[pidx];
+                    let blame = PacketBlame {
+                        queue_cycles: injected - created,
+                        blocked_cycles: (self.now - injected) - progress,
+                        service_cycles: progress,
+                        misroute_cycles: 0,
+                    };
+                    debug_assert_eq!(blame.total(), latency);
+                    if created >= self.window.0 && created < self.window.1 {
+                        self.blame.queue_cycles += blame.queue_cycles;
+                        self.blame.blocked_cycles += blame.blocked_cycles;
+                        self.blame.service_cycles += blame.service_cycles;
+                    }
                     if O::ENABLED {
-                        let (id, created, hops) = (p.id, p.created, p.hops);
-                        self.obs.on_deliver(self.now, id, self.now - created, hops);
+                        self.obs.on_deliver(self.now, id, latency, hops);
+                        self.obs.on_blame(self.now, id, blame);
                     }
                 }
                 continue;
@@ -793,7 +852,12 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
             self.buf[o] = Some(flit);
             self.last_move = self.now;
             moved += 1;
+            if self.last_progress[pidx] != self.now {
+                self.last_progress[pidx] = self.now;
+                self.progress_cycles[pidx] += 1;
+            }
             if O::ENABLED {
+                stalled[c] = false;
                 self.obs
                     .on_flit_advance(self.now, c, Some(o), PacketId(flit.packet), flit.is_tail);
             }
@@ -808,6 +872,21 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         // Occupied channels that moved nothing this cycle stalled.
         if in_window {
             self.total_stall_cycles += (occupied - moved) as u64;
+        }
+        if O::ENABLED {
+            for (c, &was_stalled) in stalled.iter().enumerate() {
+                if !was_stalled {
+                    continue;
+                }
+                let Some(flit) = self.buf[c] else { continue };
+                let reason = if c < self.ej_base && self.assigned_out[c] == NONE_U32 {
+                    StallReason::NotRouted
+                } else {
+                    StallReason::Backpressure
+                };
+                self.obs
+                    .on_stall(self.now, c, PacketId(flit.packet), reason);
+            }
         }
     }
 
