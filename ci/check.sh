@@ -65,6 +65,31 @@ if cargo run --offline --quiet -p turnroute-analysis --bin turnprove -- \
 fi
 grep -q "witness" "$lint_tmp/turnprove_bad.log"
 
+echo "==> turncheck gate"
+# The model-checking gate: drive the production engines through every
+# reachable global state of the small-configuration matrix (quick
+# profile), refute every census-unsafe set with a counterexample that
+# replays to a stuck state, and seal the first counterexample as a TTRL
+# log that turnstat must replay. Then the self-test: a planted
+# arbitration bug that skips the turn-set filter on one router must be
+# caught as a reachable stuck state.
+cargo run --offline --quiet -p turnroute-analysis --bin turncheck -- \
+    --quick --out "$lint_tmp/mc.json" \
+    --ttr-out "$lint_tmp/mc_counterexample.ttr" > "$lint_tmp/turncheck.log"
+test -s "$lint_tmp/mc.json"
+test -s "$lint_tmp/mc_counterexample.ttr"
+grep -q "configurations verified" "$lint_tmp/turncheck.log"
+cargo run --offline --quiet -p turnroute-obslog --bin turnstat -- \
+    replay "$lint_tmp/mc_counterexample.ttr" --out "$lint_tmp/mc_replay.json" 2> /dev/null
+test -s "$lint_tmp/mc_replay.json"
+if cargo run --offline --quiet -p turnroute-analysis --bin turncheck -- \
+    --quick --inject-bad --out "$lint_tmp/mc_bad.json" \
+    --ttr-out "$lint_tmp/mc_bad.ttr" > "$lint_tmp/turncheck_bad.log" 2>&1; then
+    echo "turncheck --inject-bad unexpectedly passed; the gate is blind" >&2
+    exit 1
+fi
+grep -q "MODEL CHECKING FAILED" "$lint_tmp/turncheck_bad.log"
+
 echo "==> turntrace gate"
 # The observability gate: recording the canonical scenario twice with
 # the same seed must produce byte-identical logs and aggregates,

@@ -220,6 +220,127 @@ pub fn from_vc_routing(
     }
 }
 
+/// Lower an arbitrary connected netlist under up*/down* routing. No
+/// topology object exists for an irregular graph, so this extraction is
+/// self-contained: a breadth-first spanning tree from node 0 assigns
+/// every node a level, the channel `a -> b` is *up* iff
+/// `(level[b], b) < (level[a], a)` (id breaks level ties, so "up" is a
+/// total order toward the root), dependency edges admit every
+/// non-reversing transition except the prohibited down -> up, and the
+/// route relation offers, per destination, exactly the channels from
+/// which the destination stays reachable through legal transitions.
+/// Every up-only prefix has strictly decreasing `(level, id)` and every
+/// down-only suffix strictly increasing, so the dependency graph is
+/// acyclic and the prover's numbering exists.
+///
+/// # Panics
+///
+/// Panics when a link endpoint is out of range, a link is a self-loop,
+/// or the netlist is not connected.
+pub fn from_netlist(name: impl Into<String>, num_nodes: u32, links: &[(u32, u32)]) -> GraphSpec {
+    let n = num_nodes as usize;
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(a, b) in links {
+        assert!(
+            a < num_nodes && b < num_nodes && a != b,
+            "bad link ({a}, {b})"
+        );
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    let mut level = vec![u32::MAX; n];
+    level[0] = 0;
+    let mut queue = std::collections::VecDeque::from([0u32]);
+    while let Some(v) = queue.pop_front() {
+        for &w in &adj[v as usize] {
+            if level[w as usize] == u32::MAX {
+                level[w as usize] = level[v as usize] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    assert!(
+        level.iter().all(|&l| l != u32::MAX),
+        "netlist is not connected"
+    );
+
+    // One channel per direction per link, in link order.
+    let chans: Vec<(u32, u32)> = links.iter().flat_map(|&(a, b)| [(a, b), (b, a)]).collect();
+    let up = |c: (u32, u32)| (level[c.1 as usize], c.1) < (level[c.0 as usize], c.0);
+    let verts: Vec<ChannelVertex> = chans
+        .iter()
+        .map(|&(a, b)| ChannelVertex {
+            src: a,
+            dst: b,
+            label: format!("{a} -> {b} ({})", if up((a, b)) { "up" } else { "down" }),
+        })
+        .collect();
+
+    let mut deps = Vec::new();
+    for (i, &c1) in chans.iter().enumerate() {
+        for (j, &c2) in chans.iter().enumerate() {
+            let continues = c2.0 == c1.1 && c2.1 != c1.0; // no reversal
+            let down_to_up = !up(c1) && up(c2); // the prohibited turn
+            if continues && !down_to_up {
+                deps.push((i as u32, j as u32));
+            }
+        }
+    }
+
+    // Forward adjacency over dependency edges, for per-destination
+    // reachability.
+    let mut succ: Vec<Vec<u32>> = vec![Vec::new(); chans.len()];
+    for &(a, b) in &deps {
+        succ[a as usize].push(b);
+    }
+    let num_states = n + chans.len();
+    let mut routes = Vec::with_capacity(n);
+    for dest in 0..n as u32 {
+        // good[c]: holding c, some legal continuation delivers at dest.
+        let mut good = vec![false; chans.len()];
+        let mut queue: std::collections::VecDeque<usize> = (0..chans.len())
+            .filter(|&c| chans[c].1 == dest)
+            .inspect(|&c| good[c] = true)
+            .collect();
+        let mut pred: Vec<Vec<u32>> = vec![Vec::new(); chans.len()];
+        for &(a, b) in &deps {
+            pred[b as usize].push(a);
+        }
+        while let Some(c) = queue.pop_front() {
+            for &p in &pred[c] {
+                if !good[p as usize] {
+                    good[p as usize] = true;
+                    queue.push_back(p as usize);
+                }
+            }
+        }
+        let mut table = vec![Vec::new(); num_states];
+        for (c, &(a, _)) in chans.iter().enumerate() {
+            if a != dest && good[c] {
+                table[a as usize].push(c as u32);
+            }
+        }
+        for (c, &(_, b)) in chans.iter().enumerate() {
+            if b == dest {
+                continue;
+            }
+            table[n + c] = succ[c]
+                .iter()
+                .copied()
+                .filter(|&next| good[next as usize])
+                .collect();
+        }
+        routes.push(table);
+    }
+    GraphSpec {
+        name: name.into(),
+        num_nodes,
+        channels: verts,
+        deps,
+        routes,
+    }
+}
+
 /// A deliberately broken virtual-channel assignment: fully adaptive on
 /// *both* y classes with no side discipline, which reintroduces the
 /// dependency cycles the double-y rules exist to break. This is the
@@ -315,6 +436,43 @@ mod tests {
         // 24 x channels + 48 doubled y channels.
         assert_eq!(spec.channels.len(), 72);
         assert!(spec.channels.iter().any(|v| v.label.contains("north2")));
+    }
+
+    #[test]
+    fn netlist_up_down_is_acyclic_fully_connected_and_checkable() {
+        // The irregular 6-node graph from the prove matrix: two triangles
+        // bridged twice — not a mesh, not a tree, not vertex-symmetric.
+        let spec = from_netlist(
+            "netlist6",
+            6,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+            ],
+        );
+        assert_eq!(spec.channels.len(), 16);
+        // Every channel is labeled with its tree orientation.
+        assert!(spec
+            .channels
+            .iter()
+            .all(|v| { v.label.ends_with("(up)") != v.label.ends_with("(down)") }));
+        let cert = crate::prove::prove(&spec);
+        crate::check::check(&spec, &cert).expect("up*/down* certificate");
+        assert!(cert.verdict.is_acyclic(), "down->up prohibition suffices");
+        assert!(cert.unreachable.is_empty(), "up*/down* is fully connected");
+        assert_eq!(cert.paths.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "not connected")]
+    fn netlist_extraction_rejects_disconnected_graphs() {
+        from_netlist("split", 4, &[(0, 1), (2, 3)]);
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   fallback), and swaps routing tables only once the independent
 //!   checker has validated the epoch's certificate — quarantining
 //!   witness channels when the degraded relation turns cyclic.
+//! * [`mc`] — `turncheck`, explicit-state bounded model checking that
+//!   drives the *production engines* (not a re-model) through every
+//!   reachable global state of small configurations: canonical state
+//!   encoding with symmetry reduction, exhaustive certification of every
+//!   census-safe turn set, refinement of every census-unsafe deadlock
+//!   onto its CDG proof cycle, replayable counterexample scenarios, and
+//!   a misroute-bound progress check under full arbitration
+//!   nondeterminism.
 //! * [`certificate`], [`extract`], [`prove`], [`check`] — `turnprove`,
 //!   the generalized channel-graph verifier: every configuration
 //!   (topology × routing × virtual channels × faults) is lowered to an
@@ -55,6 +63,7 @@ pub mod enumeration;
 pub mod extract;
 pub mod heal;
 pub mod lint;
+pub mod mc;
 pub mod prove;
 pub mod routing;
 
@@ -62,5 +71,6 @@ pub use certificate::{Certificate, ChannelVertex, GraphSpec, PathCert, Verdict};
 pub use claim::{witness_cycle, Claim};
 pub use heal::{run_healing, run_healing_sim, EpochRecord, HealOptions, HealReport};
 pub use lint::{LintOptions, LintReport};
+pub use mc::{McEntry, McOptions, McReport};
 pub use prove::{ProveOptions, ProveReport};
 pub use routing::{find_dead_end, TurnSetRouting};

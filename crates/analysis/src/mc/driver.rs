@@ -1,0 +1,257 @@
+//! Engine adapters: the seam between the explorer and the real routers.
+//!
+//! `turncheck`'s whole point is that it model-checks the *production
+//! engines*, not a re-model of them: every transition the explorer takes
+//! is one [`turnroute_sim::Sim::step_with_choices`] (or the
+//! [`turnroute_vc::VcSim`] equivalent) of the same code CI benchmarks and
+//! the experiments run. [`McEngine`] is the small trait that makes the
+//! explorer generic over the two engines; it only re-exposes state views
+//! and the snapshot/scripted-step seam both engines already provide — no
+//! routing or arbitration logic lives here.
+//!
+//! [`BuggyRouter`] is the planted defect for the CI gate's self-test: a
+//! wrapper that, at exactly one router, ignores the turn discipline and
+//! offers every productive direction (and reports no turn set, so the
+//! engine's own arbitration-side filter is skipped too). A checker that
+//! cannot find the resulting reachable wedge is blind, and the gate
+//! fails.
+
+use turnroute_model::{RoutingFunction, TurnSet};
+use turnroute_sim::{ChoiceScript, Sim, SimSnapshot};
+use turnroute_topology::{DirSet, Direction, NodeId, Topology};
+use turnroute_vc::{VcSim, VcSimSnapshot};
+
+/// The engine surface the explorer needs: snapshot/restore, one scripted
+/// step, packet injection, and the canonical state views. Implemented by
+/// both production engines; see the [module docs](self).
+pub(crate) trait McEngine {
+    /// The engine's complete mutable state.
+    type Snap: Clone;
+
+    /// Capture the complete mutable state.
+    fn snapshot(&self) -> Self::Snap;
+    /// Restore a previously captured state.
+    fn restore(&mut self, snap: &Self::Snap);
+    /// Advance one cycle with arbitration resolved by `script`.
+    fn step_with_choices(&mut self, script: &mut ChoiceScript);
+    /// Queue one packet at its source.
+    fn inject(&mut self, src: NodeId, dst: NodeId, len: u32);
+    /// Whether no flit is anywhere in the network or its queues.
+    fn is_idle(&self) -> bool;
+    /// Total channel slots (network + injection + ejection).
+    fn num_slots(&self) -> usize;
+    /// Packet owning `slot`, if any.
+    fn slot_owner(&self, slot: usize) -> Option<u32>;
+    /// Output slot the worm crossing `slot` is bound to, if routed.
+    fn slot_binding(&self, slot: usize) -> Option<usize>;
+    /// Buffered flits at `slot`, front first, as `(packet, head, tail)`.
+    fn slot_flits(&self, slot: usize) -> Vec<(u32, bool, bool)>;
+    /// Packets queued at `node`'s source, front first.
+    fn source_queue(&self, node: usize) -> Vec<u32>;
+    /// Packet streaming into `node`'s injection channel and flits sent.
+    fn source_emitting(&self, node: usize) -> Option<(u32, u32)>;
+    /// Unproductive hops packet `id` has taken so far.
+    fn packet_misroutes(&self, id: u32) -> u32;
+    /// Whether packet `id` has been fully consumed at its destination.
+    fn packet_delivered(&self, id: u32) -> bool;
+    /// The circular wait of the current state, as an *ordered* slot
+    /// cycle (each entry waits for the next, wrapping), or empty when no
+    /// circular wait exists or the engine does not expose one.
+    fn deadlock_cycle(&self) -> Vec<usize>;
+}
+
+impl McEngine for Sim<'_> {
+    type Snap = SimSnapshot;
+
+    fn snapshot(&self) -> SimSnapshot {
+        Sim::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &SimSnapshot) {
+        Sim::restore(self, snap);
+    }
+
+    fn step_with_choices(&mut self, script: &mut ChoiceScript) {
+        Sim::step_with_choices(self, script);
+    }
+
+    fn inject(&mut self, src: NodeId, dst: NodeId, len: u32) {
+        self.inject_packet(src, dst, len);
+    }
+
+    fn is_idle(&self) -> bool {
+        Sim::is_idle(self)
+    }
+
+    fn num_slots(&self) -> usize {
+        Sim::num_slots(self)
+    }
+
+    fn slot_owner(&self, slot: usize) -> Option<u32> {
+        Sim::slot_owner(self, slot)
+    }
+
+    fn slot_binding(&self, slot: usize) -> Option<usize> {
+        Sim::slot_binding(self, slot)
+    }
+
+    fn slot_flits(&self, slot: usize) -> Vec<(u32, bool, bool)> {
+        Sim::slot_flits(self, slot).collect()
+    }
+
+    fn source_queue(&self, node: usize) -> Vec<u32> {
+        Sim::source_queue(self, node).collect()
+    }
+
+    fn source_emitting(&self, node: usize) -> Option<(u32, u32)> {
+        Sim::source_emitting(self, node)
+    }
+
+    fn packet_misroutes(&self, id: u32) -> u32 {
+        self.packets()[id as usize].misroutes
+    }
+
+    fn packet_delivered(&self, id: u32) -> bool {
+        self.packets()[id as usize].delivered.is_some()
+    }
+
+    fn deadlock_cycle(&self) -> Vec<usize> {
+        let snap = self.deadlock_snapshot();
+        let members = snap.cycle_channels();
+        let Some(&start) = members.first() else {
+            return Vec::new();
+        };
+        // cycle_channels reports membership sorted by slot index; recover
+        // the wait order by chasing the (partial-function) waits-for
+        // pointers around the cycle.
+        let mut next = vec![usize::MAX; snap.layout.num_channels];
+        for e in &snap.edges {
+            if let Some(w) = e.waits_for {
+                next[e.channel] = w;
+            }
+        }
+        let mut cycle = vec![start];
+        let mut c = next[start];
+        while c != start && c != usize::MAX && cycle.len() <= members.len() {
+            cycle.push(c);
+            c = next[c];
+        }
+        if c == start {
+            cycle
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl McEngine for VcSim<'_> {
+    type Snap = VcSimSnapshot;
+
+    fn snapshot(&self) -> VcSimSnapshot {
+        VcSim::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &VcSimSnapshot) {
+        VcSim::restore(self, snap);
+    }
+
+    fn step_with_choices(&mut self, script: &mut ChoiceScript) {
+        VcSim::step_with_choices(self, script);
+    }
+
+    fn inject(&mut self, src: NodeId, dst: NodeId, len: u32) {
+        self.inject_packet(src, dst, len);
+    }
+
+    fn is_idle(&self) -> bool {
+        VcSim::is_idle(self)
+    }
+
+    fn num_slots(&self) -> usize {
+        VcSim::num_slots(self)
+    }
+
+    fn slot_owner(&self, slot: usize) -> Option<u32> {
+        VcSim::slot_owner(self, slot)
+    }
+
+    fn slot_binding(&self, slot: usize) -> Option<usize> {
+        VcSim::slot_binding(self, slot)
+    }
+
+    fn slot_flits(&self, slot: usize) -> Vec<(u32, bool, bool)> {
+        VcSim::slot_flits(self, slot).collect()
+    }
+
+    fn source_queue(&self, node: usize) -> Vec<u32> {
+        VcSim::source_queue(self, node).collect()
+    }
+
+    fn source_emitting(&self, node: usize) -> Option<(u32, u32)> {
+        VcSim::source_emitting(self, node)
+    }
+
+    fn packet_misroutes(&self, id: u32) -> u32 {
+        self.packets()[id as usize].misroutes
+    }
+
+    fn packet_delivered(&self, id: u32) -> bool {
+        self.packets()[id as usize].delivered.is_some()
+    }
+
+    fn deadlock_cycle(&self) -> Vec<usize> {
+        // The VC engine has no waits-for snapshot; VC configurations in
+        // the matrix are all expected deadlock free, so no refinement
+        // mapping is ever needed. A stuck VC state is still reported
+        // through the scenario counterexample.
+        Vec::new()
+    }
+}
+
+/// The planted defect for the `--inject-bad` self-test: at router `at`,
+/// the turn-set discipline is skipped and every productive direction is
+/// offered; everywhere else the wrapped function is consulted verbatim.
+/// [`RoutingFunction::turn_set`] reports `None`, so the engine's
+/// arbitration-side turn filter — the second line of defense — is off as
+/// well, exactly the failure mode of an arbiter wired past its filter.
+pub struct BuggyRouter<R> {
+    inner: R,
+    at: NodeId,
+    name: String,
+}
+
+impl<R: RoutingFunction> BuggyRouter<R> {
+    /// Wrap `inner`, planting the filter skip at router `at`.
+    pub fn new(inner: R, at: NodeId) -> BuggyRouter<R> {
+        let name = format!("buggy({} at n{})", inner.name(), at.0);
+        BuggyRouter { inner, at, name }
+    }
+}
+
+impl<R: RoutingFunction> RoutingFunction for BuggyRouter<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn route(
+        &self,
+        topo: &dyn Topology,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<Direction>,
+    ) -> DirSet {
+        if current == self.at && current != dest {
+            topo.productive_dirs(current, dest)
+        } else {
+            self.inner.route(topo, current, dest, arrived)
+        }
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.inner.is_minimal()
+    }
+
+    fn turn_set(&self, _num_dims: usize) -> Option<TurnSet> {
+        None
+    }
+}

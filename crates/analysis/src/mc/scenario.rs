@@ -1,0 +1,131 @@
+//! Replayable counterexamples.
+//!
+//! A model-checking counterexample is useless if only the checker can
+//! interpret it, so turncheck emits every deadlock it finds as a
+//! *scenario*: the literal injection schedule and arbitration digits of
+//! the trace, which a fresh production engine re-executes step for step.
+//! The replay runs under a small deadlock threshold so the engine's *own*
+//! detector — not the checker — declares the stuck state, and it records
+//! a TTRL log along the way, so `turnstat replay` (and every other
+//! turntrace consumer) can inspect the deadlock with the tools that
+//! already exist.
+
+use super::explore::Deadlock;
+use super::front::FrontPacket;
+use turnroute_model::RoutingFunction;
+use turnroute_obslog::LogObserver;
+use turnroute_sim::{ChoiceScript, Sim, SimConfig};
+use turnroute_topology::Topology;
+use turnroute_traffic::Uniform;
+
+/// One scheduled cycle of a counterexample: which front packets enter
+/// and which digits resolve the step's arbitration.
+#[derive(Debug, Clone)]
+pub struct ScenarioStep {
+    /// Front indices injected at the start of this cycle.
+    pub inject: Vec<u32>,
+    /// Choice digits resolving this cycle's arbitration.
+    pub digits: Vec<u32>,
+}
+
+/// A complete seeded injection schedule reaching a stuck state.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The steps, in execution order.
+    pub steps: Vec<ScenarioStep>,
+}
+
+impl Scenario {
+    /// Package an explorer counterexample trace.
+    pub(crate) fn from_deadlock(dl: &Deadlock) -> Scenario {
+        Scenario {
+            steps: dl
+                .trace
+                .iter()
+                .map(|a| ScenarioStep {
+                    inject: a.inject.clone(),
+                    digits: a.digits.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Render as a JSON fragment for the report artifact.
+    pub fn to_json(&self) -> String {
+        let steps: Vec<String> = self
+            .steps
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"inject\":[{}],\"digits\":[{}]}}",
+                    join(&s.inject),
+                    join(&s.digits)
+                )
+            })
+            .collect();
+        format!("[{}]", steps.join(","))
+    }
+}
+
+fn join(xs: &[u32]) -> String {
+    xs.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// What replaying a scenario on a fresh engine produced.
+pub struct ReplayOutcome {
+    /// Whether the engine's own deadlock detector declared the state
+    /// stuck after the scripted steps ran out.
+    pub stuck: bool,
+    /// Packets delivered during the replay (a stuck replay delivers
+    /// strictly fewer than the front size).
+    pub delivered: u64,
+    /// The sealed TTRL log of the replay.
+    pub ttr: Vec<u8>,
+}
+
+/// Re-execute `scenario` on a fresh wormhole engine and let the engine's
+/// own detector judge the final state. `cfg` should be the exploration
+/// configuration; the replay clamps its deadlock threshold down so the
+/// detector actually fires within `threshold` idle cycles.
+pub fn replay_wormhole(
+    topo: &dyn Topology,
+    routing: &dyn RoutingFunction,
+    front: &[FrontPacket],
+    cfg: &SimConfig,
+    scenario: &Scenario,
+    threshold: u64,
+) -> ReplayOutcome {
+    let mut cfg = cfg.clone();
+    cfg.deadlock_threshold = threshold;
+    let pattern = Uniform::new();
+    let log = LogObserver::start(topo, routing, &pattern, &cfg, "sim");
+    let mut sim = Sim::with_observer(topo, routing, &pattern, cfg, log);
+    for step in &scenario.steps {
+        for &i in &step.inject {
+            let p = &front[i as usize];
+            sim.inject_packet(p.src, p.dst, p.len);
+        }
+        let mut script = ChoiceScript::new(step.digits.clone());
+        sim.step_with_choices(&mut script);
+    }
+    // The trace ends in the stuck state; idle from here on, so the
+    // engine's detector trips after `threshold` quiet cycles.
+    let mut guard = 4 * threshold + 16;
+    while !sim.deadlocked() && !sim.is_idle() && guard > 0 {
+        sim.step();
+        guard -= 1;
+    }
+    let stuck = sim.deadlocked();
+    let delivered = (0..front.len())
+        .filter(|&p| {
+            sim.packets()
+                .get(p)
+                .is_some_and(|pkt| pkt.delivered.is_some())
+        })
+        .count() as u64;
+    ReplayOutcome {
+        stuck,
+        delivered,
+        ttr: sim.into_observer().finish(),
+    }
+}

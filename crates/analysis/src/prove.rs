@@ -541,6 +541,26 @@ pub fn run(opts: &ProveOptions) -> ProveReport {
     let spec = extract::from_routing(format!("4-ary 2-cube/{}", wrapped.name()), &torus, &wrapped);
     entries.push(entry("routing", true, true, &spec));
 
+    // An irregular netlist with no topology object at all: up*/down*
+    // over a 6-node graph of two bridged triangles, extracted directly
+    // from its link list. Exercises the spec format's claim that the
+    // prover/checker pair is topology-agnostic.
+    let spec = extract::from_netlist(
+        "netlist6/up-down (irregular)",
+        6,
+        &[
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+        ],
+    );
+    entries.push(entry("netlist", true, true, &spec));
+
     // The hexagonal mesh of Section 7: negative-first over six directions,
     // proven intact and under a single failed diagonal link (the degraded
     // relation keeps its acyclicity but may lose pairs to the mask).

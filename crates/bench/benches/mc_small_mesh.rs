@@ -1,0 +1,27 @@
+//! Benchmark for the turncheck explorer: one exhaustive certification of
+//! a census-safe two-turn set on the 2×2 wormhole engine — canonical
+//! encoding, symmetry reduction, full injection-subset and arbitration
+//! branching included. This is the unit of work the `turncheck` matrix
+//! repeats 12 (quick) or 24 (full) times, so its throughput bounds the
+//! CI gate's latency.
+
+use turnroute_analysis::mc::certify_set;
+use turnroute_bench::harness::{black_box, Criterion};
+use turnroute_bench::{criterion_group, criterion_main};
+use turnroute_model::presets;
+
+fn mc_small_mesh(c: &mut Criterion) {
+    // West-first: a safe set, so the run is a complete walk of the
+    // reachable state space.
+    let set = presets::west_first_turns();
+    c.bench_function("mc_small_mesh/certify_west_first_2x2", |b| {
+        b.iter(|| {
+            let entry = certify_set(2, black_box(&set));
+            assert!(entry.complete && !entry.deadlock);
+            black_box(entry.states)
+        })
+    });
+}
+
+criterion_group!(benches, mc_small_mesh);
+criterion_main!(benches);

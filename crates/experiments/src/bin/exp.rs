@@ -22,6 +22,7 @@
 //!   vc-ablation      no-extra-channel adaptivity vs double-y VCs
 //!   faults           graceful degradation vs failed-link fraction
 //!   scope            turnscope saturation-approach study
+//!   mc               turncheck exhaustive state-space census
 //!   buffer-depth     input-buffer depth sensitivity
 //!   node-delay       Section 7's route-selection delay trade-off
 //!   all              everything above, written to --out
@@ -30,9 +31,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use turnroute_experiments::{
-    adaptiveness_exp, buffers, census, chaos, claims, faults, fig1, figures, linkload, node_delay,
-    nonminimal_exp, numbering_exp, paths, pcube_table, policies, scope, theorems, vc_ablation,
-    Scale,
+    adaptiveness_exp, buffers, census, chaos, claims, faults, fig1, figures, linkload, mc_exp,
+    node_delay, nonminimal_exp, numbering_exp, paths, pcube_table, policies, scope, theorems,
+    vc_ablation, Scale,
 };
 use turnroute_model::RoutingFunction;
 use turnroute_obslog::artifact;
@@ -57,7 +58,7 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: exp <fig1|turn-census|example-paths|numbering|theorems|adaptiveness-2d|\
-         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|chaos|scope|buffer-depth|node-delay|all> \
+         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|chaos|scope|mc|buffer-depth|node-delay|all> \
          [--quick] [--seed N] [--out DIR] [--metrics-out FILE] [--trace] [--inject-bad]"
     );
     ExitCode::FAILURE
@@ -162,6 +163,7 @@ fn main() -> ExitCode {
         }
         "chaos" => return run_chaos(&opts),
         "scope" => return run_scope(&opts),
+        "mc" => return run_mc(&opts),
         "buffer-depth" => vec![("buffer_depth.md", buffers::render(opts.scale, opts.seed))],
         "node-delay" => vec![("node_delay.md", node_delay::render(opts.scale, opts.seed))],
         "all" => {
@@ -305,6 +307,30 @@ fn run_scope(opts: &Options) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("scope study FAILED:\n{}", report.render());
+        ExitCode::FAILURE
+    }
+}
+
+/// Run the turncheck state-space census: the full model-checking matrix
+/// rendered as a markdown table of reachable-state counts and verdicts.
+/// Writes `mc.md` and fails the process unless every configuration met
+/// its expectation.
+fn run_mc(opts: &Options) -> ExitCode {
+    let (md, passed) = mc_exp::study(opts.scale);
+    match &opts.out {
+        Some(dir) => {
+            if let Err(e) = artifact::write_artifact(&dir.join("mc.md"), &md) {
+                eprintln!("cannot write mc.md: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", dir.join("mc.md").display());
+        }
+        None => println!("{}", artifact::normalized(md)),
+    }
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("model-checking census FAILED");
         ExitCode::FAILURE
     }
 }

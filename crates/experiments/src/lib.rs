@@ -32,7 +32,10 @@
 //! [`scope`] (`scope`) is the turnscope saturation-approach study: a load
 //! ramp with blame decomposition, a planted collapse the early-warning
 //! detectors must call ahead of time, a clean baseline they must stay
-//! silent on, and a chaos-storm telemetry determinism check.
+//! silent on, and a chaos-storm telemetry determinism check. [`mc_exp`]
+//! (`mc`) renders the turncheck state-space census: how many reachable
+//! engine states each exhaustive deadlock-freedom certification covered,
+//! and which unsafe sets were refuted with replayed counterexamples.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -46,6 +49,7 @@ pub mod faults;
 pub mod fig1;
 pub mod figures;
 pub mod linkload;
+pub mod mc_exp;
 pub mod node_delay;
 pub mod nonminimal_exp;
 pub mod numbering_exp;

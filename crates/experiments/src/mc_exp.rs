@@ -1,0 +1,123 @@
+//! State-space study: what exhaustive model checking of the production
+//! engines actually covers.
+//!
+//! `turncheck` (the `mc` module of `turnroute-analysis`) certifies the
+//! safe turn sets by walking every reachable global engine state of
+//! small configurations and refutes the unsafe ones with replayed
+//! counterexamples. This experiment renders that run as a paper-style
+//! table — configuration, engine, reachable states, explored
+//! transitions, symmetry factor, verdict — so the census of *how big
+//! these exhaustive guarantees are* is a first-class artifact next to
+//! the latency curves, not a number buried in a CI log.
+
+use crate::Scale;
+use turnroute_analysis::mc::{run, McOptions};
+
+/// Run the model-checking matrix and render `results/mc.md`. Returns the
+/// markdown and whether every configuration met its expectation.
+pub fn study(scale: Scale) -> (String, bool) {
+    let report = run(&McOptions {
+        quick: scale == Scale::Quick,
+        inject_bad: false,
+    });
+    let passed = report.passed();
+
+    let mut md = String::from("# turncheck: exhaustive state-space census\n\n");
+    md.push_str(
+        "Explicit-state bounded model checking of the *production* engines \
+         (wormhole and virtual-channel), not an abstraction: every reachable \
+         global state of each configuration under a bounded injection front, \
+         with all injection subsets and all arbitration resolutions \
+         branched.\n\n",
+    );
+    md.push_str(&format!(
+        "- configurations: **{}**, all meeting expectations: **{}**\n",
+        report.entries.len(),
+        if passed { "yes" } else { "NO" },
+    ));
+    let certified = report
+        .entries
+        .iter()
+        .filter(|e| e.expect_deadlock_free && e.complete)
+        .count();
+    let refuted = report
+        .entries
+        .iter()
+        .filter(|e| !e.expect_deadlock_free && e.deadlock)
+        .count();
+    let total_states: usize = report.entries.iter().map(|e| e.states).sum();
+    let total_transitions: usize = report.entries.iter().map(|e| e.transitions).sum();
+    md.push_str(&format!(
+        "- exhaustively certified deadlock-free: **{certified}**; refuted \
+         with a replayed counterexample: **{refuted}**\n\
+         - reachable states visited: **{total_states}**, transitions \
+         explored: **{total_transitions}**\n\n",
+    ));
+
+    md.push_str(
+        "| configuration | engine | expectation | states | transitions | sym | verdict |\n\
+         |---|---|---|---:|---:|---:|---|\n",
+    );
+    for e in &report.entries {
+        let expectation = if e.expect_deadlock_free {
+            "deadlock-free"
+        } else {
+            "deadlocks as proven"
+        };
+        let verdict = if e.expect_deadlock_free {
+            let misroutes = match e.misroute_bound {
+                Some(b) => format!(", misroutes {}/{b}", e.max_misroutes),
+                None => String::new(),
+            };
+            if e.complete && !e.deadlock {
+                format!("certified (exhaustive{misroutes})")
+            } else if e.deadlock {
+                "DEADLOCK FOUND".to_string()
+            } else {
+                "INCOMPLETE".to_string()
+            }
+        } else {
+            format!(
+                "deadlock reached; refinement {}, replay {}",
+                tick(e.refinement_ok),
+                tick(e.replay_stuck),
+            )
+        };
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} |\n",
+            e.name, e.engine, expectation, e.states, e.transitions, e.group_order, verdict,
+        ));
+    }
+    md.push_str(&format!(
+        "\nVerdict: **{}** — every census-safe turn set is deadlock-free on \
+         every reachable engine state, and every census-unsafe set's \
+         counterexample replays to a stuck state the engine's own detector \
+         declares, on the CDG cycle the abstract proof predicted.\n",
+        if passed { "PASS" } else { "FAIL" },
+    ));
+    (md, passed)
+}
+
+fn tick(v: Option<bool>) -> &'static str {
+    match v {
+        Some(true) => "ok",
+        Some(false) => "MISMATCH",
+        None => "n/a",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_study_passes_and_renders_every_row() {
+        let (md, passed) = study(Scale::Quick);
+        assert!(passed, "\n{md}");
+        assert!(md.contains("| configuration |"));
+        // The quick matrix: 12 certifications, 4 refutations, 5 extras.
+        assert_eq!(md.matches("certified (exhaustive").count(), 17, "\n{md}");
+        assert_eq!(md.matches("deadlock reached").count(), 4, "\n{md}");
+        assert!(md.contains("**PASS**"));
+    }
+}

@@ -48,6 +48,35 @@ impl Symmetry {
         )
     }
 
+    /// Apply the symmetry to a node's mesh coordinates under the given
+    /// per-dimension `radix` (the mesh side lengths): dimension `i` of
+    /// the input lands in dimension `perm[i]` of the output, mirrored
+    /// across the axis when `flip[i]`.
+    ///
+    /// This is the node-level action matching [`Symmetry::apply_dir`] —
+    /// the ingredient `turncheck` needs to canonicalize whole network
+    /// states, not just turn sets: a symmetry is only valid on a mesh
+    /// whose side lengths it preserves, hence the radix assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords`/`radix` do not match the symmetry's dimension
+    /// count, or if the permutation maps between dimensions of different
+    /// radix (the symmetry would not be a graph automorphism).
+    pub fn apply_coords(&self, coords: &[u16], radix: &[u16]) -> Vec<u16> {
+        assert_eq!(coords.len(), self.perm.len(), "dimension mismatch");
+        assert_eq!(radix.len(), self.perm.len(), "dimension mismatch");
+        let mut out = vec![0u16; coords.len()];
+        for (i, (&c, &r)) in coords.iter().zip(radix).enumerate() {
+            assert_eq!(
+                radix[self.perm[i]], r,
+                "symmetry maps between dimensions of different radix"
+            );
+            out[self.perm[i]] = if self.flip[i] { r - 1 - c } else { c };
+        }
+        out
+    }
+
     /// Apply the symmetry to a whole turn set.
     pub fn apply(&self, set: &TurnSet) -> TurnSet {
         let n = set.num_dims();
@@ -161,6 +190,44 @@ mod tests {
         };
         assert_eq!(g.apply_dir(Direction::EAST), Direction::SOUTH);
         assert_eq!(g.apply_dir(Direction::NORTH), Direction::EAST);
+    }
+
+    #[test]
+    fn coordinate_action_commutes_with_direction_action() {
+        // Stepping then mapping equals mapping then stepping in the
+        // mapped direction — apply_coords really is the node-level action
+        // matching apply_dir, on every group element of the 4×4 mesh.
+        let radix = [4u16, 4u16];
+        let step = |c: &[u16], dir: Direction| -> Option<Vec<u16>> {
+            let mut out = c.to_vec();
+            let v = out[dir.dim()];
+            out[dir.dim()] = if dir.sign() == turnroute_topology::Sign::Plus {
+                if v + 1 >= radix[dir.dim()] {
+                    return None;
+                }
+                v + 1
+            } else {
+                v.checked_sub(1)?
+            };
+            Some(out)
+        };
+        for g in mesh_symmetries(2) {
+            for x in 0..4u16 {
+                for y in 0..4u16 {
+                    let c = [x, y];
+                    for dir in Direction::all(2) {
+                        let Some(stepped) = step(&c, dir) else {
+                            continue;
+                        };
+                        assert_eq!(
+                            g.apply_coords(&stepped, &radix),
+                            step(&g.apply_coords(&c, &radix), g.apply_dir(dir))
+                                .expect("automorphism keeps steps in bounds"),
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -147,4 +147,37 @@ mod tests {
         assert!(replayed.blamed_packets() > 0);
         assert_eq!(replayed.blame.total(), replayed.latency.sum());
     }
+
+    #[test]
+    fn mid_run_snapshot_restore_keeps_log_byte_identical() {
+        // The engine's snapshot boundary excludes the observer by design:
+        // a snapshot/restore round trip mid-run must leave the recorded
+        // TTRL stream and the report byte-identical to an undisturbed
+        // same-seed run.
+        let a = record(9, true);
+        let s = canonical(9, true);
+        let log = LogObserver::start_with_frames(
+            &s.mesh,
+            &*s.routing,
+            &s.pattern,
+            &s.cfg,
+            "sim",
+            frame_cadence(true),
+        );
+        let mut sim = Sim::with_observer(&s.mesh, &*s.routing, &s.pattern, s.cfg, log);
+        sim.set_measure_window(100, 500);
+        for _ in 0..450 {
+            sim.step();
+        }
+        let snap = sim.snapshot();
+        sim.restore(&snap);
+        assert_eq!(sim.snapshot(), snap, "restore round trip is lossless");
+        while sim.now() < 900 && !sim.deadlocked() {
+            sim.step();
+        }
+        let report = sim.report();
+        let bytes = sim.into_observer().finish();
+        assert_eq!(report, a.report, "snapshot/restore perturbed the report");
+        assert_eq!(bytes, a.bytes, "snapshot/restore perturbed the TTRL log");
+    }
 }

@@ -8,8 +8,8 @@ use crate::obs::{
 use crate::profile::{Phase, PhaseProfiler};
 use crate::report::BlameTotals;
 use crate::{
-    FaultTarget, InputPolicy, LengthDist, OutputPolicy, Packet, PacketId, RunTermination,
-    SimConfig, SimReport,
+    ChoiceScript, FaultTarget, InputPolicy, LengthDist, OutputPolicy, Packet, PacketId,
+    RunTermination, SimConfig, SimReport,
 };
 use std::collections::VecDeque;
 use turnroute_model::{RoutingFunction, Turn, TurnSet};
@@ -22,7 +22,7 @@ use turnroute_traffic::TrafficPattern;
 const NONE_U32: u32 = u32::MAX;
 
 /// One flit sitting in a channel's single-flit input buffer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BufFlit {
     packet: u32,
     is_head: bool,
@@ -31,10 +31,80 @@ struct BufFlit {
 
 /// Per-source stream state: the packet currently being pushed into the
 /// injection channel and how many of its flits have been emitted.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Emitting {
     packet: u32,
     sent: u32,
+}
+
+/// What arbitration can do for the head flit waiting at one input
+/// channel, before contention is considered: bind the ejection channel,
+/// wait out a healing hold, or choose among the turn-legal healthy
+/// candidate outputs. Shared by the policy-driven
+/// [`try_assign`](Sim::try_assign), the choice-scripted variant, and the
+/// deadlock snapshot's wanted-output reconstruction, so all three see
+/// byte-identical routing semantics.
+enum RouteDecision {
+    /// Destination reached: bind this ejection slot (if free).
+    Eject(usize),
+    /// The input router is held by the healing driver; grant nothing.
+    Hold,
+    /// The arrival direction and every candidate `(dir, slot,
+    /// productive)` output — turn-legal, existing, healthy, and within
+    /// the misroute budget — before the free-channel filter.
+    Candidates(Option<Direction>, Vec<(Direction, usize, bool)>),
+}
+
+/// A complete copy of one engine's mutable state, produced by
+/// [`Sim::snapshot`] and consumed by [`Sim::restore`].
+///
+/// The snapshot boundary is the *simulation* state: cycle counter, RNG,
+/// channel/buffer/worm state, sources, fault and healing state, and every
+/// measurement counter the report reads. The static network description
+/// (topology, routing, config, existence tables) and the attached
+/// observer are outside the boundary — restoring rewinds the network, not
+/// the telemetry already emitted about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSnapshot {
+    now: u64,
+    rng: StdRng,
+    faulty: Vec<bool>,
+    fault_cursor: usize,
+    fault_depth: Vec<u16>,
+    node_down: Vec<u16>,
+    faults_possible: bool,
+    held: Vec<bool>,
+    quarantined: Vec<bool>,
+    healing_possible: bool,
+    deadlines: VecDeque<(u64, u32)>,
+    retry_counts: Vec<u32>,
+    dropped_packets: u64,
+    unroutable_packets: u64,
+    total_retries: u64,
+    owner: Vec<u32>,
+    buf: Vec<VecDeque<BufFlit>>,
+    assigned_out: Vec<u32>,
+    head_since: Vec<u64>,
+    packets: Vec<Packet>,
+    paths: Vec<Vec<NodeId>>,
+    queues: Vec<VecDeque<u32>>,
+    emitting: Vec<Option<Emitting>>,
+    next_arrival: Vec<f64>,
+    progress_cycles: Vec<u64>,
+    last_progress: Vec<u64>,
+    misroute_progress: Vec<u64>,
+    misroute_assigned: Vec<bool>,
+    blame: BlameTotals,
+    window: (u64, u64),
+    generated_packets: u64,
+    generated_flits: u64,
+    delivered_flits_in_window: u64,
+    channel_flits: Vec<u64>,
+    max_queue_len: usize,
+    last_move: u64,
+    deadlocked: bool,
+    occupied_buffers: usize,
+    total_stall_cycles: u64,
 }
 
 /// A wormhole network simulation in progress.
@@ -944,24 +1014,23 @@ impl<'a, O: SimObserver> Sim<'a, O> {
             || (self.healing_possible && self.quarantined[slot])
     }
 
-    fn try_assign(&mut self, c: usize) {
+    /// Everything arbitration knows about the head at input channel `c`
+    /// before contention: ejection binding, healing hold, or the full
+    /// candidate list. This is the single copy of the routing semantics
+    /// that [`try_assign`](Sim::try_assign), the scripted variant, and
+    /// [`wanted_output`](Sim::wanted_output) all consume.
+    fn route_decision(&self, c: usize) -> RouteDecision {
         let flit = *self.buf[c].front().expect("head present");
         let pkt = self.packets[flit.packet as usize];
         let v = NodeId(self.input_router[c]);
         // Destination reached: bind to the ejection channel.
         if v == pkt.dst {
-            let ej = self.ej_slot(v.index());
-            if self.owner[ej] == NONE_U32 && !self.unusable(ej) {
-                self.assigned_out[c] = ej as u32;
-                self.owner[ej] = flit.packet;
-                self.misroute_assigned[c] = false;
-            }
-            return;
+            return RouteDecision::Eject(self.ej_slot(v.index()));
         }
         // A held router grants nothing while its region re-proves;
         // ejection (above) still drains delivered traffic.
         if self.healing_possible && self.held[v.index()] {
-            return;
+            return RouteDecision::Hold;
         }
         let arrived = if self.is_injection(c) {
             None
@@ -1025,48 +1094,174 @@ impl<'a, O: SimObserver> Sim<'a, O> {
         {
             candidates.retain(|&(_, _, p)| p);
         }
-        // Free channels only, and misroute only when necessary: if any
-        // productive channel is free, unproductive ones are not taken.
-        candidates.retain(|&(_, slot, _)| self.owner[slot] == NONE_U32);
-        if candidates.iter().any(|&(_, _, p)| p) {
-            candidates.retain(|&(_, _, p)| p);
-        }
-        if candidates.is_empty() {
-            return;
-        }
-        let pick = match self.cfg.output_policy {
-            OutputPolicy::LowestDim => *candidates
-                .iter()
-                .min_by_key(|&&(dir, _, _)| dir.index())
-                .expect("nonempty"),
-            OutputPolicy::HighestDim => *candidates
-                .iter()
-                .max_by_key(|&&(dir, _, _)| dir.index())
-                .expect("nonempty"),
-            OutputPolicy::Random => candidates[self.rng.gen_range(0..candidates.len())],
-        };
+        RouteDecision::Candidates(arrived, candidates)
+    }
+
+    /// Commit one granted output: channel bindings, misroute marking,
+    /// packet accounting, path recording, and observer hooks.
+    fn commit_grant(
+        &mut self,
+        c: usize,
+        arrived: Option<Direction>,
+        pick: (Direction, usize, bool),
+    ) {
+        let packet = self.buf[c].front().expect("head present").packet;
+        let v = NodeId(self.input_router[c]);
         let (dir, slot, productive) = pick;
         self.assigned_out[c] = slot as u32;
-        self.owner[slot] = flit.packet;
+        self.owner[slot] = packet;
         self.misroute_assigned[c] = !productive;
         if O::ENABLED {
             if let Some(arr) = arrived {
                 self.obs
-                    .on_turn(self.now, PacketId(flit.packet), v, Turn::new(arr, dir));
+                    .on_turn(self.now, PacketId(packet), v, Turn::new(arr, dir));
             }
             if !productive {
-                self.obs
-                    .on_misroute(self.now, PacketId(flit.packet), v, dir);
+                self.obs.on_misroute(self.now, PacketId(packet), v, dir);
             }
         }
-        let p = &mut self.packets[flit.packet as usize];
+        let p = &mut self.packets[packet as usize];
         p.hops += 1;
         if !productive {
             p.misroutes += 1;
         }
         if self.cfg.record_paths {
             let next = self.topo.neighbor(v, dir).expect("assigned channel");
-            self.paths[flit.packet as usize].push(next);
+            self.paths[packet as usize].push(next);
+        }
+    }
+
+    /// Bind the ejection slot for the worm at `c` if it is free; shared
+    /// by the policy-driven and scripted arbitration (ejection is never a
+    /// choice point).
+    fn try_eject(&mut self, c: usize, ej: usize) {
+        let packet = self.buf[c].front().expect("head present").packet;
+        if self.owner[ej] == NONE_U32 && !self.unusable(ej) {
+            self.assigned_out[c] = ej as u32;
+            self.owner[ej] = packet;
+            self.misroute_assigned[c] = false;
+        }
+    }
+
+    fn try_assign(&mut self, c: usize) {
+        match self.route_decision(c) {
+            RouteDecision::Eject(ej) => self.try_eject(c, ej),
+            RouteDecision::Hold => {}
+            RouteDecision::Candidates(arrived, mut candidates) => {
+                // Free channels only, and misroute only when necessary: if
+                // any productive channel is free, unproductive ones are
+                // not taken.
+                candidates.retain(|&(_, slot, _)| self.owner[slot] == NONE_U32);
+                if candidates.iter().any(|&(_, _, p)| p) {
+                    candidates.retain(|&(_, _, p)| p);
+                }
+                if candidates.is_empty() {
+                    return;
+                }
+                let pick = match self.cfg.output_policy {
+                    OutputPolicy::LowestDim => *candidates
+                        .iter()
+                        .min_by_key(|&&(dir, _, _)| dir.index())
+                        .expect("nonempty"),
+                    OutputPolicy::HighestDim => *candidates
+                        .iter()
+                        .max_by_key(|&&(dir, _, _)| dir.index())
+                        .expect("nonempty"),
+                    OutputPolicy::Random => candidates[self.rng.gen_range(0..candidates.len())],
+                };
+                self.commit_grant(c, arrived, pick);
+            }
+        }
+    }
+
+    // ---- choice-scripted stepping (model checking) ------------------
+
+    /// Advance one cycle with every arbitration decision resolved by
+    /// `script` instead of the configured input/output policies.
+    ///
+    /// The mechanics are [`Sim::step`]'s own — same phases, same order,
+    /// same `route_decision` semantics — only the *selection* among
+    /// waiting heads and among free candidate outputs is delegated to the
+    /// oracle. `turncheck` enumerates scripts (see
+    /// [`ChoiceScript::next_script`]) to cover every schedule any policy
+    /// could produce; the decision points are:
+    ///
+    /// 1. per router, which waiting head is served next (the input-policy
+    ///    axis), and
+    /// 2. per served head, which free candidate output it takes (the
+    ///    output-policy axis).
+    ///
+    /// Heads are grouped by input router in router-index order. Same-cycle
+    /// arbitrations at *distinct* routers commute — a router only reads
+    /// and grants ownership of its own output channels and only writes
+    /// the bindings of its own input channels — so exploring service
+    /// orders within each router while fixing the router order is a sound
+    /// partial-order reduction, not a loss of coverage.
+    pub fn step_with_choices(&mut self, script: &mut ChoiceScript) {
+        self.apply_faults();
+        self.expire_packets();
+        self.generate();
+        self.assign_outputs_scripted(script);
+        self.advance();
+        self.feed_injection();
+        self.detect_deadlock();
+        if O::ENABLED {
+            self.obs.on_cycle_end(self.now);
+        }
+        self.now += 1;
+    }
+
+    /// Phase A under the choice oracle: collect routable heads exactly as
+    /// [`Sim::collect_route_heads`] does, then serve them per router in a
+    /// script-chosen order with script-chosen output picks.
+    fn assign_outputs_scripted(&mut self, script: &mut ChoiceScript) {
+        let mut heads = std::mem::take(&mut self.scratch_heads);
+        heads.clear();
+        for slot in 0..self.ej_base {
+            if !self.exists[slot] || self.assigned_out[slot] != NONE_U32 {
+                continue;
+            }
+            if matches!(self.buf[slot].front(), Some(f) if f.is_head)
+                && self.now > self.head_since[slot] + self.cfg.routing_delay
+            {
+                heads.push(slot as u32);
+            }
+        }
+        heads.sort_unstable_by_key(|&c| (self.input_router[c as usize], c));
+        let mut i = 0;
+        while i < heads.len() {
+            let router = self.input_router[heads[i] as usize];
+            let mut j = i;
+            while j < heads.len() && self.input_router[heads[j] as usize] == router {
+                j += 1;
+            }
+            let mut remaining: Vec<u32> = heads[i..j].to_vec();
+            while !remaining.is_empty() {
+                let k = script.decide(remaining.len());
+                let c = remaining.remove(k);
+                self.try_assign_scripted(c as usize, script);
+            }
+            i = j;
+        }
+        self.scratch_heads = heads;
+    }
+
+    /// [`Sim::try_assign`] with the output pick delegated to the oracle.
+    fn try_assign_scripted(&mut self, c: usize, script: &mut ChoiceScript) {
+        match self.route_decision(c) {
+            RouteDecision::Eject(ej) => self.try_eject(c, ej),
+            RouteDecision::Hold => {}
+            RouteDecision::Candidates(arrived, mut candidates) => {
+                candidates.retain(|&(_, slot, _)| self.owner[slot] == NONE_U32);
+                if candidates.iter().any(|&(_, _, p)| p) {
+                    candidates.retain(|&(_, _, p)| p);
+                }
+                if candidates.is_empty() {
+                    return;
+                }
+                let pick = candidates[script.decide(candidates.len())];
+                self.commit_grant(c, arrived, pick);
+            }
         }
     }
 
@@ -1394,76 +1589,176 @@ impl<'a, O: SimObserver> Sim<'a, O> {
     /// policy's preferred one is reported (`Random` falls back to
     /// `LowestDim` — the snapshot cannot perturb the RNG).
     fn wanted_output(&self, c: usize) -> Option<usize> {
-        let flit = self.buf[c].front()?;
-        let pkt = self.packets[flit.packet as usize];
-        let v = NodeId(self.input_router[c]);
-        if v == pkt.dst {
-            return Some(self.ej_slot(v.index()));
-        }
-        if self.healing_possible && self.held[v.index()] {
-            return None; // arbitration paused: the head waits on the hold
-        }
-        let arrived = if self.is_injection(c) {
-            None
-        } else {
-            Some(self.dir_of_network_slot(c))
-        };
-        let dirs = self.routing.route(self.topo, v, pkt.dst, arrived);
-        // Mirror `try_assign`'s fault handling: turn-legality filter and
-        // misroute-around-fault fallback.
-        let legal_bits = if !self.faults_possible {
-            u32::MAX
-        } else {
-            match (&self.turn_filter, arrived) {
-                (Some(set), Some(a)) => set.allowed_from_bits(a),
-                _ => u32::MAX,
-            }
-        };
-        let here = self.topo.min_hops(v, pkt.dst);
-        let mut candidates: Vec<(Direction, usize, bool)> = Vec::with_capacity(4);
-        for dir in dirs.iter() {
-            if legal_bits & (1 << dir.index()) == 0 {
-                continue;
-            }
-            let slot = self.topo.channel_slot(v, dir);
-            if !self.exists[slot] || self.unusable(slot) {
-                continue;
-            }
-            let next = self.topo.neighbor(v, dir).expect("existing channel");
-            let productive = self.topo.min_hops(next, pkt.dst) < here;
-            candidates.push((dir, slot, productive));
-        }
-        if candidates.is_empty() && self.faults_possible && self.turn_filter.is_some() {
-            for dir_idx in 0..self.dirs_per_node {
-                if legal_bits & (1 << dir_idx) == 0 {
-                    continue;
+        self.buf[c].front()?;
+        match self.route_decision(c) {
+            RouteDecision::Eject(ej) => Some(ej),
+            // Arbitration paused: the head waits on the hold.
+            RouteDecision::Hold => None,
+            RouteDecision::Candidates(_, mut candidates) => {
+                if candidates.iter().any(|&(_, _, p)| p) {
+                    candidates.retain(|&(_, _, p)| p);
                 }
-                let dir = Direction::from_index(dir_idx);
-                let slot = self.topo.channel_slot(v, dir);
-                if !self.exists[slot] || self.unusable(slot) {
-                    continue;
-                }
-                let next = self.topo.neighbor(v, dir).expect("existing channel");
-                let productive = self.topo.min_hops(next, pkt.dst) < here;
-                candidates.push((dir, slot, productive));
+                let pick = match self.cfg.output_policy {
+                    OutputPolicy::HighestDim => {
+                        candidates.iter().max_by_key(|&&(dir, _, _)| dir.index())
+                    }
+                    OutputPolicy::LowestDim | OutputPolicy::Random => {
+                        candidates.iter().min_by_key(|&&(dir, _, _)| dir.index())
+                    }
+                };
+                pick.map(|&(_, slot, _)| slot)
             }
         }
-        if !self.routing.is_minimal()
-            && pkt.misroutes >= self.cfg.misroute_budget
-            && candidates.iter().any(|&(_, _, p)| p)
-        {
-            candidates.retain(|&(_, _, p)| p);
+    }
+
+    // ---- snapshot / restore -----------------------------------------
+
+    /// Capture the engine's complete mutable state.
+    ///
+    /// See [`SimSnapshot`] for the boundary. Restoring the snapshot into
+    /// the same (or an identically-shaped) simulation with
+    /// [`Sim::restore`] resumes execution bit-for-bit: same RNG stream,
+    /// same arbitration outcomes, same report.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            now: self.now,
+            rng: self.rng.clone(),
+            faulty: self.faulty.clone(),
+            fault_cursor: self.fault_cursor,
+            fault_depth: self.fault_depth.clone(),
+            node_down: self.node_down.clone(),
+            faults_possible: self.faults_possible,
+            held: self.held.clone(),
+            quarantined: self.quarantined.clone(),
+            healing_possible: self.healing_possible,
+            deadlines: self.deadlines.clone(),
+            retry_counts: self.retry_counts.clone(),
+            dropped_packets: self.dropped_packets,
+            unroutable_packets: self.unroutable_packets,
+            total_retries: self.total_retries,
+            owner: self.owner.clone(),
+            buf: self.buf.clone(),
+            assigned_out: self.assigned_out.clone(),
+            head_since: self.head_since.clone(),
+            packets: self.packets.clone(),
+            paths: self.paths.clone(),
+            queues: self.queues.clone(),
+            emitting: self.emitting.clone(),
+            next_arrival: self.next_arrival.clone(),
+            progress_cycles: self.progress_cycles.clone(),
+            last_progress: self.last_progress.clone(),
+            misroute_progress: self.misroute_progress.clone(),
+            misroute_assigned: self.misroute_assigned.clone(),
+            blame: self.blame,
+            window: self.window,
+            generated_packets: self.generated_packets,
+            generated_flits: self.generated_flits,
+            delivered_flits_in_window: self.delivered_flits_in_window,
+            channel_flits: self.channel_flits.clone(),
+            max_queue_len: self.max_queue_len,
+            last_move: self.last_move,
+            deadlocked: self.deadlocked,
+            occupied_buffers: self.occupied_buffers,
+            total_stall_cycles: self.total_stall_cycles,
         }
-        if candidates.iter().any(|&(_, _, p)| p) {
-            candidates.retain(|&(_, _, p)| p);
-        }
-        let pick = match self.cfg.output_policy {
-            OutputPolicy::HighestDim => candidates.iter().max_by_key(|&&(dir, _, _)| dir.index()),
-            OutputPolicy::LowestDim | OutputPolicy::Random => {
-                candidates.iter().min_by_key(|&&(dir, _, _)| dir.index())
-            }
-        };
-        pick.map(|&(_, slot, _)| slot)
+    }
+
+    /// Restore state captured by [`Sim::snapshot`]. The observer is not
+    /// rewound — see [`SimSnapshot`] for the boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a differently-shaped network
+    /// (different channel or node count).
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        assert_eq!(
+            snap.owner.len(),
+            self.num_channels,
+            "snapshot from a different network shape"
+        );
+        assert_eq!(
+            snap.queues.len(),
+            self.num_nodes,
+            "snapshot from a different network shape"
+        );
+        self.now = snap.now;
+        self.rng = snap.rng.clone();
+        self.faulty.clone_from(&snap.faulty);
+        self.fault_cursor = snap.fault_cursor;
+        self.fault_depth.clone_from(&snap.fault_depth);
+        self.node_down.clone_from(&snap.node_down);
+        self.faults_possible = snap.faults_possible;
+        self.held.clone_from(&snap.held);
+        self.quarantined.clone_from(&snap.quarantined);
+        self.healing_possible = snap.healing_possible;
+        self.deadlines.clone_from(&snap.deadlines);
+        self.retry_counts.clone_from(&snap.retry_counts);
+        self.dropped_packets = snap.dropped_packets;
+        self.unroutable_packets = snap.unroutable_packets;
+        self.total_retries = snap.total_retries;
+        self.owner.clone_from(&snap.owner);
+        self.buf.clone_from(&snap.buf);
+        self.assigned_out.clone_from(&snap.assigned_out);
+        self.head_since.clone_from(&snap.head_since);
+        self.packets.clone_from(&snap.packets);
+        self.paths.clone_from(&snap.paths);
+        self.queues.clone_from(&snap.queues);
+        self.emitting.clone_from(&snap.emitting);
+        self.next_arrival.clone_from(&snap.next_arrival);
+        self.progress_cycles.clone_from(&snap.progress_cycles);
+        self.last_progress.clone_from(&snap.last_progress);
+        self.misroute_progress.clone_from(&snap.misroute_progress);
+        self.misroute_assigned.clone_from(&snap.misroute_assigned);
+        self.blame = snap.blame;
+        self.window = snap.window;
+        self.generated_packets = snap.generated_packets;
+        self.generated_flits = snap.generated_flits;
+        self.delivered_flits_in_window = snap.delivered_flits_in_window;
+        self.channel_flits.clone_from(&snap.channel_flits);
+        self.max_queue_len = snap.max_queue_len;
+        self.last_move = snap.last_move;
+        self.deadlocked = snap.deadlocked;
+        self.occupied_buffers = snap.occupied_buffers;
+        self.total_stall_cycles = snap.total_stall_cycles;
+    }
+
+    // ---- model-checker state views ----------------------------------
+
+    /// Total channel slots: network channels, then one injection and one
+    /// ejection channel per node (same numbering as
+    /// [`crate::obs::ChannelLayout`]).
+    pub fn num_slots(&self) -> usize {
+        self.num_channels
+    }
+
+    /// The packet whose worm currently owns `slot`, if any.
+    pub fn slot_owner(&self, slot: usize) -> Option<u32> {
+        (self.owner[slot] != NONE_U32).then_some(self.owner[slot])
+    }
+
+    /// The output slot the worm crossing input `slot` is bound to, if
+    /// routed.
+    pub fn slot_binding(&self, slot: usize) -> Option<usize> {
+        (self.assigned_out[slot] != NONE_U32).then_some(self.assigned_out[slot] as usize)
+    }
+
+    /// The flits buffered at `slot`, front first, as
+    /// `(packet, is_head, is_tail)`.
+    pub fn slot_flits(&self, slot: usize) -> impl Iterator<Item = (u32, bool, bool)> + '_ {
+        self.buf[slot]
+            .iter()
+            .map(|f| (f.packet, f.is_head, f.is_tail))
+    }
+
+    /// Packets queued at `node`'s source, front first.
+    pub fn source_queue(&self, node: usize) -> impl Iterator<Item = u32> + '_ {
+        self.queues[node].iter().copied()
+    }
+
+    /// The packet currently streaming into `node`'s injection channel and
+    /// how many of its flits have been emitted.
+    pub fn source_emitting(&self, node: usize) -> Option<(u32, u32)> {
+        self.emitting[node].map(|e| (e.packet, e.sent))
     }
 }
 
@@ -2036,5 +2331,102 @@ mod tests {
         let pattern = Uniform::new();
         let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
         let _ = sim.inject_packet(NodeId(3), NodeId(3), 5);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_for_bit() {
+        // A plain run and a run that is snapshotted mid-flight, perturbed
+        // (extra steps, an extra packet), and restored must produce the
+        // same report — the snapshot boundary covers everything the
+        // simulation reads.
+        let mesh = Mesh::new_2d(8, 8);
+        let routing = mesh2d::west_first(RoutingMode::Minimal);
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.08)
+            .warmup_cycles(100)
+            .measure_cycles(400)
+            .drain_cycles(400)
+            .seed(23)
+            .build();
+        let plain = Sim::new(&mesh, &routing, &pattern, cfg.clone()).run();
+        let mut sim = Sim::new(&mesh, &routing, &pattern, cfg);
+        sim.set_measure_window(100, 500);
+        for _ in 0..250 {
+            sim.step();
+        }
+        let snap = sim.snapshot();
+        // Perturb: junk steps plus a junk packet, then rewind.
+        sim.inject_packet(NodeId(0), NodeId(60), 7);
+        for _ in 0..40 {
+            sim.step();
+        }
+        sim.restore(&snap);
+        assert_eq!(sim.snapshot(), snap, "restore is lossless");
+        while sim.now() < 900 && !sim.deadlocked() {
+            sim.step();
+        }
+        assert_eq!(sim.report(), plain, "restored run diverged");
+    }
+
+    #[test]
+    fn scripted_step_with_empty_scripts_matches_port_order_lowest_dim() {
+        // Digit 0 everywhere = serve heads in slot order, take the first
+        // candidate the routing function offers. Under a deterministic
+        // single-dir routing function (xy) every policy collapses to that,
+        // so scripted and plain runs must agree exactly.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.0)
+            .deadlock_threshold(500)
+            .input_policy(InputPolicy::PortOrder)
+            .build();
+        let mut plain = Sim::new(&mesh, &routing, &pattern, cfg.clone());
+        let mut scripted = Sim::new(&mesh, &routing, &pattern, cfg);
+        for (src, dst) in [(0u32, 15u32), (5, 3), (12, 2), (9, 6)] {
+            plain.inject_packet(NodeId(src), NodeId(dst), 4);
+            scripted.inject_packet(NodeId(src), NodeId(dst), 4);
+        }
+        for _ in 0..120 {
+            plain.step();
+            let mut script = ChoiceScript::default();
+            scripted.step_with_choices(&mut script);
+        }
+        assert_eq!(scripted.snapshot(), plain.snapshot());
+        assert!(plain.is_idle() && scripted.is_idle());
+    }
+
+    #[test]
+    fn scripted_choices_cover_both_contending_heads() {
+        // Two heads meet at router (1,0) the same cycle, both needing its
+        // +y output under xy routing; the script's digit decides which is
+        // served first, and both winners are reachable.
+        let mesh = Mesh::new_2d(4, 4);
+        let routing = mesh2d::xy();
+        let pattern = Uniform::new();
+        let mut winners = Vec::new();
+        for digit in [0u32, 1] {
+            let mut sim = Sim::new(&mesh, &routing, &pattern, quiet_cfg());
+            let dst = mesh.node_at_coords(&[1, 2]);
+            let a = sim.inject_packet(mesh.node_at_coords(&[0, 0]), dst, 3);
+            let b = sim.inject_packet(mesh.node_at_coords(&[2, 0]), dst, 3);
+            // Two choice-free steps march both heads to the meeting
+            // router's input buffers.
+            for _ in 0..2 {
+                let mut s = ChoiceScript::default();
+                sim.step_with_choices(&mut s);
+                assert!(s.arities().is_empty(), "premature choice point");
+            }
+            let mut script = ChoiceScript::new(vec![digit]);
+            sim.step_with_choices(&mut script);
+            assert_eq!(script.arities(), &[2], "expected one 2-way contention");
+            let pa = sim.packets()[a.index()];
+            let pb = sim.packets()[b.index()];
+            assert_ne!(pa.hops, pb.hops, "exactly one head won the channel");
+            winners.push(pa.hops > pb.hops);
+        }
+        assert_ne!(winners[0], winners[1], "digit did not change the winner");
     }
 }

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod choice;
 mod config;
 mod engine;
 mod fault;
@@ -58,8 +59,9 @@ mod policies;
 pub mod profile;
 mod report;
 
+pub use choice::ChoiceScript;
 pub use config::{LengthDist, SimConfig, SimConfigBuilder, CYCLES_PER_MICROSEC};
-pub use engine::Sim;
+pub use engine::{Sim, SimSnapshot};
 pub use fault::{Fault, FaultEvent, FaultPlan, FaultTarget};
 pub use obs::{
     Alert, AlertKind, DetectorBank, DetectorConfig, FrameCollector, HealEvent, InvariantObserver,

@@ -45,5 +45,5 @@ mod vdir;
 
 pub use double_y::{count_paths, DoubleYAdaptive};
 pub use graph::{VcCdg, VcChannel};
-pub use sim::{VcSim, VcSimReport};
+pub use sim::{VcSim, VcSimReport, VcSimSnapshot};
 pub use vdir::{outgoing_vdirs, VcClass, VcRoutingFunction, VirtualDirection};

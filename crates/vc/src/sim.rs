@@ -13,8 +13,8 @@ use turnroute_rng::rngs::StdRng;
 use turnroute_rng::{Rng, SeedableRng};
 use turnroute_sim::obs::{ChannelLayout, PacketBlame, StallReason, StreamingHistogram};
 use turnroute_sim::{
-    BlameTotals, FaultTarget, LengthDist, NoopObserver, Packet, PacketId, RunTermination,
-    SimConfig, SimObserver, SimReport,
+    BlameTotals, ChoiceScript, FaultTarget, LengthDist, NoopObserver, Packet, PacketId,
+    RunTermination, SimConfig, SimObserver, SimReport,
 };
 use turnroute_topology::{Direction, Mesh, NodeId, Topology};
 use turnroute_traffic::TrafficPattern;
@@ -25,17 +25,58 @@ const NONE_U32: u32 = u32::MAX;
 /// simulator's report).
 pub type VcSimReport = SimReport;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct BufFlit {
     packet: u32,
     is_head: bool,
     is_tail: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Emitting {
     packet: u32,
     sent: u32,
+}
+
+/// A complete copy of a [`VcSim`]'s mutable state, produced by
+/// [`VcSim::snapshot`] and consumed by [`VcSim::restore`].
+///
+/// Same boundary as the base engine's
+/// [`SimSnapshot`](turnroute_sim::SimSnapshot): the simulation state is
+/// captured, the static network description and the attached observer are
+/// not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcSimSnapshot {
+    now: u64,
+    rng: StdRng,
+    fault_cursor: usize,
+    fault_depth: Vec<u16>,
+    faulty: Vec<bool>,
+    node_down: Vec<u16>,
+    deadlines: VecDeque<(u64, u32)>,
+    retry_counts: Vec<u32>,
+    dropped_packets: u64,
+    unroutable_packets: u64,
+    total_retries: u64,
+    owner: Vec<u32>,
+    buf: Vec<Option<BufFlit>>,
+    assigned_out: Vec<u32>,
+    head_since: Vec<u64>,
+    packets: Vec<Packet>,
+    queues: Vec<VecDeque<u32>>,
+    emitting: Vec<Option<Emitting>>,
+    next_arrival: Vec<f64>,
+    progress_cycles: Vec<u64>,
+    last_progress: Vec<u64>,
+    blame: BlameTotals,
+    window: (u64, u64),
+    generated_packets: u64,
+    generated_flits: u64,
+    delivered_flits_in_window: u64,
+    max_queue_len: usize,
+    last_move: u64,
+    deadlocked: bool,
+    total_stall_cycles: u64,
 }
 
 /// A wormhole simulation over a double-y virtual-channel mesh.
@@ -683,6 +724,232 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         }
     }
 
+    // ---- choice-scripted stepping (model checking) ------------------
+
+    /// Advance one cycle with every arbitration decision resolved by
+    /// `script` instead of the engine's FCFS/first-free defaults.
+    ///
+    /// Same phases in the same order as [`VcSim::step`]; the explored
+    /// decision points are (1) which waiting head each router serves
+    /// next and (2) which *free* offered virtual channel a served head
+    /// acquires — together these cover every input-selection and
+    /// VC-allocation policy. The physical-link bandwidth arbiter in
+    /// `advance` stays deterministic (slot order): it is work-conserving
+    /// and re-arbitrated from scratch every cycle, so it can delay a flit
+    /// by at most the link's service of other ready flits and can never
+    /// create a circular wait — a sound reduction for deadlock checking.
+    pub fn step_with_choices(&mut self, script: &mut ChoiceScript) {
+        self.apply_faults();
+        self.expire_packets();
+        self.generate();
+        self.assign_outputs_scripted(script);
+        self.advance();
+        self.feed_injection();
+        if self.now.saturating_sub(self.last_move) >= self.cfg.deadlock_threshold
+            && self.buf.iter().any(Option::is_some)
+        {
+            self.deadlocked = true;
+        }
+        if O::ENABLED {
+            self.obs.on_cycle_end(self.now);
+        }
+        self.now += 1;
+    }
+
+    /// Phase A under the choice oracle: same routable-head collection as
+    /// [`VcSim::assign_outputs`], grouped by input router (router
+    /// arbitrations at distinct routers touch disjoint channel state and
+    /// commute), served in a script-chosen order.
+    fn assign_outputs_scripted(&mut self, script: &mut ChoiceScript) {
+        let mut heads: Vec<u32> = Vec::new();
+        for slot in 0..self.ej_base {
+            if !self.exists[slot] || self.assigned_out[slot] != NONE_U32 {
+                continue;
+            }
+            if matches!(self.buf[slot], Some(f) if f.is_head) {
+                heads.push(slot as u32);
+            }
+        }
+        heads.sort_unstable_by_key(|&c| (self.input_router[c as usize], c));
+        let mut i = 0;
+        while i < heads.len() {
+            let router = self.input_router[heads[i] as usize];
+            let mut j = i;
+            while j < heads.len() && self.input_router[heads[j] as usize] == router {
+                j += 1;
+            }
+            let mut remaining: Vec<u32> = heads[i..j].to_vec();
+            while !remaining.is_empty() {
+                let k = script.decide(remaining.len());
+                let c = remaining.remove(k);
+                self.try_assign_scripted(c as usize, script);
+            }
+            i = j;
+        }
+    }
+
+    /// [`VcSim::try_assign`] with the free-VC pick delegated to the
+    /// oracle: instead of the first free offered virtual channel, any of
+    /// them is reachable.
+    fn try_assign_scripted(&mut self, c: usize, script: &mut ChoiceScript) {
+        let flit = self.buf[c].expect("head present");
+        let pkt = self.packets[flit.packet as usize];
+        let v = NodeId(self.input_router[c]);
+        if v == pkt.dst {
+            let ej = self.ej_base + v.index();
+            if self.owner[ej] == NONE_U32 && !(self.faults_possible && self.faulty[ej]) {
+                self.assigned_out[c] = ej as u32;
+                self.owner[ej] = flit.packet;
+            }
+            return;
+        }
+        let arrived = if c >= self.inj_base {
+            None
+        } else {
+            Some(Self::vdir_of_slot(c))
+        };
+        let mut free: Vec<usize> = Vec::with_capacity(4);
+        for vd in self.routing.route(self.mesh, v, pkt.dst, arrived) {
+            let slot = v.index() * 8 + vd.index();
+            debug_assert!(self.exists[slot], "offered channel must exist");
+            if self.owner[slot] == NONE_U32 && !(self.faults_possible && self.faulty[slot]) {
+                free.push(slot);
+            }
+        }
+        if free.is_empty() {
+            return;
+        }
+        let slot = free[script.decide(free.len())];
+        self.assigned_out[c] = slot as u32;
+        self.owner[slot] = flit.packet;
+        self.packets[flit.packet as usize].hops += 1;
+    }
+
+    // ---- snapshot / restore -----------------------------------------
+
+    /// Capture the engine's complete mutable state. See [`VcSimSnapshot`].
+    pub fn snapshot(&self) -> VcSimSnapshot {
+        VcSimSnapshot {
+            now: self.now,
+            rng: self.rng.clone(),
+            fault_cursor: self.fault_cursor,
+            fault_depth: self.fault_depth.clone(),
+            faulty: self.faulty.clone(),
+            node_down: self.node_down.clone(),
+            deadlines: self.deadlines.clone(),
+            retry_counts: self.retry_counts.clone(),
+            dropped_packets: self.dropped_packets,
+            unroutable_packets: self.unroutable_packets,
+            total_retries: self.total_retries,
+            owner: self.owner.clone(),
+            buf: self.buf.clone(),
+            assigned_out: self.assigned_out.clone(),
+            head_since: self.head_since.clone(),
+            packets: self.packets.clone(),
+            queues: self.queues.clone(),
+            emitting: self.emitting.clone(),
+            next_arrival: self.next_arrival.clone(),
+            progress_cycles: self.progress_cycles.clone(),
+            last_progress: self.last_progress.clone(),
+            blame: self.blame,
+            window: self.window,
+            generated_packets: self.generated_packets,
+            generated_flits: self.generated_flits,
+            delivered_flits_in_window: self.delivered_flits_in_window,
+            max_queue_len: self.max_queue_len,
+            last_move: self.last_move,
+            deadlocked: self.deadlocked,
+            total_stall_cycles: self.total_stall_cycles,
+        }
+    }
+
+    /// Restore state captured by [`VcSim::snapshot`]. The observer is not
+    /// rewound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a differently-shaped network.
+    pub fn restore(&mut self, snap: &VcSimSnapshot) {
+        assert_eq!(
+            snap.owner.len(),
+            self.num_channels,
+            "snapshot from a different network shape"
+        );
+        assert_eq!(
+            snap.queues.len(),
+            self.num_nodes,
+            "snapshot from a different network shape"
+        );
+        self.now = snap.now;
+        self.rng = snap.rng.clone();
+        self.fault_cursor = snap.fault_cursor;
+        self.fault_depth.clone_from(&snap.fault_depth);
+        self.faulty.clone_from(&snap.faulty);
+        self.node_down.clone_from(&snap.node_down);
+        self.deadlines.clone_from(&snap.deadlines);
+        self.retry_counts.clone_from(&snap.retry_counts);
+        self.dropped_packets = snap.dropped_packets;
+        self.unroutable_packets = snap.unroutable_packets;
+        self.total_retries = snap.total_retries;
+        self.owner.clone_from(&snap.owner);
+        self.buf.clone_from(&snap.buf);
+        self.assigned_out.clone_from(&snap.assigned_out);
+        self.head_since.clone_from(&snap.head_since);
+        self.packets.clone_from(&snap.packets);
+        self.queues.clone_from(&snap.queues);
+        self.emitting.clone_from(&snap.emitting);
+        self.next_arrival.clone_from(&snap.next_arrival);
+        self.progress_cycles.clone_from(&snap.progress_cycles);
+        self.last_progress.clone_from(&snap.last_progress);
+        self.blame = snap.blame;
+        self.window = snap.window;
+        self.generated_packets = snap.generated_packets;
+        self.generated_flits = snap.generated_flits;
+        self.delivered_flits_in_window = snap.delivered_flits_in_window;
+        self.max_queue_len = snap.max_queue_len;
+        self.last_move = snap.last_move;
+        self.deadlocked = snap.deadlocked;
+        self.total_stall_cycles = snap.total_stall_cycles;
+    }
+
+    // ---- model-checker state views ----------------------------------
+
+    /// Total channel slots (eight VC slots per node, then injection, then
+    /// ejection; see [`VcSim::channel_layout`]).
+    pub fn num_slots(&self) -> usize {
+        self.num_channels
+    }
+
+    /// The packet whose worm currently owns `slot`, if any.
+    pub fn slot_owner(&self, slot: usize) -> Option<u32> {
+        (self.owner[slot] != NONE_U32).then_some(self.owner[slot])
+    }
+
+    /// The output slot the worm crossing input `slot` is bound to, if
+    /// routed.
+    pub fn slot_binding(&self, slot: usize) -> Option<usize> {
+        (self.assigned_out[slot] != NONE_U32).then_some(self.assigned_out[slot] as usize)
+    }
+
+    /// The flit buffered at `slot` (VC buffers hold at most one) as
+    /// `(packet, is_head, is_tail)`.
+    pub fn slot_flits(&self, slot: usize) -> impl Iterator<Item = (u32, bool, bool)> + '_ {
+        self.buf[slot]
+            .iter()
+            .map(|f| (f.packet, f.is_head, f.is_tail))
+    }
+
+    /// Packets queued at `node`'s source, front first.
+    pub fn source_queue(&self, node: usize) -> impl Iterator<Item = u32> + '_ {
+        self.queues[node].iter().copied()
+    }
+
+    /// The packet currently streaming into `node`'s injection channel and
+    /// how many of its flits have been emitted.
+    pub fn source_emitting(&self, node: usize) -> Option<(u32, u32)> {
+        self.emitting[node].map(|e| (e.packet, e.sent))
+    }
+
     fn advance(&mut self) {
         const UNKNOWN: u8 = 0;
         const IN_PROGRESS: u8 = 1;
@@ -1142,6 +1409,72 @@ mod tests {
         obs.assert_clean();
         let s = obs.summary();
         assert!(s.sourced_flits > 0 && s.consumed_flits > 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_for_bit() {
+        let mesh = Mesh::new_2d(6, 6);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let cfg = SimConfig::builder()
+            .injection_rate(0.06)
+            .warmup_cycles(100)
+            .measure_cycles(400)
+            .drain_cycles(400)
+            .seed(31)
+            .build();
+        let plain = VcSim::new(&mesh, &alg, &pattern, cfg.clone()).run();
+        let mut sim = VcSim::new(&mesh, &alg, &pattern, cfg);
+        sim.window = (100, 500);
+        for _ in 0..250 {
+            sim.step();
+        }
+        let snap = sim.snapshot();
+        sim.inject_packet(NodeId(0), NodeId(35), 7);
+        for _ in 0..40 {
+            sim.step();
+        }
+        sim.restore(&snap);
+        assert_eq!(sim.snapshot(), snap, "restore is lossless");
+        while sim.now() < 900 && !sim.deadlocked() {
+            sim.step();
+        }
+        assert_eq!(sim.report(), plain, "restored run diverged");
+    }
+
+    #[test]
+    fn scripted_step_explores_the_free_vc_choice() {
+        // A head offered two free virtual channels (the adaptive
+        // east-or-north choice): digit 0 takes the first, digit 1 the
+        // second — distinct owners result.
+        let mesh = Mesh::new_2d(4, 4);
+        let alg = DoubleYAdaptive::new();
+        let pattern = Uniform::new();
+        let mut owners = Vec::new();
+        for digit in [0u32, 1] {
+            let mut sim = VcSim::new(&mesh, &alg, &pattern, quiet_cfg());
+            sim.inject_packet(
+                mesh.node_at_coords(&[0, 0]),
+                mesh.node_at_coords(&[2, 2]),
+                3,
+            );
+            {
+                let mut s = ChoiceScript::default();
+                sim.step_with_choices(&mut s); // head enters injection buffer
+            }
+            let mut script = ChoiceScript::new(vec![digit]);
+            sim.step_with_choices(&mut script);
+            let chosen: Vec<usize> = (0..sim.num_slots())
+                .filter(|&s| s < sim.inj_base && sim.slot_owner(s).is_some())
+                .collect();
+            assert_eq!(chosen.len(), 1, "exactly one network VC acquired");
+            assert!(
+                !script.arities().is_empty(),
+                "two free VCs must be a choice point"
+            );
+            owners.push(chosen[0]);
+        }
+        assert_ne!(owners[0], owners[1], "digit did not change the VC pick");
     }
 
     #[test]
