@@ -90,6 +90,29 @@ if cargo run --offline --quiet -p turnroute-analysis --bin turncheck -- \
 fi
 grep -q "MODEL CHECKING FAILED" "$lint_tmp/turncheck_bad.log"
 
+echo "==> turnsynth gate"
+# The synthesis gate: every cyclic configuration of the matrix must get a
+# synthesized escape/adaptive VC assignment whose certificate the
+# independent checker accepts, byte-stable across reruns, with the
+# simulator cross-validations agreeing (unsplit deadlocks, synthesized
+# delivers 100%). Then the self-test: planting a dependency cycle inside
+# the escape class while keeping the clean certificate must be rejected
+# by the checker — not the synthesizer — and fail the gate.
+cargo run --offline --quiet -p turnroute-analysis --bin turnsynth -- \
+    --quick --out "$lint_tmp/turnsynth_a.json" > "$lint_tmp/turnsynth.log"
+test -s "$lint_tmp/turnsynth_a.json"
+cargo run --offline --quiet -p turnroute-analysis --bin turnsynth -- \
+    --quick --out "$lint_tmp/turnsynth_b.json" > /dev/null
+cmp "$lint_tmp/turnsynth_a.json" "$lint_tmp/turnsynth_b.json"
+if cargo run --offline --quiet -p turnroute-analysis --bin turnsynth -- \
+    --quick --inject-bad --out "$lint_tmp/turnsynth_bad.json" \
+    > "$lint_tmp/turnsynth_bad.log" 2>&1; then
+    echo "turnsynth --inject-bad unexpectedly passed; the gate is blind" >&2
+    exit 1
+fi
+grep -q "checker rejected" "$lint_tmp/turnsynth_bad.log"
+grep -q "self-test" "$lint_tmp/turnsynth_bad.log"
+
 echo "==> turntrace gate"
 # The observability gate: recording the canonical scenario twice with
 # the same seed must produce byte-identical logs and aggregates,

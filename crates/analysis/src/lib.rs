@@ -43,6 +43,14 @@
 //!   certified connected path by path, and the whole proof object is
 //!   re-validated by the deliberately tiny independent checker before
 //!   CI believes a word of it.
+//! * [`synth`] — `turnsynth`, the constructive inverse of `turnprove`:
+//!   every *cyclic* verdict in the matrix is turned into a synthesized
+//!   escape/adaptive virtual-channel assignment (the mechanical
+//!   generalization of the hand-coded double-y split), lowered back to a
+//!   [`certificate::GraphSpec`], re-proven acyclic, validated by the
+//!   same independent checker, and cross-checked by seeded saturating
+//!   runs where the unsplit relation deadlocks and the synthesized one
+//!   delivers every packet.
 //!
 //! # Example
 //!
@@ -66,6 +74,7 @@ pub mod lint;
 pub mod mc;
 pub mod prove;
 pub mod routing;
+pub mod synth;
 
 pub use certificate::{Certificate, ChannelVertex, GraphSpec, PathCert, Verdict};
 pub use claim::{witness_cycle, Claim};
@@ -74,3 +83,4 @@ pub use lint::{LintOptions, LintReport};
 pub use mc::{McEntry, McOptions, McReport};
 pub use prove::{ProveOptions, ProveReport};
 pub use routing::{find_dead_end, TurnSetRouting};
+pub use synth::{SynthEntry, SynthOptions, SynthReport, SynthResult};

@@ -541,6 +541,12 @@ pub fn run(opts: &ProveOptions) -> ProveReport {
     let spec = extract::from_routing(format!("4-ary 2-cube/{}", wrapped.name()), &torus, &wrapped);
     entries.push(entry("routing", true, true, &spec));
 
+    // The torus with every 90-degree turn allowed: the wraparound rings
+    // alone close dependency cycles, so even the full turn set is
+    // refuted — the cyclic side of the matrix turnsynth inverts.
+    let spec = extract::from_turn_set("4-ary 2-cube/unrestricted", &torus, &TurnSet::all_ninety(2));
+    entries.push(entry("turn-set", false, true, &spec));
+
     // An irregular netlist with no topology object at all: up*/down*
     // over a 6-node graph of two bridged triangles, extracted directly
     // from its link list. Exercises the spec format's claim that the
@@ -560,6 +566,16 @@ pub fn run(opts: &ProveOptions) -> ProveReport {
         ],
     );
     entries.push(entry("netlist", true, true, &spec));
+
+    // The 3-stage butterfly, unrestricted: without the up*/down*
+    // discipline the straight/cross link pairs between adjacent stages
+    // close 4-cycles (another cyclic input for turnsynth).
+    let spec = extract::from_netlist_unrestricted(
+        "butterfly3/unrestricted (multistage)",
+        12,
+        &crate::synth::report::butterfly3_links(),
+    );
+    entries.push(entry("netlist", false, true, &spec));
 
     // The hexagonal mesh of Section 7: negative-first over six directions,
     // proven intact and under a single failed diagonal link (the degraded

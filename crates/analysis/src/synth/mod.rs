@@ -1,0 +1,37 @@
+//! `turnsynth`: certificate-driven virtual-channel class synthesis.
+//!
+//! The prover ([`crate::prove`]) turns acyclic channel graphs into
+//! checked numbering certificates and cyclic ones into witness cycles.
+//! This module inverts the refutations: given any
+//! [`GraphSpec`](crate::certificate::GraphSpec) whose
+//! verdict is `Cyclic`, it synthesizes an **escape/adaptive
+//! virtual-channel assignment** — the mechanical generalization of what
+//! the double-y configuration hand-codes for the 2D mesh — and lowers it
+//! back to a `GraphSpec` the *existing* prover can certify:
+//!
+//! 1. [`decompose::feedback_edges`] cuts an inclusion-minimal feedback
+//!    set out of the input dependency relation;
+//! 2. [`lower::synthesize`] splits every channel into an adaptive class
+//!    (the input relation minus the cut moves) and a minimal escape
+//!    class (an up*/down* relation over the induced node graph, pruned
+//!    to the channels some destination actually uses), with escape
+//!    entries from every injection point and every live adaptive state;
+//! 3. the driver ([`report::run`]) re-runs [`crate::prove::prove`] on
+//!    every synthesized spec and records only what the independent
+//!    checker ([`crate::check`]) accepts — the synthesizer itself is
+//!    **not** in the trusted computing base (`DESIGN.md` §14).
+//!
+//! Two classes are minimal: a single class is the input itself, which is
+//! cyclic by assumption. The feedback set is inclusion-minimal (re-adding
+//! any cut edge re-creates a cycle) and the escape class is pruned to the
+//! channels reachability requires, so the synthesized assignment is
+//! locally irreducible rather than globally optimal — computing a
+//! minimum feedback arc set is NP-hard.
+
+pub mod decompose;
+pub mod lower;
+pub mod report;
+
+pub use decompose::feedback_edges;
+pub use lower::{escape_dead_end, synthesize, EscapeChannel, SynthResult};
+pub use report::{run, SynthEntry, SynthOptions, SynthReport};

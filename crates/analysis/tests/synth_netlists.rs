@@ -1,0 +1,120 @@
+//! Property test: every cyclic random netlist gets a certified synthesis.
+//!
+//! Seeded random connected netlists (a random spanning tree plus extra
+//! links) are lowered unrestricted; whenever the prover refutes one, the
+//! synthesizer must produce an escape/adaptive assignment that the
+//! *independent checker* certifies acyclic and fully connected, with no
+//! escape dead ends — and routing over the escape class alone must still
+//! connect every ordered pair.
+
+use turnroute_analysis::synth::{escape_dead_end, synthesize};
+use turnroute_analysis::{check, extract, prove, GraphSpec, Verdict};
+use turnroute_rng::{Rng, SeedableRng, StdRng};
+
+/// A random connected undirected link list: a uniform random spanning
+/// tree (each node n > 0 attaches to a random earlier node), plus
+/// `extra` random non-duplicate links.
+fn random_netlist(rng: &mut StdRng, n: u32, extra: usize) -> Vec<(u32, u32)> {
+    let mut links: Vec<(u32, u32)> = (1..n)
+        .map(|v| {
+            let parent = rng.gen_range(0..v);
+            (parent, v)
+        })
+        .collect();
+    let mut attempts = 0;
+    while links.len() < (n as usize - 1) + extra && attempts < 100 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let link = (a.min(b), a.max(b));
+        if a != b && !links.contains(&link) {
+            links.push(link);
+        }
+    }
+    links.sort_unstable();
+    links
+}
+
+/// Escape-class-only connectivity: following only escape moves (from
+/// injection and escape holding states) must reach every destination.
+fn escape_only_connected(spec: &GraphSpec, num_adaptive: usize) -> Result<(), String> {
+    let n = spec.num_nodes as usize;
+    let is_escape = |c: u32| (c as usize) >= num_adaptive;
+    for dest in 0..n {
+        for src in 0..n {
+            if src == dest {
+                continue;
+            }
+            // BFS over escape channels reachable from src's injection.
+            let mut seen = vec![false; spec.channels.len()];
+            let mut queue: Vec<u32> = spec.routes[dest][src]
+                .iter()
+                .copied()
+                .filter(|&m| is_escape(m))
+                .collect();
+            for &c in &queue {
+                seen[c as usize] = true;
+            }
+            let mut reached = false;
+            while let Some(c) = queue.pop() {
+                if spec.channels[c as usize].dst == dest as u32 {
+                    reached = true;
+                    break;
+                }
+                for &m in &spec.routes[dest][n + c as usize] {
+                    if is_escape(m) && !seen[m as usize] {
+                        seen[m as usize] = true;
+                        queue.push(m);
+                    }
+                }
+            }
+            if !reached {
+                return Err(format!(
+                    "{}: escape-only routing cannot take n{src} to n{dest}",
+                    spec.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn every_cyclic_random_netlist_synthesizes_a_checked_assignment() {
+    let mut rng = StdRng::seed_from_u64(0x1234_5EED);
+    let mut cyclic_seen = 0;
+    for case in 0..20 {
+        let n = rng.gen_range(4..=10u32);
+        let extra = rng.gen_range(1..=4usize);
+        let links = random_netlist(&mut rng, n, extra);
+        let spec =
+            extract::from_netlist_unrestricted(format!("random-netlist-{case} (n={n})"), n, &links);
+        let verdict = prove::prove(&spec).verdict;
+        if matches!(verdict, Verdict::Acyclic { .. }) {
+            // Trees with few extras can come out acyclic; nothing to do.
+            continue;
+        }
+        cyclic_seen += 1;
+        let result = synthesize(&spec).unwrap_or_else(|e| panic!("{e}"));
+        let cert = prove::prove(&result.spec);
+        assert!(
+            cert.verdict.is_acyclic(),
+            "{}: synthesized spec still cyclic",
+            spec.name
+        );
+        check::check(&result.spec, &cert).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert!(
+            cert.unreachable.is_empty(),
+            "{}: synthesis lost connectivity",
+            spec.name
+        );
+        if let Some(err) = escape_dead_end(&result) {
+            panic!("{}: {err}", spec.name);
+        }
+        escape_only_connected(&result.spec, result.num_adaptive).unwrap_or_else(|e| panic!("{e}"));
+    }
+    assert!(
+        cyclic_seen >= 10,
+        "only {cyclic_seen} cyclic inputs generated; property vacuous"
+    );
+}

@@ -1,0 +1,60 @@
+//! Benchmarks pinning the cost of the N-class virtual-channel
+//! generalization and the synthesizer:
+//!
+//! * `vc_synth_classes/double_y_direct` — the wormhole VC engine running
+//!   the hand-coded double-y function through the generalized N-class
+//!   slot arithmetic (the hot path the two-class code used to hard-code);
+//! * `vc_synth_classes/double_y_tabulated` — the same workload through a
+//!   [`TableVcRouting`] snapshot, the form synthesized escape/adaptive
+//!   assignments arrive in;
+//! * `vc_synth_classes/synthesize_mesh4x4` — a full synthesis +
+//!   re-prove + independent check of the unrestricted 4x4 mesh.
+
+use turnroute_analysis::extract;
+use turnroute_analysis::synth::synthesize;
+use turnroute_bench::harness::{black_box, Criterion};
+use turnroute_bench::{criterion_group, criterion_main};
+use turnroute_model::TurnSet;
+use turnroute_sim::harness::saturating_config;
+use turnroute_topology::Mesh;
+use turnroute_traffic::Uniform;
+use turnroute_vc::{DoubleYAdaptive, TableVcRouting, VcSim};
+
+fn vc_synth_classes(c: &mut Criterion) {
+    let mesh = Mesh::new_2d(8, 8);
+    let dy = DoubleYAdaptive::new();
+    let table = TableVcRouting::from_function(&mesh, &dy);
+    let pattern = Uniform::new();
+    let mut group = c.benchmark_group("vc_synth_classes");
+    group.sample_size(10);
+    group.bench_function("double_y_direct", |b| {
+        b.iter(|| {
+            let cfg = saturating_config(0xD0, 2_000, 1_000);
+            let report = VcSim::new(&mesh, &dy, &pattern, cfg).run();
+            assert!(!report.deadlocked);
+            black_box(report.delivered_packets)
+        })
+    });
+    group.bench_function("double_y_tabulated", |b| {
+        b.iter(|| {
+            let cfg = saturating_config(0xD0, 2_000, 1_000);
+            let report = VcSim::new(&mesh, &table, &pattern, cfg).run();
+            assert!(!report.deadlocked);
+            black_box(report.delivered_packets)
+        })
+    });
+    let mesh4 = Mesh::new_2d(4, 4);
+    let input = extract::from_turn_set("bench", &mesh4, &TurnSet::all_ninety(2));
+    group.bench_function("synthesize_mesh4x4", |b| {
+        b.iter(|| {
+            let result = synthesize(black_box(&input)).expect("synthesizes");
+            let cert = turnroute_analysis::prove::prove(&result.spec);
+            turnroute_analysis::check::check(&result.spec, &cert).expect("checker");
+            black_box(result.spec.deps.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, vc_synth_classes);
+criterion_main!(benches);

@@ -23,6 +23,7 @@
 //!   faults           graceful degradation vs failed-link fraction
 //!   scope            turnscope saturation-approach study
 //!   mc               turncheck exhaustive state-space census
+//!   synth            turnsynth escape/adaptive synthesis study
 //!   buffer-depth     input-buffer depth sensitivity
 //!   node-delay       Section 7's route-selection delay trade-off
 //!   all              everything above, written to --out
@@ -32,8 +33,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use turnroute_experiments::{
     adaptiveness_exp, buffers, census, chaos, claims, faults, fig1, figures, linkload, mc_exp,
-    node_delay, nonminimal_exp, numbering_exp, paths, pcube_table, policies, scope, theorems,
-    vc_ablation, Scale,
+    node_delay, nonminimal_exp, numbering_exp, paths, pcube_table, policies, scope, synth_exp,
+    theorems, vc_ablation, Scale,
 };
 use turnroute_model::RoutingFunction;
 use turnroute_obslog::artifact;
@@ -58,7 +59,7 @@ struct Options {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: exp <fig1|turn-census|example-paths|numbering|theorems|adaptiveness-2d|\
-         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|chaos|scope|mc|buffer-depth|node-delay|all> \
+         pcube-table|fig13|fig14|fig15|fig16|claims|link-load|policy-ablation|nonminimal|vc-ablation|faults|chaos|scope|mc|synth|buffer-depth|node-delay|all> \
          [--quick] [--seed N] [--out DIR] [--metrics-out FILE] [--trace] [--inject-bad]"
     );
     ExitCode::FAILURE
@@ -164,6 +165,7 @@ fn main() -> ExitCode {
         "chaos" => return run_chaos(&opts),
         "scope" => return run_scope(&opts),
         "mc" => return run_mc(&opts),
+        "synth" => return run_synth(&opts),
         "buffer-depth" => vec![("buffer_depth.md", buffers::render(opts.scale, opts.seed))],
         "node-delay" => vec![("node_delay.md", node_delay::render(opts.scale, opts.seed))],
         "all" => {
@@ -331,6 +333,30 @@ fn run_mc(opts: &Options) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("model-checking census FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+/// Run the turnsynth synthesis study: every cyclic configuration of the
+/// proof matrix split into certified escape/adaptive classes, rendered as
+/// a markdown table with the live cross-validations. Writes `synth.md`
+/// and fails the process unless every synthesis was certified.
+fn run_synth(opts: &Options) -> ExitCode {
+    let (md, passed) = synth_exp::study(opts.scale);
+    match &opts.out {
+        Some(dir) => {
+            if let Err(e) = artifact::write_artifact(&dir.join("synth.md"), &md) {
+                eprintln!("cannot write synth.md: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {}", dir.join("synth.md").display());
+        }
+        None => println!("{}", artifact::normalized(md)),
+    }
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("synthesis study FAILED");
         ExitCode::FAILURE
     }
 }

@@ -59,6 +59,7 @@ pub mod plot;
 pub mod policies;
 pub mod scope;
 pub mod sweep;
+pub mod synth_exp;
 pub mod theorems;
 pub mod vc_ablation;
 

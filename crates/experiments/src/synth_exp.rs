@@ -1,0 +1,113 @@
+//! Synthesis study: what the certificate-driven VC synthesizer buys.
+//!
+//! `turnsynth` (the `synth` module of `turnroute-analysis`) inverts
+//! every cyclic verdict in the proof matrix into an escape/adaptive
+//! virtual-channel assignment, re-proven and validated by the
+//! independent checker. This experiment renders that run as a
+//! paper-style table — configuration, input size, witness length,
+//! feedback cut, escape-class size, synthesized dependency count,
+//! verdict — plus the live cross-validations where the unsplit relation
+//! deadlocks and the synthesized one delivers every packet.
+
+use crate::Scale;
+use turnroute_analysis::synth::{run, SynthOptions};
+
+/// Run the synthesis matrix and render `results/synth.md`. Returns the
+/// markdown and whether every synthesis was certified and every
+/// cross-check agreed.
+pub fn study(scale: Scale) -> (String, bool) {
+    let report = run(&SynthOptions {
+        quick: scale == Scale::Quick,
+        inject_bad: false,
+    });
+    let passed = report.passed();
+
+    let mut md = String::from("# turnsynth: escape/adaptive synthesis study\n\n");
+    md.push_str(
+        "Every *cyclic* configuration of the proof matrix, mechanically \
+         split into an adaptive class (the input relation minus an \
+         inclusion-minimal feedback cut) and a minimal escape class \
+         (up*/down* over the induced node graph) — the generalization of \
+         the hand-coded double-y construction — then lowered back to a \
+         channel graph, re-proven acyclic, and validated by the \
+         independent checker.\n\n",
+    );
+    md.push_str(&format!(
+        "- cyclic inputs synthesized: **{}**, all certified: **{}**\n",
+        report.entries.len(),
+        if report.entries.iter().all(|e| e.ok()) {
+            "yes"
+        } else {
+            "NO"
+        },
+    ));
+    let cut_total: usize = report.entries.iter().map(|e| e.feedback_cut).sum();
+    let escape_total: usize = report.entries.iter().map(|e| e.escape_channels).sum();
+    md.push_str(&format!(
+        "- feedback edges cut: **{cut_total}** across the matrix; escape channels \
+         synthesized: **{escape_total}**\n",
+    ));
+    md.push_str(&format!(
+        "- simulator cross-validations: **{}**, all agreeing (unsplit deadlocks, \
+         synthesized delivers 100%): **{}**\n\n",
+        report.cross_checks.len(),
+        if report.cross_checks.iter().all(|x| x.ok()) {
+            "yes"
+        } else {
+            "NO"
+        },
+    ));
+
+    md.push_str(
+        "| configuration | kind | channels | deps | witness | cut | escape | synth deps | verdict |\n\
+         | --- | --- | ---: | ---: | ---: | ---: | ---: | ---: | --- |\n",
+    );
+    for e in &report.entries {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            e.config,
+            e.kind,
+            e.input_channels,
+            e.input_deps,
+            e.witness_len,
+            e.feedback_cut,
+            e.escape_channels,
+            e.synth_deps,
+            if e.ok() { "certified" } else { "FAILED" },
+        ));
+    }
+
+    md.push_str(
+        "\n## Live cross-validation\n\n\
+         Seeded saturating runs over a fixed seed sweep: the unsplit \
+         relation must deadlock for at least one seed, the synthesized \
+         relation must deliver every injected packet on every seed.\n\n\
+         | configuration | engine | unsplit | synthesized | ok |\n\
+         | --- | --- | --- | --- | --- |\n",
+    );
+    for x in &report.cross_checks {
+        md.push_str(&format!(
+            "| {} | {} | {} | {}/{} delivered{} | {} |\n",
+            x.config,
+            x.engine,
+            if x.unsplit_deadlocked {
+                "deadlocked"
+            } else {
+                "no deadlock"
+            },
+            x.synth_delivered,
+            x.synth_injected,
+            if x.synth_deadlocked {
+                " (deadlocked)"
+            } else {
+                ""
+            },
+            if x.ok() { "yes" } else { "NO" },
+        ));
+    }
+    md.push_str(&format!(
+        "\nOverall: **{}**.\n",
+        if passed { "PASS" } else { "FAIL" }
+    ));
+    (md, passed)
+}

@@ -23,23 +23,32 @@ pub struct VcChannel {
 pub struct VcCdg {
     channels: Vec<VcChannel>,
     adj: Vec<Vec<u32>>,
+    num_classes: usize,
+    slots_per_node: usize,
+    slot_to_id: Vec<u32>,
 }
 
 impl VcCdg {
     /// Build the dependency graph induced by `routing` on `mesh`,
     /// quantifying only reachable `(incoming channel, destination)` states
-    /// for minimal functions.
+    /// for minimal functions. The routing function declares its class
+    /// count and which virtual channels exist; channels are enumerated
+    /// node-major in dense [`VirtualDirection::index_in`] order.
     pub fn from_routing(mesh: &Mesh, routing: &dyn VcRoutingFunction) -> VcCdg {
         // Enumerate virtual channels and a slot lookup.
-        let slots_per_node = 2 * 2 * mesh.num_dims(); // dirs * classes
+        let num_classes = routing.num_classes();
+        let slots_per_node = 2 * mesh.num_dims() * num_classes; // dirs * classes
         let mut slot_to_id = vec![u32::MAX; mesh.num_nodes() * slots_per_node];
         let mut channels = Vec::new();
         for node in 0..mesh.num_nodes() {
             let node = NodeId(node as u32);
-            for vd in VirtualDirection::double_y_all() {
+            for vd in VirtualDirection::all_classes(mesh.num_dims(), num_classes) {
+                if !routing.channel_exists(vd) {
+                    continue;
+                }
                 if let Some(dst) = mesh.neighbor(node, vd.dir()) {
                     let id = channels.len() as u32;
-                    slot_to_id[node.index() * slots_per_node + vd.index()] = id;
+                    slot_to_id[node.index() * slots_per_node + vd.index_in(num_classes)] = id;
                     channels.push(VcChannel {
                         id,
                         src: node,
@@ -69,12 +78,38 @@ impl VcCdg {
                 }
             }
             for vd in union {
-                let id = slot_to_id[mid.index() * slots_per_node + vd.index()];
+                let id = slot_to_id[mid.index() * slots_per_node + vd.index_in(num_classes)];
                 assert_ne!(id, u32::MAX, "routing offered a nonexistent channel");
                 adj[c1.id as usize].push(id);
             }
         }
-        VcCdg { channels, adj }
+        VcCdg {
+            channels,
+            adj,
+            num_classes,
+            slots_per_node,
+            slot_to_id,
+        }
+    }
+
+    /// Number of virtual-channel classes per physical direction.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Dense virtual-channel slots per node (`2 * dims * classes`).
+    pub fn slots_per_node(&self) -> usize {
+        self.slots_per_node
+    }
+
+    /// The channel id occupying `node`'s slot for `vd`, or `None` if that
+    /// virtual channel does not exist (boundary link or pruned class).
+    pub fn channel_at(&self, node: NodeId, vd: VirtualDirection) -> Option<u32> {
+        let slot = node.index() * self.slots_per_node + vd.index_in(self.num_classes);
+        match self.slot_to_id[slot] {
+            u32::MAX => None,
+            id => Some(id),
+        }
     }
 
     /// The virtual channels (vertices).

@@ -41,9 +41,13 @@
 mod double_y;
 mod graph;
 mod sim;
+mod specsim;
+mod table;
 mod vdir;
 
 pub use double_y::{count_paths, DoubleYAdaptive};
 pub use graph::{VcCdg, VcChannel};
 pub use sim::{VcSim, VcSimReport, VcSimSnapshot};
+pub use specsim::{SpecSim, SpecSimReport, SpecView};
+pub use table::TableVcRouting;
 pub use vdir::{outgoing_vdirs, VcClass, VcRoutingFunction, VirtualDirection};

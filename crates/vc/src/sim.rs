@@ -104,8 +104,12 @@ pub struct VcSim<'a, O: SimObserver = NoopObserver> {
     now: u64,
 
     num_nodes: usize,
-    /// Network VC slots: `node * 8 + vdir.index()`; then injection, then
-    /// ejection slots.
+    /// Virtual-channel classes per physical direction (2 for double-y).
+    num_classes: usize,
+    /// Network VC slots per node: `4 * num_classes`.
+    slots_per_node: usize,
+    /// Network VC slots: `node * slots_per_node + vdir.index_in(classes)`;
+    /// then injection, then ejection slots.
     inj_base: usize,
     ej_base: usize,
     num_channels: usize,
@@ -194,9 +198,12 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         cfg: SimConfig,
         obs: O,
     ) -> VcSim<'a, O> {
-        assert_eq!(mesh.num_dims(), 2, "double-y scheme is for 2D meshes");
+        assert_eq!(mesh.num_dims(), 2, "VC engine is for 2D meshes");
         let num_nodes = mesh.num_nodes();
-        let inj_base = num_nodes * 8;
+        let num_classes = routing.num_classes();
+        assert!(num_classes >= 1, "need at least one VC class");
+        let slots_per_node = 4 * num_classes;
+        let inj_base = num_nodes * slots_per_node;
         let ej_base = inj_base + num_nodes;
         let num_channels = ej_base + num_nodes;
         let phys_network_links = num_nodes * 4;
@@ -207,9 +214,12 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         let mut phys_link = vec![NONE_U32; num_channels];
         for node in 0..num_nodes {
             let node_id = NodeId(node as u32);
-            for vd in VirtualDirection::double_y_all() {
+            for vd in VirtualDirection::all_classes(2, num_classes) {
+                if !routing.channel_exists(vd) {
+                    continue;
+                }
                 if let Some(next) = mesh.neighbor(node_id, vd.dir()) {
-                    let slot = node * 8 + vd.index();
+                    let slot = node * slots_per_node + vd.index_in(num_classes);
                     exists[slot] = true;
                     input_router[slot] = next.0;
                     phys_link[slot] = (node * 4 + vd.dir().index()) as u32;
@@ -245,6 +255,8 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
             total_retries: 0,
             cfg,
             num_nodes,
+            num_classes,
+            slots_per_node,
             inj_base,
             ej_base,
             num_channels,
@@ -301,14 +313,15 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         self.obs
     }
 
-    /// The engine's slot numbering, for decoding observer events: eight
-    /// virtual-direction slots per node (`node * 8 + vdir.index()`, i.e.
-    /// the shape of a 4-dimension layout), then one injection and one
+    /// The engine's slot numbering, for decoding observer events:
+    /// `4 * num_classes` virtual-direction slots per node
+    /// (`node * slots_per_node + vdir.index_in(num_classes)`, the shape of
+    /// a `2 * num_classes`-dimension layout), then one injection and one
     /// ejection slot per node. [`ChannelLayout::dir_of`] is meaningless
     /// here — slot index pairs are (direction, VC class) — but the
     /// injection/ejection predicates and `node_of` decode correctly.
     pub fn channel_layout(&self) -> ChannelLayout {
-        ChannelLayout::new(self.num_nodes, 4)
+        ChannelLayout::new(self.num_nodes, 2 * self.num_classes)
     }
 
     /// Whether deadlock was detected.
@@ -495,11 +508,11 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         }
     }
 
-    /// Both virtual-channel slots of the physical link leaving `node` in
-    /// `dir`.
-    fn link_vc_slots(node: NodeId, dir: Direction) -> [usize; 2] {
-        let base = node.index() * 8 + dir.index() * 2;
-        [base, base + 1]
+    /// Every virtual-channel slot of the physical link leaving `node` in
+    /// `dir` (one per class, whether or not the routing uses it).
+    fn link_vc_slots(&self, node: NodeId, dir: Direction) -> Vec<usize> {
+        let base = node.index() * self.slots_per_node + dir.index() * self.num_classes;
+        (base..base + self.num_classes).collect()
     }
 
     /// Apply every fault transition scheduled at or before `now`.
@@ -514,7 +527,7 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
                     // In the double-y scheme only the y links carry two
                     // virtual channels; fail whichever VC slots the
                     // physical link actually has.
-                    let slots = Self::link_vc_slots(node, dir);
+                    let slots = self.link_vc_slots(node, dir);
                     assert!(
                         slots.iter().any(|&s| self.exists[s]),
                         "fault plan names a missing channel: {node} {dir}"
@@ -534,14 +547,14 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
                     }
                     for dir in Direction::all(2) {
                         if self.mesh.neighbor(v, dir).is_some() {
-                            for slot in Self::link_vc_slots(v, dir) {
+                            for slot in self.link_vc_slots(v, dir) {
                                 if self.exists[slot] {
                                     self.shift_fault(slot, ev.down);
                                 }
                             }
                         }
                         if let Some(prev) = self.mesh.neighbor(v, dir.opposite()) {
-                            for slot in Self::link_vc_slots(prev, dir) {
+                            for slot in self.link_vc_slots(prev, dir) {
                                 if self.exists[slot] {
                                     self.shift_fault(slot, ev.down);
                                 }
@@ -663,14 +676,10 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         }
     }
 
-    fn vdir_of_slot(slot: usize) -> VirtualDirection {
-        let vidx = slot % 8;
-        let dir = turnroute_topology::Direction::from_index(vidx / 2);
-        let class = if vidx.is_multiple_of(2) {
-            crate::VcClass::One
-        } else {
-            crate::VcClass::Two
-        };
+    fn vdir_of_slot(&self, slot: usize) -> VirtualDirection {
+        let vidx = slot % self.slots_per_node;
+        let dir = turnroute_topology::Direction::from_index(vidx / self.num_classes);
+        let class = crate::VcClass::new((vidx % self.num_classes) as u8);
         VirtualDirection::new(dir, class)
     }
 
@@ -705,7 +714,7 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         let arrived = if c >= self.inj_base {
             None
         } else {
-            Some(Self::vdir_of_slot(c))
+            Some(self.vdir_of_slot(c))
         };
         // Faulty channels are simply skipped: removing outputs from the
         // double-y scheme never adds edges to its (acyclic) virtual-channel
@@ -713,7 +722,7 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         // pattern; packets with every offered channel down wait for the
         // packet timeout.
         for vd in self.routing.route(self.mesh, v, pkt.dst, arrived) {
-            let slot = v.index() * 8 + vd.index();
+            let slot = v.index() * self.slots_per_node + vd.index_in(self.num_classes);
             debug_assert!(self.exists[slot], "offered channel must exist");
             if self.owner[slot] == NONE_U32 && !(self.faults_possible && self.faulty[slot]) {
                 self.assigned_out[c] = slot as u32;
@@ -806,11 +815,11 @@ impl<'a, O: SimObserver> VcSim<'a, O> {
         let arrived = if c >= self.inj_base {
             None
         } else {
-            Some(Self::vdir_of_slot(c))
+            Some(self.vdir_of_slot(c))
         };
         let mut free: Vec<usize> = Vec::with_capacity(4);
         for vd in self.routing.route(self.mesh, v, pkt.dst, arrived) {
-            let slot = v.index() * 8 + vd.index();
+            let slot = v.index() * self.slots_per_node + vd.index_in(self.num_classes);
             debug_assert!(self.exists[slot], "offered channel must exist");
             if self.owner[slot] == NONE_U32 && !(self.faults_possible && self.faulty[slot]) {
                 free.push(slot);

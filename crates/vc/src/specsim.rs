@@ -1,0 +1,271 @@
+//! A seeded saturating simulator over an explicit channel-graph relation.
+//!
+//! [`SpecSim`] executes the exact resource model the Dally–Seitz analysis
+//! reasons about: every channel is a single-packet buffer, a packet holds
+//! its current channel until it acquires the next one (hold-and-wait),
+//! and the legal next channels come from a per-destination routing
+//! relation over injection and channel-holding states — the same shape as
+//! the analysis crate's `GraphSpec`. The input is duck-typed (node count,
+//! channel endpoints, route tables) so the simulator stays independent of
+//! the analysis crate and either side of a synthesized split can be
+//! cross-validated: a cyclic relation should deadlock under saturation
+//! while its certified escape/adaptive split delivers every packet.
+
+use turnroute_rng::{Rng, SeedableRng, StdRng};
+
+/// An explicit channel-graph relation, borrowed field by field from a
+/// `GraphSpec`-shaped owner.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecView<'a> {
+    /// Number of routers.
+    pub num_nodes: usize,
+    /// Channel endpoints `(src, dst)`, indexed by channel id.
+    pub channels: &'a [(u32, u32)],
+    /// `routes[dest][state]` = legal next channels, where state `v` in
+    /// `0..num_nodes` is injection at router `v` and `num_nodes + c` is
+    /// holding channel `c`.
+    pub routes: &'a [Vec<Vec<u32>>],
+}
+
+/// Outcome of a saturating [`SpecSim`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecSimReport {
+    /// Packets enqueued (only destinations routable from the source's
+    /// injection state count).
+    pub injected: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Whether the run ended in deadlock: packets held channels but no
+    /// packet moved for the patience window.
+    pub deadlocked: bool,
+    /// Cycle the run ended on.
+    pub end_cycle: u64,
+}
+
+/// Saturating single-packet-per-channel simulator over a [`SpecView`].
+#[derive(Debug)]
+pub struct SpecSim<'a> {
+    view: SpecView<'a>,
+    rng: StdRng,
+    /// Packet occupying each channel (`u32::MAX` = free).
+    occupant: Vec<u32>,
+    /// Per-packet destination.
+    dest: Vec<u32>,
+    /// Per-packet state: `u32::MAX` = delivered, otherwise a route state
+    /// (`< num_nodes` = waiting to inject at that router, else
+    /// `num_nodes + c` = holding channel `c`).
+    state: Vec<u32>,
+    /// Per-router FIFO of packets waiting to inject.
+    inject_queue: Vec<Vec<u32>>,
+    injected: u64,
+    delivered: u64,
+}
+
+const FREE: u32 = u32::MAX;
+
+impl<'a> SpecSim<'a> {
+    /// Create a saturating run: `packets_per_node` packets per router,
+    /// each with a seeded uniform destination among the routers its
+    /// injection state can route to.
+    pub fn new(view: SpecView<'a>, seed: u64, packets_per_node: usize) -> SpecSim<'a> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = view.num_nodes;
+        let mut dest = Vec::new();
+        let mut state = Vec::new();
+        let mut inject_queue = vec![Vec::new(); n];
+        let mut injected = 0u64;
+        for (src, queue) in inject_queue.iter_mut().enumerate() {
+            // Destinations the source can start toward at all; a turn set
+            // that disconnects some pairs simply injects less.
+            let routable: Vec<u32> = (0..n as u32)
+                .filter(|&d| d as usize != src && !view.routes[d as usize][src].is_empty())
+                .collect();
+            if routable.is_empty() {
+                continue;
+            }
+            for _ in 0..packets_per_node {
+                let d = routable[rng.gen_range(0..routable.len())];
+                let id = dest.len() as u32;
+                dest.push(d);
+                state.push(src as u32);
+                queue.push(id);
+                injected += 1;
+            }
+        }
+        SpecSim {
+            occupant: vec![FREE; view.channels.len()],
+            view,
+            rng,
+            dest,
+            state,
+            inject_queue,
+            injected,
+            delivered: 0,
+        }
+    }
+
+    /// Attempt one move for packet `p` from `state`; returns `true` if it
+    /// moved (acquired a channel or was delivered).
+    fn try_move(&mut self, p: u32) -> bool {
+        let s = self.state[p as usize];
+        let n = self.view.num_nodes;
+        let d = self.dest[p as usize];
+        if s >= n as u32 {
+            let c = (s - n as u32) as usize;
+            if self.view.channels[c].1 == d {
+                // At the destination: eject and free the channel.
+                self.occupant[c] = FREE;
+                self.state[p as usize] = u32::MAX;
+                self.delivered += 1;
+                return true;
+            }
+        }
+        let moves = &self.view.routes[d as usize][s as usize];
+        let free: Vec<u32> = moves
+            .iter()
+            .copied()
+            .filter(|&c| self.occupant[c as usize] == FREE)
+            .collect();
+        if free.is_empty() {
+            return false;
+        }
+        let next = free[self.rng.gen_range(0..free.len())];
+        self.occupant[next as usize] = p;
+        if s >= n as u32 {
+            self.occupant[(s - n as u32) as usize] = FREE;
+        } else {
+            let q = &mut self.inject_queue[s as usize];
+            debug_assert_eq!(q.first(), Some(&p));
+            q.remove(0);
+        }
+        self.state[p as usize] = n as u32 + next;
+        true
+    }
+
+    /// Run until every packet is delivered or no packet moves for
+    /// `patience` consecutive cycles (deadlock if channels are still
+    /// held, starvation-free drain otherwise).
+    pub fn run(mut self, patience: u64, max_cycles: u64) -> SpecSimReport {
+        let mut now = 0u64;
+        let mut last_move = 0u64;
+        while now < max_cycles && self.delivered < self.injected {
+            // Serve in-flight packets in a seeded random order each
+            // cycle — an adversarially fair arbiter.
+            let mut active: Vec<u32> = (0..self.state.len() as u32)
+                .filter(|&p| {
+                    let s = self.state[p as usize];
+                    s != u32::MAX && s >= self.view.num_nodes as u32
+                })
+                .collect();
+            for i in (1..active.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                active.swap(i, j);
+            }
+            // Plus the head of each injection FIFO.
+            for v in 0..self.view.num_nodes {
+                if let Some(&p) = self.inject_queue[v].first() {
+                    active.push(p);
+                }
+            }
+            let mut moved = false;
+            for p in active {
+                if self.state[p as usize] == u32::MAX {
+                    continue;
+                }
+                moved |= self.try_move(p);
+            }
+            if moved {
+                last_move = now;
+            } else if now - last_move >= patience {
+                break;
+            }
+            now += 1;
+        }
+        let holding = self.occupant.iter().any(|&o| o != FREE);
+        SpecSimReport {
+            injected: self.injected,
+            delivered: self.delivered,
+            deadlocked: self.delivered < self.injected && holding,
+            end_cycle: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Per-destination routing tables, indexed `[dest][state]`.
+    type Routes = Vec<Vec<Vec<u32>>>;
+
+    /// A 4-ring with clockwise-only routing: the classic deadlock.
+    fn ring_spec() -> (Vec<(u32, u32)>, Routes) {
+        let n = 4u32;
+        let channels: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let mut routes = Vec::new();
+        for dest in 0..n {
+            let mut table = vec![Vec::new(); (2 * n) as usize];
+            for v in 0..n {
+                if v == dest {
+                    continue;
+                }
+                table[v as usize] = vec![v]; // inject onto channel leaving v
+            }
+            for c in 0..n {
+                let mid = (c + 1) % n;
+                if mid == dest {
+                    continue;
+                }
+                table[(n + c) as usize] = vec![mid];
+            }
+            routes.push(table);
+        }
+        (channels, routes)
+    }
+
+    #[test]
+    fn clockwise_ring_deadlocks_under_saturation() {
+        let (channels, routes) = ring_spec();
+        let view = SpecView {
+            num_nodes: 4,
+            channels: &channels,
+            routes: &routes,
+        };
+        let report = SpecSim::new(view, 7, 4).run(200, 100_000);
+        assert!(report.deadlocked, "{report:?}");
+        assert!(report.delivered < report.injected);
+    }
+
+    #[test]
+    fn single_packet_on_ring_is_delivered() {
+        let (channels, routes) = ring_spec();
+        let view = SpecView {
+            num_nodes: 4,
+            channels: &channels,
+            routes: &routes,
+        };
+        // One packet per node is below the cyclic-wait threshold only for
+        // zero contention; inject from a single node instead.
+        let mut sim = SpecSim::new(view, 7, 0);
+        sim.dest.push(2);
+        sim.state.push(0);
+        sim.inject_queue[0].push(0);
+        sim.injected += 1;
+        let report = sim.run(200, 100_000);
+        assert_eq!(report.delivered, 1);
+        assert!(!report.deadlocked);
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let (channels, routes) = ring_spec();
+        let view = SpecView {
+            num_nodes: 4,
+            channels: &channels,
+            routes: &routes,
+        };
+        let a = SpecSim::new(view, 11, 3).run(200, 100_000);
+        let b = SpecSim::new(view, 11, 3).run(200, 100_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,212 @@
+//! Table-backed virtual-channel routing functions.
+//!
+//! A [`TableVcRouting`] stores the full `(destination, current node,
+//! arrived virtual direction) -> offered virtual channels` relation of a
+//! 2D mesh explicitly. Two constructors feed it:
+//!
+//! * [`TableVcRouting::from_function`] snapshots any
+//!   [`VcRoutingFunction`] point by point — the generalized engines and
+//!   lowering paths must treat the snapshot identically to the original
+//!   function, which pins the N-class generalization to the hand-coded
+//!   double-y case;
+//! * [`TableVcRouting::builder`] assembles a table from explicit entries —
+//!   the form synthesized escape/adaptive assignments arrive in.
+
+use crate::{VcRoutingFunction, VirtualDirection};
+use turnroute_topology::{Mesh, NodeId, Topology};
+
+/// A fully tabulated [`VcRoutingFunction`] over a 2D mesh.
+#[derive(Debug, Clone)]
+pub struct TableVcRouting {
+    name: String,
+    minimal: bool,
+    num_classes: usize,
+    num_nodes: usize,
+    /// Existence bitmap indexed by `vd.index_in(num_classes)`.
+    exists: Vec<bool>,
+    /// `moves[dest][node * (1 + 4 * classes) + arrived_code]`, where
+    /// `arrived_code` is `0` at injection and `1 + vd.index_in(classes)`
+    /// after arriving on `vd`.
+    moves: Vec<Vec<Vec<VirtualDirection>>>,
+}
+
+impl TableVcRouting {
+    fn arrived_codes(num_classes: usize) -> usize {
+        1 + 4 * num_classes
+    }
+
+    /// Snapshot `routing` on `mesh` into an explicit table. Every state
+    /// the dependency analysis or an engine can query — all
+    /// `(dest, node, arrived)` combinations, including unreachable ones —
+    /// is recorded verbatim, so the snapshot routes identically to the
+    /// original function.
+    pub fn from_function(mesh: &Mesh, routing: &dyn VcRoutingFunction) -> TableVcRouting {
+        assert_eq!(mesh.num_dims(), 2, "table routing is for 2D meshes");
+        let num_classes = routing.num_classes();
+        let num_nodes = mesh.num_nodes();
+        let codes = Self::arrived_codes(num_classes);
+        let all: Vec<VirtualDirection> = VirtualDirection::all_classes(2, num_classes);
+        let exists = all.iter().map(|&vd| routing.channel_exists(vd)).collect();
+        let mut moves = Vec::with_capacity(num_nodes);
+        for dest in 0..num_nodes {
+            let dest = NodeId(dest as u32);
+            let mut table = vec![Vec::new(); num_nodes * codes];
+            for node in 0..num_nodes {
+                let node_id = NodeId(node as u32);
+                if node_id == dest {
+                    continue;
+                }
+                table[node * codes] = routing.route(mesh, node_id, dest, None);
+                for &vd in &all {
+                    if !routing.channel_exists(vd) {
+                        continue;
+                    }
+                    // Only states whose incoming channel exists on the
+                    // mesh can be queried; record the rest as empty.
+                    if mesh.neighbor(node_id, vd.dir().opposite()).is_none() {
+                        continue;
+                    }
+                    table[node * codes + 1 + vd.index_in(num_classes)] =
+                        routing.route(mesh, node_id, dest, Some(vd));
+                }
+            }
+            moves.push(table);
+        }
+        TableVcRouting {
+            name: format!("{} (tabulated)", routing.name()),
+            minimal: routing.is_minimal(),
+            num_classes,
+            num_nodes,
+            exists,
+            moves,
+        }
+    }
+
+    /// Start an empty table (every state routes to the empty set).
+    pub fn builder(
+        name: impl Into<String>,
+        mesh: &Mesh,
+        num_classes: usize,
+        minimal: bool,
+    ) -> TableVcRouting {
+        assert_eq!(mesh.num_dims(), 2, "table routing is for 2D meshes");
+        let num_nodes = mesh.num_nodes();
+        let codes = Self::arrived_codes(num_classes);
+        TableVcRouting {
+            name: name.into(),
+            minimal,
+            num_classes,
+            num_nodes,
+            exists: vec![false; 4 * num_classes],
+            moves: vec![vec![Vec::new(); num_nodes * codes]; num_nodes],
+        }
+    }
+
+    /// Declare that the virtual channel `vd` exists on links carrying its
+    /// physical direction.
+    pub fn declare_channel(&mut self, vd: VirtualDirection) {
+        self.exists[vd.index_in(self.num_classes)] = true;
+    }
+
+    /// Record the offered virtual channels for a packet at `node` bound
+    /// for `dest` having arrived on `arrived` (`None` at injection).
+    pub fn set_route(
+        &mut self,
+        dest: NodeId,
+        node: NodeId,
+        arrived: Option<VirtualDirection>,
+        offered: Vec<VirtualDirection>,
+    ) {
+        let codes = Self::arrived_codes(self.num_classes);
+        let code = match arrived {
+            None => 0,
+            Some(vd) => 1 + vd.index_in(self.num_classes),
+        };
+        self.moves[dest.index()][node.index() * codes + code] = offered;
+    }
+}
+
+impl VcRoutingFunction for TableVcRouting {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn route(
+        &self,
+        _mesh: &Mesh,
+        current: NodeId,
+        dest: NodeId,
+        arrived: Option<VirtualDirection>,
+    ) -> Vec<VirtualDirection> {
+        if current == dest {
+            return Vec::new();
+        }
+        let codes = Self::arrived_codes(self.num_classes);
+        let code = match arrived {
+            None => 0,
+            Some(vd) => 1 + vd.index_in(self.num_classes),
+        };
+        debug_assert!(current.index() < self.num_nodes);
+        self.moves[dest.index()][current.index() * codes + code].clone()
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.minimal
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn channel_exists(&self, vd: VirtualDirection) -> bool {
+        self.exists[vd.index_in(self.num_classes)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DoubleYAdaptive, VcCdg};
+
+    #[test]
+    fn snapshot_routes_identically_to_double_y() {
+        let mesh = Mesh::new_2d(4, 4);
+        let dy = DoubleYAdaptive::new();
+        let table = TableVcRouting::from_function(&mesh, &dy);
+        for dest in 0..mesh.num_nodes() {
+            let dest = NodeId(dest as u32);
+            for node in 0..mesh.num_nodes() {
+                let node = NodeId(node as u32);
+                assert_eq!(
+                    table.route(&mesh, node, dest, None),
+                    dy.route(&mesh, node, dest, None),
+                    "injection state {node} -> {dest}"
+                );
+                for vd in VirtualDirection::all_classes(2, 2) {
+                    if !dy.channel_exists(vd) {
+                        continue;
+                    }
+                    if mesh.neighbor(node, vd.dir().opposite()).is_none() {
+                        continue;
+                    }
+                    assert_eq!(
+                        table.route(&mesh, node, dest, Some(vd)),
+                        dy.route(&mesh, node, dest, Some(vd)),
+                        "holding state {node} ({vd}) -> {dest}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_cdg_is_acyclic_like_double_y() {
+        let mesh = Mesh::new_2d(4, 4);
+        let dy = DoubleYAdaptive::new();
+        let table = TableVcRouting::from_function(&mesh, &dy);
+        let direct = VcCdg::from_routing(&mesh, &dy);
+        let via_table = VcCdg::from_routing(&mesh, &table);
+        assert!(via_table.is_acyclic());
+        assert_eq!(direct.channels().len(), via_table.channels().len());
+    }
+}

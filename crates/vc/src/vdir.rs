@@ -3,32 +3,35 @@
 use turnroute_topology::{Direction, Mesh, NodeId, Topology};
 
 /// The virtual-channel class of a channel. The double-y mesh uses
-/// [`VcClass::One`] for x channels and both classes for y channels.
+/// [`VcClass::One`] for x channels and both classes for y channels;
+/// synthesized assignments may use any number of classes, so the class is
+/// an open index rather than a closed enum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum VcClass {
-    /// The first (or only) virtual channel of a physical link.
-    One,
-    /// The second virtual channel of a doubled physical link.
-    Two,
-}
+pub struct VcClass(u8);
 
+#[allow(non_upper_case_globals)]
 impl VcClass {
-    /// `0` for `One`, `1` for `Two` — used in slot indexing.
+    /// The first (or only) virtual channel of a physical link.
+    pub const One: VcClass = VcClass(0);
+    /// The second virtual channel of a doubled physical link.
+    pub const Two: VcClass = VcClass(1);
+
+    /// The class with zero-based index `index`.
+    #[inline]
+    pub fn new(index: u8) -> VcClass {
+        VcClass(index)
+    }
+
+    /// Zero-based class index — used in slot indexing.
     #[inline]
     pub fn index(self) -> usize {
-        match self {
-            VcClass::One => 0,
-            VcClass::Two => 1,
-        }
+        self.0 as usize
     }
 }
 
 impl std::fmt::Display for VcClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            VcClass::One => write!(f, "1"),
-            VcClass::Two => write!(f, "2"),
-        }
+        write!(f, "{}", self.0 + 1)
     }
 }
 
@@ -62,7 +65,28 @@ impl VirtualDirection {
     /// slots of single-channel directions simply go unused).
     #[inline]
     pub fn index(self) -> usize {
-        self.dir.index() * 2 + self.class.index()
+        self.index_in(2)
+    }
+
+    /// Dense index in `0..(2 * dims * num_classes)` when every physical
+    /// direction carries `num_classes` virtual-channel slots.
+    #[inline]
+    pub fn index_in(self, num_classes: usize) -> usize {
+        debug_assert!(self.class.index() < num_classes);
+        self.dir.index() * num_classes + self.class.index()
+    }
+
+    /// All virtual directions of an `num_dims`-dimensional mesh with
+    /// `num_classes` classes per physical direction, in dense
+    /// [`VirtualDirection::index_in`] order.
+    pub fn all_classes(num_dims: usize, num_classes: usize) -> Vec<VirtualDirection> {
+        let mut out = Vec::with_capacity(2 * num_dims * num_classes);
+        for dir in Direction::all(num_dims) {
+            for class in 0..num_classes {
+                out.push(VirtualDirection::new(dir, VcClass::new(class as u8)));
+            }
+        }
+        out
     }
 
     /// All virtual directions of a double-y 2D mesh: `west`, `east` in
@@ -118,6 +142,18 @@ pub trait VcRoutingFunction {
 
     /// Whether only shortest-path moves are offered.
     fn is_minimal(&self) -> bool;
+
+    /// Number of virtual-channel classes per physical direction. The
+    /// default matches the hand-coded double-y scheme.
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    /// Whether the virtual channel `vd` exists on links that carry it.
+    /// The default matches double-y: x links carry a single class.
+    fn channel_exists(&self, vd: VirtualDirection) -> bool {
+        vd.exists_in_double_y()
+    }
 }
 
 /// The virtual channels leaving `node` in a double-y mesh, in a stable
@@ -160,6 +196,24 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for vd in VirtualDirection::double_y_all() {
             assert!(seen.insert(vd.index()));
+        }
+    }
+
+    #[test]
+    fn all_classes_is_in_dense_index_order() {
+        for classes in 1..=4usize {
+            let all = VirtualDirection::all_classes(2, classes);
+            assert_eq!(all.len(), 4 * classes);
+            for (i, vd) in all.iter().enumerate() {
+                assert_eq!(vd.index_in(classes), i);
+            }
+        }
+    }
+
+    #[test]
+    fn two_class_dense_index_matches_legacy_index() {
+        for vd in VirtualDirection::all_classes(2, 2) {
+            assert_eq!(vd.index_in(2), vd.index());
         }
     }
 
